@@ -1,0 +1,77 @@
+//! Errors for kernels that cannot be launched at all.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a kernel configuration is invalid on the modelled device.
+///
+/// These correspond to the paper's "invalid executable" outcomes — e.g. the
+/// far-right prefetching configuration of Figure 3, whose register demand
+/// exceeds what one SM can supply even at a single resident block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchError {
+    /// The block declares zero threads.
+    EmptyBlock,
+    /// Threads per block exceeds Table 2's 512-thread limit.
+    BlockTooLarge {
+        /// Requested threads per block.
+        threads: u32,
+        /// Device limit.
+        limit: u32,
+    },
+    /// One block's registers (`regs_per_thread * threads`) exceed the SM
+    /// register file, so not even a single block fits.
+    RegistersExhausted {
+        /// Registers required by one block.
+        required: u32,
+        /// Registers available on one SM.
+        available: u32,
+    },
+    /// One block's shared memory exceeds the SM's scratchpad.
+    SharedMemExhausted {
+        /// Bytes required by one block.
+        required: u32,
+        /// Bytes available on one SM.
+        available: u32,
+    },
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchError::EmptyBlock => write!(f, "thread block has zero threads"),
+            LaunchError::BlockTooLarge { threads, limit } => {
+                write!(f, "{threads} threads per block exceeds device limit of {limit}")
+            }
+            LaunchError::RegistersExhausted { required, available } => write!(
+                f,
+                "one block needs {required} registers but an SM has only {available}"
+            ),
+            LaunchError::SharedMemExhausted { required, available } => write!(
+                f,
+                "one block needs {required} bytes of shared memory but an SM has only {available}"
+            ),
+        }
+    }
+}
+
+impl Error for LaunchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = LaunchError::RegistersExhausted { required: 9000, available: 8192 };
+        let s = e.to_string();
+        assert!(s.contains("9000") && s.contains("8192"));
+        assert!(s.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LaunchError>();
+    }
+}

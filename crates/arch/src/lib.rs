@@ -1,0 +1,36 @@
+//! Machine model of the NVIDIA GeForce 8800 GTX (G80) as described in
+//! Ryoo et al., *Program Optimization Space Pruning for a Multithreaded
+//! GPU*, CGO 2008, sections 2.1–2.2.
+//!
+//! The crate provides three things:
+//!
+//! * [`MachineSpec`] — the hardware constants of Table 2 (per-SM resource
+//!   limits) plus clock, SM count, and latency/bandwidth figures quoted in
+//!   the paper's prose. Other devices can be modelled by constructing a
+//!   different spec; [`MachineSpec::geforce_8800_gtx`] is the paper's
+//!   machine.
+//! * [`memory`] — the memory-space property table (Table 1).
+//! * [`occupancy`] — the `-cubin`-style calculation of how many thread
+//!   blocks fit on one SM given a kernel's resource usage, including the
+//!   worked examples of section 2.2 (10 regs → 3 blocks, 11 regs → 2).
+//!
+//! # Examples
+//!
+//! ```
+//! use gpu_arch::{MachineSpec, ResourceUsage};
+//!
+//! let spec = MachineSpec::geforce_8800_gtx();
+//! let usage = ResourceUsage::new(256, 10, 4096);
+//! let occ = spec.occupancy(&usage).expect("valid kernel");
+//! assert_eq!(occ.blocks_per_sm, 3); // section 2.2 example
+//! ```
+
+pub mod error;
+pub mod memory;
+pub mod occupancy;
+pub mod specs;
+
+pub use error::LaunchError;
+pub use memory::{MemoryProperties, MemorySpace};
+pub use occupancy::{occupancy_table, LimitingFactor, Occupancy, OccupancyRow, ResourceUsage};
+pub use specs::MachineSpec;

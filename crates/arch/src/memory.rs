@@ -1,0 +1,157 @@
+//! The GeForce 8800 memory spaces of Table 1.
+//!
+//! Each CUDA memory space has a location (on- or off-chip), a capacity, a
+//! characteristic latency, and a read-only flag. The kernel IR tags loads
+//! and stores with a [`MemorySpace`]; the timing simulator and the
+//! bandwidth-boundedness screen look the properties up here.
+
+use std::fmt;
+
+/// One of the five memory spaces addressable from a G80 kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemorySpace {
+    /// Off-chip DRAM; all data resides here at kernel launch. 200–300 cycle
+    /// latency, coalescing-sensitive.
+    Global,
+    /// 16 KB on-chip scratchpad per SM, shared within a thread block.
+    Shared,
+    /// Cached, read-only; 64 KB limit set by the programming model.
+    Constant,
+    /// Cached, read-only, 2D-locality optimised.
+    Texture,
+    /// Off-chip spill space private to a thread.
+    Local,
+}
+
+impl MemorySpace {
+    /// All spaces, in Table 1 order.
+    pub const ALL: [MemorySpace; 5] = [
+        MemorySpace::Global,
+        MemorySpace::Shared,
+        MemorySpace::Constant,
+        MemorySpace::Texture,
+        MemorySpace::Local,
+    ];
+
+    /// Properties row of Table 1 for this space.
+    pub fn properties(self) -> MemoryProperties {
+        match self {
+            MemorySpace::Global => MemoryProperties {
+                space: self,
+                on_chip: false,
+                capacity_bytes: Some(768 * 1024 * 1024),
+                latency_cycles: 200..=300,
+                read_only: false,
+            },
+            MemorySpace::Shared => MemoryProperties {
+                space: self,
+                on_chip: true,
+                capacity_bytes: Some(16 * 1024),
+                latency_cycles: 24..=24,
+                read_only: false,
+            },
+            MemorySpace::Constant => MemoryProperties {
+                space: self,
+                on_chip: true,
+                capacity_bytes: Some(64 * 1024),
+                latency_cycles: 24..=24,
+                read_only: true,
+            },
+            MemorySpace::Texture => MemoryProperties {
+                space: self,
+                on_chip: true,
+                capacity_bytes: None,
+                latency_cycles: 100..=300,
+                read_only: true,
+            },
+            MemorySpace::Local => MemoryProperties {
+                space: self,
+                on_chip: false,
+                capacity_bytes: None,
+                latency_cycles: 200..=300,
+                read_only: false,
+            },
+        }
+    }
+
+    /// Whether an access to this space is a long-latency (off-chip or
+    /// texture) operation. These are the "blocking instructions" of the
+    /// paper's Regions definition (section 4) together with barriers.
+    pub fn is_long_latency(self) -> bool {
+        matches!(
+            self,
+            MemorySpace::Global | MemorySpace::Local | MemorySpace::Texture
+        )
+    }
+}
+
+impl fmt::Display for MemorySpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            MemorySpace::Global => "global",
+            MemorySpace::Shared => "shared",
+            MemorySpace::Constant => "const",
+            MemorySpace::Texture => "tex",
+            MemorySpace::Local => "local",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryProperties {
+    /// Which space this row describes.
+    pub space: MemorySpace,
+    /// Location: `true` for on-chip (or on-chip cache), `false` for DRAM.
+    pub on_chip: bool,
+    /// Capacity in bytes where Table 1 gives one; `None` for "up to global".
+    pub capacity_bytes: Option<u64>,
+    /// Access latency range in shader cycles.
+    pub latency_cycles: std::ops::RangeInclusive<u32>,
+    /// Whether the space is read-only from kernel code.
+    pub read_only: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_shapes() {
+        let g = MemorySpace::Global.properties();
+        assert!(!g.on_chip && !g.read_only);
+        assert_eq!(g.capacity_bytes, Some(768 * 1024 * 1024));
+        assert_eq!(g.latency_cycles, 200..=300);
+
+        let s = MemorySpace::Shared.properties();
+        assert!(s.on_chip && !s.read_only);
+        assert_eq!(s.capacity_bytes, Some(16 * 1024));
+
+        let c = MemorySpace::Constant.properties();
+        assert!(c.on_chip && c.read_only);
+        assert_eq!(c.capacity_bytes, Some(64 * 1024));
+
+        let t = MemorySpace::Texture.properties();
+        assert!(t.on_chip && t.read_only);
+        assert_eq!(t.capacity_bytes, None);
+
+        let l = MemorySpace::Local.properties();
+        assert!(!l.on_chip && !l.read_only);
+    }
+
+    #[test]
+    fn long_latency_classification() {
+        assert!(MemorySpace::Global.is_long_latency());
+        assert!(MemorySpace::Local.is_long_latency());
+        assert!(MemorySpace::Texture.is_long_latency());
+        assert!(!MemorySpace::Shared.is_long_latency());
+        assert!(!MemorySpace::Constant.is_long_latency());
+    }
+
+    #[test]
+    fn display_names() {
+        let names: Vec<String> = MemorySpace::ALL.iter().map(|m| m.to_string()).collect();
+        assert_eq!(names, ["global", "shared", "const", "tex", "local"]);
+    }
+}

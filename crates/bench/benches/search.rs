@@ -1,0 +1,36 @@
+//! End-to-end search cost: how long the library takes to prune and tune
+//! a whole configuration space (the developer-time column the paper's
+//! Table 4 is about).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_arch::MachineSpec;
+use gpu_kernels::matmul::MatMul;
+use gpu_kernels::App;
+use optspace::tuner::{ExhaustiveSearch, PrunedSearch};
+use std::hint::black_box;
+
+fn bench_search(c: &mut Criterion) {
+    let spec = MachineSpec::geforce_8800_gtx();
+    let mm = MatMul::reduced_problem();
+    let cands = mm.candidates();
+
+    let mut g = c.benchmark_group("search");
+    g.sample_size(10);
+    g.bench_function("static evaluation x96 (matmul space)", |b| {
+        b.iter(|| {
+            for cand in &cands {
+                black_box(cand.evaluate(&spec).ok());
+            }
+        })
+    });
+    g.bench_function("pruned search (matmul 512)", |b| {
+        b.iter(|| black_box(PrunedSearch::default().run(black_box(&cands), &spec)))
+    });
+    g.bench_function("exhaustive search (matmul 512)", |b| {
+        b.iter(|| black_box(ExhaustiveSearch.run(black_box(&cands), &spec)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

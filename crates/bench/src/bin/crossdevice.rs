@@ -1,0 +1,62 @@
+//! The paper's introduction claim: "successive generations of
+//! architectures require a complete reapplication of the optimization
+//! process to achieve the maximum performance for the new system."
+//!
+//! Tune matrix multiplication on the GeForce 8800 GTX and on a
+//! GT200-generation device; compare the optima and measure how much a
+//! developer loses by carrying the old configuration forward.
+
+use gpu_arch::MachineSpec;
+use gpu_kernels::matmul::MatMul;
+use gpu_kernels::App;
+use optspace::report::{fmt_ms, table};
+use optspace::tuner::{ExhaustiveSearch, PrunedSearch};
+
+fn main() {
+    let g80 = MachineSpec::geforce_8800_gtx();
+    let next = MachineSpec::gtx_280_like();
+    let mm = MatMul::reduced_problem();
+    let cands = mm.candidates();
+
+    let on_g80 = ExhaustiveSearch.run(&cands, &g80);
+    let on_next = ExhaustiveSearch.run(&cands, &next);
+    let best_g80 = on_g80.best.expect("valid space");
+    let best_next = on_next.best.expect("valid space");
+
+    let mut rows = vec![vec![
+        "device".to_string(),
+        "optimal config".to_string(),
+        "time".to_string(),
+        "old optimum carried over".to_string(),
+        "penalty".to_string(),
+    ]];
+    rows.push(vec![
+        "8800 GTX".into(),
+        cands[best_g80].label.clone(),
+        fmt_ms(on_g80.best_time_ms().expect("best exists")),
+        "-".into(),
+        "-".into(),
+    ]);
+    let carried = on_next.simulated[best_g80]
+        .as_ref()
+        .map(|t| t.time_ms)
+        .expect("old optimum still valid on the new device");
+    let fresh = on_next.best_time_ms().expect("best exists");
+    rows.push(vec![
+        "GT200-like".into(),
+        cands[best_next].label.clone(),
+        fmt_ms(fresh),
+        fmt_ms(carried),
+        format!("+{:.1}%", (carried / fresh - 1.0) * 100.0),
+    ]);
+    println!("{}", table(&rows));
+
+    // And the pruned methodology transfers as-is.
+    let pruned = PrunedSearch::default().run(&cands, &next);
+    println!(
+        "pruned search on the new device: {} configs timed ({:.0}% reduction), optimum found: {}",
+        pruned.evaluated_count(),
+        pruned.space_reduction() * 100.0,
+        if (pruned.best_time_ms().unwrap() / fresh - 1.0).abs() < 1e-9 { "yes" } else { "NO" },
+    );
+}

@@ -1,0 +1,87 @@
+//! Future-work experiment (§7): pressure-aware scheduling applied on
+//! top of every matmul configuration — does controlled scheduling
+//! recover registers and occupancy?
+
+use gpu_arch::MachineSpec;
+use gpu_ir::analysis::register_pressure;
+use gpu_kernels::matmul::MatMul;
+use gpu_passes::schedule_for_pressure;
+use optspace::report::table;
+
+fn main() {
+    let spec = MachineSpec::geforce_8800_gtx();
+    let mm = MatMul::paper_problem();
+    let mut improved = 0;
+    let mut occupancy_gains = 0;
+    let mut rows = vec![vec![
+        "config".to_string(),
+        "regs".to_string(),
+        "regs(sched)".to_string(),
+        "B_SM".to_string(),
+        "B_SM(sched)".to_string(),
+    ]];
+    for cfg in mm.space() {
+        let k0 = mm.generate(&cfg);
+        let mut k1 = k0.clone();
+        schedule_for_pressure(&mut k1);
+        let r0 = register_pressure(&k0).regs_per_thread;
+        let r1 = register_pressure(&k1).regs_per_thread;
+        let occ = |r: u32| {
+            spec.occupancy(&gpu_arch::ResourceUsage::new(
+                mm.launch(&cfg).threads_per_block(),
+                r,
+                k0.smem_bytes,
+            ))
+            .map(|o| o.blocks_per_sm)
+            .unwrap_or(0)
+        };
+        let (b0, b1) = (occ(r0), occ(r1));
+        if r1 < r0 {
+            improved += 1;
+            rows.push(vec![
+                cfg.to_string(),
+                r0.to_string(),
+                r1.to_string(),
+                b0.to_string(),
+                b1.to_string(),
+            ]);
+        }
+        if b1 > b0 {
+            occupancy_gains += 1;
+        }
+    }
+    println!("{}", table(&rows));
+    println!(
+        "register usage reduced on {improved} of 96 configurations; \
+         occupancy raised on {occupancy_gains}"
+    );
+    println!(
+        "(the generators already emit consumption-ordered code, so the \
+         scheduler finds nothing to improve — the paper's point that a \
+         *controlled* schedule keeps resource usage predictable)"
+    );
+
+    // Where the scheduler earns its keep: batched code, e.g. a variant
+    // that hoists a whole tile of loads before any consumer (what an
+    // aggressive latency-hiding scheduler would emit).
+    let mut b = gpu_ir::build::KernelBuilder::new("batched_tile");
+    let src = b.param(0);
+    let out = b.param(1);
+    let acc = b.mov(0.0f32);
+    b.repeat(64, |b| {
+        let vals: Vec<_> = (0..16).map(|i| b.ld_global(src, i)).collect();
+        for v in vals {
+            b.fmad_acc(v, 0.5f32, acc);
+        }
+    });
+    b.st_global(out, 0, acc);
+    let k0 = b.finish();
+    let mut k1 = k0.clone();
+    let rep = schedule_for_pressure(&mut k1);
+    println!(
+        "\nbatched 16-load tile kernel: {} -> {} registers ({} instructions moved)",
+        register_pressure(&k0).regs_per_thread,
+        register_pressure(&k1).regs_per_thread,
+        rep.moved,
+    );
+}

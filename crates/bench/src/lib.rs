@@ -1,0 +1,55 @@
+//! Shared harness for the experiment regenerators.
+//!
+//! Each `src/bin/*.rs` binary regenerates one table or figure of the
+//! paper's evaluation; this library holds the pieces they share: the
+//! application suite at bench scale and the search-comparison runner.
+
+use gpu_arch::MachineSpec;
+use gpu_kernels::{cp::Cp, matmul::MatMul, mri_fhd::MriFhd, sad::Sad, App};
+use optspace::tuner::{ExhaustiveSearch, PrunedSearch, SearchReport};
+
+/// The four applications at the scale the experiment binaries run them.
+///
+/// Matrix multiplication uses a reduced 512² problem (the paper itself
+/// ran "smaller inputs than those considered typical"); everything else
+/// runs at the paper-flavoured sizes in `gpu-kernels`.
+pub fn suite() -> Vec<Box<dyn App>> {
+    vec![
+        Box::new(MatMul::reduced_problem()),
+        Box::new(Cp::paper_problem()),
+        Box::new(Sad::paper_problem()),
+        Box::new(MriFhd::paper_problem()),
+    ]
+}
+
+/// Exhaustive vs pruned search for one application.
+#[derive(Debug)]
+pub struct Comparison {
+    /// Application name.
+    pub name: &'static str,
+    /// Ground truth: every valid configuration simulated.
+    pub exhaustive: SearchReport,
+    /// The paper's Pareto-pruned search.
+    pub pruned: SearchReport,
+}
+
+impl Comparison {
+    /// Whether the pruned search found the exhaustive optimum (the
+    /// paper's headline claim).
+    pub fn found_optimum(&self) -> bool {
+        match (self.exhaustive.best_time_ms(), self.pruned.best_time_ms()) {
+            (Some(a), Some(b)) => (b / a - 1.0).abs() < 1e-9,
+            _ => false,
+        }
+    }
+}
+
+/// Run both searches over one application.
+pub fn compare(app: &dyn App, spec: &MachineSpec) -> Comparison {
+    let candidates = app.candidates();
+    Comparison {
+        name: app.name(),
+        exhaustive: ExhaustiveSearch.run(&candidates, spec),
+        pruned: PrunedSearch::default().run(&candidates, spec),
+    }
+}

@@ -1,0 +1,141 @@
+//! Bandwidth-boundedness screening (section 4, ¶2; section 5.3).
+//!
+//! "In order for these metrics to correlate to performance, global
+//! memory bandwidth must not be the bottleneck … This is easily
+//! calculated by examining the percentage of memory accesses in the
+//! instruction stream and determining the average number of bytes being
+//! transferred per cycle." Section 5.3 adds that bandwidth-bound points
+//! (the 8×8 matmul tiles) "should be screened away … prior to defining
+//! the curve."
+//!
+//! The estimate: at full issue an SM retires `warp_size /
+//! issue_cycles_per_warp` thread-instructions per cycle; a kernel moving
+//! `b` DRAM bytes per thread over `n` dynamic instructions therefore
+//! demands `8 · b / n` bytes/cycle against the SM's share of the 86.4
+//! GB/s (4 bytes/cycle on the 8800 GTX). Demand above the supply means
+//! execution throttles on DRAM and instruction-level metrics stop
+//! predicting performance.
+
+use gpu_arch::MachineSpec;
+use gpu_ir::analysis::InstrMix;
+
+/// Result of the bandwidth screen for one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthAssessment {
+    /// DRAM bytes per cycle the kernel would demand at full issue rate.
+    pub demand_bytes_per_cycle: f64,
+    /// DRAM bytes per cycle one SM's bandwidth share supplies.
+    pub supply_bytes_per_cycle: f64,
+    /// Fraction of dynamic instructions that touch off-chip memory.
+    pub offchip_fraction: f64,
+}
+
+impl BandwidthAssessment {
+    /// Demand / supply; above ~1 the kernel is DRAM-throttled.
+    pub fn pressure(&self) -> f64 {
+        self.demand_bytes_per_cycle / self.supply_bytes_per_cycle
+    }
+
+    /// Whether the configuration should be screened away before the
+    /// Pareto pruning (demand ≥ supply).
+    pub fn is_bandwidth_bound(&self) -> bool {
+        self.pressure() >= 1.0
+    }
+}
+
+/// Assess one configuration's DRAM-bandwidth pressure.
+pub fn assess(mix: &InstrMix, spec: &MachineSpec) -> BandwidthAssessment {
+    let thread_instrs_per_cycle =
+        f64::from(spec.warp_size) / f64::from(spec.issue_cycles_per_warp);
+    let traffic = mix.dram_traffic_bytes(spec);
+    let demand = if mix.instrs == 0 {
+        0.0
+    } else {
+        thread_instrs_per_cycle * traffic / mix.instrs as f64
+    };
+    BandwidthAssessment {
+        demand_bytes_per_cycle: demand,
+        supply_bytes_per_cycle: spec.bandwidth_bytes_per_cycle() / f64::from(spec.num_sms),
+        offchip_fraction: mix.offchip_fraction(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_ir::analysis::instruction_mix;
+    use gpu_ir::build::KernelBuilder;
+
+    fn g80() -> MachineSpec {
+        MachineSpec::geforce_8800_gtx()
+    }
+
+    #[test]
+    fn compute_heavy_kernel_is_not_bound() {
+        let mut b = KernelBuilder::new("compute");
+        let p = b.param(0);
+        let acc = b.mov(0.0f32);
+        b.repeat(100, |b| {
+            let x = b.ld_global(p, 0);
+            b.repeat(50, |b| {
+                b.fmad_acc(x, 1.0f32, acc);
+            });
+        });
+        b.st_global(p, 0, acc);
+        let a = assess(&instruction_mix(&b.finish()), &g80());
+        assert!(!a.is_bandwidth_bound(), "pressure = {}", a.pressure());
+    }
+
+    #[test]
+    fn streaming_kernel_is_bound() {
+        // Pure copy: one load + one store per 2 instructions.
+        let mut b = KernelBuilder::new("stream");
+        let p = b.param(0);
+        b.repeat(100, |b| {
+            let x = b.ld_global(p, 0);
+            b.st_global(p, 1, x);
+        });
+        let a = assess(&instruction_mix(&b.finish()), &g80());
+        assert!(a.is_bandwidth_bound(), "pressure = {}", a.pressure());
+        assert!(a.offchip_fraction > 0.3);
+    }
+
+    #[test]
+    fn uncoalesced_access_raises_pressure() {
+        let mk = |unco: bool| {
+            let mut b = KernelBuilder::new("k");
+            let p = b.param(0);
+            let acc = b.mov(0.0f32);
+            b.repeat(10, |b| {
+                let x = if unco {
+                    b.ld_global_uncoalesced(p, 0)
+                } else {
+                    b.ld_global(p, 0)
+                };
+                b.repeat(8, |b| {
+                    b.fmad_acc(x, 1.0f32, acc);
+                });
+            });
+            b.st_global(p, 0, acc);
+            instruction_mix(&b.finish())
+        };
+        let co = assess(&mk(false), &g80());
+        let unco = assess(&mk(true), &g80());
+        assert!(unco.pressure() > co.pressure() * 4.0);
+    }
+
+    #[test]
+    fn empty_kernel_has_zero_demand() {
+        let b = KernelBuilder::new("empty");
+        let a = assess(&instruction_mix(&b.finish()), &g80());
+        assert_eq!(a.demand_bytes_per_cycle, 0.0);
+        assert!(!a.is_bandwidth_bound());
+    }
+
+    #[test]
+    fn supply_is_per_sm_share() {
+        let b = KernelBuilder::new("empty");
+        let a = assess(&instruction_mix(&b.finish()), &g80());
+        assert!((a.supply_bytes_per_cycle - 4.0).abs() < 1e-12);
+    }
+}

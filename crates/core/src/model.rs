@@ -1,0 +1,189 @@
+//! A more detailed static cost model (section 4: "We are developing a
+//! more detailed cost model to achieve more precise results").
+//!
+//! The paper's metrics deliberately stop at a partial order — Efficiency
+//! and Utilization "are not detailed enough to combine into a single
+//! robust cost function". This module builds the next step the authors
+//! describe: a closed-form, latency- and bandwidth-aware cycle
+//! predictor over the same static inputs. One SM-wave is bounded below
+//! by three rooflines:
+//!
+//! * **issue**: every warp instruction occupies the single issue port
+//!   for 4 cycles — `warps × Instr × 4`;
+//! * **latency**: one warp cannot finish faster than its own critical
+//!   path — `Instr × 4 + blocking_units × L`;
+//! * **bandwidth**: the wave's DRAM traffic over the SM's share of the
+//!   86.4 GB/s.
+//!
+//! The predicted wave time is the maximum of the three, scaled by the
+//! grid's wave count. [`rank_correlation`] (Spearman) quantifies how
+//! well any scalar predictor orders a space against simulated time —
+//! the `costmodel` experiment compares this model with each paper
+//! metric used alone.
+
+use gpu_arch::MachineSpec;
+
+use crate::candidate::{Candidate, Evaluated};
+
+/// Predicted execution time in milliseconds for one candidate, from its
+/// static evaluation only (no simulation).
+pub fn predict_ms(c: &Candidate, e: &Evaluated, spec: &MachineSpec) -> f64 {
+    let p = &e.kernel_profile.profile;
+    let occ = &e.kernel_profile.occupancy;
+    let issue = f64::from(spec.issue_cycles_per_warp);
+
+    // Per-invocation figures (the Evaluated profile is whole-app).
+    let inv = f64::from(c.invocations);
+    let instr = p.instr as f64 / inv;
+    let units = (p.regions.saturating_sub(1)) as f64 / inv;
+
+    let warps = f64::from(occ.warps_per_sm());
+    let threads_per_sm = f64::from(occ.threads_per_sm);
+
+    // Roofline 1: issue throughput.
+    let issue_bound = warps * instr * issue;
+
+    // Roofline 2: one warp's critical path, with blocking stalls. The
+    // stall length depends on what delimits the regions: off-chip loads
+    // (200–300 cycles) for memory kernels, the SFU pipeline for pure
+    // compute kernels like CP (where the section 4 rule made SFU ops the
+    // blocking instructions).
+    let latency = if e.kernel_profile.mix.offchip_loads == 0 {
+        f64::from(spec.sfu_latency)
+    } else {
+        f64::from(spec.global_latency_typ())
+    };
+    let latency_bound = instr * issue + units * latency;
+
+    // Roofline 3: DRAM bandwidth for the wave's resident threads.
+    let traffic = e.kernel_profile.mix.dram_traffic_bytes(spec);
+    let bw_share = spec.bandwidth_bytes_per_cycle() / f64::from(spec.num_sms);
+    let bandwidth_bound = threads_per_sm * traffic / bw_share;
+
+    let wave = issue_bound.max(latency_bound).max(bandwidth_bound);
+    let capacity = f64::from(spec.num_sms) * f64::from(occ.blocks_per_sm);
+    let waves = (c.launch.total_blocks() as f64 / capacity).max(1.0);
+    let cycles = wave * waves * inv;
+    cycles / spec.clock_hz * 1e3 + crate::tuner::LAUNCH_OVERHEAD_MS * inv
+}
+
+/// Spearman rank correlation between two paired samples.
+///
+/// Returns a value in `[-1, 1]`; `NaN`-free as long as either sample has
+/// at least two distinct values. Ties receive averaged ranks.
+pub fn rank_correlation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "samples must pair up");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let ranks = |xs: &[f64]| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..xs.len()).collect();
+        idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).expect("finite samples"));
+        let mut out = vec![0.0; xs.len()];
+        let mut i = 0;
+        while i < idx.len() {
+            let mut j = i;
+            while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+                j += 1;
+            }
+            let avg = (i + j) as f64 / 2.0 + 1.0;
+            for &k in &idx[i..=j] {
+                out[k] = avg;
+            }
+            i = j + 1;
+        }
+        out
+    };
+    let (ra, rb) = (ranks(a), ranks(b));
+    let mean = (n as f64 + 1.0) / 2.0;
+    let (mut num, mut da, mut db) = (0.0, 0.0, 0.0);
+    for k in 0..n {
+        let (x, y) = (ra[k] - mean, rb[k] - mean);
+        num += x * y;
+        da += x * x;
+        db += y * y;
+    }
+    if da == 0.0 || db == 0.0 {
+        return 0.0;
+    }
+    num / (da * db).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_ir::build::KernelBuilder;
+    use gpu_ir::{Dim, Launch};
+
+    #[test]
+    fn rank_correlation_basics() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert!((rank_correlation(&a, &[10.0, 20.0, 30.0, 40.0]) - 1.0).abs() < 1e-12);
+        assert!((rank_correlation(&a, &[4.0, 3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        // Constant sample: defined as 0.
+        assert_eq!(rank_correlation(&a, &[5.0, 5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn rank_correlation_handles_ties() {
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [1.0, 1.0, 2.0, 3.0];
+        assert!((rank_correlation(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn mismatched_lengths_panic() {
+        let _ = rank_correlation(&[1.0], &[1.0, 2.0]);
+    }
+
+    fn candidate(iters: u32, tpb: u32) -> Candidate {
+        let mut b = KernelBuilder::new("m");
+        let p = b.param(0);
+        let acc = b.mov(0.0f32);
+        b.repeat(iters, |b| {
+            let x = b.ld_global(p, 0);
+            b.fmad_acc(x, 1.0f32, acc);
+        });
+        b.st_global(p, 0, acc);
+        Candidate::new(
+            format!("i{iters}/t{tpb}"),
+            b.finish(),
+            Launch::new(Dim::new_1d(4096 / tpb), Dim::new_1d(tpb)),
+        )
+    }
+
+    #[test]
+    fn prediction_orders_work_correctly() {
+        let spec = MachineSpec::geforce_8800_gtx();
+        let small = candidate(10, 128);
+        let big = candidate(100, 128);
+        let es = small.evaluate(&spec).unwrap();
+        let eb = big.evaluate(&spec).unwrap();
+        assert!(predict_ms(&big, &eb, &spec) > predict_ms(&small, &es, &spec));
+    }
+
+    #[test]
+    fn prediction_tracks_simulated_time_reasonably() {
+        // Rank correlation with the simulator over a small sweep must be
+        // strongly positive.
+        let spec = MachineSpec::geforce_8800_gtx();
+        let cands: Vec<Candidate> = [10u32, 20, 40, 80]
+            .iter()
+            .flat_map(|&it| [64u32, 128, 256].iter().map(move |&t| candidate(it, t)))
+            .collect();
+        let mut predicted = Vec::new();
+        let mut simulated = Vec::new();
+        for c in &cands {
+            let e = c.evaluate(&spec).unwrap();
+            predicted.push(predict_ms(c, &e, &spec));
+            let prog = gpu_ir::linear::linearize(&c.kernel);
+            let t = gpu_sim::timing::simulate(&prog, &c.launch, &e.kernel_profile.usage, &spec)
+                .unwrap();
+            simulated.push(t.time_ms);
+        }
+        let rho = rank_correlation(&predicted, &simulated);
+        assert!(rho > 0.8, "rho = {rho}");
+    }
+}

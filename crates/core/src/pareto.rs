@@ -1,0 +1,233 @@
+//! Pareto-optimal subset selection (section 5.2).
+//!
+//! "We choose the small set of configurations that have no superior in
+//! both the efficiency and utilization metric. This is the
+//! Pareto-optimal subset … Visually, each point in this set has no other
+//! point both above and to the right of it."
+//!
+//! Dominance is *weak*: `q` dominates `p` when `q ≥ p` in both
+//! coordinates and `q > p` in at least one. Points with exactly equal
+//! metrics (the clusters of Figure 6(b)) therefore survive together —
+//! section 5.2 then notes a single representative per cluster may be
+//! evaluated.
+
+/// A metric point: `x` = efficiency, `y` = utilization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Efficiency coordinate (higher is better).
+    pub x: f64,
+    /// Utilization coordinate (higher is better).
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Weak dominance: `self` is at least as good in both coordinates
+    /// and strictly better in one.
+    pub fn dominates(&self, other: &Point) -> bool {
+        self.x >= other.x && self.y >= other.y && (self.x > other.x || self.y > other.y)
+    }
+}
+
+/// Indices of the Pareto-optimal subset of `points`, in input order.
+///
+/// `O(n log n)`: sort by `x` descending (ties: `y` descending), sweep
+/// keeping the running maximum `y`. A point is kept iff no point with
+/// strictly larger `x` has `y ≥` its own **and** no point with equal `x`
+/// has strictly larger `y`.
+///
+/// # Examples
+///
+/// ```
+/// use optspace::pareto::{pareto_indices, Point};
+///
+/// let pts = vec![
+///     Point::new(1.0, 0.1),
+///     Point::new(0.5, 0.5),
+///     Point::new(0.1, 1.0),
+///     Point::new(0.4, 0.4), // dominated by (0.5, 0.5)
+/// ];
+/// assert_eq!(pareto_indices(&pts), vec![0, 1, 2]);
+/// ```
+pub fn pareto_indices(points: &[Point]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        points[b]
+            .x
+            .partial_cmp(&points[a].x)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(
+                points[b]
+                    .y
+                    .partial_cmp(&points[a].y)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+    });
+
+    let mut keep = Vec::new();
+    let mut best_y = f64::NEG_INFINITY; // max y among strictly larger x
+    let mut i = 0;
+    while i < order.len() {
+        // Group equal-x points. The first element belongs to its own
+        // group unconditionally — comparing it against itself would
+        // never terminate for NaN coordinates (NaN != NaN).
+        let x = points[order[i]].x;
+        let mut j = i + 1;
+        while j < order.len() && points[order[j]].x == x {
+            j += 1;
+        }
+        // Within the group, the max y is at position i (sorted desc).
+        let group_max_y = points[order[i]].y;
+        for &idx in &order[i..j] {
+            let y = points[idx].y;
+            // Dominated by a strictly-better-x point with y >= ours, or
+            // by an equal-x point with strictly larger y.
+            if y > best_y && y == group_max_y {
+                keep.push(idx);
+            } else if y > best_y && y < group_max_y {
+                // equal x, smaller y: dominated within the group
+            }
+        }
+        best_y = best_y.max(group_max_y);
+        i = j;
+    }
+    keep.sort_unstable();
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_is_pareto() {
+        assert_eq!(pareto_indices(&[Point::new(1.0, 1.0)]), vec![0]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(pareto_indices(&[]).is_empty());
+    }
+
+    #[test]
+    fn staircase_retained() {
+        let pts = vec![
+            Point::new(3.0, 1.0),
+            Point::new(2.0, 2.0),
+            Point::new(1.0, 3.0),
+        ];
+        assert_eq!(pareto_indices(&pts), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dominated_interior_point_removed() {
+        let pts = vec![
+            Point::new(3.0, 1.0),
+            Point::new(2.0, 2.0),
+            Point::new(1.9, 1.9),
+            Point::new(1.0, 3.0),
+        ];
+        assert_eq!(pareto_indices(&pts), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn duplicates_of_pareto_point_all_kept() {
+        // The Figure 6(b) clusters: identical metric values.
+        let pts = vec![
+            Point::new(2.0, 2.0),
+            Point::new(2.0, 2.0),
+            Point::new(1.0, 1.0),
+        ];
+        assert_eq!(pareto_indices(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn equal_x_smaller_y_is_dominated() {
+        let pts = vec![Point::new(2.0, 2.0), Point::new(2.0, 1.0)];
+        assert_eq!(pareto_indices(&pts), vec![0]);
+    }
+
+    #[test]
+    fn equal_y_smaller_x_is_dominated() {
+        let pts = vec![Point::new(2.0, 2.0), Point::new(1.0, 2.0)];
+        assert_eq!(pareto_indices(&pts), vec![0]);
+    }
+
+    #[test]
+    fn dominates_relation() {
+        assert!(Point::new(2.0, 2.0).dominates(&Point::new(1.0, 2.0)));
+        assert!(Point::new(2.0, 2.0).dominates(&Point::new(2.0, 1.0)));
+        assert!(!Point::new(2.0, 2.0).dominates(&Point::new(2.0, 2.0)));
+        assert!(!Point::new(2.0, 1.0).dominates(&Point::new(1.0, 2.0)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn points_strategy() -> impl Strategy<Value = Vec<Point>> {
+        proptest::collection::vec(
+            (0u32..50, 0u32..50).prop_map(|(x, y)| Point::new(f64::from(x), f64::from(y))),
+            0..60,
+        )
+    }
+
+    proptest! {
+        /// Nothing in the Pareto set is dominated by anything.
+        #[test]
+        fn pareto_set_is_undominated(pts in points_strategy()) {
+            let keep = pareto_indices(&pts);
+            for &k in &keep {
+                for (j, q) in pts.iter().enumerate() {
+                    if j != k {
+                        prop_assert!(
+                            !q.dominates(&pts[k]),
+                            "kept point {k} {:?} dominated by {j} {q:?}",
+                            pts[k]
+                        );
+                    }
+                }
+            }
+        }
+
+        /// Everything outside the set is dominated by something in it.
+        #[test]
+        fn excluded_points_are_dominated(pts in points_strategy()) {
+            let keep = pareto_indices(&pts);
+            for (j, p) in pts.iter().enumerate() {
+                if keep.contains(&j) {
+                    continue;
+                }
+                let dominated = keep.iter().any(|&k| pts[k].dominates(p));
+                prop_assert!(dominated, "excluded point {j} {p:?} not dominated");
+            }
+        }
+
+        /// The best point by any positive weighting of the two metrics is
+        /// always in the set — the property the paper's search relies on.
+        #[test]
+        fn weighted_optimum_is_on_curve(
+            pts in points_strategy(),
+            wx in 1u32..10,
+            wy in 1u32..10,
+        ) {
+            prop_assume!(!pts.is_empty());
+            let score = |p: &Point| f64::from(wx) * p.x + f64::from(wy) * p.y;
+            let best = (0..pts.len())
+                .max_by(|&a, &b| score(&pts[a]).partial_cmp(&score(&pts[b])).unwrap())
+                .unwrap();
+            let keep = pareto_indices(&pts);
+            let best_score = score(&pts[best]);
+            prop_assert!(
+                keep.iter().any(|&k| (score(&pts[k]) - best_score).abs() < 1e-9),
+                "no kept point achieves the best weighted score"
+            );
+        }
+    }
+}

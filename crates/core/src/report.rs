@@ -1,0 +1,175 @@
+//! Formatting helpers for the experiment harness: fixed-width tables and
+//! ASCII scatter plots of the metric plane (the Figure 6 views).
+
+use crate::pareto::Point;
+
+/// Render a fixed-width table. The first row is the header.
+///
+/// # Examples
+///
+/// ```
+/// let t = optspace::report::table(&[
+///     vec!["kernel".into(), "time".into()],
+///     vec!["mm".into(), "4.2".into()],
+/// ]);
+/// assert!(t.contains("kernel"));
+/// assert!(t.lines().count() >= 3);
+/// ```
+pub fn table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in rows.iter().enumerate() {
+        let mut line = String::new();
+        for (c, width) in widths.iter().enumerate() {
+            let cell = row.get(c).map(String::as_str).unwrap_or("");
+            line.push_str(&format!("{cell:<width$}"));
+            if c + 1 < cols {
+                line.push_str("  ");
+            }
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        if r == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Normalise points so the maximum of each axis is 1 (the Figure 6
+/// presentation). Zero-maximum axes stay at zero.
+pub fn normalize(points: &[Point]) -> Vec<Point> {
+    let mx = points.iter().map(|p| p.x).fold(0.0f64, f64::max);
+    let my = points.iter().map(|p| p.y).fold(0.0f64, f64::max);
+    points
+        .iter()
+        .map(|p| Point {
+            x: if mx > 0.0 { p.x / mx } else { 0.0 },
+            y: if my > 0.0 { p.y / my } else { 0.0 },
+        })
+        .collect()
+}
+
+/// Render an ASCII scatter of normalised metric points, `width`×`height`
+/// characters. Points in `highlight` render as `*`, the rest as `·`; a
+/// point in both renders as `*`. Marks the optimum with `O` if given.
+pub fn ascii_scatter(
+    points: &[Point],
+    highlight: &[usize],
+    optimum: Option<usize>,
+    width: usize,
+    height: usize,
+) -> String {
+    let pts = normalize(points);
+    let mut grid = vec![vec![' '; width]; height];
+    let place = |p: &Point| -> (usize, usize) {
+        let col = (p.x * (width - 1) as f64).round() as usize;
+        let row = (p.y * (height - 1) as f64).round() as usize;
+        (height - 1 - row.min(height - 1), col.min(width - 1))
+    };
+    for p in &pts {
+        let (r, c) = place(p);
+        if grid[r][c] == ' ' {
+            grid[r][c] = '.';
+        }
+    }
+    for &i in highlight {
+        let (r, c) = place(&pts[i]);
+        grid[r][c] = '*';
+    }
+    if let Some(i) = optimum {
+        let (r, c) = place(&pts[i]);
+        grid[r][c] = 'O';
+    }
+    let mut out = String::new();
+    out.push_str("utilization\n");
+    for row in grid {
+        out.push('|');
+        out.push_str(&row.into_iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push_str("> efficiency\n");
+    out
+}
+
+/// Format milliseconds with adaptive precision.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms >= 100.0 {
+        format!("{ms:.0} ms")
+    } else if ms >= 1.0 {
+        format!("{ms:.2} ms")
+    } else {
+        format!("{:.1} us", ms * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = table(&[
+            vec!["a".into(), "long-header".into()],
+            vec!["wide-cell".into(), "x".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("---"));
+        // Columns aligned: both data rows start the 2nd column at the
+        // same offset.
+        let col = lines[0].find("long-header").unwrap();
+        assert_eq!(lines[2].chars().nth(col), Some('x'));
+    }
+
+    #[test]
+    fn empty_table() {
+        assert_eq!(table(&[]), "");
+    }
+
+    #[test]
+    fn normalize_scales_max_to_one() {
+        let pts = vec![Point::new(2.0, 10.0), Point::new(1.0, 5.0)];
+        let n = normalize(&pts);
+        assert_eq!(n[0].x, 1.0);
+        assert_eq!(n[0].y, 1.0);
+        assert_eq!(n[1].x, 0.5);
+        assert_eq!(n[1].y, 0.5);
+    }
+
+    #[test]
+    fn normalize_handles_zero_axis() {
+        let pts = vec![Point::new(0.0, 0.0)];
+        let n = normalize(&pts);
+        assert_eq!(n[0].x, 0.0);
+    }
+
+    #[test]
+    fn scatter_marks_pareto_and_optimum() {
+        let pts = vec![Point::new(1.0, 0.2), Point::new(0.2, 1.0), Point::new(0.5, 0.5)];
+        let s = ascii_scatter(&pts, &[0, 1], Some(2), 20, 10);
+        assert!(s.contains('*'));
+        assert!(s.contains('O'));
+        assert!(s.contains("efficiency"));
+    }
+
+    #[test]
+    fn fmt_ms_ranges() {
+        assert_eq!(fmt_ms(250.0), "250 ms");
+        assert_eq!(fmt_ms(4.25), "4.25 ms");
+        assert_eq!(fmt_ms(0.5), "500.0 us");
+    }
+}

@@ -1,0 +1,502 @@
+//! Search strategies over a configuration space.
+//!
+//! * [`ExhaustiveSearch`] — simulate every valid configuration; the
+//!   paper's ground truth ("full exploration of the optimization space
+//!   based on wall-clock performance").
+//! * [`PrunedSearch`] — the paper's contribution: statically evaluate
+//!   everything, optionally screen bandwidth-bound points (section 5.3),
+//!   keep the Pareto-optimal subset of the metric plot, and simulate
+//!   only those.
+//! * [`RandomSearch`] — the baseline the paper's future work proposes
+//!   comparing against: simulate a random sample of equal budget.
+
+use gpu_arch::MachineSpec;
+use gpu_ir::linear::linearize;
+use gpu_sim::timing::{simulate, TimingReport};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::candidate::{Candidate, Evaluated};
+use crate::metrics::MetricsOptions;
+use crate::pareto::pareto_indices;
+
+/// Outcome of one search over a candidate space.
+#[derive(Debug, Clone)]
+pub struct SearchReport {
+    /// Strategy name for report rows.
+    pub strategy: String,
+    /// Total configurations in the space (valid or not).
+    pub space_size: usize,
+    /// Static evaluation per candidate; `None` marks the paper's
+    /// "invalid executable" cases.
+    pub statics: Vec<Option<Evaluated>>,
+    /// Timing simulation per candidate; `None` when the strategy did not
+    /// simulate (or could not launch) that configuration.
+    pub simulated: Vec<Option<TimingReport>>,
+    /// Index of the fastest simulated configuration.
+    pub best: Option<usize>,
+}
+
+impl SearchReport {
+    /// Number of valid (launchable) configurations.
+    pub fn valid_count(&self) -> usize {
+        self.statics.iter().flatten().count()
+    }
+
+    /// Number of configurations this strategy actually timed — the
+    /// "Selected Configurations" column of Table 4.
+    pub fn evaluated_count(&self) -> usize {
+        self.simulated.iter().flatten().count()
+    }
+
+    /// Sum of simulated kernel times over the timed configurations — the
+    /// "Evaluation Time" columns of Table 4 (time a developer would
+    /// spend running them on hardware).
+    pub fn evaluation_time_ms(&self) -> f64 {
+        self.simulated.iter().flatten().map(|t| t.time_ms).sum()
+    }
+
+    /// Best (minimum) simulated time.
+    pub fn best_time_ms(&self) -> Option<f64> {
+        self.best.and_then(|i| self.simulated[i].as_ref()).map(|t| t.time_ms)
+    }
+
+    /// Fraction of the valid space this strategy did *not* have to time —
+    /// the "Space Reduction" column of Table 4.
+    pub fn space_reduction(&self) -> f64 {
+        let valid = self.valid_count();
+        if valid == 0 {
+            return 0.0;
+        }
+        1.0 - self.evaluated_count() as f64 / valid as f64
+    }
+
+    fn pick_best(&mut self) {
+        self.best = self
+            .simulated
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.as_ref().map(|t| (i, t.time_ms)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("times are finite"))
+            .map(|(i, _)| i);
+    }
+}
+
+fn evaluate_all(candidates: &[Candidate], spec: &MachineSpec, opts: MetricsOptions) -> Vec<Option<Evaluated>> {
+    candidates.iter().map(|c| c.evaluate_with(spec, opts).ok()).collect()
+}
+
+/// Host-side overhead charged per kernel invocation (driver submission,
+/// ~10 µs on the paper's CUDA 1.0 stack). This is what separates the
+/// otherwise metric-identical work-per-invocation variants of MRI-FHD.
+pub const LAUNCH_OVERHEAD_MS: f64 = 0.01;
+
+fn simulate_one(c: &Candidate, e: &Evaluated, spec: &MachineSpec) -> Option<TimingReport> {
+    let prog = linearize(&c.kernel);
+    let mut report = simulate(&prog, &c.launch, &e.kernel_profile.usage, spec).ok()?;
+    // A multi-invocation configuration pays the kernel time and the
+    // launch overhead once per invocation.
+    let inv = f64::from(c.invocations);
+    report.time_ms = report.time_ms * inv + LAUNCH_OVERHEAD_MS * inv;
+    report.total_cycles = (report.total_cycles as f64 * inv).round() as u64;
+    report.waves *= inv;
+    Some(report)
+}
+
+/// Simulate every valid configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExhaustiveSearch;
+
+impl ExhaustiveSearch {
+    /// Run the search.
+    pub fn run(&self, candidates: &[Candidate], spec: &MachineSpec) -> SearchReport {
+        let statics = evaluate_all(candidates, spec, MetricsOptions::default());
+        let simulated: Vec<Option<TimingReport>> = candidates
+            .iter()
+            .zip(&statics)
+            .map(|(c, e)| e.as_ref().and_then(|e| simulate_one(c, e, spec)))
+            .collect();
+        let mut report = SearchReport {
+            strategy: "exhaustive".into(),
+            space_size: candidates.len(),
+            statics,
+            simulated,
+            best: None,
+        };
+        report.pick_best();
+        report
+    }
+}
+
+/// The paper's Pareto-pruned search.
+#[derive(Debug, Clone, Copy)]
+pub struct PrunedSearch {
+    /// Screen bandwidth-bound configurations before building the curve
+    /// (section 5.3). Disabling this is the `ablation_bandwidth`
+    /// experiment.
+    pub screen_bandwidth: bool,
+    /// Metric variant.
+    pub options: MetricsOptions,
+    /// Cluster resolution (section 5.2): when set, normalized metrics
+    /// are rounded to this grid before the Pareto step, so
+    /// configurations with "identical or nearly identical metrics" —
+    /// the Figure 6(b) clusters — survive dominance *together*, as they
+    /// do in the paper's selected sets.
+    pub metric_resolution: Option<f64>,
+    /// With clustering active, simulate only one representative per
+    /// cluster ("it may be sufficient to randomly select a single
+    /// configuration from that cluster", section 5.2).
+    pub cluster_sample: bool,
+}
+
+impl Default for PrunedSearch {
+    fn default() -> Self {
+        Self {
+            screen_bandwidth: true,
+            options: MetricsOptions::default(),
+            metric_resolution: None,
+            cluster_sample: false,
+        }
+    }
+}
+
+impl PrunedSearch {
+    /// Run the search.
+    pub fn run(&self, candidates: &[Candidate], spec: &MachineSpec) -> SearchReport {
+        let statics = evaluate_all(candidates, spec, self.options);
+        // Candidates entering the plot: valid, and (optionally) not
+        // bandwidth-bound. If the screen removes everything (a fully
+        // bandwidth-bound space), fall back to the unscreened plot.
+        let eligible: Vec<usize> = {
+            let screened: Vec<usize> = statics
+                .iter()
+                .enumerate()
+                .filter_map(|(i, e)| e.as_ref().map(|e| (i, e)))
+                .filter(|(_, e)| {
+                    !self.screen_bandwidth || !e.bandwidth.is_bandwidth_bound()
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if screened.is_empty() {
+                statics
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, e)| e.as_ref().map(|_| i))
+                    .collect()
+            } else {
+                screened
+            }
+        };
+        let mut points: Vec<crate::pareto::Point> = eligible
+            .iter()
+            .map(|&i| statics[i].as_ref().expect("eligible implies valid").metrics.point())
+            .collect();
+        if let Some(res) = self.metric_resolution {
+            // Normalise per axis, then snap to the resolution grid.
+            let mx = points.iter().map(|p| p.x).fold(0.0f64, f64::max);
+            let my = points.iter().map(|p| p.y).fold(0.0f64, f64::max);
+            for p in &mut points {
+                if mx > 0.0 {
+                    p.x = (p.x / mx / res).round() * res;
+                }
+                if my > 0.0 {
+                    p.y = (p.y / my / res).round() * res;
+                }
+            }
+        }
+        let mut selected: Vec<usize> = pareto_indices(&points);
+
+        if self.cluster_sample && self.metric_resolution.is_some() {
+            // One representative per rounded coordinate (the first in
+            // enumeration order — deterministic).
+            let mut seen: Vec<(u64, u64)> = Vec::new();
+            selected.retain(|&k| {
+                let key = (points[k].x.to_bits(), points[k].y.to_bits());
+                if seen.contains(&key) {
+                    false
+                } else {
+                    seen.push(key);
+                    true
+                }
+            });
+        }
+        let selected: Vec<usize> = selected.into_iter().map(|k| eligible[k]).collect();
+
+        let mut simulated: Vec<Option<TimingReport>> = vec![None; candidates.len()];
+        for &i in &selected {
+            let e = statics[i].as_ref().expect("selected implies valid");
+            simulated[i] = simulate_one(&candidates[i], e, spec);
+        }
+        let mut report = SearchReport {
+            strategy: "pareto-pruned".into(),
+            space_size: candidates.len(),
+            statics,
+            simulated,
+            best: None,
+        };
+        report.pick_best();
+        report
+    }
+}
+
+/// Random sampling of the valid space with a fixed budget.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomSearch {
+    /// How many configurations to simulate.
+    pub budget: usize,
+    /// RNG seed (deterministic experiments).
+    pub seed: u64,
+}
+
+impl RandomSearch {
+    /// Run the search.
+    pub fn run(&self, candidates: &[Candidate], spec: &MachineSpec) -> SearchReport {
+        let statics = evaluate_all(candidates, spec, MetricsOptions::default());
+        let valid: Vec<usize> = statics
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|_| i))
+            .collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut picks = valid;
+        picks.shuffle(&mut rng);
+        picks.truncate(self.budget);
+
+        let mut simulated: Vec<Option<TimingReport>> = vec![None; candidates.len()];
+        for &i in &picks {
+            let e = statics[i].as_ref().expect("picked from valid set");
+            simulated[i] = simulate_one(&candidates[i], e, spec);
+        }
+        let mut report = SearchReport {
+            strategy: format!("random-{}", self.budget),
+            space_size: candidates.len(),
+            statics,
+            simulated,
+            best: None,
+        };
+        report.pick_best();
+        report
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use gpu_ir::build::KernelBuilder;
+    use gpu_ir::{Dim, Kernel, Launch};
+
+    /// A small synthetic space: a compute loop whose per-thread work and
+    /// register appetite vary with a "tiling" knob, so configurations
+    /// genuinely trade efficiency against utilization.
+    pub(super) fn synthetic_space_for_debug() -> Vec<Candidate> { synthetic_space() }
+    fn synthetic_space() -> Vec<Candidate> {
+        fn kernel(tile: u32, pad_regs: u32) -> Kernel {
+            let mut b = KernelBuilder::new(format!("syn{tile}"));
+            let p = b.param(0);
+            // pad_regs long-lived values inflate register pressure.
+            let pads: Vec<_> = (0..pad_regs).map(|i| b.mov(i as f32)).collect();
+            let acc = b.mov(0.0f32);
+            b.repeat(64 / tile, |b| {
+                let x = b.ld_global(p, 0);
+                for _ in 0..tile {
+                    b.fmad_acc(x, 1.0f32, acc);
+                }
+                b.sync();
+            });
+            for pad in pads {
+                b.fmad_acc(pad, 0.0f32, acc);
+            }
+            b.st_global(p, 0, acc);
+            b.finish()
+        }
+        let mut out = Vec::new();
+        for tile in [1u32, 2, 4, 8] {
+            for pad in [0u32, 8, 20] {
+                let total = 1u32 << 14;
+                let tpb = 256;
+                out.push(Candidate::new(
+                    format!("tile={tile}/pad={pad}"),
+                    kernel(tile, pad),
+                    Launch::new(Dim::new_1d(total / tpb), Dim::new_1d(tpb)),
+                ));
+            }
+        }
+        // One deliberately invalid configuration: huge register demand
+        // at 512 threads.
+        out.push(Candidate::new(
+            "invalid",
+            kernel(1, 40),
+            Launch::new(Dim::new_1d(32), Dim::new_1d(512)),
+        ));
+        out
+    }
+
+    fn g80() -> MachineSpec {
+        MachineSpec::geforce_8800_gtx()
+    }
+
+    #[test]
+    fn exhaustive_times_every_valid_config() {
+        let space = synthetic_space();
+        let r = ExhaustiveSearch.run(&space, &g80());
+        assert_eq!(r.space_size, 13);
+        assert_eq!(r.valid_count(), 12);
+        assert_eq!(r.evaluated_count(), 12);
+        assert!(r.best.is_some());
+        assert_eq!(r.space_reduction(), 0.0);
+    }
+
+    #[test]
+    fn pruned_search_times_a_subset_and_finds_the_optimum() {
+        let space = synthetic_space();
+        let exhaustive = ExhaustiveSearch.run(&space, &g80());
+        let pruned = PrunedSearch::default().run(&space, &g80());
+        assert!(pruned.evaluated_count() < exhaustive.evaluated_count());
+        assert!(pruned.space_reduction() > 0.0);
+        // The pruned search must land on the same optimum (the paper's
+        // central claim, here on the synthetic space).
+        let best_ex = exhaustive.best_time_ms().unwrap();
+        let best_pr = pruned.best_time_ms().unwrap();
+        assert!(
+            (best_pr / best_ex - 1.0).abs() < 1e-9,
+            "pruned best {best_pr} != exhaustive best {best_ex}"
+        );
+    }
+
+    #[test]
+    fn random_search_respects_budget_and_determinism() {
+        let space = synthetic_space();
+        let a = RandomSearch { budget: 5, seed: 42 }.run(&space, &g80());
+        let b = RandomSearch { budget: 5, seed: 42 }.run(&space, &g80());
+        assert_eq!(a.evaluated_count(), 5);
+        assert_eq!(a.best, b.best);
+        let c = RandomSearch { budget: 100, seed: 7 }.run(&space, &g80());
+        assert_eq!(c.evaluated_count(), 12); // clamped to valid space
+    }
+
+    #[test]
+    fn evaluation_time_sums_selected_only() {
+        let space = synthetic_space();
+        let pruned = PrunedSearch::default().run(&space, &g80());
+        let exhaustive = ExhaustiveSearch.run(&space, &g80());
+        assert!(pruned.evaluation_time_ms() < exhaustive.evaluation_time_ms());
+        assert!(pruned.evaluation_time_ms() > 0.0);
+    }
+
+    #[test]
+    fn invalid_configurations_are_never_simulated() {
+        let space = synthetic_space();
+        let r = ExhaustiveSearch.run(&space, &g80());
+        assert!(r.statics[12].is_none());
+        assert!(r.simulated[12].is_none());
+    }
+}
+
+#[cfg(test)]
+mod debug_dump {
+    use super::*;
+    use super::tests::synthetic_space_for_debug;
+
+    #[test]
+    #[ignore]
+    fn dump() {
+        let space = synthetic_space_for_debug();
+        let spec = MachineSpec::geforce_8800_gtx();
+        let ex = ExhaustiveSearch.run(&space, &spec);
+        for (i, c) in space.iter().enumerate() {
+            let s = ex.statics[i].as_ref();
+            let t = ex.simulated[i].as_ref();
+            println!(
+                "{:20} eff={:>10.3e} util={:>8.2} bw={:>5.2} bound={:>5} regs={:>3} bsm={:?} time={:?}",
+                c.label,
+                s.map(|e| e.metrics.efficiency).unwrap_or(0.0),
+                s.map(|e| e.metrics.utilization).unwrap_or(0.0),
+                s.map(|e| e.bandwidth.pressure()).unwrap_or(0.0),
+                s.map(|e| e.bandwidth.is_bandwidth_bound()).unwrap_or(false),
+                s.map(|e| e.kernel_profile.usage.regs_per_thread).unwrap_or(0),
+                s.map(|e| e.kernel_profile.occupancy.blocks_per_sm),
+                t.map(|t| t.time_ms),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod cluster_tests {
+    use super::*;
+    use gpu_ir::build::KernelBuilder;
+    use gpu_ir::{Dim, Kernel, Launch};
+
+    /// A space with deliberate clusters: the `inv` knob splits work
+    /// across invocations (metrics near-identical within a cluster), the
+    /// `work` knob changes efficiency between clusters.
+    fn clustered_space() -> Vec<Candidate> {
+        fn kernel(work: u32, trips: u32) -> Kernel {
+            let mut b = KernelBuilder::new("c");
+            let p = b.param(0);
+            let acc = b.mov(0.0f32);
+            b.repeat(trips, |b| {
+                let x = b.ld_global(p, 0);
+                for _ in 0..work {
+                    b.fmad_acc(x, 1.0f32, acc);
+                }
+            });
+            b.st_global(p, 0, acc);
+            b.finish()
+        }
+        let mut out = Vec::new();
+        for work in [1u32, 2, 4] {
+            for inv in [1u32, 2, 4, 8] {
+                let total_trips = 64;
+                out.push(
+                    Candidate::new(
+                        format!("w{work}/inv{inv}"),
+                        kernel(work, total_trips / inv),
+                        Launch::new(Dim::new_1d(256), Dim::new_1d(128)),
+                    )
+                    .with_invocations(inv),
+                );
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn clustering_retains_whole_clusters_and_sampling_thins_them() {
+        let spec = MachineSpec::geforce_8800_gtx();
+        let space = clustered_space();
+
+        let exact = PrunedSearch::default().run(&space, &spec);
+        let clustered = PrunedSearch {
+            metric_resolution: Some(0.02),
+            ..Default::default()
+        }
+        .run(&space, &spec);
+        let sampled = PrunedSearch {
+            metric_resolution: Some(0.02),
+            cluster_sample: true,
+            ..Default::default()
+        }
+        .run(&space, &spec);
+
+        // Clustering keeps more configurations than exact dominance
+        // (the near-identical invocation variants survive together)...
+        assert!(
+            clustered.evaluated_count() > exact.evaluated_count(),
+            "clustered {} !> exact {}",
+            clustered.evaluated_count(),
+            exact.evaluated_count()
+        );
+        // ...and sampling collapses each cluster to one representative.
+        assert!(sampled.evaluated_count() < clustered.evaluated_count());
+
+        // The sampled search must land within the cluster's small
+        // spread of the true optimum.
+        let truth = ExhaustiveSearch.run(&space, &spec).best_time_ms().unwrap();
+        let got = sampled.best_time_ms().unwrap();
+        assert!(
+            got / truth < 1.10,
+            "sampled best {got} more than 10% off optimum {truth}"
+        );
+    }
+}

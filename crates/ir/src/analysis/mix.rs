@@ -1,0 +1,205 @@
+//! Dynamic instruction mix and global-memory traffic estimation.
+//!
+//! Section 4 of the paper: "In order for these metrics to correlate to
+//! performance, global memory bandwidth must not be the bottleneck ...
+//! This is easily calculated by examining the percentage of memory
+//! accesses in the instruction stream and determining the average number
+//! of bytes being transferred per cycle." This module produces exactly
+//! those inputs; the screen itself lives in `optspace::bandwidth`.
+
+use gpu_arch::MemorySpace;
+
+use crate::kernel::{Kernel, Stmt};
+use crate::LOOP_OVERHEAD_INSTRS;
+
+/// Dynamic (trip-count-weighted) instruction mix for one thread.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct InstrMix {
+    /// All dynamic instructions, including loop overhead.
+    pub instrs: u64,
+    /// Floating-point operations performed (MAD = 2).
+    pub flops: u64,
+    /// SFU (transcendental) instructions.
+    pub sfu_ops: u64,
+    /// Global/local/texture loads.
+    pub offchip_loads: u64,
+    /// Global/local stores.
+    pub offchip_stores: u64,
+    /// Of the off-chip accesses, how many were flagged uncoalesced.
+    pub uncoalesced_accesses: u64,
+    /// Shared-memory loads and stores.
+    pub shared_ops: u64,
+    /// Constant-cache loads.
+    pub const_loads: u64,
+    /// Useful (4-byte word) off-chip bytes moved per thread.
+    pub useful_offchip_bytes: u64,
+}
+
+impl InstrMix {
+    /// Fraction of dynamic instructions that touch off-chip memory.
+    pub fn offchip_fraction(&self) -> f64 {
+        if self.instrs == 0 {
+            return 0.0;
+        }
+        (self.offchip_loads + self.offchip_stores) as f64 / self.instrs as f64
+    }
+
+    /// Actual DRAM traffic per thread in bytes, accounting for the G80's
+    /// coalescing rules: a coalesced half-warp access amortises one
+    /// transaction across 16 threads (≈ 4 B/thread for one word), while
+    /// an uncoalesced access issues one `uncoalesced_transaction_bytes`
+    /// transaction per thread.
+    pub fn dram_traffic_bytes(&self, spec: &gpu_arch::MachineSpec) -> f64 {
+        let accesses = self.offchip_loads + self.offchip_stores;
+        let coalesced = accesses - self.uncoalesced_accesses;
+        coalesced as f64 * 4.0
+            + self.uncoalesced_accesses as f64 * f64::from(spec.uncoalesced_transaction_bytes)
+    }
+
+    /// FLOPs per useful off-chip byte (arithmetic intensity).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.useful_offchip_bytes == 0 {
+            return f64::INFINITY;
+        }
+        self.flops as f64 / self.useful_offchip_bytes as f64
+    }
+}
+
+fn walk(stmts: &[Stmt], mix: &mut InstrMix, weight: u64) {
+    for s in stmts {
+        match s {
+            Stmt::Op(i) => {
+                mix.instrs += weight;
+                mix.flops += weight * u64::from(i.op.flops());
+                if i.op.is_sfu() {
+                    mix.sfu_ops += weight;
+                }
+                match i.op.mem_space() {
+                    Some(sp) if sp.is_long_latency() => {
+                        if i.op.has_dst() {
+                            mix.offchip_loads += weight;
+                        } else {
+                            mix.offchip_stores += weight;
+                        }
+                        mix.useful_offchip_bytes += weight * 4;
+                        if !i.coalesced {
+                            mix.uncoalesced_accesses += weight;
+                        }
+                    }
+                    Some(MemorySpace::Shared) => mix.shared_ops += weight,
+                    Some(MemorySpace::Constant) => mix.const_loads += weight,
+                    _ => {}
+                }
+            }
+            Stmt::Sync => mix.instrs += weight,
+            Stmt::Loop(l) => {
+                let w = weight * u64::from(l.trip_count);
+                mix.instrs += w * u64::from(LOOP_OVERHEAD_INSTRS);
+                walk(&l.body, mix, w);
+            }
+        }
+    }
+}
+
+/// Compute the dynamic instruction mix of one thread of `kernel`.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_ir::build::KernelBuilder;
+/// use gpu_ir::analysis::instruction_mix;
+///
+/// let mut b = KernelBuilder::new("k");
+/// let p = b.param(0);
+/// b.repeat(4, |b| {
+///     let x = b.ld_global(p, 0);
+///     let y = b.fmad(x, x, 1.0f32);
+///     b.st_global(p, 0, y);
+/// });
+/// let m = instruction_mix(&b.finish());
+/// assert_eq!(m.offchip_loads, 4);
+/// assert_eq!(m.offchip_stores, 4);
+/// assert_eq!(m.flops, 8);
+/// ```
+pub fn instruction_mix(kernel: &Kernel) -> InstrMix {
+    let mut mix = InstrMix::default();
+    walk(&kernel.body, &mut mix, 1);
+    mix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::KernelBuilder;
+    use gpu_arch::MachineSpec;
+
+    #[test]
+    fn mix_counts_instruction_classes() {
+        let mut b = KernelBuilder::new("k");
+        let p = b.param(0);
+        let x = b.ld_global(p, 0);
+        let s = b.ld_shared(p, 0);
+        let c = b.ld_const(p, 0);
+        let r = b.rsqrt(x);
+        let m = b.fmad(r, s, c);
+        b.st_shared(p, 0, m);
+        b.st_global(p, 0, m);
+        let mix = instruction_mix(&b.finish());
+        assert_eq!(mix.offchip_loads, 1);
+        assert_eq!(mix.offchip_stores, 1);
+        assert_eq!(mix.shared_ops, 2);
+        assert_eq!(mix.const_loads, 1);
+        assert_eq!(mix.sfu_ops, 1);
+        assert_eq!(mix.flops, 3); // rsqrt (1) + mad (2)
+    }
+
+    #[test]
+    fn loop_weighting_multiplies() {
+        let mut b = KernelBuilder::new("k");
+        let p = b.param(0);
+        b.repeat(10, |b| {
+            b.ld_global(p, 0);
+            b.repeat(5, |b| {
+                b.ld_global(p, 4);
+            });
+        });
+        let mix = instruction_mix(&b.finish());
+        assert_eq!(mix.offchip_loads, 10 + 50);
+    }
+
+    #[test]
+    fn coalescing_inflates_dram_traffic() {
+        let spec = MachineSpec::geforce_8800_gtx();
+        let mut b = KernelBuilder::new("k");
+        let p = b.param(0);
+        b.ld_global(p, 0);
+        b.ld_global_uncoalesced(p, 4);
+        let mix = instruction_mix(&b.finish());
+        assert_eq!(mix.useful_offchip_bytes, 8);
+        // 4 bytes for the coalesced word + a full 32-byte transaction.
+        assert!((mix.dram_traffic_bytes(&spec) - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offchip_fraction_and_intensity() {
+        let mut b = KernelBuilder::new("k");
+        let p = b.param(0);
+        let x = b.ld_global(p, 0);
+        let y = b.fmad(x, x, x);
+        let z = b.fmad(y, y, y);
+        b.fadd(z, z);
+        let mix = instruction_mix(&b.finish());
+        assert!((mix.offchip_fraction() - 0.2).abs() < 1e-12); // 1 of 5
+        assert!((mix.arithmetic_intensity() - 5.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_arith_kernel_has_infinite_intensity() {
+        let mut b = KernelBuilder::new("k");
+        let x = b.mov(1.0f32);
+        b.fmul(x, x);
+        let mix = instruction_mix(&b.finish());
+        assert!(mix.arithmetic_intensity().is_infinite());
+        assert_eq!(mix.offchip_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,16 @@
+//! Static analyses over kernel bodies.
+//!
+//! These stand in for the artifacts the paper extracts with `nvcc -ptx`
+//! and `-cubin`: dynamic instruction counts and blocking-region counts
+//! (section 4), the instruction mix used by the bandwidth-boundedness
+//! screen, per-thread register usage, and a linear-scan register
+//! allocator that realises the pressure figure as an actual assignment.
+
+pub mod counts;
+pub mod mix;
+pub mod pressure;
+pub mod regalloc;
+
+pub use counts::{dynamic_counts, dynamic_counts_with, DynCounts};
+pub use mix::{instruction_mix, InstrMix};
+pub use pressure::{live_ranges, register_pressure, LiveRange, LiveRanges, PressureReport, RESERVED_REGS};

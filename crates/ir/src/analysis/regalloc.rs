@@ -1,0 +1,233 @@
+//! Linear-scan register allocation over the multi-interval liveness of
+//! [`super::pressure`].
+//!
+//! The pressure analysis answers "how many registers does the CUDA
+//! runtime's allocator need"; this module produces an actual
+//! assignment, mapping each [`LiveRange`] to a physical register id.
+//! Live ranges form an interval graph, so the greedy left-endpoint scan
+//! is optimal: the number of physical registers used equals the
+//! max-live figure exactly — an equality the tests pin for every
+//! generated application kernel.
+//!
+//! Destination-reuses-dying-source semantics match the pressure sweep:
+//! a range ending at event `e` frees its register *before* a range
+//! starting at `e` allocates (reads precede the write), except that a
+//! point range (def never used) still needs a register of its own at
+//! its definition.
+
+use crate::analysis::pressure::{live_ranges, LiveRange};
+use crate::kernel::Kernel;
+
+/// One allocated range: a [`LiveRange`] bound to a physical register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocatedRange {
+    /// The liveness interval.
+    pub range: LiveRange,
+    /// Physical register id, dense from 0.
+    pub phys: u32,
+}
+
+/// A complete allocation for one kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allocation {
+    /// Every live range with its physical register.
+    pub ranges: Vec<AllocatedRange>,
+    /// Number of distinct physical registers used.
+    pub phys_count: u32,
+}
+
+impl Allocation {
+    /// The physical register holding `reg` at flattened event `at`, if
+    /// any range of `reg` covers it.
+    pub fn phys_at(&self, reg: crate::types::VReg, at: usize) -> Option<u32> {
+        self.ranges
+            .iter()
+            .find(|a| a.range.reg == reg && a.range.start <= at && at <= a.range.end)
+            .map(|a| a.phys)
+    }
+
+    /// Check the fundamental invariant: no two overlapping ranges share
+    /// a physical register (with the ends-before-starts convention for
+    /// non-point ranges). Returns the offending pair if violated.
+    pub fn find_conflict(&self) -> Option<(AllocatedRange, AllocatedRange)> {
+        for (i, a) in self.ranges.iter().enumerate() {
+            for b in &self.ranges[i + 1..] {
+                if a.phys != b.phys {
+                    continue;
+                }
+                let (first, second) =
+                    if a.range.start <= b.range.start { (a, b) } else { (b, a) };
+                // Allowed to touch: first may END exactly where second
+                // STARTS (dst reuses dying src — reads precede writes).
+                // A *point* first range ends with a def, not a read, so
+                // it may not share that event.
+                let overlap = if first.range.end == second.range.start {
+                    first.range.start == first.range.end
+                } else {
+                    first.range.end > second.range.start
+                };
+                if overlap {
+                    return Some((*a, *b));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Allocate physical registers for `kernel` by linear scan.
+pub fn allocate(kernel: &Kernel) -> Allocation {
+    let mut ranges = live_ranges(kernel).ranges;
+    // Scan by start; on ties, non-point ranges first so a point def at
+    // the same event does not steal the register a longer range needs.
+    ranges.sort_by_key(|r| (r.start, r.start == r.end, r.end));
+
+    let mut free: Vec<u32> = Vec::new(); // stack of freed ids
+    let mut next_id: u32 = 0;
+    // Active ranges as (end, phys, is_point), kept in a simple vec —
+    // kernels have at most a few dozen simultaneous ranges.
+    let mut active: Vec<(usize, u32, bool)> = Vec::new();
+    let mut out = Vec::with_capacity(ranges.len());
+
+    for r in ranges {
+        let is_point = r.start == r.end;
+        // Expire: strictly-before ends always free; an end exactly at
+        // this start frees too (its last event is a read, and reads
+        // precede the new range's write) — unless the expiring range is
+        // itself a point (its end is a def occupying the event). Two
+        // defs cannot share an event, so that case cannot alias with
+        // `r.start` in well-formed kernels; the guard is defensive.
+        active.retain(|&(end, phys, point)| {
+            let expired = end < r.start || (end == r.start && !point);
+            if expired {
+                free.push(phys);
+            }
+            !expired
+        });
+        let phys = free.pop().unwrap_or_else(|| {
+            let id = next_id;
+            next_id += 1;
+            id
+        });
+        active.push((r.end, phys, is_point));
+        out.push(AllocatedRange { range: r, phys });
+    }
+
+    Allocation { ranges: out, phys_count: next_id }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::register_pressure;
+    use crate::build::KernelBuilder;
+    use crate::types::VReg;
+
+    #[test]
+    fn chain_reuses_one_register() {
+        let mut b = KernelBuilder::new("chain");
+        let x = b.mov(1.0f32);
+        let y = b.fadd(x, 1.0f32);
+        let z = b.fadd(y, 1.0f32);
+        b.fadd(z, 1.0f32);
+        let k = b.finish();
+        let a = allocate(&k);
+        assert!(a.find_conflict().is_none());
+        assert_eq!(a.phys_count, register_pressure(&k).max_live);
+    }
+
+    #[test]
+    fn fanin_needs_one_register_per_live_value() {
+        let mut b = KernelBuilder::new("fanin");
+        let vals: Vec<_> = (0..6).map(|i| b.mov(i as f32)).collect();
+        let mut acc = vals[0];
+        for &v in &vals[1..] {
+            acc = b.fadd(acc, v);
+        }
+        let k = b.finish();
+        let a = allocate(&k);
+        assert!(a.find_conflict().is_none());
+        assert_eq!(a.phys_count, 6);
+        assert_eq!(a.phys_count, register_pressure(&k).max_live);
+    }
+
+    #[test]
+    fn loop_carried_values_keep_their_register() {
+        let mut b = KernelBuilder::new("loop");
+        let out = b.param(0);
+        let acc = b.mov(0.0f32);
+        b.repeat(8, |b| {
+            let x = b.ld_global(out, 0);
+            b.fmad_acc(x, 1.0f32, acc);
+        });
+        b.st_global(out, 0, acc);
+        let k = b.finish();
+        let a = allocate(&k);
+        assert!(a.find_conflict().is_none());
+        // acc has exactly one range (accumulates never kill it), so one
+        // physical register covers it everywhere.
+        let acc_ranges: Vec<_> =
+            a.ranges.iter().filter(|r| r.range.reg == acc).collect();
+        assert_eq!(acc_ranges.len(), 1);
+        assert_eq!(a.phys_count, register_pressure(&k).max_live);
+    }
+
+    #[test]
+    fn phys_at_resolves_positions() {
+        let mut b = KernelBuilder::new("at");
+        let x = b.mov(1.0f32); // event 0
+        let y = b.fadd(x, 1.0f32); // event 1
+        b.fadd(y, 2.0f32); // event 2
+        let k = b.finish();
+        let a = allocate(&k);
+        assert!(a.phys_at(x, 0).is_some());
+        assert!(a.phys_at(x, 1).is_some());
+        assert_eq!(a.phys_at(VReg(99), 0), None);
+    }
+
+    #[test]
+    fn empty_kernel_uses_zero_registers() {
+        let k = KernelBuilder::new("empty").finish();
+        let a = allocate(&k);
+        assert_eq!(a.phys_count, 0);
+        assert!(a.ranges.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::analysis::register_pressure;
+    use crate::build::KernelBuilder;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Linear scan is conflict-free and exactly optimal (phys_count
+        /// == max_live) on randomized kernels with loops and barriers.
+        #[test]
+        fn allocation_is_conflict_free_and_optimal(
+            widths in proptest::collection::vec(1usize..6, 1..5),
+            trips in 1u32..5,
+        ) {
+            let mut b = KernelBuilder::new("p");
+            let out = b.param(0);
+            let acc = b.mov(0.0f32);
+            b.repeat(trips, |b| {
+                for &w in &widths {
+                    let vals: Vec<_> = (0..w).map(|i| b.mov(i as f32)).collect();
+                    for v in vals {
+                        b.fmad_acc(v, 0.5f32, acc);
+                    }
+                }
+                b.sync();
+            });
+            b.st_global(out, 0, acc);
+            let k = b.finish();
+            let a = allocate(&k);
+            prop_assert!(a.find_conflict().is_none(), "{:?}", a.find_conflict());
+            prop_assert_eq!(a.phys_count, register_pressure(&k).max_live);
+        }
+    }
+}

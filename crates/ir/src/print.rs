@@ -1,0 +1,116 @@
+//! Developer-readable "-ptx"-style pretty printing.
+//!
+//! The paper leans on `nvcc -ptx` output for "insights into why
+//! performance degrades or improves after an optimization is applied":
+//! instruction count, instruction mix, and a rough idea of scheduling.
+//! [`to_ptx`] renders a kernel in that spirit, with loop headers carrying
+//! their trip-count annotations.
+
+use std::fmt::Write as _;
+
+use crate::analysis::{dynamic_counts, instruction_mix, register_pressure};
+use crate::kernel::{Kernel, Stmt};
+
+fn render(stmts: &[Stmt], indent: usize, out: &mut String, label: &mut u32) {
+    let pad = "    ".repeat(indent);
+    for s in stmts {
+        match s {
+            Stmt::Op(i) => {
+                let _ = writeln!(out, "{pad}{i}");
+            }
+            Stmt::Sync => {
+                let _ = writeln!(out, "{pad}bar.sync 0");
+            }
+            Stmt::Loop(l) => {
+                let id = *label;
+                *label += 1;
+                let counter = l
+                    .counter
+                    .map(|c| format!(", counter {c}"))
+                    .unwrap_or_default();
+                let _ = writeln!(out, "{pad}$L{id}:  // loop, trips = {}{counter}", l.trip_count);
+                render(&l.body, indent + 1, out, label);
+                let _ = writeln!(out, "{pad}bra $L{id}  // add.s32/setp/bra");
+            }
+        }
+    }
+}
+
+/// Render `kernel` as PTX-flavoured text with a summary header.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_ir::build::KernelBuilder;
+///
+/// let mut b = KernelBuilder::new("axpy");
+/// let p = b.param(0);
+/// let x = b.ld_global(p, 0);
+/// b.st_global(p, 0, x);
+/// let text = gpu_ir::print::to_ptx(&b.finish());
+/// assert!(text.contains(".entry axpy"));
+/// assert!(text.contains("ld.global.f32"));
+/// ```
+pub fn to_ptx(kernel: &Kernel) -> String {
+    let counts = dynamic_counts(kernel);
+    let mix = instruction_mix(kernel);
+    let pressure = register_pressure(kernel);
+
+    let mut out = String::new();
+    let _ = writeln!(out, ".entry {} (", kernel.name);
+    for p in 0..kernel.num_params {
+        let comma = if p + 1 == kernel.num_params { "" } else { "," };
+        let _ = writeln!(out, "    .param .u32 param{p}{comma}");
+    }
+    let _ = writeln!(out, ")");
+    let _ = writeln!(out, "// static instrs:  {}", kernel.static_instr_count());
+    let _ = writeln!(out, "// dynamic instrs: {}", counts.instrs);
+    let _ = writeln!(out, "// regions:        {}", counts.regions());
+    let _ = writeln!(out, "// est. registers: {}", pressure.regs_per_thread);
+    let _ = writeln!(out, "// shared memory:  {} bytes", kernel.smem_bytes);
+    let _ = writeln!(
+        out,
+        "// mix: {} flop, {} offchip ld, {} offchip st, {} shared, {} sfu",
+        mix.flops, mix.offchip_loads, mix.offchip_stores, mix.shared_ops, mix.sfu_ops
+    );
+    let _ = writeln!(out, "{{");
+    let mut label = 0;
+    render(&kernel.body, 1, &mut out, &mut label);
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::KernelBuilder;
+
+    #[test]
+    fn printing_includes_loops_and_summary() {
+        let mut b = KernelBuilder::new("k");
+        let p = b.param(0);
+        b.repeat(16, |b| {
+            let x = b.ld_global(p, 0);
+            b.st_shared(p, 0, x);
+            b.sync();
+        });
+        let text = to_ptx(&b.finish());
+        assert!(text.contains("trips = 16"), "{text}");
+        assert!(text.contains("bar.sync"), "{text}");
+        assert!(text.contains("dynamic instrs"), "{text}");
+        assert!(text.contains(".param .u32 param0"), "{text}");
+    }
+
+    #[test]
+    fn nested_loops_get_distinct_labels() {
+        let mut b = KernelBuilder::new("k");
+        b.repeat(2, |b| {
+            b.repeat(3, |b| {
+                b.mov(0i32);
+            });
+        });
+        let text = to_ptx(&b.finish());
+        assert!(text.contains("$L0"), "{text}");
+        assert!(text.contains("$L1"), "{text}");
+    }
+}

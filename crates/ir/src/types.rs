@@ -1,0 +1,149 @@
+//! Operand-level types: virtual registers, special registers, immediates.
+
+use std::fmt;
+
+/// A virtual register. The IR is infinite-register; the pressure analysis
+/// in [`crate::analysis::pressure`] maps virtual registers back to a
+/// physical register count the way the CUDA runtime's allocator would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(pub u32);
+
+impl VReg {
+    /// Index into dense per-register tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%r{}", self.0)
+    }
+}
+
+/// CUDA special registers readable by every thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Special {
+    /// `threadIdx.x`
+    TidX,
+    /// `threadIdx.y`
+    TidY,
+    /// `blockIdx.x`
+    CtaIdX,
+    /// `blockIdx.y`
+    CtaIdY,
+    /// `blockDim.x`
+    NTidX,
+    /// `blockDim.y`
+    NTidY,
+    /// `gridDim.x`
+    NCtaIdX,
+    /// `gridDim.y`
+    NCtaIdY,
+}
+
+impl fmt::Display for Special {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Special::TidX => "%tid.x",
+            Special::TidY => "%tid.y",
+            Special::CtaIdX => "%ctaid.x",
+            Special::CtaIdY => "%ctaid.y",
+            Special::NTidX => "%ntid.x",
+            Special::NTidY => "%ntid.y",
+            Special::NCtaIdX => "%nctaid.x",
+            Special::NCtaIdY => "%nctaid.y",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An instruction source operand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    /// A virtual register.
+    Reg(VReg),
+    /// 32-bit float immediate.
+    ImmF32(f32),
+    /// 32-bit integer immediate.
+    ImmI32(i32),
+    /// A special (thread-geometry) register.
+    Special(Special),
+    /// The `i`-th kernel parameter (`ld.param`-style access).
+    Param(u32),
+}
+
+impl Operand {
+    /// The register this operand reads, if any.
+    pub fn reg(&self) -> Option<VReg> {
+        match self {
+            Operand::Reg(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Whether the operand is a compile-time constant (immediate).
+    pub fn is_imm(&self) -> bool {
+        matches!(self, Operand::ImmF32(_) | Operand::ImmI32(_))
+    }
+}
+
+impl From<VReg> for Operand {
+    fn from(r: VReg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<f32> for Operand {
+    fn from(v: f32) -> Self {
+        Operand::ImmF32(v)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(v: i32) -> Self {
+        Operand::ImmI32(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::ImmF32(v) => write!(f, "{v:?}"),
+            Operand::ImmI32(v) => write!(f, "{v}"),
+            Operand::Special(s) => write!(f, "{s}"),
+            Operand::Param(i) => write!(f, "[param{i}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_reg_extraction() {
+        assert_eq!(Operand::Reg(VReg(3)).reg(), Some(VReg(3)));
+        assert_eq!(Operand::ImmI32(5).reg(), None);
+        assert_eq!(Operand::Special(Special::TidX).reg(), None);
+    }
+
+    #[test]
+    fn operand_conversions() {
+        let o: Operand = VReg(1).into();
+        assert_eq!(o, Operand::Reg(VReg(1)));
+        let o: Operand = 2.5f32.into();
+        assert!(o.is_imm());
+        let o: Operand = 7i32.into();
+        assert!(o.is_imm());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VReg(12).to_string(), "%r12");
+        assert_eq!(Special::CtaIdY.to_string(), "%ctaid.y");
+        assert_eq!(Operand::Param(2).to_string(), "[param2]");
+        assert_eq!(Operand::ImmI32(-4).to_string(), "-4");
+    }
+}

@@ -1,0 +1,411 @@
+//! Static well-formedness checking for kernels.
+//!
+//! Generators and passes construct IR programmatically; [`verify`]
+//! catches the mistakes the type system cannot: registers read before
+//! any definition, out-of-range register/parameter indices, writes to
+//! read-only memory spaces, statically out-of-bounds shared accesses,
+//! and loop bodies that clobber their own counter (which would fight
+//! the loop control). The interpreter would surface most of these at
+//! run time; the verifier surfaces them at build time, on every
+//! configuration, without inputs.
+
+use std::collections::HashSet;
+
+use gpu_arch::MemorySpace;
+
+use crate::instr::{Instr, Op};
+use crate::kernel::{Kernel, Stmt};
+use crate::types::{Operand, VReg};
+
+/// One verification finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A register is read on some path before any definition.
+    UseBeforeDef {
+        /// The offending register.
+        reg: VReg,
+        /// Mnemonic of the reading instruction.
+        op: String,
+    },
+    /// A register index is not covered by `Kernel::num_vregs`.
+    RegisterOutOfRange {
+        /// The offending register.
+        reg: VReg,
+        /// Declared register count.
+        declared: u32,
+    },
+    /// A parameter index is not covered by `Kernel::num_params`.
+    ParamOutOfRange {
+        /// The parameter slot referenced.
+        index: u32,
+        /// Declared parameter count.
+        declared: u32,
+    },
+    /// A store targets a read-only space.
+    StoreToReadOnly {
+        /// The read-only space.
+        space: MemorySpace,
+    },
+    /// A shared access with a statically known address falls outside the
+    /// kernel's declared shared memory.
+    SharedOutOfBounds {
+        /// Word address accessed.
+        addr: i64,
+        /// Declared shared words.
+        words: u32,
+    },
+    /// A loop body writes its own counter register.
+    CounterClobbered {
+        /// The counter register.
+        counter: VReg,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::UseBeforeDef { reg, op } => {
+                write!(f, "{reg} read by {op} before any definition")
+            }
+            VerifyError::RegisterOutOfRange { reg, declared } => {
+                write!(f, "{reg} outside the declared {declared} virtual registers")
+            }
+            VerifyError::ParamOutOfRange { index, declared } => {
+                write!(f, "param{index} outside the declared {declared} parameters")
+            }
+            VerifyError::StoreToReadOnly { space } => {
+                write!(f, "store to read-only {space} memory")
+            }
+            VerifyError::SharedOutOfBounds { addr, words } => {
+                write!(f, "shared access at word {addr} outside {words} allocated words")
+            }
+            VerifyError::CounterClobbered { counter } => {
+                write!(f, "loop body writes its own counter {counter}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+struct Checker<'k> {
+    kernel: &'k Kernel,
+    smem_words: u32,
+    errors: Vec<VerifyError>,
+}
+
+impl Checker<'_> {
+    fn check_instr(&mut self, i: &Instr, defined: &HashSet<VReg>) {
+        for src in &i.srcs {
+            match src {
+                Operand::Reg(r) => {
+                    if r.0 >= self.kernel.num_vregs {
+                        self.errors.push(VerifyError::RegisterOutOfRange {
+                            reg: *r,
+                            declared: self.kernel.num_vregs,
+                        });
+                    } else if !defined.contains(r) {
+                        self.errors.push(VerifyError::UseBeforeDef {
+                            reg: *r,
+                            op: i.op.mnemonic(),
+                        });
+                    }
+                }
+                Operand::Param(p) if *p >= self.kernel.num_params => {
+                    self.errors.push(VerifyError::ParamOutOfRange {
+                        index: *p,
+                        declared: self.kernel.num_params,
+                    });
+                }
+                _ => {}
+            }
+        }
+        if let Some(d) = i.dst {
+            if d.0 >= self.kernel.num_vregs {
+                self.errors.push(VerifyError::RegisterOutOfRange {
+                    reg: d,
+                    declared: self.kernel.num_vregs,
+                });
+            }
+        }
+        match i.op {
+            Op::St(space) if space.properties().read_only => {
+                self.errors.push(VerifyError::StoreToReadOnly { space });
+            }
+            // Statically known shared addresses must stay in bounds.
+            Op::Ld(MemorySpace::Shared) | Op::St(MemorySpace::Shared)
+                if matches!(i.srcs[0], Operand::ImmI32(_)) =>
+            {
+                let Operand::ImmI32(base) = i.srcs[0] else { unreachable!() };
+                let addr = i64::from(base) + i64::from(i.offset);
+                if addr < 0 || addr >= i64::from(self.smem_words) {
+                    self.errors.push(VerifyError::SharedOutOfBounds {
+                        addr,
+                        words: self.smem_words,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Walk a statement list; loop bodies are walked twice so values
+    /// defined late in an iteration count as defined for uses early in
+    /// the next one (legitimate loop-carried dependences, e.g. prefetch
+    /// buffers rotated at the bottom of the body).
+    fn walk(&mut self, stmts: &[Stmt], defined: &mut HashSet<VReg>) {
+        for s in stmts {
+            match s {
+                Stmt::Op(i) => {
+                    self.check_instr(i, defined);
+                    if let Some(d) = i.dst {
+                        defined.insert(d);
+                    }
+                }
+                Stmt::Sync => {}
+                Stmt::Loop(l) => {
+                    if let Some(c) = l.counter {
+                        defined.insert(c);
+                        if writes(&l.body, c) {
+                            self.errors.push(VerifyError::CounterClobbered { counter: c });
+                        }
+                    }
+                    if l.trip_count == 0 {
+                        continue;
+                    }
+                    // First pass collects definitions but suppresses
+                    // use-before-def (late defs may feed early uses of
+                    // later iterations); second pass reports for real.
+                    let mut probe = defined.clone();
+                    collect_defs(&l.body, &mut probe);
+                    let before = self.errors.len();
+                    let mut trial = probe.clone();
+                    self.walk(&l.body, &mut trial);
+                    // Keep the errors (they used the fully-defined set,
+                    // so anything flagged is genuinely never defined).
+                    let _ = before;
+                    *defined = trial;
+                }
+            }
+        }
+    }
+}
+
+fn collect_defs(stmts: &[Stmt], defined: &mut HashSet<VReg>) {
+    for s in stmts {
+        match s {
+            Stmt::Op(i) => {
+                if let Some(d) = i.dst {
+                    defined.insert(d);
+                }
+            }
+            Stmt::Sync => {}
+            Stmt::Loop(l) => {
+                if let Some(c) = l.counter {
+                    defined.insert(c);
+                }
+                collect_defs(&l.body, defined);
+            }
+        }
+    }
+}
+
+fn writes(stmts: &[Stmt], reg: VReg) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Op(i) => i.dst == Some(reg),
+        Stmt::Sync => false,
+        Stmt::Loop(l) => l.counter == Some(reg) || writes(&l.body, reg),
+    })
+}
+
+/// Verify `kernel`; returns every finding (empty = well-formed).
+///
+/// # Examples
+///
+/// ```
+/// use gpu_ir::build::KernelBuilder;
+///
+/// let mut b = KernelBuilder::new("ok");
+/// let p = b.param(0);
+/// let x = b.ld_global(p, 0);
+/// b.st_global(p, 0, x);
+/// assert!(gpu_ir::verify::verify(&b.finish()).is_empty());
+/// ```
+pub fn verify(kernel: &Kernel) -> Vec<VerifyError> {
+    let mut checker = Checker {
+        kernel,
+        smem_words: kernel.smem_bytes.div_ceil(4),
+        errors: Vec::new(),
+    };
+    let mut defined = HashSet::new();
+    checker.walk(&kernel.body, &mut defined);
+    checker.errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::KernelBuilder;
+    use crate::kernel::Loop;
+
+    #[test]
+    fn well_formed_kernel_passes() {
+        let mut b = KernelBuilder::new("ok");
+        let p = b.param(0);
+        b.alloc_shared(16);
+        let acc = b.mov(0.0f32);
+        b.for_loop(4, |b, i| {
+            let x = b.ld_global(p, 0);
+            b.fmad_acc(x, 1.0f32, acc);
+            b.st_shared(i, 0, x);
+        });
+        b.st_global(p, 0, acc);
+        assert!(verify(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn use_before_def_detected() {
+        let mut b = KernelBuilder::new("bad");
+        let ghost = b.fresh(); // never defined
+        let out = b.param(0);
+        b.st_global(out, 0, ghost);
+        let errors = verify(&b.finish());
+        assert!(
+            errors.iter().any(|e| matches!(e, VerifyError::UseBeforeDef { reg, .. } if *reg == ghost)),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn loop_carried_defs_are_not_false_positives() {
+        // Prefetch-style rotation: buf read at the top, written at the
+        // bottom, seeded before the loop.
+        let mut b = KernelBuilder::new("carried");
+        let p = b.param(0);
+        let buf = b.ld_global(p, 0);
+        b.repeat(4, |b| {
+            let use_ = b.fadd(buf, 1.0f32);
+            b.st_global(p, 0, use_);
+            let next = b.ld_global(p, 1);
+            b.push_instr(Instr::new(Op::Mov, Some(buf), vec![next.into()]));
+        });
+        assert!(verify(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn register_out_of_range_detected() {
+        let mut b = KernelBuilder::new("range");
+        let out = b.param(0);
+        b.st_global(out, 0, 1.0f32);
+        let mut k = b.finish();
+        // Corrupt: reference a register beyond num_vregs.
+        k.body.push(Stmt::Op(Instr::new(
+            Op::Mov,
+            Some(VReg(99)),
+            vec![Operand::ImmI32(0)],
+        )));
+        let errors = verify(&k);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, VerifyError::RegisterOutOfRange { reg: VReg(99), .. })));
+    }
+
+    #[test]
+    fn param_out_of_range_detected() {
+        let mut b = KernelBuilder::new("param");
+        let p = b.param(0);
+        b.st_global(p, 0, 1.0f32);
+        let mut k = b.finish();
+        k.num_params = 0; // corrupt the declaration
+        let errors = verify(&k);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, VerifyError::ParamOutOfRange { index: 0, declared: 0 })));
+    }
+
+    #[test]
+    fn store_to_constant_detected() {
+        let mut b = KernelBuilder::new("romem");
+        let v = b.mov(1.0f32);
+        let k = {
+            let dst_addr = Operand::ImmI32(0);
+            b.push_instr(Instr::new(
+                Op::St(MemorySpace::Constant),
+                None,
+                vec![dst_addr, v.into()],
+            ));
+            b.finish()
+        };
+        let errors = verify(&k);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, VerifyError::StoreToReadOnly { space: MemorySpace::Constant })));
+    }
+
+    #[test]
+    fn static_shared_oob_detected() {
+        let mut b = KernelBuilder::new("oob");
+        b.alloc_shared(8); // 2 words
+        let v = b.mov(1.0f32);
+        b.st_shared(5i32, 0, v);
+        let errors = verify(&b.finish());
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, VerifyError::SharedOutOfBounds { addr: 5, words: 2 })));
+    }
+
+    #[test]
+    fn counter_clobber_detected() {
+        let mut b = KernelBuilder::new("clobber");
+        b.for_loop(4, |b, i| {
+            b.push_instr(Instr::new(Op::Mov, Some(i), vec![Operand::ImmI32(0)]));
+        });
+        let k = b.finish();
+        let errors = verify(&k);
+        assert!(errors.iter().any(|e| matches!(e, VerifyError::CounterClobbered { .. })));
+    }
+
+    #[test]
+    fn zero_trip_loop_body_is_skipped() {
+        let mut b = KernelBuilder::new("zerotrip");
+        let ghost = b.fresh();
+        b.repeat(0, |b| {
+            b.fadd(ghost, 1.0f32); // dead code: never executes
+        });
+        let loop_stmt = b.finish();
+        assert!(verify(&loop_stmt).is_empty());
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = VerifyError::SharedOutOfBounds { addr: 9, words: 4 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('4'));
+        let e = VerifyError::CounterClobbered { counter: VReg(3) };
+        assert!(e.to_string().contains("%r3"));
+    }
+
+    #[test]
+    fn nested_loop_counters_verify() {
+        let mut b = KernelBuilder::new("nest");
+        let out = b.param(0);
+        let acc = b.mov(0.0f32);
+        b.for_loop(3, |b, i| {
+            b.for_loop(2, |b, j| {
+                let s = b.iadd(i, j);
+                let f = b.i2f(s);
+                b.fmad_acc(f, 1.0f32, acc);
+            });
+        });
+        b.st_global(out, 0, acc);
+        assert!(verify(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn loop_statement_helper() {
+        // The `writes` helper must see nested counters.
+        let inner = Loop { trip_count: 2, counter: Some(VReg(5)), body: vec![] };
+        let stmts = vec![Stmt::Loop(inner)];
+        assert!(writes(&stmts, VReg(5)));
+        assert!(!writes(&stmts, VReg(6)));
+    }
+}

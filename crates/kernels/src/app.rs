@@ -1,0 +1,39 @@
+//! Object-safe interface over the four applications, for harness code
+//! that iterates the whole suite (Table 4, Figure 6).
+
+use optspace::candidate::Candidate;
+
+/// A tunable application: a name and its full configuration space as
+/// ready-to-evaluate candidates.
+pub trait App {
+    /// Application name as it appears in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Every configuration of the space as a [`Candidate`], in
+    /// enumeration order. Configurations that violate hardware limits
+    /// are *included* — static evaluation classifies them as invalid
+    /// executables, as the paper's far-right Figure 3 bar shows.
+    fn candidates(&self) -> Vec<Candidate>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    impl App for Dummy {
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+        fn candidates(&self) -> Vec<Candidate> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let apps: Vec<Box<dyn App>> = vec![Box::new(Dummy)];
+        assert_eq!(apps[0].name(), "dummy");
+        assert!(apps[0].candidates().is_empty());
+    }
+}

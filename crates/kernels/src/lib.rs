@@ -1,0 +1,30 @@
+//! The paper's application suite (Table 3), generated as IR kernels.
+//!
+//! Each module provides, for one application:
+//!
+//! * a **problem** type with paper-scale, reduced, and functional-test
+//!   instances;
+//! * a **configuration** type and `space()` enumerating the paper's
+//!   optimization-configuration space (Table 4's "Parameters Varied");
+//! * a **generator** producing, for any configuration, a complete
+//!   kernel via the `gpu-ir` builder and the `gpu-passes`
+//!   transformations (unrolling, address folding, prefetching,
+//!   spilling) — the analog of the paper's hand-written CUDA variants;
+//! * a single-thread **CPU reference** implementation (Table 3's
+//!   baseline) and a functional runner that executes any configuration
+//!   on the `gpu-sim` interpreter for equivalence testing.
+//!
+//! | Application | Paper space | Knobs |
+//! |---|---|---|
+//! | [`matmul`] | 93 | tile/block size, rectangular tiling, unroll, prefetch, spill |
+//! | [`cp`] | 38 | block size, per-thread tiling, output coalescing |
+//! | [`sad`] | 908 | per-thread tiling, unroll (3 loops), work per block |
+//! | [`mri_fhd`] | 175 | block size, unroll, work per kernel invocation |
+
+pub mod app;
+pub mod cp;
+pub mod matmul;
+pub mod mri_fhd;
+pub mod sad;
+
+pub use app::App;

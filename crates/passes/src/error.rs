@@ -1,0 +1,54 @@
+//! Errors raised by transformation passes.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a pass could not be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PassError {
+    /// The addressed loop does not exist in the kernel.
+    LoopNotFound,
+    /// Unroll factor does not divide the trip count.
+    TripNotDivisible {
+        /// Loop trip count.
+        trips: u32,
+        /// Requested unroll factor.
+        factor: u32,
+    },
+    /// Unroll factor of zero requested.
+    ZeroFactor,
+    /// The loop body does not start with global loads eligible for
+    /// prefetching.
+    NoPrefetchCandidate,
+    /// A loop-counter register cannot be spilled.
+    CounterSpill,
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PassError::LoopNotFound => write!(f, "loop id does not address a loop"),
+            PassError::TripNotDivisible { trips, factor } => {
+                write!(f, "unroll factor {factor} does not divide trip count {trips}")
+            }
+            PassError::ZeroFactor => write!(f, "unroll factor must be at least 1"),
+            PassError::NoPrefetchCandidate => {
+                write!(f, "loop body has no leading global loads to prefetch")
+            }
+            PassError::CounterSpill => write!(f, "loop counters cannot be spilled"),
+        }
+    }
+}
+
+impl Error for PassError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PassError::TripNotDivisible { trips: 16, factor: 3 };
+        assert!(e.to_string().contains('3') && e.to_string().contains("16"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Addressing loops inside structured kernel bodies.
+//!
+//! Passes identify loops by a [`LoopId`]: the path of statement indices
+//! from the kernel body down to the `Stmt::Loop` in question. Paths are
+//! stable as long as statements *before* the loop at each level are not
+//! inserted or removed, which holds for the generator → pass pipelines
+//! used here (passes mutate loop bodies in place or splice at known
+//! positions).
+
+use gpu_ir::{Kernel, Loop, Stmt};
+
+use crate::PassError;
+
+/// Path to one loop: statement indices at successive nesting levels.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LoopId(pub Vec<usize>);
+
+impl LoopId {
+    /// Nesting depth of the addressed loop (1 = top-level).
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+}
+
+fn collect(stmts: &[Stmt], prefix: &mut Vec<usize>, out: &mut Vec<LoopId>) {
+    for (i, s) in stmts.iter().enumerate() {
+        if let Stmt::Loop(l) = s {
+            prefix.push(i);
+            out.push(LoopId(prefix.clone()));
+            collect(&l.body, prefix, out);
+            prefix.pop();
+        }
+    }
+}
+
+/// All loops in pre-order.
+pub fn find_loops(kernel: &Kernel) -> Vec<LoopId> {
+    let mut out = Vec::new();
+    collect(&kernel.body, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Loops that contain no nested loops, in pre-order.
+pub fn innermost_loops(kernel: &Kernel) -> Vec<LoopId> {
+    find_loops(kernel)
+        .into_iter()
+        .filter(|id| {
+            get_loop(kernel, id)
+                .map(|l| l.body.iter().all(|s| !matches!(s, Stmt::Loop(_))))
+                .unwrap_or(false)
+        })
+        .collect()
+}
+
+/// Borrow the loop addressed by `id`.
+pub fn get_loop<'a>(kernel: &'a Kernel, id: &LoopId) -> Option<&'a Loop> {
+    let mut stmts = &kernel.body;
+    let mut found: Option<&Loop> = None;
+    for (level, &idx) in id.0.iter().enumerate() {
+        match stmts.get(idx) {
+            Some(Stmt::Loop(l)) => {
+                if level + 1 == id.0.len() {
+                    found = Some(l);
+                } else {
+                    stmts = &l.body;
+                }
+            }
+            _ => return None,
+        }
+    }
+    found
+}
+
+/// Mutably borrow the loop addressed by `id`.
+pub fn get_loop_mut<'a>(kernel: &'a mut Kernel, id: &LoopId) -> Option<&'a mut Loop> {
+    let mut stmts = &mut kernel.body;
+    for (level, &idx) in id.0.iter().enumerate() {
+        // Split the walk to satisfy the borrow checker.
+        let stmt = stmts.get_mut(idx)?;
+        match stmt {
+            Stmt::Loop(l) => {
+                if level + 1 == id.0.len() {
+                    return Some(l);
+                }
+                stmts = &mut l.body;
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Borrow the statement list containing the loop, plus the loop's index
+/// within it. Used by passes that splice around the loop (complete
+/// unroll, prefetch prologues).
+pub fn get_parent_mut<'a>(
+    kernel: &'a mut Kernel,
+    id: &LoopId,
+) -> Result<(&'a mut Vec<Stmt>, usize), PassError> {
+    let (last, prefix) = id.0.split_last().ok_or(PassError::LoopNotFound)?;
+    let mut stmts = &mut kernel.body;
+    for &idx in prefix {
+        match stmts.get_mut(idx) {
+            Some(Stmt::Loop(l)) => stmts = &mut l.body,
+            _ => return Err(PassError::LoopNotFound),
+        }
+    }
+    match stmts.get(*last) {
+        Some(Stmt::Loop(_)) => Ok((stmts, *last)),
+        _ => Err(PassError::LoopNotFound),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_ir::build::KernelBuilder;
+
+    fn sample() -> Kernel {
+        let mut b = KernelBuilder::new("k");
+        b.mov(0i32);
+        b.repeat(2, |b| {
+            b.mov(1i32);
+            b.repeat(3, |b| {
+                b.mov(2i32);
+            });
+        });
+        b.repeat(4, |b| {
+            b.mov(3i32);
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn find_loops_preorder() {
+        let k = sample();
+        let ids = find_loops(&k);
+        assert_eq!(
+            ids,
+            vec![LoopId(vec![1]), LoopId(vec![1, 1]), LoopId(vec![2])]
+        );
+        assert_eq!(ids[1].depth(), 2);
+    }
+
+    #[test]
+    fn innermost_excludes_outer() {
+        let k = sample();
+        let inner = innermost_loops(&k);
+        assert_eq!(inner, vec![LoopId(vec![1, 1]), LoopId(vec![2])]);
+    }
+
+    #[test]
+    fn get_loop_resolves_trip_counts() {
+        let k = sample();
+        assert_eq!(get_loop(&k, &LoopId(vec![1])).unwrap().trip_count, 2);
+        assert_eq!(get_loop(&k, &LoopId(vec![1, 1])).unwrap().trip_count, 3);
+        assert_eq!(get_loop(&k, &LoopId(vec![2])).unwrap().trip_count, 4);
+        assert!(get_loop(&k, &LoopId(vec![0])).is_none());
+        assert!(get_loop(&k, &LoopId(vec![9])).is_none());
+    }
+
+    #[test]
+    fn get_parent_mut_points_at_loop() {
+        let mut k = sample();
+        let (parent, idx) = get_parent_mut(&mut k, &LoopId(vec![1, 1])).unwrap();
+        assert_eq!(idx, 1);
+        assert!(matches!(parent[idx], Stmt::Loop(_)));
+        assert!(get_parent_mut(&mut k, &LoopId(vec![0])).is_err());
+    }
+
+    #[test]
+    fn get_loop_mut_allows_editing() {
+        let mut k = sample();
+        get_loop_mut(&mut k, &LoopId(vec![2])).unwrap().trip_count = 8;
+        assert_eq!(get_loop(&k, &LoopId(vec![2])).unwrap().trip_count, 8);
+    }
+}

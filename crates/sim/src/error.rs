@@ -1,0 +1,70 @@
+//! Simulation failure modes.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while executing a kernel on either engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A load or store addressed outside the allocated memory.
+    OutOfBounds {
+        /// Memory space name ("global", "shared", "local").
+        space: &'static str,
+        /// Word address requested.
+        addr: i64,
+        /// Words allocated.
+        len: usize,
+    },
+    /// An operand had the wrong runtime type for the operation
+    /// (e.g. float arithmetic on an integer register).
+    TypeMismatch {
+        /// Mnemonic of the offending operation.
+        op: String,
+    },
+    /// A kernel parameter index exceeded the supplied parameter list.
+    MissingParam {
+        /// Parameter slot requested.
+        index: u32,
+    },
+    /// Threads of one block reached different barriers (or some exited
+    /// while others wait) — undefined behaviour in CUDA, an error here.
+    BarrierDivergence,
+    /// The step budget was exhausted; guards against generator bugs.
+    StepBudgetExhausted,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfBounds { space, addr, len } => {
+                write!(f, "{space} access at word {addr} outside allocation of {len} words")
+            }
+            SimError::TypeMismatch { op } => write!(f, "operand type mismatch in {op}"),
+            SimError::MissingParam { index } => write!(f, "kernel parameter {index} not supplied"),
+            SimError::BarrierDivergence => {
+                write!(f, "threads of one block reached different barriers")
+            }
+            SimError::StepBudgetExhausted => write!(f, "interpreter step budget exhausted"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = SimError::OutOfBounds { space: "global", addr: 99, len: 10 };
+        let s = e.to_string();
+        assert!(s.contains("global") && s.contains("99") && s.contains("10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + Error>() {}
+        check::<SimError>();
+    }
+}

@@ -1,0 +1,696 @@
+//! Functional interpretation of linearized kernels.
+//!
+//! Executes every thread of every block on real data: global memory is a
+//! flat array of `f32` words, each block gets a zeroed shared-memory
+//! scratchpad, and `__syncthreads` is honoured by running threads in
+//! barrier-delimited segments. The engine is deliberately simple and
+//! sequential — its job is *correctness ground truth* for the generated
+//! kernels, not speed.
+
+use gpu_arch::MemorySpace;
+use gpu_ir::linear::{LinOp, LinearProgram};
+use gpu_ir::types::{Operand, Special, VReg};
+use gpu_ir::{Instr, Launch, Op};
+
+use crate::error::SimError;
+
+/// Default per-block step budget; generated kernels are counted loops so
+/// this only trips on generator bugs.
+pub const DEFAULT_STEP_BUDGET: u64 = 1 << 32;
+
+/// Device memory visible to a kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceMemory {
+    /// Global (off-chip) memory, word-addressed.
+    pub global: Vec<f32>,
+    /// Constant memory (read-only from kernels).
+    pub constant: Vec<f32>,
+}
+
+impl DeviceMemory {
+    /// Allocate `global_words` of zeroed global memory and no constants.
+    pub fn new(global_words: usize) -> Self {
+        Self { global: vec![0.0; global_words], constant: Vec::new() }
+    }
+
+    /// Allocate global memory and a constant bank.
+    pub fn with_constant(global_words: usize, constant: Vec<f32>) -> Self {
+        Self { global: vec![0.0; global_words], constant }
+    }
+}
+
+/// A runtime register value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Value {
+    F32(f32),
+    I32(i32),
+}
+
+impl Value {
+    fn as_f32(self, op: &Instr) -> Result<f32, SimError> {
+        match self {
+            Value::F32(v) => Ok(v),
+            Value::I32(_) => Err(SimError::TypeMismatch { op: op.op.mnemonic() }),
+        }
+    }
+
+    fn as_i32(self, op: &Instr) -> Result<i32, SimError> {
+        match self {
+            Value::I32(v) => Ok(v),
+            Value::F32(_) => Err(SimError::TypeMismatch { op: op.op.mnemonic() }),
+        }
+    }
+}
+
+/// Thread-geometry values for one thread.
+#[derive(Debug, Clone, Copy)]
+struct Geometry {
+    tid: (u32, u32),
+    ctaid: (u32, u32),
+    ntid: (u32, u32),
+    nctaid: (u32, u32),
+}
+
+impl Geometry {
+    fn special(&self, s: Special) -> i32 {
+        let v = match s {
+            Special::TidX => self.tid.0,
+            Special::TidY => self.tid.1,
+            Special::CtaIdX => self.ctaid.0,
+            Special::CtaIdY => self.ctaid.1,
+            Special::NTidX => self.ntid.0,
+            Special::NTidY => self.ntid.1,
+            Special::NCtaIdX => self.nctaid.0,
+            Special::NCtaIdY => self.nctaid.1,
+        };
+        v as i32
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LoopFrame {
+    body_start: usize,
+    remaining: u32,
+    counter: Option<VReg>,
+    iter: i32,
+}
+
+/// Where a thread stopped at the end of a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stop {
+    AtBarrier(usize),
+    Done,
+}
+
+struct Thread {
+    regs: Vec<Value>,
+    pc: usize,
+    frames: Vec<LoopFrame>,
+    /// Private spill space. Typed, because register spilling moves both
+    /// float and integer registers through local memory.
+    local: Vec<Value>,
+    geom: Geometry,
+}
+
+impl Thread {
+    fn new(num_vregs: u32, geom: Geometry) -> Self {
+        Self {
+            regs: vec![Value::I32(0); num_vregs as usize],
+            pc: 0,
+            frames: Vec::new(),
+            local: Vec::new(),
+            geom,
+        }
+    }
+
+    fn operand(&self, o: &Operand, params: &[i32]) -> Result<Value, SimError> {
+        match o {
+            Operand::Reg(r) => Ok(self.regs[r.index()]),
+            Operand::ImmF32(v) => Ok(Value::F32(*v)),
+            Operand::ImmI32(v) => Ok(Value::I32(*v)),
+            Operand::Special(s) => Ok(Value::I32(self.geom.special(*s))),
+            Operand::Param(i) => params
+                .get(*i as usize)
+                .map(|v| Value::I32(*v))
+                .ok_or(SimError::MissingParam { index: *i }),
+        }
+    }
+
+    /// Execute until the next barrier or the end of the program.
+    fn run_segment(
+        &mut self,
+        prog: &LinearProgram,
+        params: &[i32],
+        mem: &mut DeviceMemory,
+        shared: &mut [f32],
+        budget: &mut u64,
+    ) -> Result<Stop, SimError> {
+        let code = &prog.code;
+        loop {
+            if self.pc >= code.len() {
+                return Ok(Stop::Done);
+            }
+            if *budget == 0 {
+                return Err(SimError::StepBudgetExhausted);
+            }
+            *budget -= 1;
+            match &code[self.pc] {
+                LinOp::Sync => {
+                    let here = self.pc;
+                    self.pc += 1;
+                    return Ok(Stop::AtBarrier(here));
+                }
+                LinOp::LoopStart { counter, trips, end } => {
+                    if *trips == 0 {
+                        self.pc = end + 1;
+                    } else {
+                        if let Some(c) = counter {
+                            self.regs[c.index()] = Value::I32(0);
+                        }
+                        self.frames.push(LoopFrame {
+                            body_start: self.pc + 1,
+                            remaining: *trips,
+                            counter: *counter,
+                            iter: 0,
+                        });
+                        self.pc += 1;
+                    }
+                }
+                LinOp::LoopEnd { .. } => {
+                    let frame = self.frames.last_mut().expect("loop frame underflow");
+                    frame.remaining -= 1;
+                    if frame.remaining > 0 {
+                        frame.iter += 1;
+                        if let Some(c) = frame.counter {
+                            self.regs[c.index()] = Value::I32(frame.iter);
+                        }
+                        self.pc = frame.body_start;
+                    } else {
+                        self.frames.pop();
+                        self.pc += 1;
+                    }
+                }
+                LinOp::Instr(i) => {
+                    self.exec(i, params, mem, shared)?;
+                    self.pc += 1;
+                }
+            }
+        }
+    }
+
+    fn addr_of(
+        &self,
+        i: &Instr,
+        params: &[i32],
+    ) -> Result<i64, SimError> {
+        let base = self.operand(&i.srcs[0], params)?.as_i32(i)?;
+        Ok(i64::from(base) + i64::from(i.offset))
+    }
+
+    fn load(
+        &mut self,
+        space: MemorySpace,
+        addr: i64,
+        mem: &DeviceMemory,
+        shared: &[f32],
+    ) -> Result<Value, SimError> {
+        let fetch = |buf: &[f32], name: &'static str| -> Result<Value, SimError> {
+            usize::try_from(addr)
+                .ok()
+                .and_then(|a| buf.get(a).copied())
+                .map(Value::F32)
+                .ok_or(SimError::OutOfBounds { space: name, addr, len: buf.len() })
+        };
+        match space {
+            MemorySpace::Global | MemorySpace::Texture => fetch(&mem.global, "global"),
+            MemorySpace::Constant => fetch(&mem.constant, "const"),
+            MemorySpace::Shared => fetch(shared, "shared"),
+            MemorySpace::Local => {
+                // Local memory grows on demand: it is private spill space.
+                let a = usize::try_from(addr)
+                    .map_err(|_| SimError::OutOfBounds { space: "local", addr, len: self.local.len() })?;
+                Ok(self.local.get(a).copied().unwrap_or(Value::F32(0.0)))
+            }
+        }
+    }
+
+    fn store(
+        &mut self,
+        space: MemorySpace,
+        addr: i64,
+        value: Value,
+        mem: &mut DeviceMemory,
+        shared: &mut [f32],
+        op: &Instr,
+    ) -> Result<(), SimError> {
+        match space {
+            MemorySpace::Global => {
+                let len = mem.global.len();
+                let slot = usize::try_from(addr)
+                    .ok()
+                    .and_then(|a| mem.global.get_mut(a))
+                    .ok_or(SimError::OutOfBounds { space: "global", addr, len })?;
+                *slot = value.as_f32(op)?;
+            }
+            MemorySpace::Shared => {
+                let len = shared.len();
+                let slot = usize::try_from(addr)
+                    .ok()
+                    .and_then(|a| shared.get_mut(a))
+                    .ok_or(SimError::OutOfBounds { space: "shared", addr, len })?;
+                *slot = value.as_f32(op)?;
+            }
+            MemorySpace::Local => {
+                let a = usize::try_from(addr)
+                    .map_err(|_| SimError::OutOfBounds { space: "local", addr, len: self.local.len() })?;
+                if a >= self.local.len() {
+                    self.local.resize(a + 1, Value::F32(0.0));
+                }
+                self.local[a] = value;
+            }
+            MemorySpace::Constant | MemorySpace::Texture => {
+                return Err(SimError::TypeMismatch { op: format!("st.{space}") });
+            }
+        }
+        Ok(())
+    }
+
+    fn exec(
+        &mut self,
+        i: &Instr,
+        params: &[i32],
+        mem: &mut DeviceMemory,
+        shared: &mut [f32],
+    ) -> Result<(), SimError> {
+        use Op::*;
+        let v = |t: &Self, n: usize| t.operand(&i.srcs[n], params);
+
+        let result: Value = match i.op {
+            FAdd => Value::F32(v(self, 0)?.as_f32(i)? + v(self, 1)?.as_f32(i)?),
+            FSub => Value::F32(v(self, 0)?.as_f32(i)? - v(self, 1)?.as_f32(i)?),
+            FMul => Value::F32(v(self, 0)?.as_f32(i)? * v(self, 1)?.as_f32(i)?),
+            FMad => Value::F32(
+                v(self, 0)?.as_f32(i)?
+                    .mul_add(v(self, 1)?.as_f32(i)?, v(self, 2)?.as_f32(i)?),
+            ),
+            FMin => Value::F32(v(self, 0)?.as_f32(i)?.min(v(self, 1)?.as_f32(i)?)),
+            FMax => Value::F32(v(self, 0)?.as_f32(i)?.max(v(self, 1)?.as_f32(i)?)),
+            FNeg => Value::F32(-v(self, 0)?.as_f32(i)?),
+            FAbs => Value::F32(v(self, 0)?.as_f32(i)?.abs()),
+            Rcp => Value::F32(1.0 / v(self, 0)?.as_f32(i)?),
+            Rsqrt => Value::F32(1.0 / v(self, 0)?.as_f32(i)?.sqrt()),
+            Sqrt => Value::F32(v(self, 0)?.as_f32(i)?.sqrt()),
+            Sin => Value::F32(v(self, 0)?.as_f32(i)?.sin()),
+            Cos => Value::F32(v(self, 0)?.as_f32(i)?.cos()),
+            Ex2 => Value::F32(v(self, 0)?.as_f32(i)?.exp2()),
+            IAdd => Value::I32(v(self, 0)?.as_i32(i)?.wrapping_add(v(self, 1)?.as_i32(i)?)),
+            ISub => Value::I32(v(self, 0)?.as_i32(i)?.wrapping_sub(v(self, 1)?.as_i32(i)?)),
+            IMul => Value::I32(v(self, 0)?.as_i32(i)?.wrapping_mul(v(self, 1)?.as_i32(i)?)),
+            IMad => Value::I32(
+                v(self, 0)?.as_i32(i)?
+                    .wrapping_mul(v(self, 1)?.as_i32(i)?)
+                    .wrapping_add(v(self, 2)?.as_i32(i)?),
+            ),
+            IDiv => {
+                let (a, b) = (v(self, 0)?.as_i32(i)?, v(self, 1)?.as_i32(i)?);
+                Value::I32(if b == 0 { 0 } else { a.wrapping_div(b) })
+            }
+            IRem => {
+                let (a, b) = (v(self, 0)?.as_i32(i)?, v(self, 1)?.as_i32(i)?);
+                Value::I32(if b == 0 { 0 } else { a.wrapping_rem(b) })
+            }
+            Shl => Value::I32(v(self, 0)?.as_i32(i)?.wrapping_shl(v(self, 1)?.as_i32(i)? as u32)),
+            Shr => Value::I32(v(self, 0)?.as_i32(i)?.wrapping_shr(v(self, 1)?.as_i32(i)? as u32)),
+            And => Value::I32(v(self, 0)?.as_i32(i)? & v(self, 1)?.as_i32(i)?),
+            Or => Value::I32(v(self, 0)?.as_i32(i)? | v(self, 1)?.as_i32(i)?),
+            Xor => Value::I32(v(self, 0)?.as_i32(i)? ^ v(self, 1)?.as_i32(i)?),
+            IMin => Value::I32(v(self, 0)?.as_i32(i)?.min(v(self, 1)?.as_i32(i)?)),
+            IMax => Value::I32(v(self, 0)?.as_i32(i)?.max(v(self, 1)?.as_i32(i)?)),
+            Mov => v(self, 0)?,
+            F2I => Value::I32(v(self, 0)?.as_f32(i)? as i32),
+            I2F => Value::F32(v(self, 0)?.as_i32(i)? as f32),
+            SetLt | SetLe | SetEq | SetNe => {
+                let (a, b) = (v(self, 0)?, v(self, 1)?);
+                let ord = match (a, b) {
+                    (Value::F32(x), Value::F32(y)) => x.partial_cmp(&y),
+                    (Value::I32(x), Value::I32(y)) => Some(x.cmp(&y)),
+                    _ => return Err(SimError::TypeMismatch { op: i.op.mnemonic() }),
+                };
+                let t = match (i.op, ord) {
+                    (SetLt, Some(o)) => o.is_lt(),
+                    (SetLe, Some(o)) => o.is_le(),
+                    (SetEq, Some(o)) => o.is_eq(),
+                    (SetNe, Some(o)) => o.is_ne(),
+                    (SetNe, None) => true, // NaN != anything
+                    (_, None) => false,
+                    _ => unreachable!("outer match restricts the op"),
+                };
+                Value::I32(i32::from(t))
+            }
+            Selp => {
+                let c = v(self, 2)?.as_i32(i)?;
+                if c != 0 { v(self, 0)? } else { v(self, 1)? }
+            }
+            Ld(space) => {
+                let addr = self.addr_of(i, params)?;
+                self.load(space, addr, mem, shared)?
+            }
+            St(space) => {
+                let addr = self.addr_of(i, params)?;
+                let value = self.operand(&i.srcs[1], params)?;
+                self.store(space, addr, value, mem, shared, i)?;
+                return Ok(());
+            }
+        };
+        let dst = i.dst.expect("non-store ops have destinations");
+        self.regs[dst.index()] = result;
+        Ok(())
+    }
+}
+
+/// Execute `prog` over the whole `launch` grid against `mem`.
+///
+/// `params` are the kernel's launch-time scalar parameters (word
+/// addresses and sizes), indexed by `Operand::Param`.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] raised by a thread: out-of-bounds
+/// accesses, type mismatches, missing parameters, or divergent barriers.
+pub fn run_kernel(
+    prog: &LinearProgram,
+    launch: &Launch,
+    params: &[i32],
+    mem: &mut DeviceMemory,
+) -> Result<(), SimError> {
+    run_kernel_with_budget(prog, launch, params, mem, DEFAULT_STEP_BUDGET)
+}
+
+/// [`run_kernel`] with an explicit per-block step budget.
+///
+/// # Errors
+///
+/// As [`run_kernel`], plus [`SimError::StepBudgetExhausted`] when a block
+/// exceeds `budget` interpreted steps.
+pub fn run_kernel_with_budget(
+    prog: &LinearProgram,
+    launch: &Launch,
+    params: &[i32],
+    mem: &mut DeviceMemory,
+    budget: u64,
+) -> Result<(), SimError> {
+    let (gx, gy) = (launch.grid.x, launch.grid.y);
+    let (bx, by) = (launch.block.x, launch.block.y);
+
+    for cy in 0..gy {
+        for cx in 0..gx {
+            let mut shared = vec![0.0f32; prog.smem_words as usize];
+            let mut threads: Vec<Thread> = (0..by)
+                .flat_map(|ty| (0..bx).map(move |tx| (tx, ty)))
+                .map(|(tx, ty)| {
+                    Thread::new(
+                        prog.num_vregs,
+                        Geometry {
+                            tid: (tx, ty),
+                            ctaid: (cx, cy),
+                            ntid: (bx, by),
+                            nctaid: (gx, gy),
+                        },
+                    )
+                })
+                .collect();
+
+            let mut block_budget = budget;
+            loop {
+                let mut stops = Vec::with_capacity(threads.len());
+                for t in &mut threads {
+                    stops.push(t.run_segment(prog, params, mem, &mut shared, &mut block_budget)?);
+                }
+                let first = stops[0];
+                if stops.iter().any(|s| *s != first) {
+                    return Err(SimError::BarrierDivergence);
+                }
+                if first == Stop::Done {
+                    break;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_ir::build::KernelBuilder;
+    use gpu_ir::linear::linearize;
+    use gpu_ir::{Dim, Launch};
+
+    fn launch_1d(blocks: u32, threads: u32) -> Launch {
+        Launch::new(Dim::new_1d(blocks), Dim::new_1d(threads))
+    }
+
+    #[test]
+    fn global_copy_across_blocks() {
+        // out[g] = in[g] for 4 blocks of 8 threads.
+        let mut b = KernelBuilder::new("copy");
+        let src = b.param(0);
+        let dst = b.param(1);
+        let tid = b.read_special(Special::TidX);
+        let cta = b.read_special(Special::CtaIdX);
+        let ntid = b.read_special(Special::NTidX);
+        let g = b.imad(cta, ntid, tid);
+        let sa = b.iadd(src, g);
+        let da = b.iadd(dst, g);
+        let v = b.ld_global(sa, 0);
+        b.st_global(da, 0, v);
+        let prog = linearize(&b.finish());
+
+        let mut mem = DeviceMemory::new(64);
+        for i in 0..32 {
+            mem.global[i] = (i * i) as f32;
+        }
+        run_kernel(&prog, &launch_1d(4, 8), &[0, 32], &mut mem).unwrap();
+        for i in 0..32 {
+            assert_eq!(mem.global[32 + i], (i * i) as f32);
+        }
+    }
+
+    use gpu_ir::types::Special;
+
+    #[test]
+    fn shared_memory_reversal_with_barrier() {
+        // Each thread writes shared[tid] = in[tid]; after the barrier
+        // reads shared[N-1-tid].
+        let n = 16;
+        let mut b = KernelBuilder::new("rev");
+        let src = b.param(0);
+        let dst = b.param(1);
+        b.alloc_shared(n * 4);
+        let tid = b.read_special(Special::TidX);
+        let sa = b.iadd(src, tid);
+        let v = b.ld_global(sa, 0);
+        b.st_shared(tid, 0, v);
+        b.sync();
+        let ni = b.mov((n as i32) - 1);
+        let rev = b.isub(ni, tid);
+        let rv = b.ld_shared(rev, 0);
+        let da = b.iadd(dst, tid);
+        b.st_global(da, 0, rv);
+        let prog = linearize(&b.finish());
+
+        let mut mem = DeviceMemory::new(2 * n as usize);
+        for i in 0..n as usize {
+            mem.global[i] = i as f32;
+        }
+        run_kernel(&prog, &launch_1d(1, n), &[0, n as i32], &mut mem).unwrap();
+        for i in 0..n as usize {
+            assert_eq!(mem.global[n as usize + i], (n as usize - 1 - i) as f32);
+        }
+    }
+
+    #[test]
+    fn loop_counter_values_are_sequential() {
+        // out[i] = i via a loop writing global[counter].
+        let mut b = KernelBuilder::new("iota");
+        let dst = b.param(0);
+        b.for_loop(10, |b, i| {
+            let addr = b.iadd(dst, i);
+            let fi = b.i2f(i);
+            b.st_global(addr, 0, fi);
+        });
+        let prog = linearize(&b.finish());
+        let mut mem = DeviceMemory::new(10);
+        run_kernel(&prog, &launch_1d(1, 1), &[0], &mut mem).unwrap();
+        let got: Vec<f32> = mem.global.clone();
+        let want: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn nested_loops_execute_product_of_trips() {
+        let mut b = KernelBuilder::new("acc");
+        let dst = b.param(0);
+        let acc = b.mov(0.0f32);
+        b.repeat(7, |b| {
+            b.repeat(5, |b| {
+                b.fmad_acc(1.0f32, 1.0f32, acc);
+            });
+        });
+        b.st_global(dst, 0, acc);
+        let prog = linearize(&b.finish());
+        let mut mem = DeviceMemory::new(1);
+        run_kernel(&prog, &launch_1d(1, 1), &[0], &mut mem).unwrap();
+        assert_eq!(mem.global[0], 35.0);
+    }
+
+    #[test]
+    fn zero_trip_loop_skips_body() {
+        let mut b = KernelBuilder::new("z");
+        let dst = b.param(0);
+        b.repeat(0, |b| {
+            b.st_global(0i32, 0, 99.0f32);
+        });
+        b.st_global(dst, 0, 1.0f32);
+        let prog = linearize(&b.finish());
+        let mut mem = DeviceMemory::new(1);
+        run_kernel(&prog, &launch_1d(1, 1), &[0], &mut mem).unwrap();
+        assert_eq!(mem.global[0], 1.0);
+    }
+
+    #[test]
+    fn local_memory_spill_roundtrip() {
+        let mut b = KernelBuilder::new("spill");
+        let dst = b.param(0);
+        let x = b.mov(42.5f32);
+        b.st_local(0i32, 3, x);
+        let y = b.ld_local(0i32, 3);
+        b.st_global(dst, 0, y);
+        let prog = linearize(&b.finish());
+        let mut mem = DeviceMemory::new(1);
+        run_kernel(&prog, &launch_1d(1, 1), &[0], &mut mem).unwrap();
+        assert_eq!(mem.global[0], 42.5);
+    }
+
+    #[test]
+    fn constant_memory_reads() {
+        let mut b = KernelBuilder::new("c");
+        let dst = b.param(0);
+        let v = b.ld_const(2i32, 0);
+        b.st_global(dst, 0, v);
+        let prog = linearize(&b.finish());
+        let mut mem = DeviceMemory::with_constant(1, vec![1.0, 2.0, 3.0]);
+        run_kernel(&prog, &launch_1d(1, 1), &[0], &mut mem).unwrap();
+        assert_eq!(mem.global[0], 3.0);
+    }
+
+    #[test]
+    fn out_of_bounds_global_is_reported() {
+        let mut b = KernelBuilder::new("oob");
+        b.ld_global(100i32, 0);
+        let prog = linearize(&b.finish());
+        let mut mem = DeviceMemory::new(4);
+        let err = run_kernel(&prog, &launch_1d(1, 1), &[], &mut mem).unwrap_err();
+        assert!(matches!(err, SimError::OutOfBounds { space: "global", .. }));
+    }
+
+    #[test]
+    fn type_mismatch_is_reported() {
+        let mut b = KernelBuilder::new("tm");
+        let x = b.mov(1i32);
+        b.fadd(x, 1.0f32); // float add on integer register
+        let prog = linearize(&b.finish());
+        let mut mem = DeviceMemory::new(1);
+        let err = run_kernel(&prog, &launch_1d(1, 1), &[], &mut mem).unwrap_err();
+        assert!(matches!(err, SimError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn missing_param_is_reported() {
+        let mut b = KernelBuilder::new("mp");
+        let p = b.param(5);
+        b.st_global(p, 0, 0.0f32);
+        let prog = linearize(&b.finish());
+        let mut mem = DeviceMemory::new(1);
+        let err = run_kernel(&prog, &launch_1d(1, 1), &[0, 1], &mut mem).unwrap_err();
+        assert_eq!(err, SimError::MissingParam { index: 5 });
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let mut b = KernelBuilder::new("long");
+        b.repeat(1000, |b| {
+            b.mov(0i32);
+        });
+        let prog = linearize(&b.finish());
+        let mut mem = DeviceMemory::new(1);
+        let err =
+            run_kernel_with_budget(&prog, &launch_1d(1, 1), &[], &mut mem, 100).unwrap_err();
+        assert_eq!(err, SimError::StepBudgetExhausted);
+    }
+
+    #[test]
+    fn predicates_and_select() {
+        let mut b = KernelBuilder::new("sel");
+        let dst = b.param(0);
+        let p = b.set_lt(3i32, 5i32);
+        let v = b.selp(10.0f32, 20.0f32, p);
+        b.st_global(dst, 0, v);
+        let q = b.set_lt(5i32, 3i32);
+        let w = b.selp(10.0f32, 20.0f32, q);
+        b.st_global(dst, 1, w);
+        let prog = linearize(&b.finish());
+        let mut mem = DeviceMemory::new(2);
+        run_kernel(&prog, &launch_1d(1, 1), &[0], &mut mem).unwrap();
+        assert_eq!(mem.global, vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn integer_division_by_zero_yields_zero() {
+        let mut b = KernelBuilder::new("div0");
+        let dst = b.param(0);
+        let d = b.idiv(7i32, 0i32);
+        let r = b.irem(7i32, 0i32);
+        let s = b.iadd(d, r);
+        let f = b.i2f(s);
+        b.st_global(dst, 0, f);
+        let prog = linearize(&b.finish());
+        let mut mem = DeviceMemory::new(1);
+        run_kernel(&prog, &launch_1d(1, 1), &[0], &mut mem).unwrap();
+        assert_eq!(mem.global[0], 0.0);
+    }
+
+    #[test]
+    fn two_dimensional_geometry() {
+        // out[ty*4+tx] = ctaid.y*1000 + tid.y*4 + tid.x over a 4x2 block.
+        let mut b = KernelBuilder::new("geom");
+        let dst = b.param(0);
+        let tx = b.read_special(Special::TidX);
+        let ty = b.read_special(Special::TidY);
+        let idx = b.imad(ty, 4i32, tx);
+        let addr = b.iadd(dst, idx);
+        let f = b.i2f(idx);
+        b.st_global(addr, 0, f);
+        let prog = linearize(&b.finish());
+        let mut mem = DeviceMemory::new(8);
+        let launch = Launch::new(Dim::new_1d(1), Dim::new_2d(4, 2));
+        run_kernel(&prog, &launch, &[0], &mut mem).unwrap();
+        let want: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        assert_eq!(mem.global, want);
+    }
+
+    #[test]
+    fn sfu_ops_compute() {
+        let mut b = KernelBuilder::new("sfu");
+        let dst = b.param(0);
+        let r = b.rsqrt(4.0f32);
+        b.st_global(dst, 0, r);
+        let c = b.cos(0.0f32);
+        b.st_global(dst, 1, c);
+        let prog = linearize(&b.finish());
+        let mut mem = DeviceMemory::new(2);
+        run_kernel(&prog, &launch_1d(1, 1), &[0], &mut mem).unwrap();
+        assert!((mem.global[0] - 0.5).abs() < 1e-6);
+        assert!((mem.global[1] - 1.0).abs() < 1e-6);
+    }
+}

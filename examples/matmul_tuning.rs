@@ -1,0 +1,63 @@
+//! Full tuning workflow on matrix multiplication: exhaustively explore
+//! the 96-configuration space, then repeat the search with the paper's
+//! Pareto pruning and compare cost and outcome.
+//!
+//! Run with: `cargo run --release --example matmul_tuning`
+
+use gpu_autotune::arch::MachineSpec;
+use gpu_autotune::kernels::matmul::MatMul;
+use gpu_autotune::kernels::App;
+use gpu_autotune::optspace::report::{ascii_scatter, fmt_ms};
+use gpu_autotune::optspace::pareto::pareto_indices;
+use gpu_autotune::optspace::tuner::{ExhaustiveSearch, PrunedSearch};
+
+fn main() {
+    let spec = MachineSpec::geforce_8800_gtx();
+    let mm = MatMul::reduced_problem();
+    let candidates = mm.candidates();
+
+    println!("space: {} configurations", candidates.len());
+
+    let exhaustive = ExhaustiveSearch.run(&candidates, &spec);
+    let best = exhaustive.best.expect("valid space");
+    println!(
+        "exhaustive search: timed {} configs, total simulated time {}, best = {} ({})",
+        exhaustive.evaluated_count(),
+        fmt_ms(exhaustive.evaluation_time_ms()),
+        candidates[best].label,
+        fmt_ms(exhaustive.best_time_ms().expect("best exists")),
+    );
+
+    let pruned = PrunedSearch::default().run(&candidates, &spec);
+    let pbest = pruned.best.expect("pareto subset is non-empty");
+    println!(
+        "pruned search:     timed {} configs ({}% of the space untouched), best = {} ({})",
+        pruned.evaluated_count(),
+        (pruned.space_reduction() * 100.0).round(),
+        candidates[pbest].label,
+        fmt_ms(pruned.best_time_ms().expect("best exists")),
+    );
+    println!(
+        "same optimum found: {}",
+        if pruned.best == exhaustive.best { "yes" } else { "no (see EXPERIMENTS.md)" }
+    );
+
+    // Show the metric plane with the Pareto curve, Figure 6(a)-style
+    // (bandwidth-bound 8x8 points screened away, section 5.3).
+    let idx: Vec<usize> = pruned
+        .statics
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| e.as_ref().map(|e| (i, e)))
+        .filter(|(_, e)| !e.bandwidth.is_bandwidth_bound())
+        .map(|(i, _)| i)
+        .collect();
+    let points: Vec<_> = idx
+        .iter()
+        .map(|&i| pruned.statics[i].as_ref().expect("valid").metrics.point())
+        .collect();
+    let curve = pareto_indices(&points);
+    let optimum = idx.iter().position(|&i| Some(i) == exhaustive.best);
+    println!("\nefficiency-utilization plane ('*' Pareto, 'O' optimum):");
+    println!("{}", ascii_scatter(&points, &curve, optimum, 60, 18));
+}

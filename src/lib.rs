@@ -1,0 +1,40 @@
+//! `gpu-autotune` — a from-scratch Rust reproduction of Ryoo et al.,
+//! *Program Optimization Space Pruning for a Multithreaded GPU* (CGO 2008).
+//!
+//! This facade crate re-exports the whole workspace so examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`arch`] — the GeForce 8800 GTX machine model (Tables 1 and 2,
+//!   occupancy calculation).
+//! * [`ir`] — a PTX-like kernel intermediate representation with the
+//!   static analyses the paper's metrics consume (dynamic instruction
+//!   count, blocking-region count, register pressure).
+//! * [`passes`] — the optimization transformations of section 3.1 (loop
+//!   unrolling, prefetching, explicit register spilling, …).
+//! * [`sim`] — a functional interpreter (real data, real barriers) and a
+//!   cycle-approximate warp-level timing simulator standing in for the
+//!   paper's wall-clock measurements.
+//! * [`kernels`] — parameterized generators for the paper's four
+//!   applications (matrix multiplication, CP, SAD, MRI-FHD) and their
+//!   single-thread CPU references.
+//! * [`optspace`] — the paper's contribution: the Efficiency and
+//!   Utilization metrics (Equations 1–2), Pareto-optimal pruning of the
+//!   configuration space, and the tuner that compares exhaustive, pruned,
+//!   and random search.
+//!
+//! # Quick start
+//!
+//! ```
+//! use gpu_autotune::kernels::matmul::MatMul;
+//!
+//! // Enumerate the paper's matrix-multiplication configuration grid.
+//! let app = MatMul::paper_problem();
+//! assert_eq!(app.space().len(), 96);
+//! ```
+
+pub use gpu_arch as arch;
+pub use gpu_ir as ir;
+pub use gpu_kernels as kernels;
+pub use gpu_passes as passes;
+pub use gpu_sim as sim;
+pub use optspace;

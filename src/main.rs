@@ -1,0 +1,409 @@
+//! `gpu-autotune` — command-line front end.
+//!
+//! ```text
+//! gpu-autotune spaces                       list the apps and their spaces
+//! gpu-autotune devices                      list the machine models
+//! gpu-autotune inspect <app> <index>        static profile of one config
+//! gpu-autotune tune <app> [opts]            search a configuration space
+//!     --strategy exhaustive|pareto|random   (default pareto)
+//!     --budget N                            random-search budget (default 10)
+//!     --device g80|gt200                    (default g80)
+//!     --no-screen                           disable the bandwidth screen
+//! gpu-autotune parse <file.gik>             analyse a textual kernel
+//! ```
+
+use std::process::ExitCode;
+
+use gpu_autotune::arch::MachineSpec;
+use gpu_autotune::kernels::{cp::Cp, matmul::MatMul, mri_fhd::MriFhd, sad::Sad, App};
+use gpu_autotune::optspace::candidate::Candidate;
+use gpu_autotune::optspace::report::{fmt_ms, table};
+use gpu_autotune::optspace::tuner::{ExhaustiveSearch, PrunedSearch, RandomSearch, SearchReport};
+
+const USAGE: &str = "\
+usage: gpu-autotune <command> [args]
+
+commands:
+  spaces                      list applications and configuration-space sizes
+  devices                     list machine models
+  inspect <app> <index>       static profile + PTX view of one configuration
+  tune <app> [--strategy exhaustive|pareto|random] [--budget N]
+             [--device g80|gt200] [--no-screen]
+  parse <file>                parse a textual kernel and print its analyses
+  trace <app> <index> [N]     trace the first N instructions (default 20) of
+                              one thread of a configuration, on real data
+  occupancy <regs> <smem>     the occupancy-calculator table for a kernel
+                              using <regs> registers/thread and <smem> B/block
+
+apps: matmul | cp | sad | mri";
+
+fn app_by_name(name: &str) -> Option<Box<dyn App>> {
+    match name {
+        "matmul" => Some(Box::new(MatMul::reduced_problem())),
+        "cp" => Some(Box::new(Cp::paper_problem())),
+        "sad" => Some(Box::new(Sad::paper_problem())),
+        "mri" => Some(Box::new(MriFhd::paper_problem())),
+        _ => None,
+    }
+}
+
+fn device_by_name(name: &str) -> Option<MachineSpec> {
+    match name {
+        "g80" => Some(MachineSpec::geforce_8800_gtx()),
+        "gt200" => Some(MachineSpec::gtx_280_like()),
+        _ => None,
+    }
+}
+
+fn cmd_spaces() -> ExitCode {
+    let spec = MachineSpec::geforce_8800_gtx();
+    let mut rows = vec![vec![
+        "app".to_string(),
+        "name".to_string(),
+        "configs".to_string(),
+        "valid".to_string(),
+    ]];
+    for key in ["matmul", "cp", "sad", "mri"] {
+        let app = app_by_name(key).expect("known key");
+        let cands = app.candidates();
+        let valid = cands.iter().filter(|c| c.evaluate(&spec).is_ok()).count();
+        rows.push(vec![
+            key.to_string(),
+            app.name().to_string(),
+            cands.len().to_string(),
+            valid.to_string(),
+        ]);
+    }
+    println!("{}", table(&rows));
+    ExitCode::SUCCESS
+}
+
+fn cmd_devices() -> ExitCode {
+    let mut rows = vec![vec![
+        "device".to_string(),
+        "SMs".to_string(),
+        "regs/SM".to_string(),
+        "threads/SM".to_string(),
+        "bandwidth".to_string(),
+        "peak GFLOPS".to_string(),
+    ]];
+    for (key, spec) in
+        [("g80", MachineSpec::geforce_8800_gtx()), ("gt200", MachineSpec::gtx_280_like())]
+    {
+        rows.push(vec![
+            key.to_string(),
+            spec.num_sms.to_string(),
+            spec.registers_per_sm.to_string(),
+            spec.max_threads_per_sm.to_string(),
+            format!("{:.1} GB/s", spec.global_bandwidth_bytes_per_sec / 1e9),
+            format!("{:.1}", spec.peak_gflops()),
+        ]);
+    }
+    println!("{}", table(&rows));
+    ExitCode::SUCCESS
+}
+
+fn print_candidate(c: &Candidate, spec: &MachineSpec) {
+    println!("configuration: {}", c.label);
+    match c.evaluate(spec) {
+        Ok(e) => {
+            let p = &e.kernel_profile;
+            println!("  dynamic instructions: {}", p.profile.instr);
+            println!("  blocking regions:     {}", p.profile.regions);
+            println!("  registers/thread:     {}", p.usage.regs_per_thread);
+            println!("  shared mem/block:     {} B", p.usage.smem_per_block);
+            println!("  blocks per SM:        {}", p.occupancy.blocks_per_sm);
+            println!("  Efficiency:           {:.3e}", e.metrics.efficiency);
+            println!("  Utilization:          {:.1}", e.metrics.utilization);
+            println!(
+                "  bandwidth pressure:   {:.2}{}",
+                e.bandwidth.pressure(),
+                if e.bandwidth.is_bandwidth_bound() { " (BOUND)" } else { "" }
+            );
+        }
+        Err(err) => println!("  INVALID EXECUTABLE: {err}"),
+    }
+}
+
+fn cmd_inspect(args: &[String]) -> ExitCode {
+    let (Some(app_name), Some(index)) = (args.first(), args.get(1)) else {
+        eprintln!("inspect needs: <app> <index>");
+        return ExitCode::FAILURE;
+    };
+    let Some(app) = app_by_name(app_name) else {
+        eprintln!("unknown app `{app_name}` (matmul|cp|sad|mri)");
+        return ExitCode::FAILURE;
+    };
+    let cands = app.candidates();
+    let Ok(i) = index.parse::<usize>() else {
+        eprintln!("bad index `{index}`");
+        return ExitCode::FAILURE;
+    };
+    let Some(c) = cands.get(i) else {
+        eprintln!("index {i} out of range (space has {} configurations)", cands.len());
+        return ExitCode::FAILURE;
+    };
+    let spec = MachineSpec::geforce_8800_gtx();
+    print_candidate(c, &spec);
+    println!("\n--- PTX view (head) ---");
+    for line in gpu_autotune::ir::print::to_ptx(&c.kernel).lines().take(30) {
+        println!("{line}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_search(cands: &[Candidate], r: &SearchReport) {
+    println!(
+        "strategy {}: {} of {} valid configurations timed ({:.0}% reduction), \
+         simulated evaluation time {}",
+        r.strategy,
+        r.evaluated_count(),
+        r.valid_count(),
+        r.space_reduction() * 100.0,
+        fmt_ms(r.evaluation_time_ms()),
+    );
+    match r.best {
+        Some(best) => println!(
+            "best configuration: #{best} {} ({})",
+            cands[best].label,
+            fmt_ms(r.best_time_ms().expect("best implies time")),
+        ),
+        None => println!("no configuration could be timed"),
+    }
+}
+
+fn cmd_tune(args: &[String]) -> ExitCode {
+    let Some(app_name) = args.first() else {
+        eprintln!("tune needs an app (matmul|cp|sad|mri)");
+        return ExitCode::FAILURE;
+    };
+    let Some(app) = app_by_name(app_name) else {
+        eprintln!("unknown app `{app_name}` (matmul|cp|sad|mri)");
+        return ExitCode::FAILURE;
+    };
+    let mut strategy = "pareto".to_string();
+    let mut budget = 10usize;
+    let mut device = MachineSpec::geforce_8800_gtx();
+    let mut screen = true;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--strategy" => match it.next() {
+                Some(s) => strategy = s.clone(),
+                None => {
+                    eprintln!("--strategy needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--budget" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(b) => budget = b,
+                None => {
+                    eprintln!("--budget needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--device" => match it.next().and_then(|s| device_by_name(s)) {
+                Some(d) => device = d,
+                None => {
+                    eprintln!("--device needs g80|gt200");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--no-screen" => screen = false,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let cands = app.candidates();
+    let report = match strategy.as_str() {
+        "exhaustive" => ExhaustiveSearch.run(&cands, &device),
+        "pareto" => {
+            PrunedSearch { screen_bandwidth: screen, ..Default::default() }.run(&cands, &device)
+        }
+        "random" => RandomSearch { budget, seed: 0 }.run(&cands, &device),
+        other => {
+            eprintln!("unknown strategy `{other}` (exhaustive|pareto|random)");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_search(&cands, &report);
+    ExitCode::SUCCESS
+}
+
+fn cmd_parse(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("parse needs a file path");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match gpu_autotune::ir::text::parse(&text) {
+        Ok(kernel) => {
+            let counts = gpu_autotune::ir::analysis::dynamic_counts(&kernel);
+            let pressure = gpu_autotune::ir::analysis::register_pressure(&kernel);
+            println!("kernel `{}` parsed:", kernel.name);
+            println!("  static instructions:  {}", kernel.static_instr_count());
+            println!("  dynamic instructions: {}", counts.instrs);
+            println!("  blocking regions:     {}", counts.regions());
+            println!("  registers/thread:     {}", pressure.regs_per_thread);
+            println!("  shared mem/block:     {} B", kernel.smem_bytes);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_trace(args: &[String]) -> ExitCode {
+    let (Some(app_name), Some(index)) = (args.first(), args.get(1)) else {
+        eprintln!("trace needs: <app> <index> [N]");
+        return ExitCode::FAILURE;
+    };
+    let limit: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20);
+    // Trace on the functional-test problem sizes so the run is fast and
+    // real data flows through the kernel.
+    enum Traced {
+        M(gpu_autotune::kernels::matmul::MatMul),
+        C(gpu_autotune::kernels::cp::Cp),
+        S(gpu_autotune::kernels::sad::Sad),
+        R(gpu_autotune::kernels::mri_fhd::MriFhd),
+    }
+    let app = match app_name.as_str() {
+        "matmul" => Traced::M(gpu_autotune::kernels::matmul::MatMul::test_problem()),
+        "cp" => Traced::C(gpu_autotune::kernels::cp::Cp::test_problem()),
+        "sad" => Traced::S(gpu_autotune::kernels::sad::Sad::test_problem()),
+        "mri" => Traced::R(gpu_autotune::kernels::mri_fhd::MriFhd::test_problem()),
+        other => {
+            eprintln!("unknown app `{other}` (matmul|cp|sad|mri)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Ok(i) = index.parse::<usize>() else {
+        eprintln!("bad index `{index}`");
+        return ExitCode::FAILURE;
+    };
+    let (kernel, launch, mut mem, params) = match &app {
+        Traced::M(a) => {
+            let space = a.space();
+            let Some(cfg) = space.get(i) else {
+                eprintln!("index {i} out of range ({} configs)", space.len());
+                return ExitCode::FAILURE;
+            };
+            let (mem, params) = a.setup(1);
+            (a.generate(cfg), a.launch(cfg), mem, params)
+        }
+        Traced::C(a) => {
+            let space = a.space();
+            let Some(cfg) = space.get(i) else {
+                eprintln!("index {i} out of range ({} configs)", space.len());
+                return ExitCode::FAILURE;
+            };
+            let (mem, params) = a.setup(1);
+            (a.generate(cfg), a.launch(cfg), mem, params)
+        }
+        Traced::S(a) => {
+            let space = a.space();
+            let Some(cfg) = space.get(i) else {
+                eprintln!("index {i} out of range ({} configs)", space.len());
+                return ExitCode::FAILURE;
+            };
+            let (mem, params) = a.setup(1);
+            (a.generate(cfg), a.launch(cfg), mem, params)
+        }
+        Traced::R(a) => {
+            let space = a.space();
+            let Some(cfg) = space.get(i) else {
+                eprintln!("index {i} out of range ({} configs)", space.len());
+                return ExitCode::FAILURE;
+            };
+            let (mem, mut params) = a.setup(1);
+            params.push(0); // first invocation's constant offset
+            (a.generate(cfg), a.launch(cfg), mem, params)
+        }
+    };
+    let prog = gpu_autotune::ir::linear::linearize(&kernel);
+    match gpu_autotune::sim::trace::trace_kernel(
+        &prog, &launch, &params, &mut mem, (0, 0), (0, 0), limit,
+    ) {
+        Ok(t) => {
+            println!("{}", t.head(limit));
+            if t.truncated {
+                println!("... ({} instructions total)", t.summary.retired);
+            }
+            let s = &t.summary;
+            println!(
+                "
+retired {} instrs, {} barriers, loads g/s/c/t/l = {:?}, stores = {:?}",
+                s.retired, s.barriers, s.loads, s.stores
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_occupancy(args: &[String]) -> ExitCode {
+    let (Some(regs), Some(smem)) = (
+        args.first().and_then(|s| s.parse::<u32>().ok()),
+        args.get(1).and_then(|s| s.parse::<u32>().ok()),
+    ) else {
+        eprintln!("occupancy needs: <regs-per-thread> <smem-bytes-per-block>");
+        return ExitCode::FAILURE;
+    };
+    let spec = MachineSpec::geforce_8800_gtx();
+    let mut rows = vec![vec![
+        "threads/block".to_string(),
+        "blocks/SM".to_string(),
+        "warps/SM".to_string(),
+        "occupancy".to_string(),
+        "limited by".to_string(),
+    ]];
+    for r in gpu_autotune::arch::occupancy_table(&spec, regs, smem) {
+        rows.push(vec![
+            r.threads_per_block.to_string(),
+            r.blocks_per_sm.to_string(),
+            r.warps_per_sm.to_string(),
+            format!("{:.0}%", r.occupancy * 100.0),
+            match r.limited_by {
+                Some(f) => format!("{f:?}"),
+                None => "INVALID".to_string(),
+            },
+        ]);
+    }
+    println!("{}", table(&rows));
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("spaces") => cmd_spaces(),
+        Some("devices") => cmd_devices(),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("tune") => cmd_tune(&args[1..]),
+        Some("parse") => cmd_parse(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("occupancy") => cmd_occupancy(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Functional ground truth: generated kernels, in any configuration,
+//! must compute bit-identical results to the single-thread CPU
+//! references when executed on the interpreter.
+//!
+//! The always-on tests sample each space densely enough to cover every
+//! knob value; the `#[ignore]`d tests sweep entire spaces
+//! (`cargo test --release -- --ignored`).
+
+use gpu_autotune::kernels::cp::Cp;
+use gpu_autotune::kernels::matmul::MatMul;
+use gpu_autotune::kernels::mri_fhd::MriFhd;
+use gpu_autotune::kernels::sad::Sad;
+
+#[test]
+fn matmul_every_fourth_config() {
+    let mm = MatMul::test_problem();
+    let (mem0, params) = mm.setup(101);
+    let reference = mm.cpu_reference(&mem0);
+    for (i, cfg) in mm.space().iter().enumerate() {
+        if i % 4 != 0 {
+            continue;
+        }
+        let mut mem = mem0.clone();
+        let got = mm.run_config(cfg, &mut mem, &params).expect("runs");
+        assert_eq!(got, reference, "matmul config {cfg}");
+    }
+}
+
+#[test]
+fn cp_every_fourth_config() {
+    let cp = Cp::test_problem();
+    let (mem0, params) = cp.setup(102);
+    let reference = cp.cpu_reference(&mem0);
+    for (i, cfg) in cp.space().iter().enumerate() {
+        if i % 4 != 1 {
+            continue;
+        }
+        let mut mem = mem0.clone();
+        let got = cp.run_config(cfg, &mut mem, &params).expect("runs");
+        assert_eq!(got, reference, "cp config {cfg}");
+    }
+}
+
+#[test]
+fn sad_knob_extremes() {
+    let sad = Sad::test_problem();
+    let (mem0, params) = sad.setup(103);
+    let reference = sad.cpu_reference(&mem0);
+    let space = sad.space();
+    // First, last, and a few interior configurations.
+    let picks: Vec<usize> =
+        vec![0, space.len() / 3, 2 * space.len() / 3, space.len() - 1];
+    for i in picks {
+        let cfg = &space[i];
+        let mut mem = mem0.clone();
+        let got = sad.run_config(cfg, &mut mem, &params).expect("runs");
+        assert_eq!(got, reference, "sad config {cfg}");
+    }
+}
+
+#[test]
+fn mri_knob_extremes() {
+    let mri = MriFhd::test_problem();
+    let (mem0, params) = mri.setup(104);
+    let reference = mri.cpu_reference(&mem0);
+    let space = mri.space();
+    let picks: Vec<usize> = vec![0, space.len() / 2, space.len() - 1];
+    for i in picks {
+        let cfg = &space[i];
+        let mut mem = mem0.clone();
+        let got = mri.run_config(cfg, &mut mem, &params).expect("runs");
+        assert_eq!(got, reference, "mri config {cfg}");
+    }
+}
+
+#[test]
+#[ignore = "full sweep; run with --release -- --ignored"]
+fn matmul_all_configs() {
+    let mm = MatMul::test_problem();
+    let (mem0, params) = mm.setup(201);
+    let reference = mm.cpu_reference(&mem0);
+    for cfg in mm.space() {
+        let mut mem = mem0.clone();
+        let got = mm.run_config(&cfg, &mut mem, &params).expect("runs");
+        assert_eq!(got, reference, "matmul config {cfg}");
+    }
+}
+
+#[test]
+#[ignore = "full sweep; run with --release -- --ignored"]
+fn cp_all_configs() {
+    let cp = Cp::test_problem();
+    let (mem0, params) = cp.setup(202);
+    let reference = cp.cpu_reference(&mem0);
+    for cfg in cp.space() {
+        let mut mem = mem0.clone();
+        let got = cp.run_config(&cfg, &mut mem, &params).expect("runs");
+        assert_eq!(got, reference, "cp config {cfg}");
+    }
+}
+
+#[test]
+#[ignore = "full sweep; run with --release -- --ignored"]
+fn sad_all_configs() {
+    let sad = Sad::test_problem();
+    let (mem0, params) = sad.setup(203);
+    let reference = sad.cpu_reference(&mem0);
+    for cfg in sad.space() {
+        let mut mem = mem0.clone();
+        let got = sad.run_config(&cfg, &mut mem, &params).expect("runs");
+        assert_eq!(got, reference, "sad config {cfg}");
+    }
+}
+
+#[test]
+#[ignore = "full sweep; run with --release -- --ignored"]
+fn mri_all_configs() {
+    let mri = MriFhd::test_problem();
+    let (mem0, params) = mri.setup(204);
+    let reference = mri.cpu_reference(&mem0);
+    for cfg in mri.space() {
+        let mut mem = mem0.clone();
+        let got = mri.run_config(&cfg, &mut mem, &params).expect("runs");
+        assert_eq!(got, reference, "mri config {cfg}");
+    }
+}

@@ -1,0 +1,81 @@
+//! The paper's central claim (section 5.2, Table 4): pruning the space
+//! to the Pareto-optimal subset of the (Efficiency, Utilization) plot
+//! never loses the configuration that exhaustive evaluation would find.
+//!
+//! The always-on tests run problem sizes scaled for debug builds; the
+//! `#[ignore]`d tests run the full bench-scale spaces (run them with
+//! `cargo test --release -- --ignored`).
+
+use gpu_autotune::arch::MachineSpec;
+use gpu_autotune::kernels::{cp::Cp, matmul::MatMul, mri_fhd::MriFhd, sad::Sad, App};
+use gpu_autotune::optspace::tuner::{ExhaustiveSearch, PrunedSearch};
+
+fn assert_pruned_finds_optimum(app: &dyn App) {
+    let spec = MachineSpec::geforce_8800_gtx();
+    let cands = app.candidates();
+    let exhaustive = ExhaustiveSearch.run(&cands, &spec);
+    let pruned = PrunedSearch::default().run(&cands, &spec);
+
+    let best = exhaustive.best_time_ms().expect("space has valid configs");
+    let pruned_best = pruned.best_time_ms().expect("pareto subset non-empty");
+    assert!(
+        (pruned_best / best - 1.0).abs() < 1e-9,
+        "{}: pruned best {pruned_best} ms != exhaustive best {best} ms \
+         (pruned evaluated {} of {})",
+        app.name(),
+        pruned.evaluated_count(),
+        exhaustive.evaluated_count(),
+    );
+    assert!(
+        pruned.evaluated_count() < exhaustive.evaluated_count(),
+        "{}: pruning must actually prune",
+        app.name()
+    );
+}
+
+#[test]
+fn matmul_reduced() {
+    assert_pruned_finds_optimum(&MatMul::new(256));
+}
+
+#[test]
+fn cp_reduced() {
+    assert_pruned_finds_optimum(&Cp::new(512, 64, 16));
+}
+
+#[test]
+fn sad_reduced() {
+    assert_pruned_finds_optimum(&Sad::test_problem());
+}
+
+#[test]
+fn mri_reduced() {
+    // Voxel count keeps every block size supplied with at least a full
+    // wave of blocks: the metrics assume large grids (the paper's
+    // "large, compute-intensive applications").
+    assert_pruned_finds_optimum(&MriFhd::new(8192, 1024));
+}
+
+#[test]
+#[ignore = "bench-scale; run with --release -- --ignored"]
+fn matmul_bench_scale() {
+    assert_pruned_finds_optimum(&MatMul::reduced_problem());
+}
+
+#[test]
+#[ignore = "bench-scale; run with --release -- --ignored"]
+fn cp_bench_scale() {
+    assert_pruned_finds_optimum(&Cp::paper_problem());
+}
+
+#[test]
+#[ignore = "bench-scale; run with --release -- --ignored"]
+fn sad_bench_scale() {
+    assert_pruned_finds_optimum(&Sad::paper_problem());
+}
+
+#[test]
+#[ignore = "bench-scale; run with --release -- --ignored"]
+fn mri_bench_scale() {
+    assert_pruned_finds_optimum(&MriFhd::paper_problem());
+}

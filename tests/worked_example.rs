@@ -1,0 +1,68 @@
+//! The section 4 worked example, end to end through the public API:
+//! the completely unrolled 16×16 matrix-multiplication kernel on 4k×4k
+//! matrices.
+//!
+//! Paper figures: Instr = 15150, Regions = 769, 13 registers, 2088 B
+//! shared memory, B_SM = 2, W_TB = 8, Threads = 2^24,
+//! Efficiency = 3.93e-12, Utilization ≈ 227.
+//!
+//! Our register model reports 12 (one below the CUDA runtime's 13) and
+//! counts 15126 dynamic instructions (0.16 % under the paper's 15150,
+//! which includes a slightly longer ABI prologue); the structural
+//! numbers — regions, shared memory, occupancy — are exact.
+
+use gpu_autotune::arch::MachineSpec;
+use gpu_autotune::kernels::matmul::{MatMul, MatMulConfig};
+
+#[test]
+fn section_4_worked_example() {
+    let spec = MachineSpec::geforce_8800_gtx();
+    let mm = MatMul::paper_problem();
+    let cfg = MatMulConfig { tile: 16, rect: 1, unroll: 0, prefetch: false, spill: false };
+    let eval = mm.candidate(&cfg).evaluate(&spec).expect("launchable");
+
+    let p = &eval.kernel_profile;
+    // Exact structural figures.
+    assert_eq!(p.profile.regions, 769);
+    assert_eq!(p.usage.smem_per_block, 2088);
+    assert_eq!(p.occupancy.blocks_per_sm, 2);
+    assert_eq!(p.profile.warps_per_block, 8);
+    assert_eq!(p.profile.total_threads, 1 << 24);
+
+    // Near-exact counts (see module docs).
+    assert_eq!(p.profile.instr, 15_126);
+    assert_eq!(p.usage.regs_per_thread, 12);
+
+    // Metrics within 1.5 % of the paper's quoted values.
+    assert!(
+        (eval.metrics.efficiency / 3.93e-12 - 1.0).abs() < 0.015,
+        "efficiency = {}",
+        eval.metrics.efficiency
+    );
+    assert!(
+        (eval.metrics.utilization / 227.0 - 1.0).abs() < 0.015,
+        "utilization = {}",
+        eval.metrics.utilization
+    );
+
+    // Section 5.3 / Figure 6(a): the 16x16 configurations are not
+    // bandwidth-bound, the 8x8 ones are.
+    assert!(!eval.bandwidth.is_bandwidth_bound());
+    let cfg8 = MatMulConfig { tile: 8, ..cfg };
+    let eval8 = mm.candidate(&cfg8).evaluate(&spec).expect("launchable");
+    assert!(eval8.bandwidth.is_bandwidth_bound());
+}
+
+#[test]
+fn section_2_2_occupancy_example_through_public_api() {
+    use gpu_autotune::arch::ResourceUsage;
+    let spec = MachineSpec::geforce_8800_gtx();
+    let three = spec.occupancy(&ResourceUsage::new(256, 10, 4096)).expect("valid");
+    assert_eq!(three.blocks_per_sm, 3);
+    let two = spec.occupancy(&ResourceUsage::new(256, 11, 4096)).expect("valid");
+    assert_eq!(two.blocks_per_sm, 2);
+    // "an optimization that increases each thread block's shared memory
+    // usage by 1KB ... does not decrease the number of blocks per SM"
+    let still_three = spec.occupancy(&ResourceUsage::new(256, 10, 5120)).expect("valid");
+    assert_eq!(still_three.blocks_per_sm, 3);
+}
