@@ -43,10 +43,9 @@ impl fmt::Display for LaunchError {
             LaunchError::BlockTooLarge { threads, limit } => {
                 write!(f, "{threads} threads per block exceeds device limit of {limit}")
             }
-            LaunchError::RegistersExhausted { required, available } => write!(
-                f,
-                "one block needs {required} registers but an SM has only {available}"
-            ),
+            LaunchError::RegistersExhausted { required, available } => {
+                write!(f, "one block needs {required} registers but an SM has only {available}")
+            }
             LaunchError::SharedMemExhausted { required, available } => write!(
                 f,
                 "one block needs {required} bytes of shared memory but an SM has only {available}"

@@ -78,10 +78,7 @@ impl MemorySpace {
     /// texture) operation. These are the "blocking instructions" of the
     /// paper's Regions definition (section 4) together with barriers.
     pub fn is_long_latency(self) -> bool {
-        matches!(
-            self,
-            MemorySpace::Global | MemorySpace::Local | MemorySpace::Texture
-        )
+        matches!(self, MemorySpace::Global | MemorySpace::Local | MemorySpace::Texture)
     }
 }
 

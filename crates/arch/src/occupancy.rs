@@ -90,14 +90,8 @@ impl Occupancy {
         }
 
         let by_threads = spec.max_threads_per_sm / usage.threads_per_block;
-        let by_regs = spec
-            .registers_per_sm
-            .checked_div(usage.regs_per_block())
-            .unwrap_or(u32::MAX);
-        let by_smem = spec
-            .shared_mem_per_sm
-            .checked_div(usage.smem_per_block)
-            .unwrap_or(u32::MAX);
+        let by_regs = spec.registers_per_sm.checked_div(usage.regs_per_block()).unwrap_or(u32::MAX);
+        let by_smem = spec.shared_mem_per_sm.checked_div(usage.smem_per_block).unwrap_or(u32::MAX);
         let candidates = [
             (spec.max_blocks_per_sm, LimitingFactor::BlockSlots),
             (by_threads, LimitingFactor::Threads),
@@ -106,10 +100,8 @@ impl Occupancy {
         ];
         // min_by_key keeps the first minimum, so ties report the earlier
         // (coarser) factor; tests pin this ordering.
-        let (blocks, limited_by) = candidates
-            .into_iter()
-            .min_by_key(|&(n, _)| n)
-            .expect("candidate list is non-empty");
+        let (blocks, limited_by) =
+            candidates.into_iter().min_by_key(|&(n, _)| n).expect("candidate list is non-empty");
         debug_assert!(blocks >= 1, "single-block fit was checked above");
 
         Ok(Occupancy {

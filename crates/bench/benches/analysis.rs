@@ -34,9 +34,7 @@ fn bench_analyses(c: &mut Criterion) {
     g.bench_function("profile_kernel (full -ptx/-cubin analog)", |b| {
         b.iter(|| black_box(profile_kernel(black_box(&kernel), &launch, &spec)))
     });
-    g.bench_function("linearize", |b| {
-        b.iter(|| black_box(linearize(black_box(&kernel))))
-    });
+    g.bench_function("linearize", |b| b.iter(|| black_box(linearize(black_box(&kernel)))));
     g.bench_function("generate (incl. pass pipeline)", |b| {
         b.iter(|| black_box(mm.generate(black_box(&cfg))))
     });
@@ -47,9 +45,8 @@ fn bench_pareto(c: &mut Criterion) {
     let mut g = c.benchmark_group("pareto");
     for n in [100usize, 1_000, 10_000] {
         let mut rng = StdRng::seed_from_u64(7);
-        let pts: Vec<Point> = (0..n)
-            .map(|_| Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
-            .collect();
+        let pts: Vec<Point> =
+            (0..n).map(|_| Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0))).collect();
         g.bench_with_input(BenchmarkId::new("pareto_indices", n), &pts, |b, pts| {
             b.iter(|| black_box(pareto_indices(black_box(pts))))
         });

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use gpu_arch::MachineSpec;
 use gpu_kernels::matmul::MatMul;
 use gpu_kernels::App;
-use optspace::tuner::{ExhaustiveSearch, PrunedSearch};
+use optspace::tuner::{ExhaustiveSearch, PrunedSearch, SearchStrategy};
 use std::hint::black_box;
 
 fn bench_search(c: &mut Criterion) {

@@ -23,9 +23,7 @@ fn bench_timing(c: &mut Criterion) {
     let prog = linearize(&cand.kernel);
     g.bench_function("matmul 512 / 16x16 / complete unroll", |b| {
         b.iter(|| {
-            black_box(
-                simulate(&prog, &cand.launch, &e.kernel_profile.usage, &spec).expect("valid"),
-            )
+            black_box(simulate(&prog, &cand.launch, &e.kernel_profile.usage, &spec).expect("valid"))
         })
     });
 
@@ -37,8 +35,7 @@ fn bench_timing(c: &mut Criterion) {
     g.bench_function("cp 512x512 / 128 threads / tiling 4", |b| {
         b.iter(|| {
             black_box(
-                simulate(&cprog, &ccand.launch, &ce.kernel_profile.usage, &spec)
-                    .expect("valid"),
+                simulate(&cprog, &ccand.launch, &ce.kernel_profile.usage, &spec).expect("valid"),
             )
         })
     });

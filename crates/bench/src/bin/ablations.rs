@@ -10,12 +10,15 @@
 //!   bandwidth screen.
 
 use gpu_arch::MachineSpec;
+use optspace::engine::EvalEngine;
 use optspace::metrics::MetricsOptions;
 use optspace::report::table;
-use optspace::tuner::{ExhaustiveSearch, PrunedSearch, RandomSearch};
-use optspace_bench::suite;
+use optspace::tuner::{ExhaustiveSearch, PrunedSearch, RandomSearch, SearchStrategy};
+use optspace_bench::{jobs_from_args, suite};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine = EvalEngine::with_jobs(jobs_from_args(&args));
     let spec = MachineSpec::geforce_8800_gtx();
     let mut rows = vec![vec![
         "Kernel".to_string(),
@@ -29,33 +32,36 @@ fn main() {
 
     for app in suite() {
         let cands = app.candidates();
-        let exhaustive = ExhaustiveSearch.run(&cands, &spec);
+        let exhaustive = ExhaustiveSearch.run_with(&engine, &cands, &spec);
         let best = exhaustive.best_time_ms().expect("valid space");
         let gap = |t: Option<f64>| match t {
             Some(t) => format!("+{:.1}%", (t / best - 1.0) * 100.0),
             None => "-".to_string(),
         };
 
-        let pareto = PrunedSearch::default().run(&cands, &spec);
-        let noscreen =
-            PrunedSearch { screen_bandwidth: false, ..Default::default() }.run(&cands, &spec);
+        let pareto = PrunedSearch::default().run_with(&engine, &cands, &spec);
+        let noscreen = PrunedSearch { screen_bandwidth: false, ..Default::default() }
+            .run_with(&engine, &cands, &spec);
         let nohalf = PrunedSearch {
             options: MetricsOptions { barrier_half_term: false, ..Default::default() },
             ..Default::default()
         }
-        .run(&cands, &spec);
+        .run_with(&engine, &cands, &spec);
 
         // Single-metric ranking: evaluate only the arg-max of one metric.
         let single = |pick_util: bool| -> Option<f64> {
-            let statics: Vec<_> =
-                cands.iter().map(|c| c.evaluate(&spec).ok()).collect();
+            let statics: Vec<_> = cands.iter().map(|c| c.evaluate(&spec).ok()).collect();
             let best_idx = statics
                 .iter()
                 .enumerate()
                 .filter_map(|(i, e)| e.as_ref().map(|e| (i, e)))
                 .max_by(|a, b| {
                     let key = |e: &optspace::candidate::Evaluated| {
-                        if pick_util { e.metrics.utilization } else { e.metrics.efficiency }
+                        if pick_util {
+                            e.metrics.utilization
+                        } else {
+                            e.metrics.efficiency
+                        }
                     };
                     key(a.1).partial_cmp(&key(b.1)).expect("finite metrics")
                 })
@@ -68,7 +74,7 @@ fn main() {
         let budget = pareto.evaluated_count();
         let mut regret = 0.0;
         for seed in 0..20 {
-            let r = RandomSearch { budget, seed }.run(&cands, &spec);
+            let r = RandomSearch { budget, seed }.run_with(&engine, &cands, &spec);
             regret += r.best_time_ms().expect("non-empty sample") / best - 1.0;
         }
         let random = format!("+{:.1}%", regret / 20.0 * 100.0);

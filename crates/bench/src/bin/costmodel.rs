@@ -11,7 +11,7 @@
 use gpu_arch::MachineSpec;
 use optspace::model::{predict_ms, rank_correlation};
 use optspace::report::table;
-use optspace::tuner::ExhaustiveSearch;
+use optspace::tuner::{ExhaustiveSearch, SearchStrategy};
 use optspace_bench::suite;
 
 fn main() {

@@ -10,7 +10,7 @@ use gpu_arch::MachineSpec;
 use gpu_kernels::matmul::MatMul;
 use gpu_kernels::App;
 use optspace::report::{fmt_ms, table};
-use optspace::tuner::{ExhaustiveSearch, PrunedSearch};
+use optspace::tuner::{ExhaustiveSearch, PrunedSearch, SearchStrategy};
 
 fn main() {
     let g80 = MachineSpec::geforce_8800_gtx();

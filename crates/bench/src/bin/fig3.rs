@@ -9,7 +9,7 @@
 use gpu_arch::MachineSpec;
 use gpu_kernels::matmul::MatMul;
 use optspace::report::{fmt_ms, table};
-use optspace::tuner::ExhaustiveSearch;
+use optspace::tuner::{ExhaustiveSearch, SearchStrategy};
 
 fn main() {
     let spec = MachineSpec::geforce_8800_gtx();
@@ -39,7 +39,10 @@ fn main() {
     }
     println!("{}", table(&rows));
     if let Some(best) = r.best {
-        println!("optimal configuration: {} ({})", cands[best].label,
-                 fmt_ms(r.best_time_ms().unwrap()));
+        println!(
+            "optimal configuration: {} ({})",
+            cands[best].label,
+            fmt_ms(r.best_time_ms().unwrap())
+        );
     }
 }

@@ -7,7 +7,7 @@
 
 use gpu_arch::MachineSpec;
 use gpu_kernels::sad::Sad;
-use optspace::tuner::ExhaustiveSearch;
+use optspace::tuner::{ExhaustiveSearch, SearchStrategy};
 use std::collections::BTreeMap;
 
 /// One Figure 4 line: the fixed (mb, pos, row, col) unroll settings.
@@ -58,7 +58,10 @@ fn main() {
         println!();
     }
     if let Some(best) = r.best {
-        println!("\noptimal configuration: {} ({:.2} ms)",
-                 cands[best].label, r.best_time_ms().unwrap());
+        println!(
+            "\noptimal configuration: {} ({:.2} ms)",
+            cands[best].label,
+            r.best_time_ms().unwrap()
+        );
     }
 }

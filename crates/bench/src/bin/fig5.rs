@@ -9,13 +9,15 @@
 use gpu_arch::MachineSpec;
 use gpu_kernels::cp::{Cp, CpConfig};
 use optspace::report::table;
-use optspace::tuner::ExhaustiveSearch;
+use optspace::tuner::{ExhaustiveSearch, SearchStrategy};
 
 fn main() {
     println!("--- full slice (512x512, 128 atoms): occupancy stays high, time keeps improving ---");
     run_sweep(&Cp::paper_problem());
     println!();
-    println!("--- narrow slice (512x64, 32 atoms): the paper's shape, optimum at 8, up-tick at 16 ---");
+    println!(
+        "--- narrow slice (512x64, 32 atoms): the paper's shape, optimum at 8, up-tick at 16 ---"
+    );
     run_sweep(&Cp::new(512, 64, 32));
 }
 

@@ -6,14 +6,17 @@
 //! application (after screening bandwidth-bound points, section 5.3).
 
 use gpu_arch::MachineSpec;
+use optspace::engine::EvalEngine;
 use optspace::pareto::pareto_indices;
 use optspace::report::ascii_scatter;
-use optspace_bench::{compare, suite};
+use optspace_bench::{compare_with, jobs_from_args, suite};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine = EvalEngine::with_jobs(jobs_from_args(&args));
     let spec = MachineSpec::geforce_8800_gtx();
     for app in suite() {
-        let c = compare(app.as_ref(), &spec);
+        let c = compare_with(app.as_ref(), &spec, &engine);
         // Rebuild the plotted set: valid + not bandwidth-bound.
         let idx: Vec<usize> = c
             .exhaustive
@@ -29,17 +32,20 @@ fn main() {
             .map(|&i| c.exhaustive.statics[i].as_ref().unwrap().metrics.point())
             .collect();
         let pareto = pareto_indices(&points);
-        let optimum = c
-            .exhaustive
-            .best
-            .and_then(|b| idx.iter().position(|&i| i == b));
+        let optimum = c.exhaustive.best.and_then(|b| idx.iter().position(|&i| i == b));
 
-        println!("==== {} ({} plotted, {} on the Pareto curve) ====",
-                 c.name, points.len(), pareto.len());
+        println!(
+            "==== {} ({} plotted, {} on the Pareto curve) ====",
+            c.name,
+            points.len(),
+            pareto.len()
+        );
         println!("{}", ascii_scatter(&points, &pareto, optimum, 64, 20));
         let on_curve = optimum.map(|o| pareto.contains(&o)).unwrap_or(false);
-        println!("optimum on curve: {}   pruned search found optimum: {}\n",
-                 if on_curve { "yes" } else { "NO" },
-                 if c.found_optimum() { "yes" } else { "NO" });
+        println!(
+            "optimum on curve: {}   pruned search found optimum: {}\n",
+            if on_curve { "yes" } else { "NO" },
+            if c.found_optimum() { "yes" } else { "NO" }
+        );
     }
 }

@@ -20,7 +20,7 @@ use gpu_ir::types::Special;
 use gpu_ir::{Dim, Instr, Kernel, Launch, Op};
 use optspace::candidate::Candidate;
 use optspace::report::table;
-use optspace::tuner::ExhaustiveSearch;
+use optspace::tuner::{ExhaustiveSearch, SearchStrategy};
 
 const SAMPLES: u32 = 512;
 

@@ -6,19 +6,22 @@
 //! search: its (budget, gap) point is printed alongside.
 
 use gpu_arch::MachineSpec;
+use optspace::engine::EvalEngine;
 use optspace::report::table;
-use optspace::tuner::{ExhaustiveSearch, PrunedSearch, RandomSearch};
-use optspace_bench::suite;
+use optspace::tuner::{ExhaustiveSearch, PrunedSearch, RandomSearch, SearchStrategy};
+use optspace_bench::{jobs_from_args, suite};
 
 const SEEDS: u64 = 40;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine = EvalEngine::with_jobs(jobs_from_args(&args));
     let spec = MachineSpec::geforce_8800_gtx();
     for app in suite() {
         let cands = app.candidates();
-        let exhaustive = ExhaustiveSearch.run(&cands, &spec);
+        let exhaustive = ExhaustiveSearch.run_with(&engine, &cands, &spec);
         let best = exhaustive.best_time_ms().expect("valid space");
-        let pareto = PrunedSearch::default().run(&cands, &spec);
+        let pareto = PrunedSearch::default().run_with(&engine, &cands, &spec);
         let pareto_budget = pareto.evaluated_count();
 
         println!(
@@ -49,7 +52,7 @@ fn main() {
             let mut gap_sum = 0.0;
             let mut gap_max = 0.0f64;
             for seed in 0..SEEDS {
-                let r = RandomSearch { budget, seed }.run(&cands, &spec);
+                let r = RandomSearch { budget, seed }.run_with(&engine, &cands, &spec);
                 let t = r.best_time_ms().expect("non-empty sample");
                 let gap = t / best - 1.0;
                 if gap.abs() < 1e-9 {

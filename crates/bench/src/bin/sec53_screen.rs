@@ -15,7 +15,8 @@ fn main() {
     let spec = MachineSpec::geforce_8800_gtx();
     let cands = MatMul::reduced_problem().candidates();
     let evals: Vec<_> = cands.iter().map(|c| c.evaluate(&spec).ok()).collect();
-    let idx: Vec<usize> = evals.iter().enumerate().filter_map(|(i, e)| e.as_ref().map(|_| i)).collect();
+    let idx: Vec<usize> =
+        evals.iter().enumerate().filter_map(|(i, e)| e.as_ref().map(|_| i)).collect();
     let pts: Vec<_> = idx.iter().map(|&i| evals[i].as_ref().unwrap().metrics.point()).collect();
     let curve = pareto_indices(&pts);
     let labels: Vec<&str> = curve.iter().map(|&k| cands[idx[k]].label.as_str()).collect();
@@ -27,10 +28,7 @@ fn main() {
     // fall off the curve without any screen at all.
     let opts = MetricsOptions { coalescing_aware: true, ..Default::default() };
     let evals2: Vec<_> = cands.iter().map(|c| c.evaluate_with(&spec, opts).ok()).collect();
-    let pts2: Vec<_> = idx
-        .iter()
-        .map(|&i| evals2[i].as_ref().unwrap().metrics.point())
-        .collect();
+    let pts2: Vec<_> = idx.iter().map(|&i| evals2[i].as_ref().unwrap().metrics.point()).collect();
     let curve2 = pareto_indices(&pts2);
     let labels2: Vec<&str> = curve2.iter().map(|&k| cands[idx[k]].label.as_str()).collect();
     let n8b = labels2.iter().filter(|l| l.starts_with("8x8")).count();

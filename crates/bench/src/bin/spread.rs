@@ -13,12 +13,12 @@ use gpu_arch::MachineSpec;
 use gpu_kernels::{
     cp::{Cp, CpConfig},
     matmul::{MatMul, MatMulConfig},
-    mri_fhd::{MriFhd, MriConfig},
+    mri_fhd::{MriConfig, MriFhd},
     sad::{Sad, SadConfig},
     App,
 };
 use optspace::report::{fmt_ms, table};
-use optspace::tuner::ExhaustiveSearch;
+use optspace::tuner::{ExhaustiveSearch, SearchStrategy};
 
 fn main() {
     let spec = MachineSpec::geforce_8800_gtx();
@@ -53,13 +53,7 @@ fn main() {
         .space()
         .iter()
         .position(|c| {
-            *c == SadConfig {
-                tpb: 128,
-                mb_tiling: 1,
-                pos_unroll: 1,
-                row_unroll: 2,
-                col_unroll: 2,
-            }
+            *c == SadConfig { tpb: 128, mb_tiling: 1, pos_unroll: 1, row_unroll: 2, col_unroll: 2 }
         })
         .expect("config in space");
     let mri = MriFhd::paper_problem();
@@ -73,16 +67,13 @@ fn main() {
         [(&mm, hand_mm), (&cp, hand_cp), (&sad, hand_sad), (&mri, hand_mri)];
     for (app, hand_idx) in apps {
         let r = ExhaustiveSearch.run(&app.candidates(), &spec);
-        let mut times: Vec<f64> =
-            r.simulated.iter().flatten().map(|t| t.time_ms).collect();
+        let mut times: Vec<f64> = r.simulated.iter().flatten().map(|t| t.time_ms).collect();
         times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
         let best = times[0];
         let median = times[times.len() / 2];
         let worst = *times.last().expect("non-empty");
-        let hand = r.simulated[hand_idx]
-            .as_ref()
-            .map(|t| t.time_ms)
-            .expect("hand-picked config valid");
+        let hand =
+            r.simulated[hand_idx].as_ref().map(|t| t.time_ms).expect("hand-picked config valid");
         rows.push(vec![
             app.name().to_string(),
             fmt_ms(best),
@@ -93,7 +84,5 @@ fn main() {
         ]);
     }
     println!("{}", table(&rows));
-    println!(
-        "paper (§1, MRI-FHD): worst vs optimal +235%, hand-optimized vs optimal +17%"
-    );
+    println!("paper (§1, MRI-FHD): worst vs optimal +235%, hand-optimized vs optimal +17%");
 }

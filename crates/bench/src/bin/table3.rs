@@ -10,7 +10,7 @@
 use gpu_arch::MachineSpec;
 use gpu_kernels::{cp::Cp, matmul::MatMul, mri_fhd::MriFhd, sad::Sad, App};
 use optspace::report::{fmt_ms, table};
-use optspace::tuner::ExhaustiveSearch;
+use optspace::tuner::{ExhaustiveSearch, SearchStrategy};
 use std::time::Instant;
 
 fn time_cpu(mut f: impl FnMut()) -> f64 {

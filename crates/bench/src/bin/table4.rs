@@ -7,10 +7,13 @@
 //! configuration exhaustive search finds.
 
 use gpu_arch::MachineSpec;
+use optspace::engine::EvalEngine;
 use optspace::report::{fmt_ms, table};
-use optspace_bench::{compare, suite};
+use optspace_bench::{compare_with, jobs_from_args, suite};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine = EvalEngine::with_jobs(jobs_from_args(&args));
     let spec = MachineSpec::geforce_8800_gtx();
     let mut rows = vec![vec![
         "Kernel".to_string(),
@@ -23,7 +26,7 @@ fn main() {
         "Optimum found".to_string(),
     ]];
     for app in suite() {
-        let c = compare(app.as_ref(), &spec);
+        let c = compare_with(app.as_ref(), &spec, &engine);
         rows.push(vec![
             c.name.to_string(),
             c.exhaustive.space_size.to_string(),

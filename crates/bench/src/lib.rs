@@ -6,7 +6,8 @@
 
 use gpu_arch::MachineSpec;
 use gpu_kernels::{cp::Cp, matmul::MatMul, mri_fhd::MriFhd, sad::Sad, App};
-use optspace::tuner::{ExhaustiveSearch, PrunedSearch, SearchReport};
+use optspace::engine::EvalEngine;
+use optspace::tuner::{ExhaustiveSearch, PrunedSearch, SearchReport, SearchStrategy};
 
 /// The four applications at the scale the experiment binaries run them.
 ///
@@ -44,12 +45,29 @@ impl Comparison {
     }
 }
 
-/// Run both searches over one application.
+/// Run both searches over one application on a default (sequential,
+/// unlimited) engine.
 pub fn compare(app: &dyn App, spec: &MachineSpec) -> Comparison {
+    compare_with(app, spec, &EvalEngine::default())
+}
+
+/// Run both searches over one application on an explicit engine.
+pub fn compare_with(app: &dyn App, spec: &MachineSpec, engine: &EvalEngine) -> Comparison {
     let candidates = app.candidates();
     Comparison {
         name: app.name(),
-        exhaustive: ExhaustiveSearch.run(&candidates, spec),
-        pruned: PrunedSearch::default().run(&candidates, spec),
+        exhaustive: ExhaustiveSearch.run_with(engine, &candidates, spec),
+        pruned: PrunedSearch::default().run_with(engine, &candidates, spec),
     }
+}
+
+/// Parse a `--jobs N` flag from raw process args (the experiment
+/// binaries' shared CLI surface); defaults to 1.
+pub fn jobs_from_args(args: &[String]) -> usize {
+    args.iter()
+        .position(|a| a == "--jobs")
+        .and_then(|p| args.get(p + 1))
+        .and_then(|v| v.parse().ok())
+        .filter(|&j| j >= 1)
+        .unwrap_or(1)
 }

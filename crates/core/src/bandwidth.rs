@@ -45,14 +45,10 @@ impl BandwidthAssessment {
 
 /// Assess one configuration's DRAM-bandwidth pressure.
 pub fn assess(mix: &InstrMix, spec: &MachineSpec) -> BandwidthAssessment {
-    let thread_instrs_per_cycle =
-        f64::from(spec.warp_size) / f64::from(spec.issue_cycles_per_warp);
+    let thread_instrs_per_cycle = f64::from(spec.warp_size) / f64::from(spec.issue_cycles_per_warp);
     let traffic = mix.dram_traffic_bytes(spec);
-    let demand = if mix.instrs == 0 {
-        0.0
-    } else {
-        thread_instrs_per_cycle * traffic / mix.instrs as f64
-    };
+    let demand =
+        if mix.instrs == 0 { 0.0 } else { thread_instrs_per_cycle * traffic / mix.instrs as f64 };
     BandwidthAssessment {
         demand_bytes_per_cycle: demand,
         supply_bytes_per_cycle: spec.bandwidth_bytes_per_cycle() / f64::from(spec.num_sms),
@@ -107,11 +103,7 @@ mod tests {
             let p = b.param(0);
             let acc = b.mov(0.0f32);
             b.repeat(10, |b| {
-                let x = if unco {
-                    b.ld_global_uncoalesced(p, 0)
-                } else {
-                    b.ld_global(p, 0)
-                };
+                let x = if unco { b.ld_global_uncoalesced(p, 0) } else { b.ld_global(p, 0) };
                 b.repeat(8, |b| {
                     b.fmad_acc(x, 1.0f32, acc);
                 });

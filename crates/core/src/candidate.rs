@@ -80,8 +80,7 @@ impl Candidate {
                 * kp.mix.uncoalesced_accesses
                 * u64::from(self.invocations);
             let effective = kp.profile.instr + penalty;
-            metrics.efficiency =
-                1.0 / (effective as f64 * kp.profile.total_threads as f64);
+            metrics.efficiency = 1.0 / (effective as f64 * kp.profile.total_threads as f64);
         }
         let bandwidth = bandwidth::assess(&kp.mix, spec);
         Ok(Evaluated { label: self.label.clone(), kernel_profile: kp, metrics, bandwidth })
@@ -159,11 +158,7 @@ mod coalescing_aware_tests {
             let p = b.param(0);
             let acc = b.mov(0.0f32);
             b.repeat(8, |b| {
-                let x = if unco {
-                    b.ld_global_uncoalesced(p, 0)
-                } else {
-                    b.ld_global(p, 0)
-                };
+                let x = if unco { b.ld_global_uncoalesced(p, 0) } else { b.ld_global(p, 0) };
                 b.fmad_acc(x, 1.0f32, acc);
             });
             b.st_global(p, 0, acc);
@@ -181,10 +176,7 @@ mod coalescing_aware_tests {
         let unco = mk(true).evaluate_with(&spec, opts).unwrap();
         assert!(unco.metrics.efficiency < co.metrics.efficiency);
         // Instr itself (and hence Utilization) is untouched.
-        assert_eq!(
-            unco.kernel_profile.profile.instr,
-            co.kernel_profile.profile.instr
-        );
+        assert_eq!(unco.kernel_profile.profile.instr, co.kernel_profile.profile.instr);
         assert_eq!(unco.metrics.utilization, co.metrics.utilization);
     }
 }

@@ -1,0 +1,113 @@
+//! Evaluation budgets: limits on simulated work per search.
+//!
+//! Two independent caps, both deterministic regardless of worker count:
+//!
+//! * **`max_sims`** — a ceiling on *unique* timing simulations (memo
+//!   cache hits are free). Applied before dispatch, in the deterministic
+//!   order units were discovered, so the same prefix of work runs no
+//!   matter how many workers exist.
+//! * **`deadline_ms`** — a ceiling on accumulated *simulated*
+//!   milliseconds, the paper's developer-time currency (Table 4's
+//!   "evaluation time"). Applied at reassembly in candidate-index order:
+//!   candidates are accepted until the running total crosses the
+//!   deadline; the crossing candidate is kept (the developer learns its
+//!   time by running it), everything after is dropped.
+
+/// Limits on how much simulated evaluation a search may spend.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EvalBudget {
+    /// Maximum number of unique timing simulations (`None` = unlimited).
+    pub max_sims: Option<usize>,
+    /// Maximum accumulated simulated time in milliseconds
+    /// (`None` = unlimited).
+    pub deadline_ms: Option<f64>,
+}
+
+impl EvalBudget {
+    /// No limits: evaluate everything the strategy selects.
+    pub const UNLIMITED: Self = Self { max_sims: None, deadline_ms: None };
+
+    /// Whether this budget constrains anything.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_sims.is_none() && self.deadline_ms.is_none()
+    }
+
+    /// Budget capped at `n` unique simulations.
+    pub fn with_max_sims(n: usize) -> Self {
+        Self { max_sims: Some(n), ..Self::UNLIMITED }
+    }
+
+    /// Budget capped at `ms` simulated milliseconds.
+    pub fn with_deadline_ms(ms: f64) -> Self {
+        Self { deadline_ms: Some(ms), ..Self::UNLIMITED }
+    }
+}
+
+/// Accumulator enforcing the `deadline_ms` half of a budget during
+/// reassembly.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DeadlineMeter {
+    deadline_ms: Option<f64>,
+    spent_ms: f64,
+    exhausted: bool,
+}
+
+impl DeadlineMeter {
+    pub(crate) fn new(budget: &EvalBudget) -> Self {
+        Self { deadline_ms: budget.deadline_ms, spent_ms: 0.0, exhausted: false }
+    }
+
+    /// Account `time_ms`; returns whether the candidate is accepted. The
+    /// candidate that crosses the deadline is accepted, all later ones
+    /// are refused.
+    pub(crate) fn accept(&mut self, time_ms: f64) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        self.spent_ms += time_ms;
+        if self.deadline_ms.is_some_and(|d| self.spent_ms >= d) {
+            self.exhausted = true;
+        }
+        true
+    }
+
+    /// Whether the deadline has been crossed.
+    #[cfg(test)]
+    pub(crate) fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_accepts_everything() {
+        let mut m = DeadlineMeter::new(&EvalBudget::UNLIMITED);
+        for _ in 0..1000 {
+            assert!(m.accept(1e6));
+        }
+        assert!(!m.exhausted());
+        assert!(EvalBudget::UNLIMITED.is_unlimited());
+    }
+
+    #[test]
+    fn crossing_candidate_is_kept_then_everything_stops() {
+        let mut m = DeadlineMeter::new(&EvalBudget::with_deadline_ms(10.0));
+        assert!(m.accept(4.0)); // 4
+        assert!(m.accept(4.0)); // 8
+        assert!(m.accept(4.0)); // 12: crosses, still accepted
+        assert!(m.exhausted());
+        assert!(!m.accept(0.001));
+        assert!(!m.accept(0.001));
+    }
+
+    #[test]
+    fn constructors_set_one_limit_each() {
+        assert_eq!(EvalBudget::with_max_sims(7).max_sims, Some(7));
+        assert!(EvalBudget::with_max_sims(7).deadline_ms.is_none());
+        assert_eq!(EvalBudget::with_deadline_ms(2.5).deadline_ms, Some(2.5));
+        assert!(!EvalBudget::with_deadline_ms(2.5).is_unlimited());
+    }
+}

@@ -1,0 +1,188 @@
+//! Content-addressed keys for the timing-simulation memo cache.
+//!
+//! A simulation's result is a pure function of the linearized program,
+//! the launch geometry, the per-thread resource usage, and the machine
+//! spec — and of nothing else. (The invocation count deliberately stays
+//! *out* of the key: it scales a cached per-invocation report
+//! arithmetically, so work-per-invocation variants share one entry.)
+//!
+//! Two keys per input:
+//!
+//! * [`exact_key`] — hash of everything above. Equal keys ⇒ identical
+//!   simulation, the report is reused outright.
+//! * [`class_key`] — the same hash with every **top-level** loop's trip
+//!   count masked out, plus the masked trip counts as data. Inputs that
+//!   agree on the class hash but differ in one top-level trip count form
+//!   a *family* that `gpu_sim::timing::simulate_family` evaluates in a
+//!   single forked run (the MRI-FHD invocation clusters of Figure 6(b)).
+//!
+//! Float immediates are hashed through their `Debug` form, which in Rust
+//! is round-trip exact, so distinct constants never collide and equal
+//! constants always agree.
+
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+use gpu_arch::{MachineSpec, ResourceUsage};
+use gpu_ir::linear::{LinOp, LinearProgram};
+use gpu_ir::Launch;
+
+/// Class identity of a simulation input: the structural hash with
+/// top-level trip counts masked, and those trip counts as a vector (in
+/// code order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassKey {
+    /// Hash of the trip-count-masked structure.
+    pub hash: u64,
+    /// The masked top-level trip counts, in code order.
+    pub top_trips: Vec<u32>,
+}
+
+impl ClassKey {
+    /// Whether `self` and `other` differ in at most one top-level trip
+    /// count — the shape `simulate_family` can fork. (Same hash and same
+    /// trips means exact duplicates, which also qualifies.)
+    pub fn family_compatible(&self, other: &Self) -> bool {
+        self.hash == other.hash
+            && self.top_trips.len() == other.top_trips.len()
+            && self.top_trips.iter().zip(&other.top_trips).filter(|(a, b)| a != b).count() <= 1
+    }
+}
+
+fn structural_hash(
+    prog: &LinearProgram,
+    launch: &Launch,
+    usage: &ResourceUsage,
+    spec: &MachineSpec,
+    mask_top_trips: bool,
+) -> (u64, Vec<u32>) {
+    let mut h = DefaultHasher::new();
+    prog.num_vregs.hash(&mut h);
+    prog.smem_words.hash(&mut h);
+    prog.num_params.hash(&mut h);
+    let mut top_trips = Vec::new();
+    let mut depth = 0usize;
+    for op in &prog.code {
+        match op {
+            LinOp::LoopStart { counter, trips, end } => {
+                if depth == 0 {
+                    top_trips.push(*trips);
+                }
+                if depth == 0 && mask_top_trips {
+                    "LoopStart/trips-masked".hash(&mut h);
+                    format!("{counter:?}").hash(&mut h);
+                    end.hash(&mut h);
+                } else {
+                    format!("{op:?}").hash(&mut h);
+                }
+                depth += 1;
+            }
+            LinOp::LoopEnd { .. } => {
+                depth -= 1;
+                format!("{op:?}").hash(&mut h);
+            }
+            _ => format!("{op:?}").hash(&mut h),
+        }
+    }
+    format!("{launch:?}").hash(&mut h);
+    format!("{usage:?}").hash(&mut h);
+    format!("{spec:?}").hash(&mut h);
+    (h.finish(), top_trips)
+}
+
+/// Full content hash: equal keys mean the timing simulation would replay
+/// identically.
+pub fn exact_key(
+    prog: &LinearProgram,
+    launch: &Launch,
+    usage: &ResourceUsage,
+    spec: &MachineSpec,
+) -> u64 {
+    structural_hash(prog, launch, usage, spec, false).0
+}
+
+/// Family identity: the content hash with top-level trip counts masked.
+pub fn class_key(
+    prog: &LinearProgram,
+    launch: &Launch,
+    usage: &ResourceUsage,
+    spec: &MachineSpec,
+) -> ClassKey {
+    let (hash, top_trips) = structural_hash(prog, launch, usage, spec, true);
+    ClassKey { hash, top_trips }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_ir::build::KernelBuilder;
+    use gpu_ir::linear::linearize;
+    use gpu_ir::{Dim, Kernel};
+
+    fn kernel(trips: u32, inner_trips: u32, imm: f32) -> Kernel {
+        let mut b = KernelBuilder::new("k");
+        let p = b.param(0);
+        let acc = b.mov(0.0f32);
+        b.repeat(trips, |b| {
+            let x = b.ld_global(p, 0);
+            b.repeat(inner_trips, |b| {
+                b.fmad_acc(x, imm, acc);
+            });
+        });
+        b.st_global(p, 0, acc);
+        b.finish()
+    }
+
+    fn ctx() -> (Launch, ResourceUsage, MachineSpec) {
+        (
+            Launch::new(Dim::new_1d(64), Dim::new_1d(128)),
+            ResourceUsage::new(128, 10, 0),
+            MachineSpec::geforce_8800_gtx(),
+        )
+    }
+
+    #[test]
+    fn identical_inputs_agree_on_both_keys() {
+        let (launch, usage, spec) = ctx();
+        let a = linearize(&kernel(8, 3, 1.5));
+        let b = linearize(&kernel(8, 3, 1.5));
+        assert_eq!(exact_key(&a, &launch, &usage, &spec), exact_key(&b, &launch, &usage, &spec));
+        assert_eq!(class_key(&a, &launch, &usage, &spec), class_key(&b, &launch, &usage, &spec));
+    }
+
+    #[test]
+    fn top_level_trip_variants_share_a_class_but_not_an_exact_key() {
+        let (launch, usage, spec) = ctx();
+        let a = linearize(&kernel(8, 3, 1.5));
+        let b = linearize(&kernel(4, 3, 1.5));
+        assert_ne!(exact_key(&a, &launch, &usage, &spec), exact_key(&b, &launch, &usage, &spec));
+        let ca = class_key(&a, &launch, &usage, &spec);
+        let cb = class_key(&b, &launch, &usage, &spec);
+        assert_eq!(ca.hash, cb.hash);
+        assert!(ca.family_compatible(&cb));
+        assert_eq!(ca.top_trips, vec![8]);
+        assert_eq!(cb.top_trips, vec![4]);
+    }
+
+    #[test]
+    fn inner_trip_counts_and_immediates_split_classes() {
+        let (launch, usage, spec) = ctx();
+        let a = class_key(&linearize(&kernel(8, 3, 1.5)), &launch, &usage, &spec);
+        let inner = class_key(&linearize(&kernel(8, 5, 1.5)), &launch, &usage, &spec);
+        let imm = class_key(&linearize(&kernel(8, 3, 1.5000001)), &launch, &usage, &spec);
+        assert_ne!(a.hash, inner.hash, "inner trips are not masked");
+        assert_ne!(a.hash, imm.hash, "float immediates are hashed exactly");
+    }
+
+    #[test]
+    fn launch_usage_and_spec_are_part_of_the_key() {
+        let (launch, usage, spec) = ctx();
+        let prog = linearize(&kernel(8, 3, 1.5));
+        let base = exact_key(&prog, &launch, &usage, &spec);
+        let other_launch = Launch::new(Dim::new_1d(128), Dim::new_1d(128));
+        let other_usage = ResourceUsage::new(128, 11, 0);
+        let other_spec = MachineSpec::gtx_280_like();
+        assert_ne!(base, exact_key(&prog, &other_launch, &usage, &spec));
+        assert_ne!(base, exact_key(&prog, &launch, &other_usage, &spec));
+        assert_ne!(base, exact_key(&prog, &launch, &usage, &other_spec));
+    }
+}

@@ -1,0 +1,524 @@
+//! The evaluation engine: parallel, memoizing candidate evaluation
+//! shared by every search strategy.
+//!
+//! The paper's search loop has two phases with very different costs:
+//! cheap static evaluation (metrics + occupancy) of every configuration,
+//! and expensive timing simulation of the configurations a strategy
+//! selects. [`EvalEngine`] owns both phases:
+//!
+//! * **Worker pool** — both phases fan out over a fixed-size
+//!   `std::thread` pool ([`pool`]); results are reassembled by candidate
+//!   index, so reports are identical to a sequential run no matter how
+//!   many workers are configured.
+//! * **Memo cache** — timing work is deduplicated by a content hash of
+//!   (linearized program, launch, resource usage, machine spec)
+//!   ([`cache`]). Configurations differing only in their
+//!   work-per-invocation split — same hash up to one top-level trip
+//!   count — form a *family* simulated in one forked run
+//!   (`gpu_sim::timing::simulate_family`), so each MRI-FHD cluster of
+//!   seven costs roughly one simulation.
+//! * **Budget** — optional caps on unique simulations and on accumulated
+//!   simulated milliseconds ([`budget`]), applied deterministically and
+//!   recorded in the search report's [`EngineStats`].
+//!
+//! The evaluators themselves are trait objects ([`StaticEval`],
+//! [`TimingEval`]) so tests and future cost models can substitute the
+//! metric computation or the simulator without touching the
+//! orchestration.
+
+pub mod budget;
+pub mod cache;
+pub mod pool;
+
+use std::collections::HashMap;
+
+use gpu_arch::{MachineSpec, ResourceUsage};
+use gpu_ir::linear::{linearize, LinearProgram};
+use gpu_ir::Launch;
+use gpu_sim::timing::TimingReport;
+
+use crate::candidate::{Candidate, Evaluated};
+use crate::metrics::MetricsOptions;
+
+pub use budget::EvalBudget;
+
+/// Host-side overhead charged per kernel invocation (driver submission,
+/// ~10 µs on the paper's CUDA 1.0 stack). This is what separates the
+/// otherwise metric-identical work-per-invocation variants of MRI-FHD.
+pub const LAUNCH_OVERHEAD_MS: f64 = 0.01;
+
+/// Static evaluation of one candidate; `None` marks the paper's
+/// "invalid executable" cases.
+pub trait StaticEval: Sync {
+    /// Evaluate one candidate.
+    fn evaluate(&self, candidate: &Candidate, spec: &MachineSpec) -> Option<Evaluated>;
+}
+
+/// The standard static evaluator: metrics, occupancy, and the bandwidth
+/// screen via [`Candidate::evaluate_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MetricsEval {
+    /// Metric variant (ablations flow through here).
+    pub options: MetricsOptions,
+}
+
+impl StaticEval for MetricsEval {
+    fn evaluate(&self, candidate: &Candidate, spec: &MachineSpec) -> Option<Evaluated> {
+        candidate.evaluate_with(spec, self.options).ok()
+    }
+}
+
+/// Timing evaluation of one linearized program (a single invocation's
+/// worth of work — the engine applies invocation scaling afterwards).
+pub trait TimingEval: Sync {
+    /// Simulate one program; `None` when the configuration cannot run.
+    fn simulate(
+        &self,
+        prog: &LinearProgram,
+        launch: &Launch,
+        usage: &ResourceUsage,
+        spec: &MachineSpec,
+    ) -> Option<TimingReport>;
+
+    /// Simulate a family of programs differing only in one top-level
+    /// trip count, in one forked run. `None` means "unsupported or not
+    /// actually a family" — the engine falls back to individual
+    /// [`TimingEval::simulate`] calls.
+    fn simulate_family(
+        &self,
+        progs: &[&LinearProgram],
+        launch: &Launch,
+        usage: &ResourceUsage,
+        spec: &MachineSpec,
+    ) -> Option<Vec<TimingReport>> {
+        let _ = (progs, launch, usage, spec);
+        None
+    }
+}
+
+/// The standard timing evaluator: the warp-level G80 simulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimulatorEval;
+
+impl TimingEval for SimulatorEval {
+    fn simulate(
+        &self,
+        prog: &LinearProgram,
+        launch: &Launch,
+        usage: &ResourceUsage,
+        spec: &MachineSpec,
+    ) -> Option<TimingReport> {
+        gpu_sim::timing::simulate(prog, launch, usage, spec).ok()
+    }
+
+    fn simulate_family(
+        &self,
+        progs: &[&LinearProgram],
+        launch: &Launch,
+        usage: &ResourceUsage,
+        spec: &MachineSpec,
+    ) -> Option<Vec<TimingReport>> {
+        gpu_sim::timing::simulate_family(progs, launch, usage, spec).ok()
+    }
+}
+
+/// Engine configuration: parallelism plus evaluation budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Worker threads for both evaluation phases. `1` (the default) runs
+    /// strictly inline — the reference sequential path.
+    pub jobs: usize,
+    /// Budget on simulated work.
+    pub budget: EvalBudget,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self { jobs: 1, budget: EvalBudget::UNLIMITED }
+    }
+}
+
+/// Counters describing what the engine actually did during one search.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EngineStats {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Budget the engine ran under.
+    pub budget: EvalBudget,
+    /// Candidates statically evaluated (valid or not).
+    pub static_evals: usize,
+    /// Candidates that received a timing result.
+    pub timed: usize,
+    /// Timing simulations actually executed (a forked family run counts
+    /// once).
+    pub unique_sims: usize,
+    /// Timed candidates served from the memo cache / family forks
+    /// instead of a fresh simulation.
+    pub cache_hits: usize,
+    /// Whether a budget limit cut the evaluation short.
+    pub budget_truncated: bool,
+}
+
+/// The shared evaluation engine. See the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalEngine {
+    /// Parallelism and budget settings.
+    pub config: EngineConfig,
+}
+
+/// One deduplicated simulation input (the memo cache's value side).
+struct UniqueSim {
+    prog: LinearProgram,
+    launch: Launch,
+    usage: ResourceUsage,
+    class: cache::ClassKey,
+}
+
+/// A unit of simulation work dispatched to the pool.
+enum WorkUnit {
+    /// One unique program.
+    Single(usize),
+    /// Class-mates differing only in one top-level trip count, simulated
+    /// in one forked run.
+    Family(Vec<usize>),
+}
+
+impl EvalEngine {
+    /// Engine with explicit configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Self { config }
+    }
+
+    /// Engine with `jobs` workers and no budget.
+    pub fn with_jobs(jobs: usize) -> Self {
+        Self::new(EngineConfig { jobs: jobs.max(1), ..Default::default() })
+    }
+
+    /// Fresh stats carrying this engine's configuration.
+    pub fn stats_seed(&self) -> EngineStats {
+        EngineStats { jobs: self.config.jobs, budget: self.config.budget, ..Default::default() }
+    }
+
+    /// Statically evaluate every candidate on the worker pool. Output
+    /// order matches `candidates` regardless of `jobs`.
+    pub fn evaluate_statics(
+        &self,
+        eval: &dyn StaticEval,
+        candidates: &[Candidate],
+        spec: &MachineSpec,
+        stats: &mut EngineStats,
+    ) -> Vec<Option<Evaluated>> {
+        stats.static_evals += candidates.len();
+        pool::run_indexed(self.config.jobs, candidates.len(), |i| {
+            eval.evaluate(&candidates[i], spec)
+        })
+    }
+
+    /// Timing-simulate the selected candidates: deduplicate through the
+    /// memo cache, group work-per-invocation families, run the remaining
+    /// unique work on the pool, and reassemble per-candidate reports
+    /// (invocation scaling included) in candidate-index order.
+    ///
+    /// Selected candidates must be valid (have a `Some` static
+    /// evaluation); invalid ones are skipped.
+    pub fn simulate_selected(
+        &self,
+        eval: &dyn TimingEval,
+        candidates: &[Candidate],
+        statics: &[Option<Evaluated>],
+        selected: &[usize],
+        spec: &MachineSpec,
+        stats: &mut EngineStats,
+    ) -> Vec<Option<TimingReport>> {
+        let mut simulated: Vec<Option<TimingReport>> = vec![None; candidates.len()];
+
+        // Phase 1: key and deduplicate. `uniques` keeps discovery order,
+        // which makes every later ordering decision deterministic.
+        let mut unique_of: HashMap<u64, usize> = HashMap::new();
+        let mut uniques: Vec<UniqueSim> = Vec::new();
+        let mut assignments: Vec<(usize, usize)> = Vec::new(); // (candidate, unique)
+        for &i in selected {
+            let Some(e) = statics.get(i).and_then(|s| s.as_ref()) else { continue };
+            let c = &candidates[i];
+            let prog = linearize(&c.kernel);
+            let usage = e.kernel_profile.usage;
+            let exact = cache::exact_key(&prog, &c.launch, &usage, spec);
+            let u = *unique_of.entry(exact).or_insert_with(|| {
+                let class = cache::class_key(&prog, &c.launch, &usage, spec);
+                uniques.push(UniqueSim { prog, launch: c.launch, usage, class });
+                uniques.len() - 1
+            });
+            assignments.push((i, u));
+        }
+
+        // Phase 2: group uniques by class into work units. A class whose
+        // members differ in more than one top-level trip count cannot be
+        // forked and degrades to singles.
+        let mut group_of: HashMap<u64, usize> = HashMap::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (u, uq) in uniques.iter().enumerate() {
+            let hash = uq.class.hash;
+            match group_of.get(&hash) {
+                Some(&g) => groups[g].push(u),
+                None => {
+                    group_of.insert(hash, groups.len());
+                    groups.push(vec![u]);
+                }
+            }
+        }
+        let mut units: Vec<WorkUnit> = Vec::new();
+        for members in groups {
+            if members.len() == 1 {
+                units.push(WorkUnit::Single(members[0]));
+                continue;
+            }
+            let forkable = members[1..].iter().all(|&m| {
+                uniques[members[0]].class.family_compatible(&uniques[m].class)
+                    && uniques[m].class.top_trips.iter().all(|&t| t >= 1)
+            }) && uniques[members[0]].class.top_trips.iter().all(|&t| t >= 1)
+                && varying_positions(&uniques, &members) <= 1;
+            if forkable {
+                units.push(WorkUnit::Family(members));
+            } else {
+                units.extend(members.into_iter().map(WorkUnit::Single));
+            }
+        }
+
+        // Phase 3: the `max_sims` half of the budget — drop whole units
+        // past the cap, in discovery order.
+        if let Some(cap) = self.config.budget.max_sims {
+            if units.len() > cap {
+                units.truncate(cap);
+                stats.budget_truncated = true;
+            }
+        }
+
+        // Phase 4: run the units on the pool. Each returns its
+        // per-unique reports plus the number of simulations it actually
+        // executed (a family that falls back runs one per member).
+        let outcomes = pool::run_indexed(self.config.jobs, units.len(), |k| {
+            run_unit(&units[k], &uniques, eval, spec)
+        });
+        let mut unique_reports: Vec<Option<TimingReport>> = vec![None; uniques.len()];
+        for (reports, sims_run) in outcomes {
+            stats.unique_sims += sims_run;
+            for (u, r) in reports {
+                unique_reports[u] = r;
+            }
+        }
+
+        // Phase 5: reassemble per candidate in index order, applying
+        // invocation scaling and the simulated-time deadline.
+        assignments.sort_by_key(|&(i, _)| i);
+        let mut meter = budget::DeadlineMeter::new(&self.config.budget);
+        for (i, u) in assignments {
+            let Some(rep) = &unique_reports[u] else { continue };
+            let scaled = scale_by_invocations(rep.clone(), candidates[i].invocations);
+            if meter.accept(scaled.time_ms) {
+                stats.timed += 1;
+                simulated[i] = Some(scaled);
+            } else {
+                stats.budget_truncated = true;
+            }
+        }
+        stats.cache_hits += stats.timed.saturating_sub(stats.unique_sims);
+        simulated
+    }
+}
+
+/// Number of top-level loop positions whose trip count varies across the
+/// class members.
+fn varying_positions(uniques: &[UniqueSim], members: &[usize]) -> usize {
+    let first = &uniques[members[0]].class.top_trips;
+    (0..first.len())
+        .filter(|&p| {
+            members[1..].iter().any(|&m| uniques[m].class.top_trips.get(p) != first.get(p))
+        })
+        .count()
+}
+
+/// Execute one work unit; returns `(per-unique reports, simulations
+/// executed)`.
+fn run_unit(
+    unit: &WorkUnit,
+    uniques: &[UniqueSim],
+    eval: &dyn TimingEval,
+    spec: &MachineSpec,
+) -> (Vec<(usize, Option<TimingReport>)>, usize) {
+    match unit {
+        WorkUnit::Single(u) => {
+            let uq = &uniques[*u];
+            (vec![(*u, eval.simulate(&uq.prog, &uq.launch, &uq.usage, spec))], 1)
+        }
+        WorkUnit::Family(members) => {
+            let first = &uniques[members[0]];
+            let progs: Vec<&LinearProgram> = members.iter().map(|&m| &uniques[m].prog).collect();
+            match eval.simulate_family(&progs, &first.launch, &first.usage, spec) {
+                Some(reports) => {
+                    (members.iter().copied().zip(reports.into_iter().map(Some)).collect(), 1)
+                }
+                // Not actually forkable (or the evaluator does not
+                // support families): simulate each member on its own.
+                None => (
+                    members
+                        .iter()
+                        .map(|&m| {
+                            let uq = &uniques[m];
+                            (m, eval.simulate(&uq.prog, &uq.launch, &uq.usage, spec))
+                        })
+                        .collect(),
+                    members.len(),
+                ),
+            }
+        }
+    }
+}
+
+/// A multi-invocation configuration pays the kernel time and the launch
+/// overhead once per invocation. Cached reports are per-invocation;
+/// scaling happens after cache lookup so invocation variants share one
+/// entry.
+fn scale_by_invocations(mut report: TimingReport, invocations: u32) -> TimingReport {
+    let inv = f64::from(invocations);
+    report.time_ms = report.time_ms * inv + LAUNCH_OVERHEAD_MS * inv;
+    report.total_cycles = (report.total_cycles as f64 * inv).round() as u64;
+    report.waves *= inv;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_ir::build::KernelBuilder;
+    use gpu_ir::{Dim, Kernel};
+
+    fn g80() -> MachineSpec {
+        MachineSpec::geforce_8800_gtx()
+    }
+
+    fn loop_kernel(trips: u32, work: u32) -> Kernel {
+        let mut b = KernelBuilder::new("k");
+        let p = b.param(0);
+        let acc = b.mov(0.0f32);
+        b.repeat(trips, |b| {
+            let x = b.ld_global(p, 0);
+            for _ in 0..work {
+                b.fmad_acc(x, 1.0f32, acc);
+            }
+        });
+        b.st_global(p, 0, acc);
+        b.finish()
+    }
+
+    fn candidate(trips: u32, work: u32, invocations: u32) -> Candidate {
+        Candidate::new(
+            format!("t{trips}/w{work}/i{invocations}"),
+            loop_kernel(trips, work),
+            Launch::new(Dim::new_1d(256), Dim::new_1d(128)),
+        )
+        .with_invocations(invocations)
+    }
+
+    fn run_exhaustive(
+        engine: &EvalEngine,
+        cands: &[Candidate],
+    ) -> (Vec<Option<TimingReport>>, EngineStats) {
+        let spec = g80();
+        let mut stats = engine.stats_seed();
+        let statics = engine.evaluate_statics(&MetricsEval::default(), cands, &spec, &mut stats);
+        let selected: Vec<usize> =
+            statics.iter().enumerate().filter_map(|(i, e)| e.as_ref().map(|_| i)).collect();
+        let sims =
+            engine.simulate_selected(&SimulatorEval, cands, &statics, &selected, &spec, &mut stats);
+        (sims, stats)
+    }
+
+    #[test]
+    fn invocation_variants_hit_the_cache_and_match_standalone_results() {
+        // 4 invocation splits of the same (work) kernel + 1 oddball:
+        // the splits share a class, so 2 unique simulations cover 5
+        // candidates.
+        let total_trips = 48u32;
+        let cands: Vec<Candidate> = [1u32, 2, 4, 8]
+            .iter()
+            .map(|&inv| candidate(total_trips / inv, 2, inv))
+            .chain([candidate(48, 5, 1)])
+            .collect();
+        let (sims, stats) = run_exhaustive(&EvalEngine::default(), &cands);
+        assert_eq!(stats.timed, 5);
+        assert_eq!(stats.unique_sims, 2);
+        assert_eq!(stats.cache_hits, 3);
+        // Every report must equal the standalone sequential result.
+        let spec = g80();
+        for (c, got) in cands.iter().zip(&sims) {
+            let e = c.evaluate(&spec).unwrap();
+            let prog = gpu_ir::linear::linearize(&c.kernel);
+            let want = scale_by_invocations(
+                gpu_sim::timing::simulate(&prog, &c.launch, &e.kernel_profile.usage, &spec)
+                    .unwrap(),
+                c.invocations,
+            );
+            assert_eq!(got.as_ref().unwrap(), &want, "{}", c.label);
+        }
+    }
+
+    #[test]
+    fn exact_duplicates_are_simulated_once() {
+        let cands = vec![candidate(16, 2, 1), candidate(16, 2, 1), candidate(16, 2, 4)];
+        let (sims, stats) = run_exhaustive(&EvalEngine::default(), &cands);
+        assert_eq!(stats.unique_sims, 1);
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(sims[0], sims[1]);
+        // The inv=4 variant shares the cache entry but scales differently.
+        assert!(sims[2].as_ref().unwrap().time_ms > sims[0].as_ref().unwrap().time_ms);
+    }
+
+    #[test]
+    fn worker_counts_do_not_change_results() {
+        let cands: Vec<Candidate> =
+            (1..=6).map(|t| candidate(8 * t, t, 1)).chain([candidate(24, 3, 2)]).collect();
+        let (base, base_stats) = run_exhaustive(&EvalEngine::default(), &cands);
+        for jobs in [2, 4, 8] {
+            let (got, stats) = run_exhaustive(&EvalEngine::with_jobs(jobs), &cands);
+            assert_eq!(got, base, "jobs = {jobs}");
+            assert_eq!(stats.unique_sims, base_stats.unique_sims);
+            assert_eq!(stats.cache_hits, base_stats.cache_hits);
+        }
+    }
+
+    #[test]
+    fn max_sims_budget_truncates_deterministically() {
+        let cands: Vec<Candidate> = (1..=5).map(|t| candidate(8 * t, t, 1)).collect();
+        let engine =
+            EvalEngine::new(EngineConfig { jobs: 1, budget: EvalBudget::with_max_sims(2) });
+        let (sims, stats) = run_exhaustive(&engine, &cands);
+        assert!(stats.budget_truncated);
+        assert_eq!(stats.unique_sims, 2);
+        // The first two units (discovery order) ran; the rest did not.
+        assert!(sims[0].is_some() && sims[1].is_some());
+        assert!(sims[2].is_none() && sims[3].is_none() && sims[4].is_none());
+        // Parallel run truncates identically.
+        let par = EvalEngine::new(EngineConfig { jobs: 4, budget: EvalBudget::with_max_sims(2) });
+        let (par_sims, _) = run_exhaustive(&par, &cands);
+        assert_eq!(par_sims, sims);
+    }
+
+    #[test]
+    fn deadline_budget_keeps_the_crossing_candidate() {
+        let cands: Vec<Candidate> = (1..=5).map(|t| candidate(8 * t, t, 1)).collect();
+        let (all, _) = run_exhaustive(&EvalEngine::default(), &cands);
+        let t0 = all[0].as_ref().unwrap().time_ms;
+        let t1 = all[1].as_ref().unwrap().time_ms;
+        // Deadline inside candidate 1: candidates 0 and 1 kept (1
+        // crosses), 2.. dropped.
+        let engine = EvalEngine::new(EngineConfig {
+            jobs: 1,
+            budget: EvalBudget::with_deadline_ms(t0 + t1 * 0.5),
+        });
+        let (sims, stats) = run_exhaustive(&engine, &cands);
+        assert!(stats.budget_truncated);
+        assert_eq!(stats.timed, 2);
+        assert!(sims[0].is_some() && sims[1].is_some());
+        assert!(sims[2..].iter().all(Option::is_none));
+    }
+}

@@ -1,0 +1,73 @@
+//! A minimal fixed-size worker pool over `std::thread` and channels.
+//!
+//! The engine's workloads are embarrassingly parallel maps over an index
+//! range, so the pool is exactly that: `jobs` scoped threads pull
+//! indices from a shared atomic counter, run the closure, and send
+//! `(index, result)` back over an `mpsc` channel. Results are
+//! reassembled **by index**, so the output order — and therefore every
+//! report built from it — is independent of worker scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Evaluate `f(0..n)` on `jobs` worker threads and return the results in
+/// index order. `jobs <= 1` runs inline on the calling thread with no
+/// thread or channel overhead — the strictly sequential reference path.
+pub fn run_indexed<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n || tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for (i, v) in rx {
+            out[i] = Some(v);
+        }
+        out.into_iter().map(|v| v.expect("every index yields exactly one result")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for jobs in [1, 2, 4, 8] {
+            let got = run_indexed(jobs, 100, |i| i * i);
+            let want: Vec<usize> = (0..100).map(|i| i * i).collect();
+            assert_eq!(got, want, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        assert_eq!(run_indexed(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(4, 1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn every_index_is_evaluated_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        let calls: Vec<AtomicU32> = (0..57).map(|_| AtomicU32::new(0)).collect();
+        run_indexed(3, 57, |i| calls[i].fetch_add(1, Ordering::Relaxed));
+        assert!(calls.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+}

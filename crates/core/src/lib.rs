@@ -20,6 +20,9 @@
 //! * [`tuner`] — the three search strategies compared in the paper and
 //!   its future work: exhaustive evaluation (ground truth), the pruned
 //!   Pareto search, and random sampling.
+//! * [`engine`] — the shared evaluation engine the strategies run on: a
+//!   worker pool with deterministic reassembly, a content-addressed memo
+//!   cache over simulation inputs, and evaluation budgets.
 //! * [`model`] — the "more detailed cost model" the paper's section 4
 //!   announces: a static roofline cycle predictor plus rank-correlation
 //!   tooling to score predictors against simulated time.
@@ -48,6 +51,7 @@
 
 pub mod bandwidth;
 pub mod candidate;
+pub mod engine;
 pub mod metrics;
 pub mod model;
 pub mod pareto;
@@ -56,15 +60,19 @@ pub mod tuner;
 
 pub use bandwidth::BandwidthAssessment;
 pub use candidate::{Candidate, Evaluated};
+pub use engine::{EngineConfig, EngineStats, EvalBudget, EvalEngine};
 pub use metrics::{Metrics, MetricsOptions, StaticProfile};
 pub use pareto::{pareto_indices, Point};
-pub use tuner::{ExhaustiveSearch, PrunedSearch, RandomSearch, SearchReport};
+pub use tuner::{ExhaustiveSearch, PrunedSearch, RandomSearch, SearchReport, SearchStrategy};
 
 /// Convenient glob import for examples and the bench harness.
 pub mod prelude {
     pub use crate::bandwidth::BandwidthAssessment;
     pub use crate::candidate::{Candidate, Evaluated};
+    pub use crate::engine::{EngineConfig, EngineStats, EvalBudget, EvalEngine};
     pub use crate::metrics::{Metrics, MetricsOptions, StaticProfile};
     pub use crate::pareto::{pareto_indices, Point};
-    pub use crate::tuner::{ExhaustiveSearch, PrunedSearch, RandomSearch, SearchReport};
+    pub use crate::tuner::{
+        ExhaustiveSearch, PrunedSearch, RandomSearch, SearchReport, SearchStrategy,
+    };
 }

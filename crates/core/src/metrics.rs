@@ -124,11 +124,8 @@ pub fn profile_kernel(
     let counts = dynamic_counts(kernel);
     let pressure = register_pressure(kernel);
     let mix = instruction_mix(kernel);
-    let usage = ResourceUsage::new(
-        launch.threads_per_block(),
-        pressure.regs_per_thread,
-        kernel.smem_bytes,
-    );
+    let usage =
+        ResourceUsage::new(launch.threads_per_block(), pressure.regs_per_thread, kernel.smem_bytes);
     let occupancy = spec.occupancy(&usage)?;
     Ok(KernelProfile {
         profile: StaticProfile {
@@ -217,7 +214,10 @@ mod tests {
             total_threads: 1 << 20,
         };
         let half = Metrics::from_profile(&p);
-        let full = Metrics::from_profile_with(&p, MetricsOptions { barrier_half_term: false, ..Default::default() });
+        let full = Metrics::from_profile_with(
+            &p,
+            MetricsOptions { barrier_half_term: false, ..Default::default() },
+        );
         assert!((full.utilization / half.utilization - 2.0).abs() < 1e-12);
     }
 

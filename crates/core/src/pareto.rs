@@ -60,12 +60,7 @@ pub fn pareto_indices(points: &[Point]) -> Vec<usize> {
             .x
             .partial_cmp(&points[a].x)
             .unwrap_or(std::cmp::Ordering::Equal)
-            .then(
-                points[b]
-                    .y
-                    .partial_cmp(&points[a].y)
-                    .unwrap_or(std::cmp::Ordering::Equal),
-            )
+            .then(points[b].y.partial_cmp(&points[a].y).unwrap_or(std::cmp::Ordering::Equal))
     });
 
     let mut keep = Vec::new();
@@ -115,11 +110,7 @@ mod tests {
 
     #[test]
     fn staircase_retained() {
-        let pts = vec![
-            Point::new(3.0, 1.0),
-            Point::new(2.0, 2.0),
-            Point::new(1.0, 3.0),
-        ];
+        let pts = vec![Point::new(3.0, 1.0), Point::new(2.0, 2.0), Point::new(1.0, 3.0)];
         assert_eq!(pareto_indices(&pts), vec![0, 1, 2]);
     }
 
@@ -137,11 +128,7 @@ mod tests {
     #[test]
     fn duplicates_of_pareto_point_all_kept() {
         // The Figure 6(b) clusters: identical metric values.
-        let pts = vec![
-            Point::new(2.0, 2.0),
-            Point::new(2.0, 2.0),
-            Point::new(1.0, 1.0),
-        ];
+        let pts = vec![Point::new(2.0, 2.0), Point::new(2.0, 2.0), Point::new(1.0, 1.0)];
         assert_eq!(pareto_indices(&pts), vec![0, 1]);
     }
 

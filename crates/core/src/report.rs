@@ -122,10 +122,8 @@ mod tests {
 
     #[test]
     fn table_alignment() {
-        let t = table(&[
-            vec!["a".into(), "long-header".into()],
-            vec!["wide-cell".into(), "x".into()],
-        ]);
+        let t =
+            table(&[vec!["a".into(), "long-header".into()], vec!["wide-cell".into(), "x".into()]]);
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[1].starts_with("---"));

@@ -9,16 +9,27 @@
 //!   only those.
 //! * [`RandomSearch`] — the baseline the paper's future work proposes
 //!   comparing against: simulate a random sample of equal budget.
+//!
+//! A strategy is only a *selection policy*: it names itself, picks a
+//! metric variant, and chooses which candidate indices deserve timing
+//! simulation. Everything mechanical — static evaluation, memoized and
+//! parallel simulation, invocation scaling, budget enforcement — lives
+//! in the shared [`EvalEngine`], which [`SearchStrategy::run_with`]
+//! drives. [`SearchStrategy::run`] is the same thing on a default
+//! (single-worker, unlimited) engine and reproduces the historical
+//! sequential behavior exactly.
 
 use gpu_arch::MachineSpec;
-use gpu_ir::linear::linearize;
-use gpu_sim::timing::{simulate, TimingReport};
+use gpu_sim::timing::TimingReport;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::candidate::{Candidate, Evaluated};
+use crate::engine::{EngineStats, EvalEngine, MetricsEval, SimulatorEval};
 use crate::metrics::MetricsOptions;
 use crate::pareto::pareto_indices;
+
+pub use crate::engine::LAUNCH_OVERHEAD_MS;
 
 /// Outcome of one search over a candidate space.
 #[derive(Debug, Clone)]
@@ -35,6 +46,9 @@ pub struct SearchReport {
     pub simulated: Vec<Option<TimingReport>>,
     /// Index of the fastest simulated configuration.
     pub best: Option<usize>,
+    /// What the evaluation engine did: parallelism, unique simulations,
+    /// memo-cache hits, budget status.
+    pub stats: EngineStats,
 }
 
 impl SearchReport {
@@ -82,49 +96,81 @@ impl SearchReport {
     }
 }
 
-fn evaluate_all(candidates: &[Candidate], spec: &MachineSpec, opts: MetricsOptions) -> Vec<Option<Evaluated>> {
-    candidates.iter().map(|c| c.evaluate_with(spec, opts).ok()).collect()
+/// A search strategy: a selection policy executed by the shared
+/// [`EvalEngine`].
+pub trait SearchStrategy {
+    /// Strategy name for report rows.
+    fn name(&self) -> String;
+
+    /// Metric variant used for static evaluation.
+    fn metrics_options(&self) -> MetricsOptions {
+        MetricsOptions::default()
+    }
+
+    /// Choose which candidate indices to timing-simulate, given the
+    /// static evaluations. Returned indices must refer to valid
+    /// (`Some`) entries of `statics`.
+    fn select(&self, candidates: &[Candidate], statics: &[Option<Evaluated>]) -> Vec<usize>;
+
+    /// Run on a default engine: one worker, no budget — the reference
+    /// sequential path.
+    fn run(&self, candidates: &[Candidate], spec: &MachineSpec) -> SearchReport {
+        self.run_with(&EvalEngine::default(), candidates, spec)
+    }
+
+    /// Run on an explicit engine. This is the single simulate loop in
+    /// the crate: statics → select → memoized/parallel simulation.
+    fn run_with(
+        &self,
+        engine: &EvalEngine,
+        candidates: &[Candidate],
+        spec: &MachineSpec,
+    ) -> SearchReport {
+        let mut stats = engine.stats_seed();
+        let statics = engine.evaluate_statics(
+            &MetricsEval { options: self.metrics_options() },
+            candidates,
+            spec,
+            &mut stats,
+        );
+        let selected = self.select(candidates, &statics);
+        let simulated = engine.simulate_selected(
+            &SimulatorEval,
+            candidates,
+            &statics,
+            &selected,
+            spec,
+            &mut stats,
+        );
+        let mut report = SearchReport {
+            strategy: self.name(),
+            space_size: candidates.len(),
+            statics,
+            simulated,
+            best: None,
+            stats,
+        };
+        report.pick_best();
+        report
+    }
 }
 
-/// Host-side overhead charged per kernel invocation (driver submission,
-/// ~10 µs on the paper's CUDA 1.0 stack). This is what separates the
-/// otherwise metric-identical work-per-invocation variants of MRI-FHD.
-pub const LAUNCH_OVERHEAD_MS: f64 = 0.01;
-
-fn simulate_one(c: &Candidate, e: &Evaluated, spec: &MachineSpec) -> Option<TimingReport> {
-    let prog = linearize(&c.kernel);
-    let mut report = simulate(&prog, &c.launch, &e.kernel_profile.usage, spec).ok()?;
-    // A multi-invocation configuration pays the kernel time and the
-    // launch overhead once per invocation.
-    let inv = f64::from(c.invocations);
-    report.time_ms = report.time_ms * inv + LAUNCH_OVERHEAD_MS * inv;
-    report.total_cycles = (report.total_cycles as f64 * inv).round() as u64;
-    report.waves *= inv;
-    Some(report)
+/// All valid candidate indices, in order.
+fn valid_indices(statics: &[Option<Evaluated>]) -> Vec<usize> {
+    statics.iter().enumerate().filter_map(|(i, e)| e.as_ref().map(|_| i)).collect()
 }
 
 /// Simulate every valid configuration.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExhaustiveSearch;
 
-impl ExhaustiveSearch {
-    /// Run the search.
-    pub fn run(&self, candidates: &[Candidate], spec: &MachineSpec) -> SearchReport {
-        let statics = evaluate_all(candidates, spec, MetricsOptions::default());
-        let simulated: Vec<Option<TimingReport>> = candidates
-            .iter()
-            .zip(&statics)
-            .map(|(c, e)| e.as_ref().and_then(|e| simulate_one(c, e, spec)))
-            .collect();
-        let mut report = SearchReport {
-            strategy: "exhaustive".into(),
-            space_size: candidates.len(),
-            statics,
-            simulated,
-            best: None,
-        };
-        report.pick_best();
-        report
+impl SearchStrategy for ExhaustiveSearch {
+    fn name(&self) -> String {
+        "exhaustive".into()
+    }
+
+    fn select(&self, _candidates: &[Candidate], statics: &[Option<Evaluated>]) -> Vec<usize> {
+        valid_indices(statics)
     }
 }
 
@@ -160,10 +206,16 @@ impl Default for PrunedSearch {
     }
 }
 
-impl PrunedSearch {
-    /// Run the search.
-    pub fn run(&self, candidates: &[Candidate], spec: &MachineSpec) -> SearchReport {
-        let statics = evaluate_all(candidates, spec, self.options);
+impl SearchStrategy for PrunedSearch {
+    fn name(&self) -> String {
+        "pareto-pruned".into()
+    }
+
+    fn metrics_options(&self) -> MetricsOptions {
+        self.options
+    }
+
+    fn select(&self, _candidates: &[Candidate], statics: &[Option<Evaluated>]) -> Vec<usize> {
         // Candidates entering the plot: valid, and (optionally) not
         // bandwidth-bound. If the screen removes everything (a fully
         // bandwidth-bound space), fall back to the unscreened plot.
@@ -172,17 +224,11 @@ impl PrunedSearch {
                 .iter()
                 .enumerate()
                 .filter_map(|(i, e)| e.as_ref().map(|e| (i, e)))
-                .filter(|(_, e)| {
-                    !self.screen_bandwidth || !e.bandwidth.is_bandwidth_bound()
-                })
+                .filter(|(_, e)| !self.screen_bandwidth || !e.bandwidth.is_bandwidth_bound())
                 .map(|(i, _)| i)
                 .collect();
             if screened.is_empty() {
-                statics
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, e)| e.as_ref().map(|_| i))
-                    .collect()
+                valid_indices(statics)
             } else {
                 screened
             }
@@ -220,22 +266,7 @@ impl PrunedSearch {
                 }
             });
         }
-        let selected: Vec<usize> = selected.into_iter().map(|k| eligible[k]).collect();
-
-        let mut simulated: Vec<Option<TimingReport>> = vec![None; candidates.len()];
-        for &i in &selected {
-            let e = statics[i].as_ref().expect("selected implies valid");
-            simulated[i] = simulate_one(&candidates[i], e, spec);
-        }
-        let mut report = SearchReport {
-            strategy: "pareto-pruned".into(),
-            space_size: candidates.len(),
-            statics,
-            simulated,
-            best: None,
-        };
-        report.pick_best();
-        report
+        selected.into_iter().map(|k| eligible[k]).collect()
     }
 }
 
@@ -248,34 +279,17 @@ pub struct RandomSearch {
     pub seed: u64,
 }
 
-impl RandomSearch {
-    /// Run the search.
-    pub fn run(&self, candidates: &[Candidate], spec: &MachineSpec) -> SearchReport {
-        let statics = evaluate_all(candidates, spec, MetricsOptions::default());
-        let valid: Vec<usize> = statics
-            .iter()
-            .enumerate()
-            .filter_map(|(i, e)| e.as_ref().map(|_| i))
-            .collect();
+impl SearchStrategy for RandomSearch {
+    fn name(&self) -> String {
+        format!("random-{}", self.budget)
+    }
+
+    fn select(&self, _candidates: &[Candidate], statics: &[Option<Evaluated>]) -> Vec<usize> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
-        let mut picks = valid;
+        let mut picks = valid_indices(statics);
         picks.shuffle(&mut rng);
         picks.truncate(self.budget);
-
-        let mut simulated: Vec<Option<TimingReport>> = vec![None; candidates.len()];
-        for &i in &picks {
-            let e = statics[i].as_ref().expect("picked from valid set");
-            simulated[i] = simulate_one(&candidates[i], e, spec);
-        }
-        let mut report = SearchReport {
-            strategy: format!("random-{}", self.budget),
-            space_size: candidates.len(),
-            statics,
-            simulated,
-            best: None,
-        };
-        report.pick_best();
-        report
+        picks
     }
 }
 
@@ -288,7 +302,9 @@ pub(crate) mod tests {
     /// A small synthetic space: a compute loop whose per-thread work and
     /// register appetite vary with a "tiling" knob, so configurations
     /// genuinely trade efficiency against utilization.
-    pub(super) fn synthetic_space_for_debug() -> Vec<Candidate> { synthetic_space() }
+    pub(super) fn synthetic_space_for_debug() -> Vec<Candidate> {
+        synthetic_space()
+    }
     fn synthetic_space() -> Vec<Candidate> {
         fn kernel(tile: u32, pad_regs: u32) -> Kernel {
             let mut b = KernelBuilder::new(format!("syn{tile}"));
@@ -344,6 +360,8 @@ pub(crate) mod tests {
         assert_eq!(r.evaluated_count(), 12);
         assert!(r.best.is_some());
         assert_eq!(r.space_reduction(), 0.0);
+        assert_eq!(r.stats.static_evals, 13);
+        assert_eq!(r.stats.timed, 12);
     }
 
     #[test]
@@ -390,12 +408,33 @@ pub(crate) mod tests {
         assert!(r.statics[12].is_none());
         assert!(r.simulated[12].is_none());
     }
+
+    /// The engine path with >1 worker must reproduce the sequential
+    /// report field-for-field on every strategy.
+    #[test]
+    fn parallel_engine_reproduces_sequential_reports() {
+        let space = synthetic_space();
+        let spec = g80();
+        let engine = EvalEngine::with_jobs(4);
+        for strategy in [
+            &ExhaustiveSearch as &dyn SearchStrategy,
+            &PrunedSearch::default(),
+            &RandomSearch { budget: 5, seed: 42 },
+        ] {
+            let seq = strategy.run(&space, &spec);
+            let par = strategy.run_with(&engine, &space, &spec);
+            assert_eq!(seq.best, par.best, "{}", seq.strategy);
+            assert_eq!(seq.simulated, par.simulated, "{}", seq.strategy);
+            assert_eq!(par.stats.jobs, 4);
+            assert_eq!(seq.stats.unique_sims, par.stats.unique_sims);
+        }
+    }
 }
 
 #[cfg(test)]
 mod debug_dump {
-    use super::*;
     use super::tests::synthetic_space_for_debug;
+    use super::*;
 
     #[test]
     #[ignore]
@@ -467,11 +506,8 @@ mod cluster_tests {
         let space = clustered_space();
 
         let exact = PrunedSearch::default().run(&space, &spec);
-        let clustered = PrunedSearch {
-            metric_resolution: Some(0.02),
-            ..Default::default()
-        }
-        .run(&space, &spec);
+        let clustered =
+            PrunedSearch { metric_resolution: Some(0.02), ..Default::default() }.run(&space, &spec);
         let sampled = PrunedSearch {
             metric_resolution: Some(0.02),
             cluster_sample: true,
@@ -494,9 +530,14 @@ mod cluster_tests {
         // spread of the true optimum.
         let truth = ExhaustiveSearch.run(&space, &spec).best_time_ms().unwrap();
         let got = sampled.best_time_ms().unwrap();
-        assert!(
-            got / truth < 1.10,
-            "sampled best {got} more than 10% off optimum {truth}"
-        );
+        assert!(got / truth < 1.10, "sampled best {got} more than 10% off optimum {truth}");
+
+        // The invocation clusters are exactly what the memo cache
+        // collapses: the exhaustive run times 12 configurations out of
+        // only 3 unique simulations (work variants), families included.
+        let ex = ExhaustiveSearch.run(&space, &spec);
+        assert_eq!(ex.stats.timed, 12);
+        assert_eq!(ex.stats.unique_sims, 3);
+        assert_eq!(ex.stats.cache_hits, 9);
     }
 }

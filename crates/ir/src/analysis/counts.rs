@@ -111,8 +111,7 @@ fn walk(stmts: &[Stmt], counts: &mut DynCounts, st: &mut UnitState, rules: Block
                 let mut body_st = UnitState::default();
                 walk(&l.body, &mut body, &mut body_st, rules);
                 let trips = u64::from(l.trip_count);
-                counts.instrs +=
-                    trips * (body.instrs + u64::from(LOOP_OVERHEAD_INSTRS));
+                counts.instrs += trips * (body.instrs + u64::from(LOOP_OVERHEAD_INSTRS));
                 counts.blocking_units += trips * body.blocking_units;
                 counts.syncs += trips * body.syncs;
                 counts.long_latency_loads += trips * body.long_latency_loads;

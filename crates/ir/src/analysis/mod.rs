@@ -13,4 +13,6 @@ pub mod regalloc;
 
 pub use counts::{dynamic_counts, dynamic_counts_with, DynCounts};
 pub use mix::{instruction_mix, InstrMix};
-pub use pressure::{live_ranges, register_pressure, LiveRange, LiveRanges, PressureReport, RESERVED_REGS};
+pub use pressure::{
+    live_ranges, register_pressure, LiveRange, LiveRanges, PressureReport, RESERVED_REGS,
+};

@@ -149,8 +149,7 @@ pub fn live_ranges(kernel: &Kernel) -> LiveRanges {
 /// ```
 pub fn register_pressure(kernel: &Kernel) -> PressureReport {
     let LiveRanges { ranges } = live_ranges(kernel);
-    let intervals: Vec<(usize, usize)> =
-        ranges.iter().map(|r| (r.start, r.end)).collect();
+    let intervals: Vec<(usize, usize)> = ranges.iter().map(|r| (r.start, r.end)).collect();
 
     // Register need at instruction `idx` is max(live-in, live-out): a
     // destination may reuse the register of a source dying at the same

@@ -55,8 +55,7 @@ impl Allocation {
                 if a.phys != b.phys {
                     continue;
                 }
-                let (first, second) =
-                    if a.range.start <= b.range.start { (a, b) } else { (b, a) };
+                let (first, second) = if a.range.start <= b.range.start { (a, b) } else { (b, a) };
                 // Allowed to touch: first may END exactly where second
                 // STARTS (dst reuses dying src — reads precede writes).
                 // A *point* first range ends with a def, not a read, so
@@ -166,8 +165,7 @@ mod tests {
         assert!(a.find_conflict().is_none());
         // acc has exactly one range (accumulates never kill it), so one
         // physical register covers it everywhere.
-        let acc_ranges: Vec<_> =
-            a.ranges.iter().filter(|r| r.range.reg == acc).collect();
+        let acc_ranges: Vec<_> = a.ranges.iter().filter(|r| r.range.reg == acc).collect();
         assert_eq!(acc_ranges.len(), 1);
         assert_eq!(a.phys_count, register_pressure(&k).max_live);
     }

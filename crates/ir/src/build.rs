@@ -69,10 +69,7 @@ impl KernelBuilder {
 
     /// Append a raw statement to the innermost open scope.
     pub fn push(&mut self, stmt: Stmt) {
-        self.frames
-            .last_mut()
-            .expect("builder always has an open frame")
-            .push(stmt);
+        self.frames.last_mut().expect("builder always has an open frame").push(stmt);
     }
 
     /// Append an instruction.
@@ -142,11 +139,7 @@ impl KernelBuilder {
     /// inner loops. Reusing the destination keeps the live range of the
     /// accumulator to a single register, as the hardware MAD does.
     pub fn fmad_acc(&mut self, a: impl Into<Operand>, b: impl Into<Operand>, acc: VReg) {
-        self.push_instr(Instr::new(
-            Op::FMad,
-            Some(acc),
-            vec![a.into(), b.into(), acc.into()],
-        ));
+        self.push_instr(Instr::new(Op::FMad, Some(acc), vec![a.into(), b.into(), acc.into()]));
     }
 
     /// `min(a, b)`
@@ -337,8 +330,7 @@ impl KernelBuilder {
         value: impl Into<Operand>,
     ) {
         self.push_instr(
-            Instr::new(Op::St(space), None, vec![addr.into(), value.into()])
-                .with_offset(offset),
+            Instr::new(Op::St(space), None, vec![addr.into(), value.into()]).with_offset(offset),
         );
     }
 

@@ -100,15 +100,41 @@ impl Op {
     /// Number of source operands the op takes (memory offset excluded).
     pub fn arity(self) -> usize {
         match self {
-            Op::FNeg | Op::FAbs | Op::Rcp | Op::Rsqrt | Op::Sqrt | Op::Sin | Op::Cos
-            | Op::Ex2 | Op::Mov | Op::F2I | Op::I2F => 1,
-            Op::FAdd | Op::FSub | Op::FMul | Op::FMin | Op::FMax | Op::IAdd | Op::ISub
-            | Op::IMul | Op::IDiv | Op::IRem | Op::Shl | Op::Shr | Op::And | Op::Or
-            | Op::Xor | Op::IMin | Op::IMax | Op::SetLt | Op::SetLe | Op::SetEq
+            Op::FNeg
+            | Op::FAbs
+            | Op::Rcp
+            | Op::Rsqrt
+            | Op::Sqrt
+            | Op::Sin
+            | Op::Cos
+            | Op::Ex2
+            | Op::Mov
+            | Op::F2I
+            | Op::I2F => 1,
+            Op::FAdd
+            | Op::FSub
+            | Op::FMul
+            | Op::FMin
+            | Op::FMax
+            | Op::IAdd
+            | Op::ISub
+            | Op::IMul
+            | Op::IDiv
+            | Op::IRem
+            | Op::Shl
+            | Op::Shr
+            | Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::IMin
+            | Op::IMax
+            | Op::SetLt
+            | Op::SetLe
+            | Op::SetEq
             | Op::SetNe => 2,
             Op::FMad | Op::IMad | Op::Selp => 3,
-            Op::Ld(_) => 1,  // address
-            Op::St(_) => 2,  // address, value
+            Op::Ld(_) => 1, // address
+            Op::St(_) => 2, // address, value
         }
     }
 
@@ -123,8 +149,19 @@ impl Op {
     pub fn flops(self) -> u32 {
         match self {
             Op::FMad => 2,
-            Op::FAdd | Op::FSub | Op::FMul | Op::FMin | Op::FMax | Op::FNeg | Op::FAbs
-            | Op::Rcp | Op::Rsqrt | Op::Sqrt | Op::Sin | Op::Cos | Op::Ex2 => 1,
+            Op::FAdd
+            | Op::FSub
+            | Op::FMul
+            | Op::FMin
+            | Op::FMax
+            | Op::FNeg
+            | Op::FAbs
+            | Op::Rcp
+            | Op::Rsqrt
+            | Op::Sqrt
+            | Op::Sin
+            | Op::Cos
+            | Op::Ex2 => 1,
             _ => 0,
         }
     }

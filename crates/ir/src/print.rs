@@ -24,10 +24,7 @@ fn render(stmts: &[Stmt], indent: usize, out: &mut String, label: &mut u32) {
             Stmt::Loop(l) => {
                 let id = *label;
                 *label += 1;
-                let counter = l
-                    .counter
-                    .map(|c| format!(", counter {c}"))
-                    .unwrap_or_default();
+                let counter = l.counter.map(|c| format!(", counter {c}")).unwrap_or_default();
                 let _ = writeln!(out, "{pad}$L{id}:  // loop, trips = {}{counter}", l.trip_count);
                 render(&l.body, indent + 1, out, label);
                 let _ = writeln!(out, "{pad}bra $L{id}  // add.s32/setp/bra");

@@ -229,9 +229,7 @@ impl<'a> Parser<'a> {
         let digits = tok
             .strip_prefix("%r")
             .ok_or_else(|| self.err(line, format!("expected register, got `{tok}`")))?;
-        let n: u32 = digits
-            .parse()
-            .map_err(|_| self.err(line, format!("bad register `{tok}`")))?;
+        let n: u32 = digits.parse().map_err(|_| self.err(line, format!("bad register `{tok}`")))?;
         self.max_reg = self.max_reg.max(n + 1);
         Ok(VReg(n))
     }
@@ -244,27 +242,19 @@ impl<'a> Parser<'a> {
             return Ok(Operand::Reg(self.parse_reg(tok, line)?));
         }
         if let Some(idx) = tok.strip_prefix("[param").and_then(|t| t.strip_suffix(']')) {
-            let i: u32 =
-                idx.parse().map_err(|_| self.err(line, format!("bad param `{tok}`")))?;
+            let i: u32 = idx.parse().map_err(|_| self.err(line, format!("bad param `{tok}`")))?;
             return Ok(Operand::Param(i));
         }
         if let Some(ft) = tok.strip_suffix('f') {
-            let v: f32 =
-                ft.parse().map_err(|_| self.err(line, format!("bad float `{tok}`")))?;
+            let v: f32 = ft.parse().map_err(|_| self.err(line, format!("bad float `{tok}`")))?;
             return Ok(Operand::ImmF32(v));
         }
-        let v: i32 = tok
-            .parse()
-            .map_err(|_| self.err(line, format!("bad operand `{tok}`")))?;
+        let v: i32 = tok.parse().map_err(|_| self.err(line, format!("bad operand `{tok}`")))?;
         Ok(Operand::ImmI32(v))
     }
 
     /// Parse `[base+off]` or `[base-off]`.
-    fn parse_address(
-        &mut self,
-        tok: &str,
-        line: usize,
-    ) -> Result<(Operand, i32), ParseError> {
+    fn parse_address(&mut self, tok: &str, line: usize) -> Result<(Operand, i32), ParseError> {
         let inner = tok
             .strip_prefix('[')
             .and_then(|t| t.strip_suffix(']'))
@@ -276,9 +266,8 @@ impl<'a> Parser<'a> {
             .ok_or_else(|| self.err(line, format!("address `{tok}` missing offset")))?;
         let (base, off) = inner.split_at(split);
         let base_op = self.parse_operand(base, line)?;
-        let offset: i32 = off
-            .parse()
-            .map_err(|_| self.err(line, format!("bad offset in `{tok}`")))?;
+        let offset: i32 =
+            off.parse().map_err(|_| self.err(line, format!("bad offset in `{tok}`")))?;
         Ok((base_op, offset))
     }
 
@@ -310,12 +299,9 @@ impl<'a> Parser<'a> {
             (Some(_), false) => {
                 return Err(self.err(line, format!("`{mnemonic}` takes no destination")))
             }
-            (None, true) => {
-                return Err(self.err(line, format!("`{mnemonic}` needs a destination")))
-            }
+            (None, true) => return Err(self.err(line, format!("`{mnemonic}` needs a destination"))),
         };
-        let toks: Vec<&str> =
-            args.split(',').map(str::trim).filter(|t| !t.is_empty()).collect();
+        let toks: Vec<&str> = args.split(',').map(str::trim).filter(|t| !t.is_empty()).collect();
 
         let (srcs, offset) = match op {
             Op::Ld(_) => {
@@ -421,21 +407,14 @@ pub fn parse(input: &str) -> Result<Kernel, ParseError> {
     let mut num_params = 0u32;
     let mut smem_bytes = 0u32;
     loop {
-        let (line_no, line) = p
-            .next_line()
-            .ok_or(ParseError { line: 0, message: "empty kernel text".into() })?;
+        let (line_no, line) =
+            p.next_line().ok_or(ParseError { line: 0, message: "empty kernel text".into() })?;
         if let Some(n) = line.strip_prefix(".kernel ") {
             name = Some(n.trim().to_string());
         } else if let Some(n) = line.strip_prefix(".params ") {
-            num_params = n
-                .trim()
-                .parse()
-                .map_err(|_| p.err(line_no, "bad .params count"))?;
+            num_params = n.trim().parse().map_err(|_| p.err(line_no, "bad .params count"))?;
         } else if let Some(n) = line.strip_prefix(".shared ") {
-            smem_bytes = n
-                .trim()
-                .parse()
-                .map_err(|_| p.err(line_no, "bad .shared size"))?;
+            smem_bytes = n.trim().parse().map_err(|_| p.err(line_no, "bad .shared size"))?;
         } else if line == "{" {
             break;
         } else {
@@ -564,8 +543,7 @@ mod tests {
 
     #[test]
     fn store_with_destination_rejected() {
-        let text =
-            ".kernel k\n.params 0\n.shared 0\n{\n    %r0 = st.global.f32 [%r1+0], %r2\n}\n";
+        let text = ".kernel k\n.params 0\n.shared 0\n{\n    %r0 = st.global.f32 [%r1+0], %r2\n}\n";
         let err = parse(text).expect_err("must fail");
         assert!(err.message.contains("no destination"), "{err}");
     }

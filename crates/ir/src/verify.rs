@@ -105,10 +105,8 @@ impl Checker<'_> {
                             declared: self.kernel.num_vregs,
                         });
                     } else if !defined.contains(r) {
-                        self.errors.push(VerifyError::UseBeforeDef {
-                            reg: *r,
-                            op: i.op.mnemonic(),
-                        });
+                        self.errors
+                            .push(VerifyError::UseBeforeDef { reg: *r, op: i.op.mnemonic() });
                     }
                 }
                 Operand::Param(p) if *p >= self.kernel.num_params => {
@@ -139,10 +137,8 @@ impl Checker<'_> {
                 let Operand::ImmI32(base) = i.srcs[0] else { unreachable!() };
                 let addr = i64::from(base) + i64::from(i.offset);
                 if addr < 0 || addr >= i64::from(self.smem_words) {
-                    self.errors.push(VerifyError::SharedOutOfBounds {
-                        addr,
-                        words: self.smem_words,
-                    });
+                    self.errors
+                        .push(VerifyError::SharedOutOfBounds { addr, words: self.smem_words });
                 }
             }
             _ => {}
@@ -232,11 +228,8 @@ fn writes(stmts: &[Stmt], reg: VReg) -> bool {
 /// assert!(gpu_ir::verify::verify(&b.finish()).is_empty());
 /// ```
 pub fn verify(kernel: &Kernel) -> Vec<VerifyError> {
-    let mut checker = Checker {
-        kernel,
-        smem_words: kernel.smem_bytes.div_ceil(4),
-        errors: Vec::new(),
-    };
+    let mut checker =
+        Checker { kernel, smem_words: kernel.smem_bytes.div_ceil(4), errors: Vec::new() };
     let mut defined = HashSet::new();
     checker.walk(&kernel.body, &mut defined);
     checker.errors
@@ -271,7 +264,9 @@ mod tests {
         b.st_global(out, 0, ghost);
         let errors = verify(&b.finish());
         assert!(
-            errors.iter().any(|e| matches!(e, VerifyError::UseBeforeDef { reg, .. } if *reg == ghost)),
+            errors
+                .iter()
+                .any(|e| matches!(e, VerifyError::UseBeforeDef { reg, .. } if *reg == ghost)),
             "{errors:?}"
         );
     }
@@ -299,11 +294,7 @@ mod tests {
         b.st_global(out, 0, 1.0f32);
         let mut k = b.finish();
         // Corrupt: reference a register beyond num_vregs.
-        k.body.push(Stmt::Op(Instr::new(
-            Op::Mov,
-            Some(VReg(99)),
-            vec![Operand::ImmI32(0)],
-        )));
+        k.body.push(Stmt::Op(Instr::new(Op::Mov, Some(VReg(99)), vec![Operand::ImmI32(0)])));
         let errors = verify(&k);
         assert!(errors
             .iter()
@@ -329,11 +320,7 @@ mod tests {
         let v = b.mov(1.0f32);
         let k = {
             let dst_addr = Operand::ImmI32(0);
-            b.push_instr(Instr::new(
-                Op::St(MemorySpace::Constant),
-                None,
-                vec![dst_addr, v.into()],
-            ));
+            b.push_instr(Instr::new(Op::St(MemorySpace::Constant), None, vec![dst_addr, v.into()]));
             b.finish()
         };
         let errors = verify(&k);

@@ -107,10 +107,7 @@ impl Cp {
 
     /// Launch geometry: 1-D blocks along x, tiling groups along y.
     pub fn launch(&self, cfg: &CpConfig) -> Launch {
-        Launch::new(
-            Dim::new_2d(self.nx / cfg.block, self.ny / cfg.tiling),
-            Dim::new_1d(cfg.block),
-        )
+        Launch::new(Dim::new_2d(self.nx / cfg.block, self.ny / cfg.tiling), Dim::new_1d(cfg.block))
     }
 
     /// Generate the kernel for `cfg`.
@@ -278,10 +275,7 @@ mod tests {
         let space = cp.space();
         assert_eq!(space.len(), 40);
         let spec = MachineSpec::geforce_8800_gtx();
-        let valid = space
-            .iter()
-            .filter(|c| cp.candidate(c).evaluate(&spec).is_ok())
-            .count();
+        let valid = space.iter().filter(|c| cp.candidate(c).evaluate(&spec).is_ok()).count();
         assert_eq!(valid, 36);
         for cfg in &space {
             let ok = cp.candidate(cfg).evaluate(&spec).is_ok();

@@ -21,8 +21,8 @@ use gpu_ir::build::KernelBuilder;
 use gpu_ir::types::Special;
 use gpu_ir::{Dim, Kernel, Launch};
 use gpu_passes::{
-    find_loops, fold_strided_addresses, innermost_loops, prefetch_global_loads,
-    spill_candidates, spill_registers, unroll,
+    find_loops, fold_strided_addresses, innermost_loops, prefetch_global_loads, spill_candidates,
+    spill_registers, unroll,
 };
 use gpu_sim::interp::{run_kernel, DeviceMemory};
 use gpu_sim::SimError;
@@ -208,25 +208,17 @@ impl MatMul {
         let bs_st0 = b.imad(ty, r * t, tx);
         let bs_st = b.iadd(bs_st0, t * t); // Bs[ty][tx (+ j*t)]
         let as_rd = b.imul(ty, t); // As[ty][0], bumps +1 per inner iter
-        // Per-column read pointers into Bs (induction-variable expansion,
-        // as nvcc performs for rectangular tiles).
-        let bs_rds: Vec<_> = (0..r)
-            .map(|j| {
-                
-                b.iadd(tx, t * t + j * t)
-            })
-            .collect();
+                                   // Per-column read pointers into Bs (induction-variable expansion,
+                                   // as nvcc performs for rectangular tiles).
+        let bs_rds: Vec<_> = (0..r).map(|j| b.iadd(tx, t * t + j * t)).collect();
 
         let accs: Vec<_> = (0..r).map(|_| b.mov(0.0f32)).collect();
 
         b.repeat(self.n / cfg.tile, |b| {
             // Tile loads first: one independent long-latency unit (the
             // worked example's "pairs of loads").
-            let a_val = if coalesced {
-                b.ld_global(a_ptr, 0)
-            } else {
-                b.ld_global_uncoalesced(a_ptr, 0)
-            };
+            let a_val =
+                if coalesced { b.ld_global(a_ptr, 0) } else { b.ld_global_uncoalesced(a_ptr, 0) };
             let b_vals: Vec<_> = (0..r)
                 .map(|j| {
                     if coalesced {
@@ -508,10 +500,7 @@ mod fast_reference_tests {
         let exact = mm.cpu_reference(&mem);
         let fast = mm.cpu_reference_fast(&mem);
         for (i, (a, b)) in exact.iter().zip(&fast).enumerate() {
-            assert!(
-                (a - b).abs() <= 1e-3 * a.abs().max(1.0),
-                "element {i}: {a} vs {b}"
-            );
+            assert!((a - b).abs() <= 1e-3 * a.abs().max(1.0), "element {i}: {a} vs {b}");
         }
     }
 }

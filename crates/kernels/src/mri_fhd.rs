@@ -280,10 +280,7 @@ mod tests {
         let space = mri.space();
         assert_eq!(space.len(), 175);
         let spec = MachineSpec::geforce_8800_gtx();
-        let valid = space
-            .iter()
-            .filter(|c| mri.candidate(c).evaluate(&spec).is_ok())
-            .count();
+        let valid = space.iter().filter(|c| mri.candidate(c).evaluate(&spec).is_ok()).count();
         assert_eq!(valid, 175, "Table 4 reports 175 MRI-FHD configurations");
     }
 
@@ -314,10 +311,7 @@ mod tests {
         let base = MriConfig { block: 128, unroll: 4, invocations: 1 };
         let e0 = mri.candidate(&base).evaluate(&spec).unwrap();
         for inv in [2u32, 4, 8, 16, 32, 64] {
-            let e = mri
-                .candidate(&MriConfig { invocations: inv, ..base })
-                .evaluate(&spec)
-                .unwrap();
+            let e = mri.candidate(&MriConfig { invocations: inv, ..base }).evaluate(&spec).unwrap();
             let deff = (e.metrics.efficiency / e0.metrics.efficiency - 1.0).abs();
             let dutil = (e.metrics.utilization / e0.metrics.utilization - 1.0).abs();
             // "Indistinguishable at this resolution": the per-invocation

@@ -229,11 +229,7 @@ impl Sad {
                         let cp = b.ld_shared(soff, 0);
                         let d = b.fsub(rp, cp);
                         let ad = b.fabs(d);
-                        b.push_instr(Instr::new(
-                            Op::FAdd,
-                            Some(acc),
-                            vec![acc.into(), ad.into()],
-                        ));
+                        b.push_instr(Instr::new(Op::FAdd, Some(acc), vec![acc.into(), ad.into()]));
                     }
                 });
             });
@@ -259,15 +255,13 @@ impl Sad {
             // only occupant — the row loop is still depth 2 unless the
             // col unroll was complete; in that case the row loop is now
             // the deepest.
-            let row = find_loops(&k)
-                .into_iter().rfind(|id| id.depth() == 2)
-                .expect("row loop exists");
+            let row =
+                find_loops(&k).into_iter().rfind(|id| id.depth() == 2).expect("row loop exists");
             unroll(&mut k, &row, cfg.row_unroll).expect("divides 4");
         }
         // Position loop: the last top-level loop.
-        let pos = find_loops(&k)
-            .into_iter().rfind(|id| id.depth() == 1)
-            .expect("position loop exists");
+        let pos =
+            find_loops(&k).into_iter().rfind(|id| id.depth() == 1).expect("position loop exists");
         unroll(&mut k, &pos, cfg.pos_unroll).expect("space() filtered divisibility");
         gpu_passes::fold_strided_addresses(&mut k);
         // Complete unrolls substitute the row/column counters with
@@ -407,8 +401,7 @@ mod tests {
         let sad = Sad::test_problem();
         let (mem0, params) = sad.setup(9);
         let reference = sad.cpu_reference(&mem0);
-        let cfg =
-            SadConfig { tpb: 32, mb_tiling: 2, pos_unroll: 2, row_unroll: 2, col_unroll: 2 };
+        let cfg = SadConfig { tpb: 32, mb_tiling: 2, pos_unroll: 2, row_unroll: 2, col_unroll: 2 };
         let mut mem = mem0.clone();
         let got = sad.run_config(&cfg, &mut mem, &params).unwrap();
         assert_eq!(got, reference);
@@ -430,13 +423,8 @@ mod tests {
     fn tiling_amortises_position_decode() {
         let sad = Sad::paper_problem();
         let per_mb_instr = |v: u32| {
-            let cfg = SadConfig {
-                tpb: 128,
-                mb_tiling: v,
-                pos_unroll: 1,
-                row_unroll: 1,
-                col_unroll: 1,
-            };
+            let cfg =
+                SadConfig { tpb: 128, mb_tiling: v, pos_unroll: 1, row_unroll: 1, col_unroll: 1 };
             // Same total macroblocks, fewer blocks at higher tiling:
             // compare dynamic instructions per macroblock processed.
             let instr = gpu_ir::analysis::dynamic_counts(&sad.generate(&cfg)).instrs;

@@ -70,9 +70,7 @@ fn eval(i: &Instr) -> Option<Operand> {
         ISub => Operand::ImmI32(imm_i32(&s[0])?.wrapping_sub(imm_i32(&s[1])?)),
         IMul => Operand::ImmI32(imm_i32(&s[0])?.wrapping_mul(imm_i32(&s[1])?)),
         IMad => Operand::ImmI32(
-            imm_i32(&s[0])?
-                .wrapping_mul(imm_i32(&s[1])?)
-                .wrapping_add(imm_i32(&s[2])?),
+            imm_i32(&s[0])?.wrapping_mul(imm_i32(&s[1])?).wrapping_add(imm_i32(&s[2])?),
         ),
         IDiv => {
             let (a, b) = (imm_i32(&s[0])?, imm_i32(&s[1])?);
@@ -104,11 +102,7 @@ fn eval(i: &Instr) -> Option<Operand> {
 /// Fold and propagate within one statement list. `bindings` maps
 /// registers to known immediates; loop bodies start with bindings for
 /// values that are invariant across the loop (not redefined inside).
-fn fold_walk(
-    stmts: &mut [Stmt],
-    bindings: &mut HashMap<VReg, Operand>,
-    report: &mut FoldReport,
-) {
+fn fold_walk(stmts: &mut [Stmt], bindings: &mut HashMap<VReg, Operand>, report: &mut FoldReport) {
     for s in stmts.iter_mut() {
         match s {
             Stmt::Op(i) => {

@@ -8,7 +8,7 @@
 //! PTX output: "the group of memory operations only need the single base
 //! address calculation and use their constant offsets".
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use gpu_ir::types::{Operand, VReg};
 use gpu_ir::{Instr, Kernel, Op, Stmt};
@@ -115,7 +115,11 @@ fn fold_body(body: &mut Vec<Stmt>) -> u32 {
         return removed;
     }
 
-    let mut delta: HashMap<VReg, i64> = HashMap::new();
+    // Ordered by register so the materialised accumulates come out in a
+    // stable order — HashMap iteration order varies per process, and the
+    // resulting instruction shuffle cascades into different spill choices
+    // downstream.
+    let mut delta: BTreeMap<VReg, i64> = BTreeMap::new();
     let mut out: Vec<Stmt> = Vec::with_capacity(body.len());
     for s in body.drain(..) {
         match s {
@@ -208,7 +212,7 @@ mod tests {
     }
 
     #[test]
-    fn fold_alone_is_identity_on_single_accumulates(){
+    fn fold_alone_is_identity_on_single_accumulates() {
         // One accumulate per register per iteration: fold removes it and
         // reinserts an identical one — net zero, semantics identical.
         let baseline = run_copy(&strided_copy());
@@ -327,13 +331,8 @@ mod tests {
             for i in 0..16 {
                 mem.global[i] = (i + 1) as f32;
             }
-            run_kernel(
-                &prog,
-                &Launch::new(Dim::new_1d(1), Dim::new_1d(1)),
-                &[0, 16],
-                &mut mem,
-            )
-            .unwrap();
+            run_kernel(&prog, &Launch::new(Dim::new_1d(1), Dim::new_1d(1)), &[0, 16], &mut mem)
+                .unwrap();
             mem.global[16]
         };
 

@@ -135,10 +135,7 @@ mod tests {
     fn find_loops_preorder() {
         let k = sample();
         let ids = find_loops(&k);
-        assert_eq!(
-            ids,
-            vec![LoopId(vec![1]), LoopId(vec![1, 1]), LoopId(vec![2])]
-        );
+        assert_eq!(ids, vec![LoopId(vec![1]), LoopId(vec![1, 1]), LoopId(vec![2])]);
         assert_eq!(ids[1].depth(), 2);
     }
 

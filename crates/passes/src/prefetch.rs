@@ -255,12 +255,7 @@ mod tests {
         let id = find_loops(&k).remove(0);
         prefetch_global_loads(&mut k, &id).unwrap();
         let pf = register_pressure(&k);
-        assert!(
-            pf.max_live > base.max_live,
-            "prefetch {} !> base {}",
-            pf.max_live,
-            base.max_live
-        );
+        assert!(pf.max_live > base.max_live, "prefetch {} !> base {}", pf.max_live, base.max_live);
     }
 
     #[test]
@@ -269,11 +264,8 @@ mod tests {
         let id = find_loops(&k).remove(0);
         prefetch_global_loads(&mut k, &id).unwrap();
         // The two prologue loads now precede the loop statement.
-        let loop_pos = k
-            .body
-            .iter()
-            .position(|s| matches!(s, Stmt::Loop(_)))
-            .expect("loop still present");
+        let loop_pos =
+            k.body.iter().position(|s| matches!(s, Stmt::Loop(_))).expect("loop still present");
         let prologue_loads = k.body[..loop_pos]
             .iter()
             .filter_map(|s| s.as_instr())

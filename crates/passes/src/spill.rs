@@ -29,11 +29,7 @@ fn collect_counters(stmts: &[Stmt], out: &mut Vec<VReg>) {
     }
 }
 
-fn rewrite(
-    stmts: Vec<Stmt>,
-    slots: &HashMap<VReg, i32>,
-    next_reg: &mut u32,
-) -> Vec<Stmt> {
+fn rewrite(stmts: Vec<Stmt>, slots: &HashMap<VReg, i32>, next_reg: &mut u32) -> Vec<Stmt> {
     let mut out = Vec::with_capacity(stmts.len() * 2);
     for s in stmts {
         match s {
@@ -46,13 +42,11 @@ fn rewrite(
                             let t = *reloaded.entry(r).or_insert_with(|| {
                                 let t = VReg(*next_reg);
                                 *next_reg += 1;
-                                out.push(Stmt::Op(
-                                    Instr::new(
-                                        Op::Ld(gpu_arch::MemorySpace::Local),
-                                        Some(t),
-                                        vec![Operand::ImmI32(slot)],
-                                    ),
-                                ));
+                                out.push(Stmt::Op(Instr::new(
+                                    Op::Ld(gpu_arch::MemorySpace::Local),
+                                    Some(t),
+                                    vec![Operand::ImmI32(slot)],
+                                )));
                                 t
                             });
                             *src = Operand::Reg(t);
@@ -106,8 +100,7 @@ pub fn spill_registers(kernel: &mut Kernel, regs: &[VReg]) -> Result<u32, PassEr
     if regs.iter().any(|r| counters.contains(r)) {
         return Err(PassError::CounterSpill);
     }
-    let slots: HashMap<VReg, i32> =
-        regs.iter().enumerate().map(|(k, r)| (*r, k as i32)).collect();
+    let slots: HashMap<VReg, i32> = regs.iter().enumerate().map(|(k, r)| (*r, k as i32)).collect();
     let mut next = kernel.num_vregs;
     kernel.body = rewrite(std::mem::take(&mut kernel.body), &slots, &mut next);
     kernel.num_vregs = next;
@@ -118,11 +111,7 @@ pub fn spill_registers(kernel: &mut Kernel, regs: &[VReg]) -> Result<u32, PassEr
 /// return up to `count` spill candidates. Loop counters are excluded.
 pub fn spill_candidates(kernel: &Kernel, count: usize) -> Vec<VReg> {
     // Flatten in syntactic order, recording first/last touch positions.
-    fn walk(
-        stmts: &[Stmt],
-        pos: &mut usize,
-        touch: &mut HashMap<VReg, (usize, usize)>,
-    ) {
+    fn walk(stmts: &[Stmt], pos: &mut usize, touch: &mut HashMap<VReg, (usize, usize)>) {
         for s in stmts {
             match s {
                 Stmt::Op(i) => {
@@ -319,8 +308,7 @@ mod tests {
 
         let prog = linearize(&k);
         let mut mem = DeviceMemory::new(1);
-        run_kernel(&prog, &Launch::new(Dim::new_1d(1), Dim::new_1d(1)), &[0], &mut mem)
-            .unwrap();
+        run_kernel(&prog, &Launch::new(Dim::new_1d(1), Dim::new_1d(1)), &[0], &mut mem).unwrap();
         assert_eq!(mem.global[0], 9.0);
     }
 }

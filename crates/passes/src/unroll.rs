@@ -198,8 +198,7 @@ mod tests {
         unroll(&mut k, &id, 3).unwrap();
         let prog = linearize(&k);
         let mut mem = DeviceMemory::new(1);
-        run_kernel(&prog, &Launch::new(Dim::new_1d(1), Dim::new_1d(1)), &[0], &mut mem)
-            .unwrap();
+        run_kernel(&prog, &Launch::new(Dim::new_1d(1), Dim::new_1d(1)), &[0], &mut mem).unwrap();
         assert_eq!(mem.global[0], 72.0);
         // No imads inserted for counterless loops.
         let l = crate::loops::get_loop(&k, &id).unwrap();
@@ -260,8 +259,7 @@ mod tests {
         unroll(&mut k, &inner, 2).unwrap();
         let prog = linearize(&k);
         let mut mem = DeviceMemory::new(1);
-        run_kernel(&prog, &Launch::new(Dim::new_1d(1), Dim::new_1d(1)), &[0], &mut mem)
-            .unwrap();
+        run_kernel(&prog, &Launch::new(Dim::new_1d(1), Dim::new_1d(1)), &[0], &mut mem).unwrap();
         assert_eq!(mem.global[0], expected);
     }
 }
@@ -302,7 +300,9 @@ mod proptests {
             };
             let baseline = run(&build());
             for factor in 1..=trips {
-                if trips % factor != 0 { continue; }
+                if !trips.is_multiple_of(factor) {
+                    continue;
+                }
                 let mut k = build();
                 let id = find_loops(&k).remove(0);
                 unroll(&mut k, &id, factor).unwrap();

@@ -198,11 +198,7 @@ impl Thread {
         }
     }
 
-    fn addr_of(
-        &self,
-        i: &Instr,
-        params: &[i32],
-    ) -> Result<i64, SimError> {
+    fn addr_of(&self, i: &Instr, params: &[i32]) -> Result<i64, SimError> {
         let base = self.operand(&i.srcs[0], params)?.as_i32(i)?;
         Ok(i64::from(base) + i64::from(i.offset))
     }
@@ -227,8 +223,11 @@ impl Thread {
             MemorySpace::Shared => fetch(shared, "shared"),
             MemorySpace::Local => {
                 // Local memory grows on demand: it is private spill space.
-                let a = usize::try_from(addr)
-                    .map_err(|_| SimError::OutOfBounds { space: "local", addr, len: self.local.len() })?;
+                let a = usize::try_from(addr).map_err(|_| SimError::OutOfBounds {
+                    space: "local",
+                    addr,
+                    len: self.local.len(),
+                })?;
                 Ok(self.local.get(a).copied().unwrap_or(Value::F32(0.0)))
             }
         }
@@ -261,8 +260,11 @@ impl Thread {
                 *slot = value.as_f32(op)?;
             }
             MemorySpace::Local => {
-                let a = usize::try_from(addr)
-                    .map_err(|_| SimError::OutOfBounds { space: "local", addr, len: self.local.len() })?;
+                let a = usize::try_from(addr).map_err(|_| SimError::OutOfBounds {
+                    space: "local",
+                    addr,
+                    len: self.local.len(),
+                })?;
                 if a >= self.local.len() {
                     self.local.resize(a + 1, Value::F32(0.0));
                 }
@@ -290,8 +292,7 @@ impl Thread {
             FSub => Value::F32(v(self, 0)?.as_f32(i)? - v(self, 1)?.as_f32(i)?),
             FMul => Value::F32(v(self, 0)?.as_f32(i)? * v(self, 1)?.as_f32(i)?),
             FMad => Value::F32(
-                v(self, 0)?.as_f32(i)?
-                    .mul_add(v(self, 1)?.as_f32(i)?, v(self, 2)?.as_f32(i)?),
+                v(self, 0)?.as_f32(i)?.mul_add(v(self, 1)?.as_f32(i)?, v(self, 2)?.as_f32(i)?),
             ),
             FMin => Value::F32(v(self, 0)?.as_f32(i)?.min(v(self, 1)?.as_f32(i)?)),
             FMax => Value::F32(v(self, 0)?.as_f32(i)?.max(v(self, 1)?.as_f32(i)?)),
@@ -307,7 +308,8 @@ impl Thread {
             ISub => Value::I32(v(self, 0)?.as_i32(i)?.wrapping_sub(v(self, 1)?.as_i32(i)?)),
             IMul => Value::I32(v(self, 0)?.as_i32(i)?.wrapping_mul(v(self, 1)?.as_i32(i)?)),
             IMad => Value::I32(
-                v(self, 0)?.as_i32(i)?
+                v(self, 0)?
+                    .as_i32(i)?
                     .wrapping_mul(v(self, 1)?.as_i32(i)?)
                     .wrapping_add(v(self, 2)?.as_i32(i)?),
             ),
@@ -349,7 +351,11 @@ impl Thread {
             }
             Selp => {
                 let c = v(self, 2)?.as_i32(i)?;
-                if c != 0 { v(self, 0)? } else { v(self, 1)? }
+                if c != 0 {
+                    v(self, 0)?
+                } else {
+                    v(self, 1)?
+                }
             }
             Ld(space) => {
                 let addr = self.addr_of(i, params)?;
@@ -624,8 +630,7 @@ mod tests {
         });
         let prog = linearize(&b.finish());
         let mut mem = DeviceMemory::new(1);
-        let err =
-            run_kernel_with_budget(&prog, &launch_1d(1, 1), &[], &mut mem, 100).unwrap_err();
+        let err = run_kernel_with_budget(&prog, &launch_1d(1, 1), &[], &mut mem, 100).unwrap_err();
         assert_eq!(err, SimError::StepBudgetExhausted);
     }
 

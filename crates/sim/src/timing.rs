@@ -78,7 +78,7 @@ struct Frame {
     remaining: u32,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Warp {
     pc: usize,
     frames: Vec<Frame>,
@@ -127,11 +127,7 @@ impl Warp {
     /// Earliest cycle at which the operands of the op at `pc` are ready.
     fn operands_ready(&self, code: &[LinOp]) -> u64 {
         match &code[self.pc] {
-            LinOp::Instr(i) => i
-                .uses()
-                .map(|r| self.reg_ready[r.index()])
-                .max()
-                .unwrap_or(0),
+            LinOp::Instr(i) => i.uses().map(|r| self.reg_ready[r.index()]).max().unwrap_or(0),
             _ => 0,
         }
     }
@@ -145,6 +141,244 @@ fn warp_transaction_bytes(spec: &MachineSpec, coalesced: bool) -> u64 {
     } else {
         // One transaction per thread.
         u64::from(spec.warp_size) * u64::from(spec.uncoalesced_transaction_bytes)
+    }
+}
+
+/// Launch-derived constants shared by every state of one simulation:
+/// residency, issue width, and the SM's bandwidth share.
+#[derive(Debug, Clone, Copy)]
+struct SimSetup {
+    occ: Occupancy,
+    wpb: usize,
+    bsm: usize,
+    issue: u64,
+    bw_per_cycle: f64,
+}
+
+impl SimSetup {
+    fn new(
+        launch: &Launch,
+        usage: &ResourceUsage,
+        spec: &MachineSpec,
+    ) -> Result<Self, LaunchError> {
+        let occ = spec.occupancy(usage)?;
+        let wpb = occ.warps_per_block as usize;
+        // Resident blocks: capped by occupancy AND by what the grid
+        // actually supplies per SM — a 16-block grid on 16 SMs hosts one
+        // block each no matter how many would fit.
+        let supply = launch.total_blocks().div_ceil(u64::from(spec.num_sms)).max(1) as usize;
+        let bsm = (occ.blocks_per_sm as usize).min(supply);
+        Ok(Self {
+            occ,
+            wpb,
+            bsm,
+            issue: u64::from(spec.issue_cycles_per_warp),
+            bw_per_cycle: spec.bandwidth_bytes_per_cycle() / f64::from(spec.num_sms),
+        })
+    }
+}
+
+/// Complete mid-flight state of the event loop. Cloneable so a run can
+/// be forked at a checkpoint and finished against a sibling program
+/// (see [`simulate_family`]).
+#[derive(Debug, Clone)]
+struct SimState {
+    warps: Vec<Warp>,
+    barrier_arrived: Vec<usize>,
+    issue_free: u64,
+    sfu_free: u64,
+    mem_free: f64,
+    busy: u64,
+    issued: u64,
+    dram_bytes: u64,
+    finish_time: u64,
+    last_pick: usize,
+    remaining: usize,
+}
+
+impl SimState {
+    fn new(prog: &LinearProgram, setup: &SimSetup) -> Self {
+        let mut warps: Vec<Warp> = (0..setup.bsm)
+            .flat_map(|b| (0..setup.wpb).map(move |_| b))
+            .map(|b| Warp::new(prog.num_vregs, b))
+            .collect();
+        for w in &mut warps {
+            w.fast_forward(&prog.code);
+        }
+        let remaining = warps.iter().filter(|w| !w.done).count();
+        Self {
+            warps,
+            barrier_arrived: vec![0; setup.bsm],
+            issue_free: 0,
+            sfu_free: 0,
+            mem_free: 0.0,
+            busy: 0,
+            issued: 0,
+            dram_bytes: 0,
+            finish_time: 0,
+            last_pick: 0,
+            remaining,
+        }
+    }
+
+    /// Pick the schedulable warp with the earliest possible issue time,
+    /// round-robin from the last pick for fairness. `None` once every
+    /// warp has finished.
+    fn pick(&self, code: &[LinOp]) -> Option<(u64, usize)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let n = self.warps.len();
+        let mut best: Option<(u64, usize)> = None;
+        for k in 0..n {
+            let idx = (self.last_pick + 1 + k) % n;
+            let w = &self.warps[idx];
+            if w.done || w.blocked {
+                continue;
+            }
+            let mut t = w.stall_until.max(w.operands_ready(code));
+            if matches!(&code[w.pc], LinOp::Instr(i) if i.op.is_sfu()) {
+                t = t.max(self.sfu_free);
+            }
+            let t = t.max(self.issue_free);
+            if best.is_none_or(|(bt, _)| t < bt) {
+                best = Some((t, idx));
+            }
+        }
+        Some(best.expect("non-done, non-blocked warp exists or barrier deadlock"))
+    }
+
+    /// Issue the op of warp `idx` at time `t` and advance the state.
+    fn step(&mut self, code: &[LinOp], setup: &SimSetup, spec: &MachineSpec, t: u64, idx: usize) {
+        self.last_pick = idx;
+        let issue = setup.issue;
+        let op = code[self.warps[idx].pc].clone();
+        match &op {
+            LinOp::Instr(i) => {
+                self.issue_free = t + issue;
+                self.busy += issue;
+                self.issued += 1;
+                let done_at = match i.op {
+                    Op::Ld(space) if space.is_long_latency() => {
+                        let bytes = warp_transaction_bytes(spec, i.coalesced);
+                        self.dram_bytes += bytes;
+                        let service = bytes as f64 / setup.bw_per_cycle;
+                        let start = self.mem_free.max(t as f64);
+                        self.mem_free = start + service;
+                        self.mem_free as u64 + u64::from(spec.global_latency_typ())
+                    }
+                    Op::St(space) if space.is_long_latency() => {
+                        // Fire-and-forget, but it consumes bandwidth.
+                        let bytes = warp_transaction_bytes(spec, i.coalesced);
+                        self.dram_bytes += bytes;
+                        let service = bytes as f64 / setup.bw_per_cycle;
+                        let start = self.mem_free.max(t as f64);
+                        self.mem_free = start + service;
+                        t + issue
+                    }
+                    Op::Ld(_) | Op::St(_) => {
+                        // On-chip accesses with bank or constant-cache
+                        // conflicts replay once per conflicting subset.
+                        if i.replay_ways > 1 {
+                            let extra = u64::from(i.replay_ways - 1) * issue;
+                            self.issue_free += extra;
+                            self.busy += extra;
+                        }
+                        t + u64::from(spec.shared_latency)
+                    }
+                    op if op.is_sfu() => {
+                        self.sfu_free = t + u64::from(spec.sfu_issue_cycles);
+                        t + u64::from(spec.sfu_latency)
+                    }
+                    _ => t + u64::from(spec.arith_latency),
+                };
+                if let Some(d) = i.dst {
+                    self.warps[idx].reg_ready[d.index()] = done_at;
+                }
+                self.warps[idx].stall_until = t + issue;
+                self.warps[idx].pc += 1;
+            }
+            LinOp::Sync => {
+                self.issue_free = t + issue;
+                self.busy += issue;
+                self.issued += 1;
+                let block = self.warps[idx].block;
+                self.warps[idx].pc += 1;
+                self.barrier_arrived[block] += 1;
+                if self.barrier_arrived[block] == setup.wpb {
+                    self.barrier_arrived[block] = 0;
+                    let release = t + issue;
+                    for w in self.warps.iter_mut().filter(|w| w.block == block) {
+                        if w.blocked {
+                            w.blocked = false;
+                        }
+                        w.stall_until = w.stall_until.max(release);
+                    }
+                } else {
+                    self.warps[idx].blocked = true;
+                }
+            }
+            LinOp::LoopEnd { start } => {
+                // Loop control: add/setp/bra issue slots.
+                let slots = u64::from(LOOP_OVERHEAD_INSTRS) * issue;
+                self.issue_free = t + slots;
+                self.busy += slots;
+                self.issued += u64::from(LOOP_OVERHEAD_INSTRS);
+                let frame = self.warps[idx].frames.last_mut().expect("back edge without frame");
+                frame.remaining -= 1;
+                if frame.remaining > 0 {
+                    let target = frame.body_start;
+                    self.warps[idx].pc = target;
+                } else {
+                    self.warps[idx].frames.pop();
+                    self.warps[idx].pc += 1;
+                }
+                let _ = start;
+                self.warps[idx].stall_until = t + slots;
+            }
+            LinOp::LoopStart { .. } => {
+                unreachable!("fast_forward consumes loop headers")
+            }
+        }
+
+        self.warps[idx].fast_forward(code);
+        if self.warps[idx].done {
+            self.remaining -= 1;
+            self.finish_time = self.finish_time.max(self.warps[idx].stall_until);
+        }
+    }
+
+    /// Run the event loop until every warp retires.
+    fn run(&mut self, code: &[LinOp], setup: &SimSetup, spec: &MachineSpec) {
+        while let Some((t, idx)) = self.pick(code) {
+            self.step(code, setup, spec, t, idx);
+        }
+    }
+
+    /// Summarise a completed run.
+    fn report(&self, launch: &Launch, setup: &SimSetup, spec: &MachineSpec) -> TimingReport {
+        let cycles_per_wave = self.finish_time.max(self.issue_free).max(self.mem_free as u64);
+        let blocks = launch.total_blocks();
+        let per_wave_capacity = u64::from(spec.num_sms) * setup.bsm as u64;
+        let waves = (blocks as f64 / per_wave_capacity as f64).max(1.0);
+        let total_cycles = (cycles_per_wave as f64 * waves).round() as u64;
+        let time_ms = total_cycles as f64 / spec.clock_hz * 1e3;
+        let bandwidth_utilization = if cycles_per_wave == 0 {
+            0.0
+        } else {
+            (self.dram_bytes as f64 / cycles_per_wave as f64) / setup.bw_per_cycle
+        };
+        TimingReport {
+            cycles_per_wave,
+            waves,
+            total_cycles,
+            time_ms,
+            instructions_issued: self.issued,
+            busy_cycles: self.busy,
+            dram_bytes: self.dram_bytes,
+            bandwidth_utilization,
+            occupancy: setup.occ,
+        }
     }
 }
 
@@ -162,182 +396,185 @@ pub fn simulate(
     usage: &ResourceUsage,
     spec: &MachineSpec,
 ) -> Result<TimingReport, LaunchError> {
-    let occ = spec.occupancy(usage)?;
-    let wpb = occ.warps_per_block as usize;
-    // Resident blocks: capped by occupancy AND by what the grid actually
-    // supplies per SM — a 16-block grid on 16 SMs hosts one block each
-    // no matter how many would fit.
-    let supply = launch
-        .total_blocks()
-        .div_ceil(u64::from(spec.num_sms))
-        .max(1) as usize;
-    let bsm = (occ.blocks_per_sm as usize).min(supply);
-    let issue = u64::from(spec.issue_cycles_per_warp);
-    let bw_per_cycle = spec.bandwidth_bytes_per_cycle() / f64::from(spec.num_sms);
+    let setup = SimSetup::new(launch, usage, spec)?;
+    let mut state = SimState::new(prog, &setup);
+    state.run(&prog.code, &setup, spec);
+    Ok(state.report(launch, &setup, spec))
+}
 
-    let mut warps: Vec<Warp> = (0..bsm)
-        .flat_map(|b| (0..wpb).map(move |_| (b,)))
-        .map(|(b,)| Warp::new(prog.num_vregs, b))
-        .collect();
-    for w in &mut warps {
-        w.fast_forward(&prog.code);
+/// Why [`simulate_family`] could not run a program set as one family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FamilyError {
+    /// The shared launch configuration cannot execute at all.
+    Launch(LaunchError),
+    /// The programs do not differ in exactly the supported way (a single
+    /// top-level loop's trip count, every member at least one trip);
+    /// simulate them individually instead.
+    NotAFamily,
+}
+
+impl std::fmt::Display for FamilyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Launch(e) => write!(f, "family launch invalid: {e}"),
+            Self::NotAFamily => {
+                write!(f, "programs do not form a single-varying-trip-count family")
+            }
+        }
     }
+}
 
-    let mut barrier_arrived = vec![0usize; bsm];
-    let mut issue_free: u64 = 0;
-    let mut sfu_free: u64 = 0;
-    let mut mem_free: f64 = 0.0;
-    let mut busy: u64 = 0;
-    let mut issued: u64 = 0;
-    let mut dram_bytes: u64 = 0;
-    let mut finish_time: u64 = 0;
-    let mut last_pick: usize = 0;
+impl std::error::Error for FamilyError {}
 
-    let n = warps.len();
-    let mut remaining = warps.iter().filter(|w| !w.done).count();
-
-    while remaining > 0 {
-        // Pick the schedulable warp with the earliest possible issue
-        // time, round-robin from the last pick for fairness.
-        let mut best: Option<(u64, usize)> = None;
-        for k in 0..n {
-            let idx = (last_pick + 1 + k) % n;
-            let w = &warps[idx];
-            if w.done || w.blocked {
+/// Locate the single top-level loop whose trip count varies across
+/// `progs`, verifying the programs are otherwise identical.
+///
+/// Returns the code index of that `LoopStart`, or `None` when all the
+/// programs are exactly equal (any member can stand in for the rest).
+fn family_varying_loop(progs: &[&LinearProgram]) -> Result<Option<usize>, FamilyError> {
+    let first = progs[0];
+    let mut varying: Option<usize> = None;
+    for p in &progs[1..] {
+        if p.code.len() != first.code.len()
+            || p.num_vregs != first.num_vregs
+            || p.smem_words != first.smem_words
+            || p.num_params != first.num_params
+        {
+            return Err(FamilyError::NotAFamily);
+        }
+        for (pc, (a, b)) in first.code.iter().zip(&p.code).enumerate() {
+            if a == b {
                 continue;
             }
-            let mut t = w.stall_until.max(w.operands_ready(&prog.code));
-            if matches!(&prog.code[w.pc], LinOp::Instr(i) if i.op.is_sfu()) {
-                t = t.max(sfu_free);
-            }
-            let t = t.max(issue_free);
-            if best.is_none_or(|(bt, _)| t < bt) {
-                best = Some((t, idx));
-            }
-        }
-        let (t, idx) = best.expect("non-done, non-blocked warp exists or barrier deadlock");
-        last_pick = idx;
-
-        // Issue the op at time t.
-        let op = prog.code[warps[idx].pc].clone();
-        match &op {
-            LinOp::Instr(i) => {
-                issue_free = t + issue;
-                busy += issue;
-                issued += 1;
-                let done_at = match i.op {
-                    Op::Ld(space) if space.is_long_latency() => {
-                        let bytes = warp_transaction_bytes(spec, i.coalesced);
-                        dram_bytes += bytes;
-                        let service = bytes as f64 / bw_per_cycle;
-                        let start = mem_free.max(t as f64);
-                        mem_free = start + service;
-                        mem_free as u64 + u64::from(spec.global_latency_typ())
-                    }
-                    Op::St(space) if space.is_long_latency() => {
-                        // Fire-and-forget, but it consumes bandwidth.
-                        let bytes = warp_transaction_bytes(spec, i.coalesced);
-                        dram_bytes += bytes;
-                        let service = bytes as f64 / bw_per_cycle;
-                        let start = mem_free.max(t as f64);
-                        mem_free = start + service;
-                        t + issue
-                    }
-                    Op::Ld(_) | Op::St(_) => {
-                        // On-chip accesses with bank or constant-cache
-                        // conflicts replay once per conflicting subset.
-                        if i.replay_ways > 1 {
-                            let extra = u64::from(i.replay_ways - 1) * issue;
-                            issue_free += extra;
-                            busy += extra;
-                        }
-                        t + u64::from(spec.shared_latency)
-                    }
-                    op if op.is_sfu() => {
-                        sfu_free = t + u64::from(spec.sfu_issue_cycles);
-                        t + u64::from(spec.sfu_latency)
-                    }
-                    _ => t + u64::from(spec.arith_latency),
-                };
-                if let Some(d) = i.dst {
-                    warps[idx].reg_ready[d.index()] = done_at;
+            match (a, b) {
+                (
+                    LinOp::LoopStart { counter: ca, end: ea, .. },
+                    LinOp::LoopStart { counter: cb, end: eb, .. },
+                ) if ca == cb && ea == eb && varying.is_none_or(|v| v == pc) => {
+                    varying = Some(pc);
                 }
-                warps[idx].stall_until = t + issue;
-                warps[idx].pc += 1;
+                _ => return Err(FamilyError::NotAFamily),
             }
-            LinOp::Sync => {
-                issue_free = t + issue;
-                busy += issue;
-                issued += 1;
-                let block = warps[idx].block;
-                warps[idx].pc += 1;
-                barrier_arrived[block] += 1;
-                if barrier_arrived[block] == wpb {
-                    barrier_arrived[block] = 0;
-                    let release = t + issue;
-                    for w in warps.iter_mut().filter(|w| w.block == block) {
-                        if w.blocked {
-                            w.blocked = false;
-                        }
-                        w.stall_until = w.stall_until.max(release);
-                    }
-                } else {
-                    warps[idx].blocked = true;
-                }
-            }
-            LinOp::LoopEnd { start } => {
-                // Loop control: add/setp/bra issue slots.
-                let slots = u64::from(LOOP_OVERHEAD_INSTRS) * issue;
-                issue_free = t + slots;
-                busy += slots;
-                issued += u64::from(LOOP_OVERHEAD_INSTRS);
-                let frame = warps[idx].frames.last_mut().expect("back edge without frame");
-                frame.remaining -= 1;
-                if frame.remaining > 0 {
-                    let target = frame.body_start;
-                    warps[idx].pc = target;
-                } else {
-                    warps[idx].frames.pop();
-                    warps[idx].pc += 1;
-                }
-                let _ = start;
-                warps[idx].stall_until = t + slots;
-            }
-            LinOp::LoopStart { .. } => {
-                unreachable!("fast_forward consumes loop headers")
-            }
-        }
-
-        warps[idx].fast_forward(&prog.code);
-        if warps[idx].done {
-            remaining -= 1;
-            finish_time = finish_time.max(warps[idx].stall_until);
         }
     }
+    let Some(pc) = varying else { return Ok(None) };
+    // The varying loop must be top-level: it then runs at most once per
+    // warp, so "first warp completes its k-th iteration" is a single
+    // well-defined checkpoint per k.
+    let mut depth = 0usize;
+    for op in &first.code[..pc] {
+        match op {
+            LinOp::LoopStart { .. } => depth += 1,
+            LinOp::LoopEnd { .. } => depth -= 1,
+            _ => {}
+        }
+    }
+    // Every member must actually enter the loop for the checkpoint to
+    // exist.
+    let any_zero = progs.iter().any(|p| matches!(p.code[pc], LinOp::LoopStart { trips: 0, .. }));
+    if depth != 0 || any_zero {
+        return Err(FamilyError::NotAFamily);
+    }
+    Ok(Some(pc))
+}
 
-    let cycles_per_wave = finish_time.max(issue_free).max(mem_free as u64);
-    let blocks = launch.total_blocks();
-    let per_wave_capacity = u64::from(spec.num_sms) * bsm as u64;
-    let waves = (blocks as f64 / per_wave_capacity as f64).max(1.0);
-    let total_cycles = (cycles_per_wave as f64 * waves).round() as u64;
-    let time_ms = total_cycles as f64 / spec.clock_hz * 1e3;
-    let bandwidth_utilization = if cycles_per_wave == 0 {
-        0.0
-    } else {
-        (dram_bytes as f64 / cycles_per_wave as f64) / bw_per_cycle
+/// Simulate a *family* of programs — structurally identical kernels that
+/// differ only in the trip count of one top-level loop (e.g. the same
+/// generated kernel at different work-per-invocation splits) — for the
+/// cost of roughly one simulation of the longest member.
+///
+/// The event loop of a `T`-trip program is event-identical to a `k`-trip
+/// run (`k < T`) until the first warp finishes its `k`-th iteration: up
+/// to that point every back edge takes the same branch and charges the
+/// same cycles. So one *master* run of the longest member is enough; at
+/// each such checkpoint the complete machine state is cloned, the open
+/// loop frames are re-based to `k` remaining trips, and the clone drains
+/// against the `k`-trip member's code. Each returned report is
+/// bit-identical to what a standalone [`simulate`] of that member
+/// produces.
+///
+/// # Errors
+///
+/// [`FamilyError::Launch`] when the shared configuration cannot launch;
+/// [`FamilyError::NotAFamily`] when the programs differ other than in a
+/// single top-level trip count (callers should fall back to individual
+/// [`simulate`] calls).
+pub fn simulate_family(
+    progs: &[&LinearProgram],
+    launch: &Launch,
+    usage: &ResourceUsage,
+    spec: &MachineSpec,
+) -> Result<Vec<TimingReport>, FamilyError> {
+    if progs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let setup = SimSetup::new(launch, usage, spec).map_err(FamilyError::Launch)?;
+    let Some(loop_pc) = family_varying_loop(progs)? else {
+        // All members identical: one run serves them all.
+        let mut st = SimState::new(progs[0], &setup);
+        st.run(&progs[0].code, &setup, spec);
+        let rep = st.report(launch, &setup, spec);
+        return Ok(vec![rep; progs.len()]);
     };
+    let trips_of = |p: &LinearProgram| match p.code[loop_pc] {
+        LinOp::LoopStart { trips, .. } => trips,
+        _ => unreachable!("family_varying_loop returns a LoopStart index"),
+    };
+    let loop_end = match progs[0].code[loop_pc] {
+        LinOp::LoopStart { end, .. } => end,
+        _ => unreachable!("family_varying_loop returns a LoopStart index"),
+    };
+    let body_start = loop_pc + 1;
 
-    Ok(TimingReport {
-        cycles_per_wave,
-        waves,
-        total_cycles,
-        time_ms,
-        instructions_issued: issued,
-        busy_cycles: busy,
-        dram_bytes,
-        bandwidth_utilization,
-        occupancy: occ,
-    })
+    // Members grouped by trip count; the longest member drives the run.
+    let mut by_trips: std::collections::BTreeMap<u32, Vec<usize>> = Default::default();
+    for (m, p) in progs.iter().enumerate() {
+        by_trips.entry(trips_of(p)).or_default().push(m);
+    }
+    let t_max = *by_trips.keys().next_back().expect("non-empty family");
+    let master = progs[by_trips[&t_max][0]];
+
+    let mut reports: Vec<Option<TimingReport>> = vec![None; progs.len()];
+    let mut st = SimState::new(master, &setup);
+    let mut max_completed = 0u32;
+    while let Some((t, idx)) = st.pick(&master.code) {
+        // A back edge of the varying loop: the warp is about to finish
+        // iteration `T_max - remaining + 1`. The first time any warp
+        // reaches iteration `k` of a shorter member is exactly where that
+        // member's own run would exit the loop — fork it there.
+        if st.warps[idx].pc == loop_end {
+            let rem = st.warps[idx].frames.last().expect("back edge without frame").remaining;
+            let completed = t_max - rem + 1;
+            if completed > max_completed {
+                max_completed = completed;
+                if completed < t_max {
+                    if let Some(members) = by_trips.get(&completed) {
+                        let delta = t_max - completed;
+                        let mut clone = st.clone();
+                        for w in &mut clone.warps {
+                            for f in &mut w.frames {
+                                if f.body_start == body_start {
+                                    f.remaining -= delta;
+                                }
+                            }
+                        }
+                        let member = progs[members[0]];
+                        clone.run(&member.code, &setup, spec);
+                        let rep = clone.report(launch, &setup, spec);
+                        for &m in members {
+                            reports[m] = Some(rep.clone());
+                        }
+                    }
+                }
+            }
+        }
+        st.step(&master.code, &setup, spec, t, idx);
+    }
+    let rep = st.report(launch, &setup, spec);
+    for &m in &by_trips[&t_max] {
+        reports[m] = Some(rep.clone());
+    }
+    Ok(reports.into_iter().map(|r| r.expect("every trip count checkpointed")).collect())
 }
 
 #[cfg(test)]
@@ -374,11 +611,7 @@ mod tests {
         let p = b.param(0);
         let acc = b.mov(0.0f32);
         b.repeat(iters, |b| {
-            let v = if coalesced {
-                b.ld_global(p, 0)
-            } else {
-                b.ld_global_uncoalesced(p, 0)
-            };
+            let v = if coalesced { b.ld_global(p, 0) } else { b.ld_global_uncoalesced(p, 0) };
             b.fmad_acc(v, 1.0f32, acc);
         });
         b.st_global(p, 0, acc);
@@ -492,20 +725,12 @@ mod tests {
         }
         let prog = linearize(&barrier_kernel());
         // 256 threads/block; smem chosen so either 1 or 2 blocks fit.
-        let one_block = simulate(
-            &prog,
-            &launch_1d(32, 256),
-            &ResourceUsage::new(256, 10, 12_000),
-            &g80(),
-        )
-        .unwrap();
-        let two_blocks = simulate(
-            &prog,
-            &launch_1d(32, 256),
-            &ResourceUsage::new(256, 10, 8_000),
-            &g80(),
-        )
-        .unwrap();
+        let one_block =
+            simulate(&prog, &launch_1d(32, 256), &ResourceUsage::new(256, 10, 12_000), &g80())
+                .unwrap();
+        let two_blocks =
+            simulate(&prog, &launch_1d(32, 256), &ResourceUsage::new(256, 10, 8_000), &g80())
+                .unwrap();
         assert_eq!(one_block.occupancy.blocks_per_sm, 1);
         assert_eq!(two_blocks.occupancy.blocks_per_sm, 2);
         // Two resident blocks keep the port busier.
@@ -530,8 +755,7 @@ mod tests {
         }
         // Dependent rsqrt chain: sfu_latency each.
         let prog = linearize(&sfu_kernel(64));
-        let r = simulate(&prog, &launch_1d(1, 32), &ResourceUsage::new(32, 8, 0), &g80())
-            .unwrap();
+        let r = simulate(&prog, &launch_1d(1, 32), &ResourceUsage::new(32, 8, 0), &g80()).unwrap();
         assert!(r.cycles_per_wave >= 64 * 36, "cycles = {}", r.cycles_per_wave);
     }
 
@@ -594,6 +818,129 @@ mod tests {
 }
 
 #[cfg(test)]
+mod family_tests {
+    use super::*;
+    use gpu_ir::build::KernelBuilder;
+    use gpu_ir::linear::linearize;
+    use gpu_ir::{Dim, Kernel, Launch};
+
+    fn g80() -> MachineSpec {
+        MachineSpec::geforce_8800_gtx()
+    }
+
+    /// A kernel exercising every event type: prologue loads, a varying
+    /// top-level loop containing memory, SFU work, a nested loop, and a
+    /// barrier, plus an epilogue store.
+    fn member(trips: u32) -> Kernel {
+        let mut b = KernelBuilder::new("fam");
+        let p = b.param(0);
+        let acc = b.mov(0.0f32);
+        let seed = b.ld_global(p, 0);
+        b.repeat(trips, |b| {
+            let x = b.ld_global(p, 0);
+            let r = b.rsqrt(x);
+            b.repeat(3, |b| {
+                b.fmad_acc(r, 1.0f32, acc);
+            });
+            b.sync();
+        });
+        b.fmad_acc(seed, 1.0f32, acc);
+        b.st_global(p, 0, acc);
+        b.finish()
+    }
+
+    #[test]
+    fn family_reports_match_standalone_runs() {
+        let spec = g80();
+        let launch = Launch::new(Dim::new_1d(64), Dim::new_1d(128));
+        let usage = ResourceUsage::new(128, 10, 2_000);
+        let trip_counts = [48u32, 11, 5, 1, 48];
+        let kernels: Vec<Kernel> = trip_counts.iter().map(|&t| member(t)).collect();
+        let progs: Vec<_> = kernels.iter().map(linearize).collect();
+        let refs: Vec<&LinearProgram> = progs.iter().collect();
+
+        let family = simulate_family(&refs, &launch, &usage, &spec).unwrap();
+        for (i, prog) in progs.iter().enumerate() {
+            let standalone = simulate(prog, &launch, &usage, &spec).unwrap();
+            assert_eq!(
+                family[i], standalone,
+                "family member with {} trips diverged from its standalone run",
+                trip_counts[i]
+            );
+        }
+    }
+
+    #[test]
+    fn identical_members_share_one_run() {
+        let spec = g80();
+        let launch = Launch::new(Dim::new_1d(64), Dim::new_1d(128));
+        let usage = ResourceUsage::new(128, 10, 0);
+        let k = member(7);
+        let prog = linearize(&k);
+        let family = simulate_family(&[&prog, &prog], &launch, &usage, &spec).unwrap();
+        let standalone = simulate(&prog, &launch, &usage, &spec).unwrap();
+        assert_eq!(family, vec![standalone.clone(), standalone]);
+    }
+
+    #[test]
+    fn structurally_different_programs_are_rejected() {
+        let spec = g80();
+        let launch = Launch::new(Dim::new_1d(64), Dim::new_1d(128));
+        let usage = ResourceUsage::new(128, 10, 0);
+        let a = linearize(&member(4));
+        let mut other = KernelBuilder::new("other");
+        let p = other.param(0);
+        let acc = other.mov(1.0f32);
+        other.repeat(4, |b| {
+            b.fmad_acc(acc, 2.0f32, acc);
+        });
+        other.st_global(p, 0, acc);
+        let b = linearize(&other.finish());
+        assert_eq!(
+            simulate_family(&[&a, &b], &launch, &usage, &spec).unwrap_err(),
+            FamilyError::NotAFamily
+        );
+    }
+
+    #[test]
+    fn zero_trip_members_are_rejected() {
+        let spec = g80();
+        let launch = Launch::new(Dim::new_1d(64), Dim::new_1d(128));
+        let usage = ResourceUsage::new(128, 10, 0);
+        let a = linearize(&member(4));
+        let z = linearize(&member(0));
+        assert_eq!(
+            simulate_family(&[&a, &z], &launch, &usage, &spec).unwrap_err(),
+            FamilyError::NotAFamily
+        );
+    }
+
+    #[test]
+    fn launch_errors_surface_as_family_errors() {
+        let spec = g80();
+        let launch = Launch::new(Dim::new_1d(1), Dim::new_1d(512));
+        let usage = ResourceUsage::new(512, 17, 0);
+        let a = linearize(&member(4));
+        assert!(matches!(
+            simulate_family(&[&a], &launch, &usage, &spec).unwrap_err(),
+            FamilyError::Launch(LaunchError::RegistersExhausted { .. })
+        ));
+    }
+
+    /// The parallel evaluation engine moves these across worker threads.
+    #[test]
+    fn simulation_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TimingReport>();
+        assert_send_sync::<LinearProgram>();
+        assert_send_sync::<MachineSpec>();
+        assert_send_sync::<ResourceUsage>();
+        assert_send_sync::<Launch>();
+        assert_send_sync::<FamilyError>();
+    }
+}
+
+#[cfg(test)]
 mod replay_tests {
     use super::*;
     use gpu_ir::build::KernelBuilder;
@@ -629,8 +976,7 @@ mod replay_tests {
         let usage = ResourceUsage::new(256, 8, 256);
         let clean = simulate(&linearize(&conflicted(1)), &launch, &usage, &spec).unwrap();
         let eight = simulate(&linearize(&conflicted(8)), &launch, &usage, &spec).unwrap();
-        let sixteen =
-            simulate(&linearize(&conflicted(16)), &launch, &usage, &spec).unwrap();
+        let sixteen = simulate(&linearize(&conflicted(16)), &launch, &usage, &spec).unwrap();
         assert!(eight.cycles_per_wave > clean.cycles_per_wave);
         assert!(sixteen.cycles_per_wave > eight.cycles_per_wave);
         // The replays occupy the issue port: busy cycles grow too.

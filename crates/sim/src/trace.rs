@@ -195,8 +195,7 @@ mod tests {
     fn trace_counts_dynamic_events() {
         let (prog, launch) = traced_kernel();
         let mut mem = DeviceMemory::new(16);
-        let t = trace_kernel(&prog, &launch, &[0], &mut mem, (0, 0), (0, 0), 1000)
-            .expect("runs");
+        let t = trace_kernel(&prog, &launch, &[0], &mut mem, (0, 0), (0, 0), 1000).expect("runs");
         assert_eq!(t.summary.barriers, 3);
         assert_eq!(t.summary.loads[0], 3); // global
         assert_eq!(t.summary.stores[1], 3); // shared
@@ -212,8 +211,7 @@ mod tests {
     fn trace_limit_truncates_events_but_not_summary() {
         let (prog, launch) = traced_kernel();
         let mut mem = DeviceMemory::new(16);
-        let t = trace_kernel(&prog, &launch, &[0], &mut mem, (0, 0), (0, 0), 5)
-            .expect("runs");
+        let t = trace_kernel(&prog, &launch, &[0], &mut mem, (0, 0), (0, 0), 5).expect("runs");
         assert_eq!(t.events.len(), 5);
         assert!(t.truncated);
         assert_eq!(t.summary.retired, 17);
@@ -235,8 +233,7 @@ mod tests {
     fn head_renders_readably() {
         let (prog, launch) = traced_kernel();
         let mut mem = DeviceMemory::new(16);
-        let t = trace_kernel(&prog, &launch, &[0], &mut mem, (0, 0), (0, 0), 100)
-            .expect("runs");
+        let t = trace_kernel(&prog, &launch, &[0], &mut mem, (0, 0), (0, 0), 100).expect("runs");
         let head = t.head(3);
         assert_eq!(head.lines().count(), 3);
         assert!(head.contains("mov.b32"), "{head}");

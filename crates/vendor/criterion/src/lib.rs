@@ -1,0 +1,250 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! vendors the subset of the criterion 0.5 API the workspace's benches
+//! use: [`Criterion`], benchmark groups, [`Bencher::iter`],
+//! [`BenchmarkId`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros.
+//!
+//! Measurement model (simple but honest): each sample times a batch of
+//! iterations sized so one batch takes at least ~5 ms, and the reported
+//! figure is the per-iteration mean of the best sample (least
+//! interference). `--test` (what `cargo test` passes to `harness =
+//! false` bench targets) and `--list` short-circuit to a single
+//! iteration per benchmark so test runs stay fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        // `cargo test` runs harness=false bench targets with `--test`;
+        // `cargo bench -- --list` asks for enumeration only.
+        let test_mode = args.iter().any(|a| a == "--test" || a == "--list");
+        Self { sample_size: 10, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup { criterion: self, sample_size: None }
+    }
+
+    /// Run one benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display2, f: F) -> &mut Self {
+        run_benchmark(&id.render(), self.sample_size, self.test_mode, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display2, f: F) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_benchmark(&id.render(), samples, self.criterion.test_mode, f);
+        self
+    }
+
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Display2,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group (matches the real API; nothing to flush here).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark, e.g.
+/// `BenchmarkId::new("pareto_indices", 1000)`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A function/parameter pair.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// A bare parameter id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { name: parameter.to_string() }
+    }
+}
+
+/// Things usable as a benchmark id (`&str`, `String`, [`BenchmarkId`]).
+pub trait Display2 {
+    /// The printable id.
+    fn render(&self) -> String;
+}
+
+impl Display2 for &str {
+    fn render(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+impl Display2 for String {
+    fn render(&self) -> String {
+        self.clone()
+    }
+}
+
+impl Display2 for BenchmarkId {
+    fn render(&self) -> String {
+        self.name.clone()
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// code under test.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    /// Best per-iteration time over all samples, if measured.
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measure `f`, or run it once in `--test` mode.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warm up and size a batch to take at least ~5 ms.
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(5) || batch >= 1 << 20 {
+                break;
+            }
+            batch = (batch * 4).min(1 << 20);
+        }
+        let mut best: Option<Duration> = None;
+        for _ in 0..self.samples.max(1) {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let per_iter = t.elapsed() / u32::try_from(batch).unwrap_or(u32::MAX);
+            best = Some(match best {
+                Some(b) if b <= per_iter => b,
+                _ => per_iter,
+            });
+        }
+        self.result = best;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, samples: usize, test_mode: bool, mut f: F) {
+    let mut b = Bencher { samples, test_mode, result: None };
+    f(&mut b);
+    match b.result {
+        Some(t) => println!("  {name}: {}", fmt_duration(t)),
+        None if test_mode => println!("  {name}: ok (test mode)"),
+        None => println!("  {name}: no measurement (closure never called iter)"),
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Bundle benchmark functions, as in the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_id_api_compile_and_run() {
+        let mut c = Criterion { sample_size: 2, test_mode: true };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut runs = 0u32;
+        g.bench_function("f", |b| b.iter(|| runs += 1));
+        g.bench_with_input(BenchmarkId::new("p", 7), &7u32, |b, &x| b.iter(|| black_box(x)));
+        g.finish();
+        assert_eq!(runs, 1, "test mode runs the closure exactly once");
+    }
+
+    #[test]
+    fn measurement_produces_a_duration() {
+        let mut c = Criterion { sample_size: 2, test_mode: false };
+        let mut best = None;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_function("spin", |b| {
+                b.iter(|| black_box((0..100).sum::<u64>()));
+                best = b.result;
+            });
+        }
+        // `result` is captured before run_benchmark's print, so re-check
+        // via a direct Bencher instead.
+        let mut b = Bencher { samples: 2, test_mode: false, result: None };
+        b.iter(|| black_box((0..100).sum::<u64>()));
+        assert!(b.result.is_some());
+    }
+}

@@ -13,7 +13,7 @@ use gpu_autotune::ir::types::Special;
 use gpu_autotune::ir::{Dim, Kernel, Launch};
 use gpu_autotune::optspace::candidate::Candidate;
 use gpu_autotune::optspace::report::fmt_ms;
-use gpu_autotune::optspace::tuner::{ExhaustiveSearch, PrunedSearch};
+use gpu_autotune::optspace::tuner::{ExhaustiveSearch, PrunedSearch, SearchStrategy};
 use gpu_autotune::passes::{innermost_loops, unroll};
 use gpu_autotune::sim::interp::{run_kernel, DeviceMemory};
 

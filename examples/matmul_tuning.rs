@@ -7,9 +7,9 @@
 use gpu_autotune::arch::MachineSpec;
 use gpu_autotune::kernels::matmul::MatMul;
 use gpu_autotune::kernels::App;
-use gpu_autotune::optspace::report::{ascii_scatter, fmt_ms};
 use gpu_autotune::optspace::pareto::pareto_indices;
-use gpu_autotune::optspace::tuner::{ExhaustiveSearch, PrunedSearch};
+use gpu_autotune::optspace::report::{ascii_scatter, fmt_ms};
+use gpu_autotune::optspace::tuner::{ExhaustiveSearch, PrunedSearch, SearchStrategy};
 
 fn main() {
     let spec = MachineSpec::geforce_8800_gtx();
@@ -52,10 +52,8 @@ fn main() {
         .filter(|(_, e)| !e.bandwidth.is_bandwidth_bound())
         .map(|(i, _)| i)
         .collect();
-    let points: Vec<_> = idx
-        .iter()
-        .map(|&i| pruned.statics[i].as_ref().expect("valid").metrics.point())
-        .collect();
+    let points: Vec<_> =
+        idx.iter().map(|&i| pruned.statics[i].as_ref().expect("valid").metrics.point()).collect();
     let curve = pareto_indices(&points);
     let optimum = idx.iter().position(|&i| Some(i) == exhaustive.best);
     println!("\nefficiency-utilization plane ('*' Pareto, 'O' optimum):");

@@ -2,37 +2,51 @@
 //! space (Figure 4), searched three ways — exhaustively, with the
 //! paper's Pareto pruning, and by random sampling with the same budget.
 //!
-//! Run with: `cargo run --release --example sad_search`
+//! Run with: `cargo run --release --example sad_search [-- --jobs N]`
 
 use gpu_autotune::arch::MachineSpec;
 use gpu_autotune::kernels::sad::Sad;
 use gpu_autotune::kernels::App;
+use gpu_autotune::optspace::engine::EvalEngine;
 use gpu_autotune::optspace::report::fmt_ms;
-use gpu_autotune::optspace::tuner::{ExhaustiveSearch, PrunedSearch, RandomSearch};
+use gpu_autotune::optspace::tuner::{ExhaustiveSearch, PrunedSearch, RandomSearch, SearchStrategy};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|p| args.get(p + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let engine = EvalEngine::with_jobs(jobs);
     let spec = MachineSpec::geforce_8800_gtx();
     let sad = Sad::paper_problem();
     let candidates = sad.candidates();
     println!(
-        "SAD: QCIF {}x{}, {} search positions, {} configurations",
+        "SAD: QCIF {}x{}, {} search positions, {} configurations ({} worker{})",
         sad.width,
         sad.height,
         sad.positions(),
-        candidates.len()
+        candidates.len(),
+        jobs,
+        if jobs == 1 { "" } else { "s" },
     );
 
-    let exhaustive = ExhaustiveSearch.run(&candidates, &spec);
+    let exhaustive = ExhaustiveSearch.run_with(&engine, &candidates, &spec);
     let best_time = exhaustive.best_time_ms().expect("valid space");
     println!(
-        "\nexhaustive: {} configs timed, {} total, best = {} ({})",
+        "\nexhaustive: {} configs timed ({} unique sims, {} cache hits), {} total, \
+         best = {} ({})",
         exhaustive.evaluated_count(),
+        exhaustive.stats.unique_sims,
+        exhaustive.stats.cache_hits,
         fmt_ms(exhaustive.evaluation_time_ms()),
         candidates[exhaustive.best.expect("valid")].label,
         fmt_ms(best_time),
     );
 
-    let pruned = PrunedSearch::default().run(&candidates, &spec);
+    let pruned = PrunedSearch::default().run_with(&engine, &candidates, &spec);
     println!(
         "pruned:     {} configs timed ({:.0}% reduction), best = {} ({})",
         pruned.evaluated_count(),
@@ -48,7 +62,7 @@ fn main() {
     let mut hits = 0;
     let mut regret = 0.0;
     for seed in 0..trials {
-        let r = RandomSearch { budget, seed }.run(&candidates, &spec);
+        let r = RandomSearch { budget, seed }.run_with(&engine, &candidates, &spec);
         let t = r.best_time_ms().expect("non-empty sample");
         if (t / best_time - 1.0).abs() < 1e-9 {
             hits += 1;

@@ -9,6 +9,9 @@
 //!     --budget N                            random-search budget (default 10)
 //!     --device g80|gt200                    (default g80)
 //!     --no-screen                           disable the bandwidth screen
+//!     --jobs N                              evaluation worker threads (default 1)
+//!     --max-sims N                          cap unique timing simulations
+//!     --deadline-ms X                       cap accumulated simulated time
 //! gpu-autotune parse <file.gik>             analyse a textual kernel
 //! ```
 
@@ -17,8 +20,11 @@ use std::process::ExitCode;
 use gpu_autotune::arch::MachineSpec;
 use gpu_autotune::kernels::{cp::Cp, matmul::MatMul, mri_fhd::MriFhd, sad::Sad, App};
 use gpu_autotune::optspace::candidate::Candidate;
+use gpu_autotune::optspace::engine::{EngineConfig, EvalBudget, EvalEngine};
 use gpu_autotune::optspace::report::{fmt_ms, table};
-use gpu_autotune::optspace::tuner::{ExhaustiveSearch, PrunedSearch, RandomSearch, SearchReport};
+use gpu_autotune::optspace::tuner::{
+    ExhaustiveSearch, PrunedSearch, RandomSearch, SearchReport, SearchStrategy,
+};
 
 const USAGE: &str = "\
 usage: gpu-autotune <command> [args]
@@ -28,7 +34,8 @@ commands:
   devices                     list machine models
   inspect <app> <index>       static profile + PTX view of one configuration
   tune <app> [--strategy exhaustive|pareto|random] [--budget N]
-             [--device g80|gt200] [--no-screen]
+             [--device g80|gt200] [--no-screen] [--jobs N]
+             [--max-sims N] [--deadline-ms X]
   parse <file>                parse a textual kernel and print its analyses
   trace <app> <index> [N]     trace the first N instructions (default 20) of
                               one thread of a configuration, on real data
@@ -162,6 +169,14 @@ fn print_search(cands: &[Candidate], r: &SearchReport) {
         r.space_reduction() * 100.0,
         fmt_ms(r.evaluation_time_ms()),
     );
+    println!(
+        "engine: {} worker{}, {} unique simulations, {} cache hits{}",
+        r.stats.jobs,
+        if r.stats.jobs == 1 { "" } else { "s" },
+        r.stats.unique_sims,
+        r.stats.cache_hits,
+        if r.stats.budget_truncated { " (budget exhausted)" } else { "" },
+    );
     match r.best {
         Some(best) => println!(
             "best configuration: #{best} {} ({})",
@@ -185,6 +200,8 @@ fn cmd_tune(args: &[String]) -> ExitCode {
     let mut budget = 10usize;
     let mut device = MachineSpec::geforce_8800_gtx();
     let mut screen = true;
+    let mut jobs = 1usize;
+    let mut eval_budget = EvalBudget::UNLIMITED;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -210,6 +227,27 @@ fn cmd_tune(args: &[String]) -> ExitCode {
                 }
             },
             "--no-screen" => screen = false,
+            "--jobs" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(j) if j >= 1 => jobs = j,
+                _ => {
+                    eprintln!("--jobs needs a number >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-sims" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => eval_budget.max_sims = Some(n),
+                None => {
+                    eprintln!("--max-sims needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--deadline-ms" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(ms) if ms > 0.0 => eval_budget.deadline_ms = Some(ms),
+                _ => {
+                    eprintln!("--deadline-ms needs a positive number");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("unknown flag `{other}`");
                 return ExitCode::FAILURE;
@@ -217,13 +255,13 @@ fn cmd_tune(args: &[String]) -> ExitCode {
         }
     }
 
+    let engine = EvalEngine::new(EngineConfig { jobs, budget: eval_budget });
     let cands = app.candidates();
     let report = match strategy.as_str() {
-        "exhaustive" => ExhaustiveSearch.run(&cands, &device),
-        "pareto" => {
-            PrunedSearch { screen_bandwidth: screen, ..Default::default() }.run(&cands, &device)
-        }
-        "random" => RandomSearch { budget, seed: 0 }.run(&cands, &device),
+        "exhaustive" => ExhaustiveSearch.run_with(&engine, &cands, &device),
+        "pareto" => PrunedSearch { screen_bandwidth: screen, ..Default::default() }
+            .run_with(&engine, &cands, &device),
+        "random" => RandomSearch { budget, seed: 0 }.run_with(&engine, &cands, &device),
         other => {
             eprintln!("unknown strategy `{other}` (exhaustive|pareto|random)");
             return ExitCode::FAILURE;
@@ -333,7 +371,13 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     };
     let prog = gpu_autotune::ir::linear::linearize(&kernel);
     match gpu_autotune::sim::trace::trace_kernel(
-        &prog, &launch, &params, &mut mem, (0, 0), (0, 0), limit,
+        &prog,
+        &launch,
+        &params,
+        &mut mem,
+        (0, 0),
+        (0, 0),
+        limit,
     ) {
         Ok(t) => {
             println!("{}", t.head(limit));

@@ -8,7 +8,7 @@ use gpu_autotune::ir::types::Special;
 use gpu_autotune::ir::{Dim, Launch};
 use gpu_autotune::optspace::candidate::Candidate;
 use gpu_autotune::optspace::pareto::{pareto_indices, Point};
-use gpu_autotune::optspace::tuner::{ExhaustiveSearch, PrunedSearch, RandomSearch};
+use gpu_autotune::optspace::tuner::{ExhaustiveSearch, PrunedSearch, RandomSearch, SearchStrategy};
 use gpu_autotune::sim::interp::{run_kernel, DeviceMemory};
 
 fn g80() -> MachineSpec {
@@ -55,11 +55,7 @@ fn searches_handle_all_invalid_spaces() {
 
 #[test]
 fn pareto_with_nan_points_does_not_panic() {
-    let pts = vec![
-        Point::new(1.0, 1.0),
-        Point::new(f64::NAN, 0.5),
-        Point::new(0.5, f64::NAN),
-    ];
+    let pts = vec![Point::new(1.0, 1.0), Point::new(f64::NAN, 0.5), Point::new(0.5, f64::NAN)];
     // Sorting treats incomparable values as equal; we only require
     // no panic and that the clean point survives.
     let keep = pareto_indices(&pts);
@@ -73,8 +69,7 @@ fn one_thread_grid_runs() {
     b.st_global(p, 0, 5.0f32);
     let prog = linearize(&b.finish());
     let mut mem = DeviceMemory::new(1);
-    run_kernel(&prog, &Launch::new(Dim::new_1d(1), Dim::new_1d(1)), &[0], &mut mem)
-        .expect("runs");
+    run_kernel(&prog, &Launch::new(Dim::new_1d(1), Dim::new_1d(1)), &[0], &mut mem).expect("runs");
     assert_eq!(mem.global[0], 5.0);
 }
 
@@ -176,14 +171,8 @@ fn metrics_scale_with_invocations_as_documented() {
     let k = b.finish();
     let launch = Launch::new(Dim::new_1d(64), Dim::new_1d(128));
     let one = Candidate::new("x", k.clone(), launch).evaluate(&spec).expect("valid");
-    let two = Candidate::new("x", k, launch)
-        .with_invocations(2)
-        .evaluate(&spec)
-        .expect("valid");
-    assert_eq!(
-        two.kernel_profile.profile.instr,
-        one.kernel_profile.profile.instr * 2
-    );
+    let two = Candidate::new("x", k, launch).with_invocations(2).evaluate(&spec).expect("valid");
+    assert_eq!(two.kernel_profile.profile.instr, one.kernel_profile.profile.instr * 2);
     // Utilization's Instr/Regions ratio is invariant.
     assert!((two.metrics.utilization / one.metrics.utilization - 1.0).abs() < 1e-12);
     // Efficiency halves (twice the total instructions).

@@ -4,7 +4,7 @@
 use gpu_autotune::arch::MachineSpec;
 use gpu_autotune::kernels::cp::{Cp, CpConfig};
 use gpu_autotune::kernels::matmul::{MatMul, MatMulConfig};
-use gpu_autotune::optspace::tuner::ExhaustiveSearch;
+use gpu_autotune::optspace::tuner::{ExhaustiveSearch, SearchStrategy};
 
 /// Figure 3 / section 5.3: "none of the 8x8 configurations perform
 /// better than any of the 16x16 configurations due to memory bandwidth
@@ -30,10 +30,7 @@ fn matmul_16x16_strictly_beats_8x8() {
         .filter(|(_, c)| c.tile == 8)
         .filter_map(|(i, _)| time_of(i))
         .fold(f64::INFINITY, f64::min);
-    assert!(
-        worst_16 < best_8,
-        "worst 16x16 ({worst_16} ms) must beat best 8x8 ({best_8} ms)"
-    );
+    assert!(worst_16 < best_8, "worst 16x16 ({worst_16} ms) must beat best 8x8 ({best_8} ms)");
 }
 
 /// Figure 3: within 16x16/1x1, deeper unrolling is monotonically faster

@@ -48,8 +48,7 @@ fn sad_knob_extremes() {
     let reference = sad.cpu_reference(&mem0);
     let space = sad.space();
     // First, last, and a few interior configurations.
-    let picks: Vec<usize> =
-        vec![0, space.len() / 3, 2 * space.len() / 3, space.len() - 1];
+    let picks: Vec<usize> = vec![0, space.len() / 3, 2 * space.len() / 3, space.len() - 1];
     for i in picks {
         let cfg = &space[i];
         let mut mem = mem0.clone();

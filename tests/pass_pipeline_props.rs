@@ -8,8 +8,8 @@ use gpu_autotune::ir::build::KernelBuilder;
 use gpu_autotune::ir::linear::linearize;
 use gpu_autotune::ir::{Dim, Kernel, Launch};
 use gpu_autotune::passes::{
-    find_loops, fold_strided_addresses, innermost_loops, prefetch_global_loads,
-    spill_candidates, spill_registers, unroll,
+    find_loops, fold_strided_addresses, innermost_loops, prefetch_global_loads, spill_candidates,
+    spill_registers, unroll,
 };
 use gpu_autotune::sim::interp::{run_kernel, DeviceMemory};
 use proptest::prelude::*;

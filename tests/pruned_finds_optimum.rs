@@ -8,7 +8,7 @@
 
 use gpu_autotune::arch::MachineSpec;
 use gpu_autotune::kernels::{cp::Cp, matmul::MatMul, mri_fhd::MriFhd, sad::Sad, App};
-use gpu_autotune::optspace::tuner::{ExhaustiveSearch, PrunedSearch};
+use gpu_autotune::optspace::tuner::{ExhaustiveSearch, PrunedSearch, SearchStrategy};
 
 fn assert_pruned_finds_optimum(app: &dyn App) {
     let spec = MachineSpec::geforce_8800_gtx();

@@ -45,8 +45,7 @@ fn parsed_kernel_executes_identically() {
     let run = |k: &gpu_autotune::ir::Kernel| {
         let prog = gpu_autotune::ir::linear::linearize(k);
         let mut mem = mem0.clone();
-        gpu_autotune::sim::interp::run_kernel(&prog, &launch, &params, &mut mem)
-            .expect("runs");
+        gpu_autotune::sim::interp::run_kernel(&prog, &launch, &params, &mut mem).expect("runs");
         mem.global
     };
     assert_eq!(run(&kernel), run(&parsed));
