@@ -7,13 +7,12 @@
 //! configuration exhaustive search finds.
 
 use gpu_arch::MachineSpec;
-use optspace::engine::EvalEngine;
 use optspace::report::{fmt_ms, table};
-use optspace_bench::{compare_with, jobs_from_args, suite};
+use optspace_bench::{compare_with, engine_from_args, suite};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let engine = EvalEngine::with_jobs(jobs_from_args(&args));
+    let engine = engine_from_args(&args);
     let spec = MachineSpec::geforce_8800_gtx();
     let mut rows = vec![vec![
         "Kernel".to_string(),
@@ -25,8 +24,10 @@ fn main() {
         "Sel. Eval Time".to_string(),
         "Optimum found".to_string(),
     ]];
+    let mut quarantined = 0usize;
     for app in suite() {
         let c = compare_with(app.as_ref(), &spec, &engine);
+        quarantined += c.exhaustive.quarantined_count() + c.pruned.quarantined_count();
         rows.push(vec![
             c.name.to_string(),
             c.exhaustive.space_size.to_string(),
@@ -39,4 +40,5 @@ fn main() {
         ]);
     }
     println!("{}", table(&rows));
+    println!("quarantined configurations: {quarantined}");
 }

@@ -6,7 +6,7 @@
 
 use gpu_arch::MachineSpec;
 use gpu_kernels::{cp::Cp, matmul::MatMul, mri_fhd::MriFhd, sad::Sad, App};
-use optspace::engine::EvalEngine;
+use optspace::engine::{EngineConfig, EvalEngine, FaultPlan};
 use optspace::tuner::{ExhaustiveSearch, PrunedSearch, SearchReport, SearchStrategy};
 
 /// The four applications at the scale the experiment binaries run them.
@@ -70,4 +70,27 @@ pub fn jobs_from_args(args: &[String]) -> usize {
         .and_then(|v| v.parse().ok())
         .filter(|&j| j >= 1)
         .unwrap_or(1)
+}
+
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    args.iter().position(|a| a == flag).and_then(|p| args.get(p + 1)).and_then(|v| v.parse().ok())
+}
+
+/// Build an engine from the experiment binaries' shared flags:
+/// `--jobs N`, `--sim-fuel N`, `--retries N`, `--inject-faults`,
+/// `--fault-seed N`. Unrecognised arguments are ignored so binaries can
+/// layer their own flags on top.
+pub fn engine_from_args(args: &[String]) -> EvalEngine {
+    let mut config = EngineConfig { jobs: jobs_from_args(args), ..Default::default() };
+    config.sim_fuel = flag_value(args, "--sim-fuel");
+    if let Some(n) = flag_value(args, "--retries") {
+        config.retry.max_attempts = n;
+    }
+    if args.iter().any(|a| a == "--inject-faults") {
+        config.fault_plan = Some(match flag_value(args, "--fault-seed") {
+            Some(seed) => FaultPlan::with_seed(seed),
+            None => FaultPlan::default(),
+        });
+    }
+    EvalEngine::new(config)
 }

@@ -1,0 +1,139 @@
+//! Deterministic fault injection for exercising the retry/quarantine
+//! machinery.
+//!
+//! A [`FaultPlan`] decides, purely from a candidate's content hash,
+//! whether its evaluation fails and how: a **transient** fault clears
+//! after a fixed number of attempts (so retries rescue it), a
+//! **permanent** fault never clears (so the candidate is quarantined).
+//! No wall clock and no global RNG is involved — the same plan over the
+//! same space injects the same faults at any worker count, which is what
+//! makes the degraded reports byte-identical across `--jobs` values.
+
+/// A fault injected into one unique simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Attempts 1..=`fails_for` fail; later attempts succeed.
+    /// `u32::MAX` means the fault is permanent.
+    pub fails_for: u32,
+}
+
+impl InjectedFault {
+    /// Whether this fault still fires on the given 1-based attempt.
+    pub fn fires_on(&self, attempt: u32) -> bool {
+        attempt <= self.fails_for
+    }
+
+    /// Whether the fault never clears.
+    pub fn is_permanent(&self) -> bool {
+        self.fails_for == u32::MAX
+    }
+}
+
+/// A deterministic fault-injection plan, keyed by content hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Mixed into every decision so different seeds fault different
+    /// candidates.
+    pub seed: u64,
+    /// Probability (per mille) that a unique simulation faults at all.
+    pub rate_per_mille: u32,
+    /// Of the faulting simulations, the per-mille fraction whose fault
+    /// is transient (clears within two failed attempts).
+    pub transient_per_mille: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        // Roughly one in seven candidates faults, half of them
+        // transiently: enough to exercise both paths on small spaces.
+        Self { seed: 0xfa017, rate_per_mille: 150, transient_per_mille: 500 }
+    }
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and the default rates.
+    pub fn with_seed(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    /// The fault (if any) this plan injects into the simulation with
+    /// the given content hash.
+    pub fn fault_for(&self, content_hash: u64) -> Option<InjectedFault> {
+        let h = mix(self.seed, content_hash);
+        if (h % 1000) as u32 >= self.rate_per_mille {
+            return None;
+        }
+        let h2 = mix(h, 0x9e37_79b9_7f4a_7c15);
+        if ((h2 % 1000) as u32) < self.transient_per_mille {
+            // Clears after one or two failed attempts — within reach of
+            // the default retry policy (three attempts).
+            Some(InjectedFault { fails_for: 1 + ((h2 >> 32) % 2) as u32 })
+        } else {
+            Some(InjectedFault { fails_for: u32::MAX })
+        }
+    }
+}
+
+/// SplitMix64-style avalanche of a seeded hash: decisions must be
+/// uncorrelated across candidates and across the rate/transiency draws.
+fn mix(seed: u64, value: u64) -> u64 {
+    let mut z = seed ^ value.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let plan = FaultPlan::with_seed(42);
+        for h in 0..1000u64 {
+            assert_eq!(plan.fault_for(h), plan.fault_for(h));
+        }
+    }
+
+    #[test]
+    fn rate_zero_injects_nothing_and_rate_full_faults_everything() {
+        let none = FaultPlan { seed: 1, rate_per_mille: 0, transient_per_mille: 500 };
+        let all = FaultPlan { seed: 1, rate_per_mille: 1000, transient_per_mille: 500 };
+        for h in 0..500u64 {
+            assert_eq!(none.fault_for(h), None);
+            assert!(all.fault_for(h).is_some());
+        }
+    }
+
+    #[test]
+    fn default_rates_inject_a_plausible_fraction_with_both_flavors() {
+        let plan = FaultPlan::default();
+        let faults: Vec<_> = (0..10_000u64).filter_map(|h| plan.fault_for(h)).collect();
+        // 150 per mille nominal; allow generous slack for hash noise.
+        assert!(faults.len() > 1000 && faults.len() < 2000, "got {}", faults.len());
+        assert!(faults.iter().any(|f| f.is_permanent()));
+        assert!(faults.iter().any(|f| !f.is_permanent()));
+    }
+
+    #[test]
+    fn transient_faults_clear_within_the_default_retry_budget() {
+        let plan = FaultPlan::default();
+        for h in 0..10_000u64 {
+            if let Some(f) = plan.fault_for(h) {
+                if !f.is_permanent() {
+                    assert!(f.fails_for <= 2);
+                    assert!(f.fires_on(1));
+                    assert!(!f.fires_on(3), "attempt 3 must succeed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_fault_different_candidates() {
+        let a = FaultPlan::with_seed(1);
+        let b = FaultPlan::with_seed(2);
+        let differs = (0..1000u64).any(|h| a.fault_for(h).is_some() != b.fault_for(h).is_some());
+        assert!(differs);
+    }
+}

@@ -1,5 +1,5 @@
-//! The evaluation engine: parallel, memoizing candidate evaluation
-//! shared by every search strategy.
+//! The evaluation engine: parallel, memoizing, fault-tolerant candidate
+//! evaluation shared by every search strategy.
 //!
 //! The paper's search loop has two phases with very different costs:
 //! cheap static evaluation (metrics + occupancy) of every configuration,
@@ -9,17 +9,27 @@
 //! * **Worker pool** — both phases fan out over a fixed-size
 //!   `std::thread` pool ([`pool`]); results are reassembled by candidate
 //!   index, so reports are identical to a sequential run no matter how
-//!   many workers are configured.
+//!   many workers are configured. Per-candidate work is panic-isolated
+//!   and lost workers are respawned.
 //! * **Memo cache** — timing work is deduplicated by a content hash of
 //!   (linearized program, launch, resource usage, machine spec)
 //!   ([`cache`]). Configurations differing only in their
 //!   work-per-invocation split — same hash up to one top-level trip
 //!   count — form a *family* simulated in one forked run
 //!   (`gpu_sim::timing::simulate_family`), so each MRI-FHD cluster of
-//!   seven costs roughly one simulation.
+//!   seven costs roughly one simulation. Failed evaluations are never
+//!   cached: a family containing a failing member degrades to individual
+//!   runs so the failure cannot poison its siblings.
 //! * **Budget** — optional caps on unique simulations and on accumulated
 //!   simulated milliseconds ([`budget`]), applied deterministically and
 //!   recorded in the search report's [`EngineStats`].
+//! * **Failure semantics** — every way a candidate can fail is a typed
+//!   [`EvalError`] ([`error`]); transient failures are retried for up to
+//!   [`RetryPolicy::max_attempts`] deterministic rounds, permanent ones
+//!   are quarantined ([`Quarantine`]) and the search continues over the
+//!   survivors. A deterministic [`FaultPlan`] ([`fault`]) can inject
+//!   failures for testing, and a fuel watchdog bounds runaway
+//!   simulations.
 //!
 //! The evaluators themselves are trait objects ([`StaticEval`],
 //! [`TimingEval`]) so tests and future cost models can substitute the
@@ -28,6 +38,8 @@
 
 pub mod budget;
 pub mod cache;
+pub mod error;
+pub mod fault;
 pub mod pool;
 
 use std::collections::HashMap;
@@ -41,49 +53,67 @@ use crate::candidate::{Candidate, Evaluated};
 use crate::metrics::MetricsOptions;
 
 pub use budget::EvalBudget;
+pub use error::{EvalError, EvalErrorKind, Quarantine};
+pub use fault::{FaultPlan, InjectedFault};
+pub use pool::PoolError;
 
 /// Host-side overhead charged per kernel invocation (driver submission,
 /// ~10 µs on the paper's CUDA 1.0 stack). This is what separates the
 /// otherwise metric-identical work-per-invocation variants of MRI-FHD.
 pub const LAUNCH_OVERHEAD_MS: f64 = 0.01;
 
-/// Static evaluation of one candidate; `None` marks the paper's
-/// "invalid executable" cases.
+/// Static evaluation of one candidate.
+///
+/// `Err(EvalError::ResourceExceeded)` marks the paper's "invalid
+/// executable" cases — expected outcomes, not faults. Any other error
+/// quarantines the candidate.
 pub trait StaticEval: Sync {
     /// Evaluate one candidate.
-    fn evaluate(&self, candidate: &Candidate, spec: &MachineSpec) -> Option<Evaluated>;
+    fn evaluate(&self, candidate: &Candidate, spec: &MachineSpec) -> Result<Evaluated, EvalError>;
 }
 
 /// The standard static evaluator: metrics, occupancy, and the bandwidth
-/// screen via [`Candidate::evaluate_with`].
+/// screen via [`Candidate::evaluate_with`], optionally preceded by IR
+/// verification.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MetricsEval {
     /// Metric variant (ablations flow through here).
     pub options: MetricsOptions,
+    /// Run the IR verifier on each kernel first; findings become
+    /// [`EvalError::VerifyFailed`]. Off by default — the generators
+    /// produce verified kernels, so this guards mutated or external IR.
+    pub verify: bool,
 }
 
 impl StaticEval for MetricsEval {
-    fn evaluate(&self, candidate: &Candidate, spec: &MachineSpec) -> Option<Evaluated> {
-        candidate.evaluate_with(spec, self.options).ok()
+    fn evaluate(&self, candidate: &Candidate, spec: &MachineSpec) -> Result<Evaluated, EvalError> {
+        if self.verify {
+            let findings = gpu_ir::verify::verify(&candidate.kernel);
+            if !findings.is_empty() {
+                return Err(EvalError::from_verify(&findings));
+            }
+        }
+        candidate.evaluate_with(spec, self.options).map_err(Into::into)
     }
 }
 
 /// Timing evaluation of one linearized program (a single invocation's
 /// worth of work — the engine applies invocation scaling afterwards).
 pub trait TimingEval: Sync {
-    /// Simulate one program; `None` when the configuration cannot run.
+    /// Simulate one program.
     fn simulate(
         &self,
         prog: &LinearProgram,
         launch: &Launch,
         usage: &ResourceUsage,
         spec: &MachineSpec,
-    ) -> Option<TimingReport>;
+    ) -> Result<TimingReport, EvalError>;
 
     /// Simulate a family of programs differing only in one top-level
-    /// trip count, in one forked run. `None` means "unsupported or not
-    /// actually a family" — the engine falls back to individual
-    /// [`TimingEval::simulate`] calls.
+    /// trip count, in one forked run. `None` means "unsupported, not
+    /// actually a family, or the family run failed" — the engine falls
+    /// back to individual [`TimingEval::simulate`] calls, which also
+    /// attributes any failure to the member that caused it.
     fn simulate_family(
         &self,
         progs: &[&LinearProgram],
@@ -96,9 +126,20 @@ pub trait TimingEval: Sync {
     }
 }
 
-/// The standard timing evaluator: the warp-level G80 simulator.
+/// The standard timing evaluator: the warp-level G80 simulator, with an
+/// optional fuel watchdog bounding every event loop.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct SimulatorEval;
+pub struct SimulatorEval {
+    /// Scheduler-step limit per simulation; `None` is unbounded.
+    pub fuel: Option<u64>,
+}
+
+impl SimulatorEval {
+    /// Evaluator with the given fuel limit.
+    pub fn with_fuel(fuel: Option<u64>) -> Self {
+        Self { fuel }
+    }
+}
 
 impl TimingEval for SimulatorEval {
     fn simulate(
@@ -107,8 +148,8 @@ impl TimingEval for SimulatorEval {
         launch: &Launch,
         usage: &ResourceUsage,
         spec: &MachineSpec,
-    ) -> Option<TimingReport> {
-        gpu_sim::timing::simulate(prog, launch, usage, spec).ok()
+    ) -> Result<TimingReport, EvalError> {
+        gpu_sim::timing::simulate_fueled(prog, launch, usage, spec, self.fuel).map_err(Into::into)
     }
 
     fn simulate_family(
@@ -118,11 +159,28 @@ impl TimingEval for SimulatorEval {
         usage: &ResourceUsage,
         spec: &MachineSpec,
     ) -> Option<Vec<TimingReport>> {
-        gpu_sim::timing::simulate_family(progs, launch, usage, spec).ok()
+        gpu_sim::timing::simulate_family_fueled(progs, launch, usage, spec, self.fuel).ok()
     }
 }
 
-/// Engine configuration: parallelism plus evaluation budget.
+/// How transient failures are retried: attempt counts only — no
+/// wall-clock backoff, so retry behavior is deterministic and identical
+/// at every worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per evaluation (first try included). `1` disables
+    /// retries.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_attempts: 3 }
+    }
+}
+
+/// Engine configuration: parallelism, evaluation budget, and failure
+/// handling.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
     /// Worker threads for both evaluation phases. `1` (the default) runs
@@ -130,11 +188,25 @@ pub struct EngineConfig {
     pub jobs: usize,
     /// Budget on simulated work.
     pub budget: EvalBudget,
+    /// Retry policy for transient failures.
+    pub retry: RetryPolicy,
+    /// Fuel (scheduler-step) limit per timing simulation; `None` is
+    /// unbounded.
+    pub sim_fuel: Option<u64>,
+    /// Deterministic fault injection; `None` (the default) injects
+    /// nothing.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        Self { jobs: 1, budget: EvalBudget::UNLIMITED }
+        Self {
+            jobs: 1,
+            budget: EvalBudget::UNLIMITED,
+            retry: RetryPolicy::default(),
+            sim_fuel: None,
+            fault_plan: None,
+        }
     }
 }
 
@@ -150,19 +222,26 @@ pub struct EngineStats {
     /// Candidates that received a timing result.
     pub timed: usize,
     /// Timing simulations actually executed (a forked family run counts
-    /// once).
+    /// once; failed and retried runs count each execution).
     pub unique_sims: usize,
     /// Timed candidates served from the memo cache / family forks
     /// instead of a fresh simulation.
     pub cache_hits: usize,
     /// Whether a budget limit cut the evaluation short.
     pub budget_truncated: bool,
+    /// Evaluations re-attempted after a transient failure.
+    pub retries: usize,
+    /// Candidates quarantined after failing permanently (or exhausting
+    /// their retries).
+    pub quarantined: usize,
+    /// Failures injected by the fault plan (each firing counts).
+    pub injected_faults: usize,
 }
 
 /// The shared evaluation engine. See the module docs.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EvalEngine {
-    /// Parallelism and budget settings.
+    /// Parallelism, budget, and failure-handling settings.
     pub config: EngineConfig,
 }
 
@@ -171,6 +250,7 @@ struct UniqueSim {
     prog: LinearProgram,
     launch: Launch,
     usage: ResourceUsage,
+    exact: u64,
     class: cache::ClassKey,
 }
 
@@ -183,13 +263,31 @@ enum WorkUnit {
     Family(Vec<usize>),
 }
 
+impl WorkUnit {
+    fn members(&self) -> &[usize] {
+        match self {
+            Self::Single(u) => std::slice::from_ref(u),
+            Self::Family(v) => v,
+        }
+    }
+}
+
+/// A pool-level loss becomes a transient [`EvalError`]: the work may
+/// simply have been unlucky (its worker died), so it deserves a retry.
+fn pool_to_eval(e: PoolError) -> EvalError {
+    match e {
+        PoolError::Panicked(msg) => EvalError::WorkerLost { detail: msg },
+        PoolError::WorkerLost => EvalError::worker_lost("worker died before reporting"),
+    }
+}
+
 impl EvalEngine {
     /// Engine with explicit configuration.
     pub fn new(config: EngineConfig) -> Self {
         Self { config }
     }
 
-    /// Engine with `jobs` workers and no budget.
+    /// Engine with `jobs` workers and default everything else.
     pub fn with_jobs(jobs: usize) -> Self {
         Self::new(EngineConfig { jobs: jobs.max(1), ..Default::default() })
     }
@@ -201,17 +299,68 @@ impl EvalEngine {
 
     /// Statically evaluate every candidate on the worker pool. Output
     /// order matches `candidates` regardless of `jobs`.
+    ///
+    /// `None` entries are the paper's "invalid executable" cases
+    /// (resource-exceeded) *and* candidates quarantined by any other
+    /// failure; the latter are recorded in `quarantine`.
     pub fn evaluate_statics(
         &self,
         eval: &dyn StaticEval,
         candidates: &[Candidate],
         spec: &MachineSpec,
         stats: &mut EngineStats,
+        quarantine: &mut Vec<Quarantine>,
     ) -> Vec<Option<Evaluated>> {
         stats.static_evals += candidates.len();
-        pool::run_indexed(self.config.jobs, candidates.len(), |i| {
-            eval.evaluate(&candidates[i], spec)
-        })
+        let max_attempts = self.config.retry.max_attempts.max(1);
+        let mut results: Vec<Result<Evaluated, EvalError>> =
+            pool::run_indexed(self.config.jobs, candidates.len(), |i| {
+                eval.evaluate(&candidates[i], spec)
+            })
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|p| Err(pool_to_eval(p))))
+            .collect();
+        let mut attempts: Vec<u32> = vec![1; candidates.len()];
+        for attempt in 2..=max_attempts {
+            let retry: Vec<usize> = results
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| matches!(r, Err(e) if e.is_transient()))
+                .map(|(i, _)| i)
+                .collect();
+            if retry.is_empty() {
+                break;
+            }
+            stats.retries += retry.len();
+            let redo = pool::run_indexed(self.config.jobs, retry.len(), |k| {
+                eval.evaluate(&candidates[retry[k]], spec)
+            });
+            for (k, r) in redo.into_iter().enumerate() {
+                attempts[retry[k]] = attempt;
+                results[retry[k]] = r.unwrap_or_else(|p| Err(pool_to_eval(p)));
+            }
+        }
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| match r {
+                Ok(e) => Some(e),
+                // Expected invalidity, not a fault: stays out of
+                // quarantine so the paper's valid/invalid split is
+                // unchanged.
+                Err(EvalError::ResourceExceeded { .. }) => None,
+                Err(e) => {
+                    stats.quarantined += 1;
+                    quarantine.push(Quarantine {
+                        candidate: i,
+                        label: candidates[i].label.clone(),
+                        error: e,
+                        attempts: attempts[i],
+                    });
+                    None
+                }
+            })
+            .collect()
     }
 
     /// Timing-simulate the selected candidates: deduplicate through the
@@ -220,7 +369,13 @@ impl EvalEngine {
     /// (invocation scaling included) in candidate-index order.
     ///
     /// Selected candidates must be valid (have a `Some` static
-    /// evaluation); invalid ones are skipped.
+    /// evaluation); invalid ones are skipped. Candidates whose
+    /// simulation fails permanently (or exhausts its retries) are
+    /// appended to `quarantine` and stay `None` in the output.
+    // The two-phase search protocol genuinely threads this much state:
+    // evaluator, space, static results, selection, machine, and the two
+    // mutable accounting sinks.
+    #[allow(clippy::too_many_arguments)]
     pub fn simulate_selected(
         &self,
         eval: &dyn TimingEval,
@@ -229,8 +384,10 @@ impl EvalEngine {
         selected: &[usize],
         spec: &MachineSpec,
         stats: &mut EngineStats,
+        quarantine: &mut Vec<Quarantine>,
     ) -> Vec<Option<TimingReport>> {
         let mut simulated: Vec<Option<TimingReport>> = vec![None; candidates.len()];
+        let plan = self.config.fault_plan;
 
         // Phase 1: key and deduplicate. `uniques` keeps discovery order,
         // which makes every later ordering decision deterministic.
@@ -245,7 +402,7 @@ impl EvalEngine {
             let exact = cache::exact_key(&prog, &c.launch, &usage, spec);
             let u = *unique_of.entry(exact).or_insert_with(|| {
                 let class = cache::class_key(&prog, &c.launch, &usage, spec);
-                uniques.push(UniqueSim { prog, launch: c.launch, usage, class });
+                uniques.push(UniqueSim { prog, launch: c.launch, usage, exact, class });
                 uniques.len() - 1
             });
             assignments.push((i, u));
@@ -253,7 +410,9 @@ impl EvalEngine {
 
         // Phase 2: group uniques by class into work units. A class whose
         // members differ in more than one top-level trip count cannot be
-        // forked and degrades to singles.
+        // forked and degrades to singles — as does a class containing a
+        // fault-injected member, so one failure cannot poison the rest of
+        // its family through the shared forked run.
         let mut group_of: HashMap<u64, usize> = HashMap::new();
         let mut groups: Vec<Vec<usize>> = Vec::new();
         for (u, uq) in uniques.iter().enumerate() {
@@ -272,10 +431,14 @@ impl EvalEngine {
                 units.push(WorkUnit::Single(members[0]));
                 continue;
             }
-            let forkable = members[1..].iter().all(|&m| {
-                uniques[members[0]].class.family_compatible(&uniques[m].class)
-                    && uniques[m].class.top_trips.iter().all(|&t| t >= 1)
-            }) && uniques[members[0]].class.top_trips.iter().all(|&t| t >= 1)
+            let faulted = plan
+                .is_some_and(|p| members.iter().any(|&m| p.fault_for(uniques[m].exact).is_some()));
+            let forkable = !faulted
+                && members[1..].iter().all(|&m| {
+                    uniques[members[0]].class.family_compatible(&uniques[m].class)
+                        && uniques[m].class.top_trips.iter().all(|&t| t >= 1)
+                })
+                && uniques[members[0]].class.top_trips.iter().all(|&t| t >= 1)
                 && varying_positions(&uniques, &members) <= 1;
             if forkable {
                 units.push(WorkUnit::Family(members));
@@ -293,32 +456,85 @@ impl EvalEngine {
             }
         }
 
-        // Phase 4: run the units on the pool. Each returns its
-        // per-unique reports plus the number of simulations it actually
-        // executed (a family that falls back runs one per member).
-        let outcomes = pool::run_indexed(self.config.jobs, units.len(), |k| {
-            run_unit(&units[k], &uniques, eval, spec)
-        });
-        let mut unique_reports: Vec<Option<TimingReport>> = vec![None; uniques.len()];
-        for (reports, sims_run) in outcomes {
-            stats.unique_sims += sims_run;
-            for (u, r) in reports {
-                unique_reports[u] = r;
+        // Phase 4: run the units on the pool in deterministic retry
+        // rounds. Round 1 dispatches every unit; each later round
+        // re-dispatches (as singles) only the uniques whose failure was
+        // transient, until the retry policy is exhausted. Failed results
+        // are never stored as reusable cache entries — a retried unique
+        // is always re-simulated from scratch.
+        let max_attempts = self.config.retry.max_attempts.max(1);
+        let mut outcomes_of: Vec<Option<Result<TimingReport, EvalError>>> =
+            (0..uniques.len()).map(|_| None).collect();
+        let mut attempts_of: Vec<u32> = vec![0; uniques.len()];
+        let mut round_units = units;
+        let mut attempt: u32 = 1;
+        while !round_units.is_empty() {
+            let outcomes = pool::run_indexed(self.config.jobs, round_units.len(), |k| {
+                run_unit(&round_units[k], &uniques, eval, spec, plan.as_ref(), attempt)
+            });
+            let mut retry: Vec<usize> = Vec::new();
+            for (k, pooled) in outcomes.into_iter().enumerate() {
+                match pooled {
+                    Ok((reports, sims_run, injected)) => {
+                        stats.unique_sims += sims_run;
+                        stats.injected_faults += injected;
+                        for (u, r) in reports {
+                            attempts_of[u] = attempt;
+                            if matches!(&r, Err(e) if e.is_transient()) && attempt < max_attempts {
+                                retry.push(u);
+                            }
+                            outcomes_of[u] = Some(r);
+                        }
+                    }
+                    // The whole unit's worker vanished: every member is
+                    // transiently lost.
+                    Err(perr) => {
+                        let err = pool_to_eval(perr);
+                        for &u in round_units[k].members() {
+                            attempts_of[u] = attempt;
+                            if attempt < max_attempts {
+                                retry.push(u);
+                            }
+                            outcomes_of[u] = Some(Err(err.clone()));
+                        }
+                    }
+                }
             }
+            retry.sort_unstable();
+            retry.dedup();
+            stats.retries += retry.len();
+            round_units = retry.into_iter().map(WorkUnit::Single).collect();
+            attempt += 1;
         }
 
         // Phase 5: reassemble per candidate in index order, applying
-        // invocation scaling and the simulated-time deadline.
+        // invocation scaling and the simulated-time deadline. Failures
+        // quarantine every candidate mapped to the failed unique.
         assignments.sort_by_key(|&(i, _)| i);
         let mut meter = budget::DeadlineMeter::new(&self.config.budget);
         for (i, u) in assignments {
-            let Some(rep) = &unique_reports[u] else { continue };
-            let scaled = scale_by_invocations(rep.clone(), candidates[i].invocations);
-            if meter.accept(scaled.time_ms) {
-                stats.timed += 1;
-                simulated[i] = Some(scaled);
-            } else {
-                stats.budget_truncated = true;
+            match &outcomes_of[u] {
+                // Budget-truncated before dispatch: not evaluated, not
+                // quarantined.
+                None => {}
+                Some(Ok(rep)) => {
+                    let scaled = scale_by_invocations(rep.clone(), candidates[i].invocations);
+                    if meter.accept(scaled.time_ms) {
+                        stats.timed += 1;
+                        simulated[i] = Some(scaled);
+                    } else {
+                        stats.budget_truncated = true;
+                    }
+                }
+                Some(Err(e)) => {
+                    stats.quarantined += 1;
+                    quarantine.push(Quarantine {
+                        candidate: i,
+                        label: candidates[i].label.clone(),
+                        error: e.clone(),
+                        attempts: attempts_of[u],
+                    });
+                }
             }
         }
         stats.cache_hits += stats.timed.saturating_sub(stats.unique_sims);
@@ -337,28 +553,40 @@ fn varying_positions(uniques: &[UniqueSim], members: &[usize]) -> usize {
         .count()
 }
 
-/// Execute one work unit; returns `(per-unique reports, simulations
-/// executed)`.
+/// One work unit's outcome: per-unique results, simulations executed,
+/// and faults injected.
+type UnitOutcome = (Vec<(usize, Result<TimingReport, EvalError>)>, usize, usize);
+
+/// Execute one work unit.
 fn run_unit(
     unit: &WorkUnit,
     uniques: &[UniqueSim],
     eval: &dyn TimingEval,
     spec: &MachineSpec,
-) -> (Vec<(usize, Option<TimingReport>)>, usize) {
+    plan: Option<&FaultPlan>,
+    attempt: u32,
+) -> UnitOutcome {
     match unit {
         WorkUnit::Single(u) => {
             let uq = &uniques[*u];
-            (vec![(*u, eval.simulate(&uq.prog, &uq.launch, &uq.usage, spec))], 1)
+            if let Some(fault) = plan.and_then(|p| p.fault_for(uq.exact)) {
+                if fault.fires_on(attempt) {
+                    let err = EvalError::Injected { transient: !fault.is_permanent() };
+                    return (vec![(*u, Err(err))], 0, 1);
+                }
+            }
+            (vec![(*u, eval.simulate(&uq.prog, &uq.launch, &uq.usage, spec))], 1, 0)
         }
         WorkUnit::Family(members) => {
             let first = &uniques[members[0]];
             let progs: Vec<&LinearProgram> = members.iter().map(|&m| &uniques[m].prog).collect();
             match eval.simulate_family(&progs, &first.launch, &first.usage, spec) {
                 Some(reports) => {
-                    (members.iter().copied().zip(reports.into_iter().map(Some)).collect(), 1)
+                    (members.iter().copied().zip(reports.into_iter().map(Ok)).collect(), 1, 0)
                 }
-                // Not actually forkable (or the evaluator does not
-                // support families): simulate each member on its own.
+                // Not actually forkable, the evaluator does not support
+                // families, or the shared run failed: simulate each
+                // member on its own, attributing failures individually.
                 None => (
                     members
                         .iter()
@@ -368,6 +596,7 @@ fn run_unit(
                         })
                         .collect(),
                     members.len(),
+                    0,
                 ),
             }
         }
@@ -422,15 +651,29 @@ mod tests {
     fn run_exhaustive(
         engine: &EvalEngine,
         cands: &[Candidate],
-    ) -> (Vec<Option<TimingReport>>, EngineStats) {
+    ) -> (Vec<Option<TimingReport>>, EngineStats, Vec<Quarantine>) {
         let spec = g80();
         let mut stats = engine.stats_seed();
-        let statics = engine.evaluate_statics(&MetricsEval::default(), cands, &spec, &mut stats);
+        let mut quarantine = Vec::new();
+        let statics = engine.evaluate_statics(
+            &MetricsEval::default(),
+            cands,
+            &spec,
+            &mut stats,
+            &mut quarantine,
+        );
         let selected: Vec<usize> =
             statics.iter().enumerate().filter_map(|(i, e)| e.as_ref().map(|_| i)).collect();
-        let sims =
-            engine.simulate_selected(&SimulatorEval, cands, &statics, &selected, &spec, &mut stats);
-        (sims, stats)
+        let sims = engine.simulate_selected(
+            &SimulatorEval::default(),
+            cands,
+            &statics,
+            &selected,
+            &spec,
+            &mut stats,
+            &mut quarantine,
+        );
+        (sims, stats, quarantine)
     }
 
     #[test]
@@ -444,10 +687,11 @@ mod tests {
             .map(|&inv| candidate(total_trips / inv, 2, inv))
             .chain([candidate(48, 5, 1)])
             .collect();
-        let (sims, stats) = run_exhaustive(&EvalEngine::default(), &cands);
+        let (sims, stats, quarantine) = run_exhaustive(&EvalEngine::default(), &cands);
         assert_eq!(stats.timed, 5);
         assert_eq!(stats.unique_sims, 2);
         assert_eq!(stats.cache_hits, 3);
+        assert!(quarantine.is_empty());
         // Every report must equal the standalone sequential result.
         let spec = g80();
         for (c, got) in cands.iter().zip(&sims) {
@@ -465,7 +709,7 @@ mod tests {
     #[test]
     fn exact_duplicates_are_simulated_once() {
         let cands = vec![candidate(16, 2, 1), candidate(16, 2, 1), candidate(16, 2, 4)];
-        let (sims, stats) = run_exhaustive(&EvalEngine::default(), &cands);
+        let (sims, stats, _) = run_exhaustive(&EvalEngine::default(), &cands);
         assert_eq!(stats.unique_sims, 1);
         assert_eq!(stats.cache_hits, 2);
         assert_eq!(sims[0], sims[1]);
@@ -477,9 +721,9 @@ mod tests {
     fn worker_counts_do_not_change_results() {
         let cands: Vec<Candidate> =
             (1..=6).map(|t| candidate(8 * t, t, 1)).chain([candidate(24, 3, 2)]).collect();
-        let (base, base_stats) = run_exhaustive(&EvalEngine::default(), &cands);
+        let (base, base_stats, _) = run_exhaustive(&EvalEngine::default(), &cands);
         for jobs in [2, 4, 8] {
-            let (got, stats) = run_exhaustive(&EvalEngine::with_jobs(jobs), &cands);
+            let (got, stats, _) = run_exhaustive(&EvalEngine::with_jobs(jobs), &cands);
             assert_eq!(got, base, "jobs = {jobs}");
             assert_eq!(stats.unique_sims, base_stats.unique_sims);
             assert_eq!(stats.cache_hits, base_stats.cache_hits);
@@ -489,24 +733,31 @@ mod tests {
     #[test]
     fn max_sims_budget_truncates_deterministically() {
         let cands: Vec<Candidate> = (1..=5).map(|t| candidate(8 * t, t, 1)).collect();
-        let engine =
-            EvalEngine::new(EngineConfig { jobs: 1, budget: EvalBudget::with_max_sims(2) });
-        let (sims, stats) = run_exhaustive(&engine, &cands);
+        let engine = EvalEngine::new(EngineConfig {
+            jobs: 1,
+            budget: EvalBudget::with_max_sims(2),
+            ..Default::default()
+        });
+        let (sims, stats, _) = run_exhaustive(&engine, &cands);
         assert!(stats.budget_truncated);
         assert_eq!(stats.unique_sims, 2);
         // The first two units (discovery order) ran; the rest did not.
         assert!(sims[0].is_some() && sims[1].is_some());
         assert!(sims[2].is_none() && sims[3].is_none() && sims[4].is_none());
         // Parallel run truncates identically.
-        let par = EvalEngine::new(EngineConfig { jobs: 4, budget: EvalBudget::with_max_sims(2) });
-        let (par_sims, _) = run_exhaustive(&par, &cands);
+        let par = EvalEngine::new(EngineConfig {
+            jobs: 4,
+            budget: EvalBudget::with_max_sims(2),
+            ..Default::default()
+        });
+        let (par_sims, _, _) = run_exhaustive(&par, &cands);
         assert_eq!(par_sims, sims);
     }
 
     #[test]
     fn deadline_budget_keeps_the_crossing_candidate() {
         let cands: Vec<Candidate> = (1..=5).map(|t| candidate(8 * t, t, 1)).collect();
-        let (all, _) = run_exhaustive(&EvalEngine::default(), &cands);
+        let (all, _, _) = run_exhaustive(&EvalEngine::default(), &cands);
         let t0 = all[0].as_ref().unwrap().time_ms;
         let t1 = all[1].as_ref().unwrap().time_ms;
         // Deadline inside candidate 1: candidates 0 and 1 kept (1
@@ -514,11 +765,312 @@ mod tests {
         let engine = EvalEngine::new(EngineConfig {
             jobs: 1,
             budget: EvalBudget::with_deadline_ms(t0 + t1 * 0.5),
+            ..Default::default()
         });
-        let (sims, stats) = run_exhaustive(&engine, &cands);
+        let (sims, stats, _) = run_exhaustive(&engine, &cands);
         assert!(stats.budget_truncated);
         assert_eq!(stats.timed, 2);
         assert!(sims[0].is_some() && sims[1].is_some());
         assert!(sims[2..].iter().all(Option::is_none));
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use gpu_ir::build::KernelBuilder;
+    use gpu_ir::{Dim, Kernel};
+
+    fn g80() -> MachineSpec {
+        MachineSpec::geforce_8800_gtx()
+    }
+
+    fn loop_kernel(trips: u32, work: u32) -> Kernel {
+        let mut b = KernelBuilder::new("k");
+        let p = b.param(0);
+        let acc = b.mov(0.0f32);
+        b.repeat(trips, |b| {
+            let x = b.ld_global(p, 0);
+            for _ in 0..work {
+                b.fmad_acc(x, 1.0f32, acc);
+            }
+        });
+        b.st_global(p, 0, acc);
+        b.finish()
+    }
+
+    fn candidate(trips: u32, work: u32, invocations: u32) -> Candidate {
+        Candidate::new(
+            format!("t{trips}/w{work}/i{invocations}"),
+            loop_kernel(trips, work),
+            Launch::new(Dim::new_1d(256), Dim::new_1d(128)),
+        )
+        .with_invocations(invocations)
+    }
+
+    fn run_with_engine(
+        engine: &EvalEngine,
+        cands: &[Candidate],
+    ) -> (Vec<Option<TimingReport>>, EngineStats, Vec<Quarantine>) {
+        let spec = g80();
+        let mut stats = engine.stats_seed();
+        let mut quarantine = Vec::new();
+        let statics = engine.evaluate_statics(
+            &MetricsEval::default(),
+            cands,
+            &spec,
+            &mut stats,
+            &mut quarantine,
+        );
+        let selected: Vec<usize> =
+            statics.iter().enumerate().filter_map(|(i, e)| e.as_ref().map(|_| i)).collect();
+        let sims = engine.simulate_selected(
+            &SimulatorEval::with_fuel(engine.config.sim_fuel),
+            cands,
+            &statics,
+            &selected,
+            &spec,
+            &mut stats,
+            &mut quarantine,
+        );
+        (sims, stats, quarantine)
+    }
+
+    /// The exact content hash the engine will compute for a candidate.
+    fn exact_of(c: &Candidate, spec: &MachineSpec) -> u64 {
+        let e = c.evaluate(spec).unwrap();
+        let prog = gpu_ir::linear::linearize(&c.kernel);
+        cache::exact_key(&prog, &c.launch, &e.kernel_profile.usage, spec)
+    }
+
+    #[test]
+    fn permanent_faults_quarantine_and_transient_faults_recover() {
+        let spec = g80();
+        let cands: Vec<Candidate> = (1..=8).map(|t| candidate(6 * t, t, 1)).collect();
+        let hashes: Vec<u64> = cands.iter().map(|c| exact_of(c, &spec)).collect();
+
+        // Find a seed injecting at least one permanent and one transient
+        // fault into this space — deterministic, so the assertions below
+        // are stable.
+        let plan = (0..10_000u64)
+            .map(FaultPlan::with_seed)
+            .find(|p| {
+                let faults: Vec<_> = hashes.iter().filter_map(|&h| p.fault_for(h)).collect();
+                faults.iter().any(|f| f.is_permanent())
+                    && faults.iter().any(|f| !f.is_permanent())
+                    && faults.len() < hashes.len()
+            })
+            .expect("some seed exercises both fault flavors");
+
+        let engine = EvalEngine::new(EngineConfig { fault_plan: Some(plan), ..Default::default() });
+        let (sims, stats, quarantine) = run_with_engine(&engine, &cands);
+        let (clean_sims, ..) = run_with_engine(&EvalEngine::default(), &cands);
+
+        for (i, c) in cands.iter().enumerate() {
+            match plan.fault_for(hashes[i]) {
+                Some(f) if f.is_permanent() => {
+                    assert!(sims[i].is_none(), "{} should be quarantined", c.label);
+                    let q = quarantine
+                        .iter()
+                        .find(|q| q.candidate == i)
+                        .expect("permanent fault is quarantined");
+                    assert_eq!(q.error, EvalError::Injected { transient: false });
+                    assert_eq!(q.attempts, 1, "permanent faults are not retried");
+                }
+                Some(_) => {
+                    // Transient: retried to success, result identical to
+                    // the fault-free run.
+                    assert_eq!(sims[i], clean_sims[i], "{} should recover", c.label);
+                    assert!(quarantine.iter().all(|q| q.candidate != i));
+                }
+                None => {
+                    assert_eq!(sims[i], clean_sims[i], "{} untouched by the plan", c.label);
+                }
+            }
+        }
+        assert_eq!(stats.quarantined, quarantine.len());
+        assert!(stats.injected_faults > 0);
+        assert!(stats.retries > 0, "transient faults must be retried");
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_across_worker_counts() {
+        let cands: Vec<Candidate> = (1..=8).map(|t| candidate(6 * t, t, 1)).collect();
+        let plan = FaultPlan { seed: 11, rate_per_mille: 400, transient_per_mille: 500 };
+        let base = run_with_engine(
+            &EvalEngine::new(EngineConfig { fault_plan: Some(plan), ..Default::default() }),
+            &cands,
+        );
+        for jobs in [2usize, 8] {
+            let par = run_with_engine(
+                &EvalEngine::new(EngineConfig {
+                    jobs,
+                    fault_plan: Some(plan),
+                    ..Default::default()
+                }),
+                &cands,
+            );
+            assert_eq!(par.0, base.0, "jobs = {jobs}");
+            assert_eq!(par.2, base.2, "jobs = {jobs}");
+            assert_eq!(par.1.unique_sims, base.1.unique_sims);
+            assert_eq!(par.1.retries, base.1.retries);
+            assert_eq!(par.1.injected_faults, base.1.injected_faults);
+        }
+    }
+
+    #[test]
+    fn a_faulted_family_member_does_not_poison_its_siblings() {
+        // Four invocation splits of one kernel: a single family that the
+        // engine would normally simulate in one forked run. Inject a
+        // fault into exactly one member and the family must degrade to
+        // singles — the siblings still produce their fault-free reports.
+        let spec = g80();
+        let total_trips = 48u32;
+        let cands: Vec<Candidate> =
+            [1u32, 2, 4, 8].iter().map(|&inv| candidate(total_trips / inv, 2, inv)).collect();
+        let hashes: Vec<u64> = cands.iter().map(|c| exact_of(c, &spec)).collect();
+
+        let plan = (0..100_000u64)
+            .map(FaultPlan::with_seed)
+            .find(|p| {
+                let faulted: Vec<_> =
+                    hashes.iter().filter(|&&h| p.fault_for(h).is_some()).collect();
+                faulted.len() == 1 && p.fault_for(*faulted[0]).unwrap().is_permanent()
+            })
+            .expect("some seed faults exactly one member permanently");
+        let victim = hashes
+            .iter()
+            .position(|&h| plan.fault_for(h).is_some())
+            .expect("victim exists by construction");
+
+        let (clean_sims, clean_stats, _) = run_with_engine(&EvalEngine::default(), &cands);
+        assert_eq!(clean_stats.unique_sims, 1, "fault-free family forks in one run");
+
+        let engine = EvalEngine::new(EngineConfig { fault_plan: Some(plan), ..Default::default() });
+        let (sims, stats, quarantine) = run_with_engine(&engine, &cands);
+        for (i, c) in cands.iter().enumerate() {
+            if i == victim {
+                assert!(sims[i].is_none());
+                assert!(quarantine.iter().any(|q| q.candidate == i));
+            } else {
+                assert_eq!(sims[i], clean_sims[i], "sibling {} poisoned", c.label);
+            }
+        }
+        // The degraded family runs its surviving members individually.
+        assert_eq!(stats.unique_sims, cands.len() - 1);
+        assert_eq!(quarantine.len(), 1);
+    }
+
+    #[test]
+    fn a_panicking_evaluator_is_quarantined_not_fatal() {
+        /// Panics on one specific program length, succeeds otherwise.
+        struct PanickyEval {
+            panic_on_trips: u32,
+        }
+        impl TimingEval for PanickyEval {
+            fn simulate(
+                &self,
+                prog: &LinearProgram,
+                launch: &Launch,
+                usage: &ResourceUsage,
+                spec: &MachineSpec,
+            ) -> Result<TimingReport, EvalError> {
+                let trips = prog
+                    .code
+                    .iter()
+                    .find_map(|op| match op {
+                        gpu_ir::linear::LinOp::LoopStart { trips, .. } => Some(*trips),
+                        _ => None,
+                    })
+                    .unwrap_or(0);
+                if trips == self.panic_on_trips {
+                    panic!("deliberate test panic");
+                }
+                gpu_sim::timing::simulate(prog, launch, usage, spec).map_err(Into::into)
+            }
+        }
+
+        let spec = g80();
+        let cands: Vec<Candidate> = (1..=4).map(|t| candidate(10 * t, t, 1)).collect();
+        for jobs in [1usize, 3] {
+            let engine = EvalEngine::with_jobs(jobs);
+            let mut stats = engine.stats_seed();
+            let mut quarantine = Vec::new();
+            let statics = engine.evaluate_statics(
+                &MetricsEval::default(),
+                &cands,
+                &spec,
+                &mut stats,
+                &mut quarantine,
+            );
+            let selected: Vec<usize> = (0..cands.len()).collect();
+            let sims = engine.simulate_selected(
+                &PanickyEval { panic_on_trips: 20 },
+                &cands,
+                &statics,
+                &selected,
+                &spec,
+                &mut stats,
+                &mut quarantine,
+            );
+            // Candidate 1 (trips = 20) panics deterministically: retried
+            // as transient, then quarantined as worker-lost.
+            assert!(sims[1].is_none(), "jobs = {jobs}");
+            let q = quarantine.iter().find(|q| q.candidate == 1).expect("panic quarantined");
+            assert_eq!(q.error.kind(), EvalErrorKind::WorkerLost);
+            assert_eq!(q.attempts, engine.config.retry.max_attempts);
+            // Everyone else survives.
+            for i in [0usize, 2, 3] {
+                assert!(sims[i].is_some(), "jobs = {jobs}, candidate {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fuel_exhaustion_quarantines_the_runaway_candidate() {
+        let cands: Vec<Candidate> =
+            vec![candidate(2, 1, 1), candidate(20_000, 2, 1), candidate(4, 3, 1)];
+        let engine = EvalEngine::new(EngineConfig { sim_fuel: Some(20_000), ..Default::default() });
+        let (sims, stats, quarantine) = run_with_engine(&engine, &cands);
+        assert!(sims[0].is_some() && sims[2].is_some());
+        assert!(sims[1].is_none());
+        let q = quarantine.iter().find(|q| q.candidate == 1).expect("runaway quarantined");
+        assert_eq!(q.error, EvalError::FuelExhausted { fuel: 20_000 });
+        assert_eq!(q.attempts, 1, "fuel exhaustion is permanent, not retried");
+        assert_eq!(stats.quarantined, 1);
+    }
+
+    #[test]
+    fn verifying_static_eval_quarantines_malformed_kernels() {
+        // A kernel that reads a register it never wrote.
+        let mut b = KernelBuilder::new("bad");
+        let p = b.param(0);
+        let ghost = b.fresh();
+        let acc = b.mov(0.0f32);
+        b.fmad_acc(ghost, 1.0f32, acc);
+        b.st_global(p, 0, acc);
+        let bad = Candidate::new(
+            "use-before-def",
+            b.finish(),
+            Launch::new(Dim::new_1d(16), Dim::new_1d(64)),
+        );
+        let good = candidate(4, 1, 1);
+        let cands = vec![good, bad];
+
+        let engine = EvalEngine::default();
+        let mut stats = engine.stats_seed();
+        let mut quarantine = Vec::new();
+        let statics = engine.evaluate_statics(
+            &MetricsEval { verify: true, ..Default::default() },
+            &cands,
+            &g80(),
+            &mut stats,
+            &mut quarantine,
+        );
+        assert!(statics[0].is_some());
+        assert!(statics[1].is_none());
+        assert_eq!(quarantine.len(), 1);
+        assert_eq!(quarantine[0].candidate, 1);
+        assert_eq!(quarantine[0].error.kind(), EvalErrorKind::Verify);
     }
 }

@@ -1,4 +1,5 @@
-//! A minimal fixed-size worker pool over `std::thread` and channels.
+//! A fault-tolerant fixed-size worker pool over `std::thread` and
+//! channels.
 //!
 //! The engine's workloads are embarrassingly parallel maps over an index
 //! range, so the pool is exactly that: `jobs` scoped threads pull
@@ -6,41 +7,144 @@
 //! `(index, result)` back over an `mpsc` channel. Results are
 //! reassembled **by index**, so the output order — and therefore every
 //! report built from it — is independent of worker scheduling.
+//!
+//! Unlike a plain map, the pool never lets one bad index take the
+//! process down: each call is wrapped in `catch_unwind`, a worker that
+//! dies is respawned while work remains, and any index that fails to
+//! report comes back as a [`PoolError`] in its slot instead of a panic
+//! at reassembly.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+
+/// Why an index has no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// The closure panicked on this index; the payload message.
+    Panicked(String),
+    /// The worker holding this index died without reporting a result.
+    WorkerLost,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Panicked(msg) => write!(f, "worker panicked: {msg}"),
+            Self::WorkerLost => write!(f, "worker lost before reporting a result"),
+        }
+    }
+}
+
+/// Render a `catch_unwind` payload as the panic message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+enum Msg<T> {
+    Item(usize, Result<T, PoolError>),
+    /// A worker is gone. `clean` distinguishes "ran out of work" from
+    /// "died mid-item" (only the latter warrants a respawn).
+    Exit {
+        clean: bool,
+    },
+}
 
 /// Evaluate `f(0..n)` on `jobs` worker threads and return the results in
 /// index order. `jobs <= 1` runs inline on the calling thread with no
 /// thread or channel overhead — the strictly sequential reference path.
-pub fn run_indexed<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+///
+/// A panicking index yields `Err(PoolError::Panicked)` in its slot; all
+/// other indices are unaffected.
+pub fn run_indexed<T, F>(jobs: usize, n: usize, f: F) -> Vec<Result<T, PoolError>>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_indexed_with_faults(jobs, n, f, |_| false)
+}
+
+/// [`run_indexed`] with an induced-worker-loss predicate, for testing
+/// the respawn path deterministically: when `lose(i)` is true the worker
+/// that claimed index `i` dies on the spot — index `i` reports
+/// `Err(PoolError::WorkerLost)` and a replacement worker is spawned to
+/// continue the remaining indices.
+pub fn run_indexed_with_faults<T, F, L>(
+    jobs: usize,
+    n: usize,
+    f: F,
+    lose: L,
+) -> Vec<Result<T, PoolError>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    L: Fn(usize) -> bool + Sync,
+{
     if jobs <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n)
+            .map(|i| {
+                if lose(i) {
+                    return Err(PoolError::WorkerLost);
+                }
+                catch_unwind(AssertUnwindSafe(|| f(i)))
+                    .map_err(|p| PoolError::Panicked(panic_message(p)))
+            })
+            .collect();
     }
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let (tx, rx) = mpsc::channel::<Msg<T>>();
     std::thread::scope(|scope| {
-        for _ in 0..jobs.min(n) {
+        let spawn_worker = || {
             let tx = tx.clone();
             let next = &next;
             let f = &f;
+            let lose = &lose;
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n || tx.send((i, f(i))).is_err() {
+                if i >= n {
+                    let _ = tx.send(Msg::Exit { clean: true });
+                    break;
+                }
+                if lose(i) {
+                    // Die holding index i: no Item message, unclean exit.
+                    let _ = tx.send(Msg::Exit { clean: false });
+                    break;
+                }
+                let item = catch_unwind(AssertUnwindSafe(|| f(i)))
+                    .map_err(|p| PoolError::Panicked(panic_message(p)));
+                if tx.send(Msg::Item(i, item)).is_err() {
                     break;
                 }
             });
+        };
+        let mut live = jobs.min(n);
+        for _ in 0..live {
+            spawn_worker();
         }
-        drop(tx);
-        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-        for (i, v) in rx {
-            out[i] = Some(v);
+        let mut out: Vec<Option<Result<T, PoolError>>> = (0..n).map(|_| None).collect();
+        while live > 0 {
+            match rx.recv() {
+                Ok(Msg::Item(i, item)) => out[i] = Some(item),
+                Ok(Msg::Exit { clean }) => {
+                    // Respawn a worker lost mid-item while indices remain
+                    // unclaimed, so one crash can't serialize the rest of
+                    // the map.
+                    if !clean && next.load(Ordering::Relaxed) < n {
+                        spawn_worker();
+                    } else {
+                        live -= 1;
+                    }
+                }
+                Err(_) => break,
+            }
         }
-        out.into_iter().map(|v| v.expect("every index yields exactly one result")).collect()
+        out.into_iter().map(|v| v.unwrap_or(Err(PoolError::WorkerLost))).collect()
     })
 }
 
@@ -48,10 +152,14 @@ where
 mod tests {
     use super::*;
 
+    fn oks<T>(v: Vec<Result<T, PoolError>>) -> Vec<T> {
+        v.into_iter().map(|r| r.expect("no faults induced")).collect()
+    }
+
     #[test]
     fn results_come_back_in_index_order() {
         for jobs in [1, 2, 4, 8] {
-            let got = run_indexed(jobs, 100, |i| i * i);
+            let got = oks(run_indexed(jobs, 100, |i| i * i));
             let want: Vec<usize> = (0..100).map(|i| i * i).collect();
             assert_eq!(got, want, "jobs = {jobs}");
         }
@@ -59,8 +167,8 @@ mod tests {
 
     #[test]
     fn empty_and_single_inputs_work() {
-        assert_eq!(run_indexed(4, 0, |i| i), Vec::<usize>::new());
-        assert_eq!(run_indexed(4, 1, |i| i + 10), vec![10]);
+        assert_eq!(oks(run_indexed(4, 0, |i| i)), Vec::<usize>::new());
+        assert_eq!(oks(run_indexed(4, 1, |i| i + 10)), vec![10]);
     }
 
     #[test]
@@ -69,5 +177,47 @@ mod tests {
         let calls: Vec<AtomicU32> = (0..57).map(|_| AtomicU32::new(0)).collect();
         run_indexed(3, 57, |i| calls[i].fetch_add(1, Ordering::Relaxed));
         assert!(calls.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn a_panicking_index_is_isolated() {
+        for jobs in [1, 2, 4] {
+            let got = run_indexed(jobs, 10, |i| {
+                if i == 3 {
+                    panic!("boom at {i}");
+                }
+                i * 2
+            });
+            for (i, r) in got.iter().enumerate() {
+                if i == 3 {
+                    assert_eq!(r, &Err(PoolError::Panicked("boom at 3".into())), "jobs={jobs}");
+                } else {
+                    assert_eq!(r, &Ok(i * 2), "jobs={jobs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lost_workers_are_respawned_and_the_map_completes() {
+        // Kill the claiming worker on three different indices — with two
+        // workers this forces respawns, and every other index must still
+        // report.
+        for jobs in [1, 2, 3] {
+            let got = run_indexed_with_faults(jobs, 40, |i| i + 1, |i| i % 13 == 5);
+            for (i, r) in got.iter().enumerate() {
+                if i % 13 == 5 {
+                    assert_eq!(r, &Err(PoolError::WorkerLost), "jobs={jobs} i={i}");
+                } else {
+                    assert_eq!(r, &Ok(i + 1), "jobs={jobs} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn losing_every_worker_still_terminates() {
+        let got = run_indexed_with_faults(4, 8, |i| i, |_| true);
+        assert!(got.iter().all(|r| r == &Err(PoolError::WorkerLost)));
     }
 }

@@ -60,7 +60,10 @@ pub mod tuner;
 
 pub use bandwidth::BandwidthAssessment;
 pub use candidate::{Candidate, Evaluated};
-pub use engine::{EngineConfig, EngineStats, EvalBudget, EvalEngine};
+pub use engine::{
+    EngineConfig, EngineStats, EvalBudget, EvalEngine, EvalError, EvalErrorKind, FaultPlan,
+    Quarantine, RetryPolicy,
+};
 pub use metrics::{Metrics, MetricsOptions, StaticProfile};
 pub use pareto::{pareto_indices, Point};
 pub use tuner::{ExhaustiveSearch, PrunedSearch, RandomSearch, SearchReport, SearchStrategy};
@@ -69,7 +72,10 @@ pub use tuner::{ExhaustiveSearch, PrunedSearch, RandomSearch, SearchReport, Sear
 pub mod prelude {
     pub use crate::bandwidth::BandwidthAssessment;
     pub use crate::candidate::{Candidate, Evaluated};
-    pub use crate::engine::{EngineConfig, EngineStats, EvalBudget, EvalEngine};
+    pub use crate::engine::{
+        EngineConfig, EngineStats, EvalBudget, EvalEngine, EvalError, EvalErrorKind, FaultPlan,
+        Quarantine, RetryPolicy,
+    };
     pub use crate::metrics::{Metrics, MetricsOptions, StaticProfile};
     pub use crate::pareto::{pareto_indices, Point};
     pub use crate::tuner::{

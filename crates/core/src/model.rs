@@ -79,7 +79,9 @@ pub fn rank_correlation(a: &[f64], b: &[f64]) -> f64 {
     }
     let ranks = |xs: &[f64]| -> Vec<f64> {
         let mut idx: Vec<usize> = (0..xs.len()).collect();
-        idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).expect("finite samples"));
+        // total_cmp keeps the sort well-defined even if a cost model
+        // hands us NaN (sorted to the end, tied with itself).
+        idx.sort_by(|&i, &j| xs[i].total_cmp(&xs[j]));
         let mut out = vec![0.0; xs.len()];
         let mut i = 0;
         while i < idx.len() {

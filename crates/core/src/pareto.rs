@@ -55,12 +55,12 @@ impl Point {
 /// ```
 pub fn pareto_indices(points: &[Point]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..points.len()).collect();
+    // total_cmp rather than partial_cmp: NaN coordinates (a degenerate
+    // metric) get a consistent position instead of collapsing the whole
+    // comparator to "equal", which would make the kept set depend on the
+    // incoming order.
     order.sort_by(|&a, &b| {
-        points[b]
-            .x
-            .partial_cmp(&points[a].x)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(points[b].y.partial_cmp(&points[a].y).unwrap_or(std::cmp::Ordering::Equal))
+        points[b].x.total_cmp(&points[a].x).then(points[b].y.total_cmp(&points[a].y))
     });
 
     let mut keep = Vec::new();

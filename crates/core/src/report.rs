@@ -39,7 +39,7 @@ pub fn table(rows: &[Vec<String>]) -> String {
         out.push_str(line.trim_end());
         out.push('\n');
         if r == 0 {
-            let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+            let total: usize = widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1);
             out.push_str(&"-".repeat(total));
             out.push('\n');
         }
@@ -62,8 +62,11 @@ pub fn normalize(points: &[Point]) -> Vec<Point> {
 }
 
 /// Render an ASCII scatter of normalised metric points, `width`×`height`
-/// characters. Points in `highlight` render as `*`, the rest as `·`; a
-/// point in both renders as `*`. Marks the optimum with `O` if given.
+/// characters (each clamped to at least 1). Points in `highlight` render
+/// as `*`, the rest as `·`; a point in both renders as `*`. Marks the
+/// optimum with `O` if given. Out-of-range `highlight`/`optimum` indices
+/// are ignored rather than panicking — callers assemble them from search
+/// reports whose shape this function cannot assume.
 pub fn ascii_scatter(
     points: &[Point],
     highlight: &[usize],
@@ -71,6 +74,8 @@ pub fn ascii_scatter(
     width: usize,
     height: usize,
 ) -> String {
+    let width = width.max(1);
+    let height = height.max(1);
     let pts = normalize(points);
     let mut grid = vec![vec![' '; width]; height];
     let place = |p: &Point| -> (usize, usize) {
@@ -84,12 +89,12 @@ pub fn ascii_scatter(
             grid[r][c] = '.';
         }
     }
-    for &i in highlight {
-        let (r, c) = place(&pts[i]);
+    for p in highlight.iter().filter_map(|&i| pts.get(i)) {
+        let (r, c) = place(p);
         grid[r][c] = '*';
     }
-    if let Some(i) = optimum {
-        let (r, c) = place(&pts[i]);
+    if let Some(p) = optimum.and_then(|i| pts.get(i)) {
+        let (r, c) = place(p);
         grid[r][c] = 'O';
     }
     let mut out = String::new();
@@ -162,6 +167,18 @@ mod tests {
         assert!(s.contains('*'));
         assert!(s.contains('O'));
         assert!(s.contains("efficiency"));
+    }
+
+    #[test]
+    fn degenerate_tables_and_scatters_do_not_panic() {
+        // All-empty rows: zero columns.
+        assert!(table(&[vec![], vec![]]).contains('\n'));
+        // Zero-sized canvas and out-of-range indices are tolerated.
+        let pts = vec![Point::new(1.0, 0.5)];
+        let s = ascii_scatter(&pts, &[0, 99], Some(42), 0, 0);
+        assert!(s.contains("efficiency"));
+        // Empty point set.
+        assert!(ascii_scatter(&[], &[], None, 10, 5).contains("efficiency"));
     }
 
     #[test]

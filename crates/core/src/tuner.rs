@@ -25,7 +25,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::candidate::{Candidate, Evaluated};
-use crate::engine::{EngineStats, EvalEngine, MetricsEval, SimulatorEval};
+use crate::engine::{EngineStats, EvalEngine, MetricsEval, Quarantine, SimulatorEval};
 use crate::metrics::MetricsOptions;
 use crate::pareto::pareto_indices;
 
@@ -39,15 +39,21 @@ pub struct SearchReport {
     /// Total configurations in the space (valid or not).
     pub space_size: usize,
     /// Static evaluation per candidate; `None` marks the paper's
-    /// "invalid executable" cases.
+    /// "invalid executable" cases and candidates quarantined during
+    /// static evaluation.
     pub statics: Vec<Option<Evaluated>>,
     /// Timing simulation per candidate; `None` when the strategy did not
-    /// simulate (or could not launch) that configuration.
+    /// simulate that configuration or quarantined it during timing.
     pub simulated: Vec<Option<TimingReport>>,
     /// Index of the fastest simulated configuration.
     pub best: Option<usize>,
+    /// Candidates removed from the search by evaluation failures, in
+    /// candidate-index order — the degraded-mode section of the report.
+    /// The search result covers the rest of the space; each entry
+    /// records what failed and after how many attempts.
+    pub quarantined: Vec<Quarantine>,
     /// What the evaluation engine did: parallelism, unique simulations,
-    /// memo-cache hits, budget status.
+    /// memo-cache hits, budget status, retries, quarantines.
     pub stats: EngineStats,
 }
 
@@ -85,13 +91,28 @@ impl SearchReport {
         1.0 - self.evaluated_count() as f64 / valid as f64
     }
 
+    /// Number of candidates quarantined by evaluation failures.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.len()
+    }
+
+    /// Fraction of the space with a definitive outcome (a result or a
+    /// deliberate non-selection), i.e. everything except quarantined
+    /// candidates. `1.0` means the search saw the whole space.
+    pub fn coverage(&self) -> f64 {
+        if self.space_size == 0 {
+            return 1.0;
+        }
+        1.0 - self.quarantined.len() as f64 / self.space_size as f64
+    }
+
     fn pick_best(&mut self) {
         self.best = self
             .simulated
             .iter()
             .enumerate()
             .filter_map(|(i, t)| t.as_ref().map(|t| (i, t.time_ms)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("times are finite"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(i, _)| i);
     }
 }
@@ -127,27 +148,34 @@ pub trait SearchStrategy {
         spec: &MachineSpec,
     ) -> SearchReport {
         let mut stats = engine.stats_seed();
+        let mut quarantined: Vec<Quarantine> = Vec::new();
         let statics = engine.evaluate_statics(
-            &MetricsEval { options: self.metrics_options() },
+            &MetricsEval { options: self.metrics_options(), verify: false },
             candidates,
             spec,
             &mut stats,
+            &mut quarantined,
         );
         let selected = self.select(candidates, &statics);
         let simulated = engine.simulate_selected(
-            &SimulatorEval,
+            &SimulatorEval::with_fuel(engine.config.sim_fuel),
             candidates,
             &statics,
             &selected,
             spec,
             &mut stats,
+            &mut quarantined,
         );
+        // Static- and timing-phase entries each arrive in index order;
+        // merge them into one index-ordered section.
+        quarantined.sort_by_key(|q| q.candidate);
         let mut report = SearchReport {
             strategy: self.name(),
             space_size: candidates.len(),
             statics,
             simulated,
             best: None,
+            quarantined,
             stats,
         };
         report.pick_best();
@@ -219,24 +247,24 @@ impl SearchStrategy for PrunedSearch {
         // Candidates entering the plot: valid, and (optionally) not
         // bandwidth-bound. If the screen removes everything (a fully
         // bandwidth-bound space), fall back to the unscreened plot.
-        let eligible: Vec<usize> = {
-            let screened: Vec<usize> = statics
+        // Carry the evaluation alongside its index so "eligible" cannot
+        // drift out of sync with "valid" — no unwrap needed downstream.
+        let eligible: Vec<(usize, &Evaluated)> = {
+            let valid: Vec<(usize, &Evaluated)> =
+                statics.iter().enumerate().filter_map(|(i, e)| Some((i, e.as_ref()?))).collect();
+            let screened: Vec<(usize, &Evaluated)> = valid
                 .iter()
-                .enumerate()
-                .filter_map(|(i, e)| e.as_ref().map(|e| (i, e)))
+                .copied()
                 .filter(|(_, e)| !self.screen_bandwidth || !e.bandwidth.is_bandwidth_bound())
-                .map(|(i, _)| i)
                 .collect();
             if screened.is_empty() {
-                valid_indices(statics)
+                valid
             } else {
                 screened
             }
         };
-        let mut points: Vec<crate::pareto::Point> = eligible
-            .iter()
-            .map(|&i| statics[i].as_ref().expect("eligible implies valid").metrics.point())
-            .collect();
+        let mut points: Vec<crate::pareto::Point> =
+            eligible.iter().map(|(_, e)| e.metrics.point()).collect();
         if let Some(res) = self.metric_resolution {
             // Normalise per axis, then snap to the resolution grid.
             let mx = points.iter().map(|p| p.x).fold(0.0f64, f64::max);
@@ -266,7 +294,7 @@ impl SearchStrategy for PrunedSearch {
                 }
             });
         }
-        selected.into_iter().map(|k| eligible[k]).collect()
+        selected.into_iter().map(|k| eligible[k].0).collect()
     }
 }
 

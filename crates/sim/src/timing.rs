@@ -178,6 +178,23 @@ impl SimSetup {
     }
 }
 
+/// Outcome of scheduling: the next issuable warp, a completed kernel,
+/// or a wedged one (every live warp is blocked at a barrier that can
+/// never release).
+#[derive(Debug, Clone, Copy)]
+enum Pick {
+    Ready(u64, usize),
+    Done,
+    Deadlock,
+}
+
+/// Why an event loop halted before every warp retired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunHalt {
+    Fuel,
+    Deadlock,
+}
+
 /// Complete mid-flight state of the event loop. Cloneable so a run can
 /// be forked at a checkpoint and finished against a sibling program
 /// (see [`simulate_family`]).
@@ -194,6 +211,10 @@ struct SimState {
     finish_time: u64,
     last_pick: usize,
     remaining: usize,
+    /// Scheduler steps taken so far — the fuel meter. Forked clones
+    /// inherit the master's count, which equals what their standalone
+    /// run would have accumulated over the identical prefix.
+    steps: u64,
 }
 
 impl SimState {
@@ -218,15 +239,15 @@ impl SimState {
             finish_time: 0,
             last_pick: 0,
             remaining,
+            steps: 0,
         }
     }
 
     /// Pick the schedulable warp with the earliest possible issue time,
-    /// round-robin from the last pick for fairness. `None` once every
-    /// warp has finished.
-    fn pick(&self, code: &[LinOp]) -> Option<(u64, usize)> {
+    /// round-robin from the last pick for fairness.
+    fn pick(&self, code: &[LinOp]) -> Pick {
         if self.remaining == 0 {
-            return None;
+            return Pick::Done;
         }
         let n = self.warps.len();
         let mut best: Option<(u64, usize)> = None;
@@ -245,11 +266,18 @@ impl SimState {
                 best = Some((t, idx));
             }
         }
-        Some(best.expect("non-done, non-blocked warp exists or barrier deadlock"))
+        match best {
+            Some((t, idx)) => Pick::Ready(t, idx),
+            // Live warps remain but every one is parked at a barrier
+            // that can never release — a malformed kernel, not a
+            // simulator invariant, so it surfaces as an error.
+            None => Pick::Deadlock,
+        }
     }
 
     /// Issue the op of warp `idx` at time `t` and advance the state.
     fn step(&mut self, code: &[LinOp], setup: &SimSetup, spec: &MachineSpec, t: u64, idx: usize) {
+        self.steps += 1;
         self.last_pick = idx;
         let issue = setup.issue;
         let op = code[self.warps[idx].pc].clone();
@@ -348,10 +376,26 @@ impl SimState {
         }
     }
 
-    /// Run the event loop until every warp retires.
-    fn run(&mut self, code: &[LinOp], setup: &SimSetup, spec: &MachineSpec) {
-        while let Some((t, idx)) = self.pick(code) {
-            self.step(code, setup, spec, t, idx);
+    /// Run the event loop until every warp retires, the fuel meter runs
+    /// dry, or the block deadlocks at a barrier.
+    fn run(
+        &mut self,
+        code: &[LinOp],
+        setup: &SimSetup,
+        spec: &MachineSpec,
+        fuel: Option<u64>,
+    ) -> Result<(), RunHalt> {
+        loop {
+            match self.pick(code) {
+                Pick::Done => return Ok(()),
+                Pick::Deadlock => return Err(RunHalt::Deadlock),
+                Pick::Ready(t, idx) => {
+                    if fuel.is_some_and(|f| self.steps >= f) {
+                        return Err(RunHalt::Fuel);
+                    }
+                    self.step(code, setup, spec, t, idx);
+                }
+            }
         }
     }
 
@@ -382,6 +426,42 @@ impl SimState {
     }
 }
 
+/// Why a fueled timing simulation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimingError {
+    /// The configuration cannot execute at all (the paper's "invalid
+    /// executable").
+    Launch(LaunchError),
+    /// The event loop took `fuel` scheduler steps without retiring every
+    /// warp — a runaway or mis-built kernel.
+    FuelExhausted {
+        /// The fuel limit that was exceeded.
+        fuel: u64,
+    },
+    /// Every live warp is parked at a barrier that can never release.
+    BarrierDeadlock,
+}
+
+impl std::fmt::Display for TimingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Launch(e) => write!(f, "launch invalid: {e}"),
+            Self::FuelExhausted { fuel } => {
+                write!(f, "simulation exceeded its fuel limit of {fuel} steps")
+            }
+            Self::BarrierDeadlock => write!(f, "barrier deadlock: not all warps arrived"),
+        }
+    }
+}
+
+impl std::error::Error for TimingError {}
+
+impl From<LaunchError> for TimingError {
+    fn from(e: LaunchError) -> Self {
+        Self::Launch(e)
+    }
+}
+
 /// Simulate `prog` under `launch` on `spec`, with per-thread resource
 /// usage `usage` determining residency.
 ///
@@ -390,15 +470,47 @@ impl SimState {
 /// Returns the [`LaunchError`] from the occupancy calculation when the
 /// configuration cannot execute at all (the paper's "invalid
 /// executable").
+///
+/// # Panics
+///
+/// On barrier deadlock — impossible for the warp-uniform programs this
+/// crate generates. Callers evaluating untrusted or mutated kernels
+/// should use [`simulate_fueled`], which reports deadlock (and runaway
+/// kernels) as a [`TimingError`] instead.
 pub fn simulate(
     prog: &LinearProgram,
     launch: &Launch,
     usage: &ResourceUsage,
     spec: &MachineSpec,
 ) -> Result<TimingReport, LaunchError> {
+    match simulate_fueled(prog, launch, usage, spec, None) {
+        Ok(r) => Ok(r),
+        Err(TimingError::Launch(e)) => Err(e),
+        Err(TimingError::FuelExhausted { .. }) => unreachable!("no fuel limit was set"),
+        Err(TimingError::BarrierDeadlock) => {
+            panic!("barrier deadlock in a warp-uniform program")
+        }
+    }
+}
+
+/// As [`simulate`], but with a **fuel watchdog**: the event loop is
+/// bounded to `fuel` scheduler steps (unbounded when `None`), so a
+/// runaway kernel terminates with [`TimingError::FuelExhausted`]
+/// instead of hanging its worker, and a wedged barrier surfaces as
+/// [`TimingError::BarrierDeadlock`] instead of a panic.
+pub fn simulate_fueled(
+    prog: &LinearProgram,
+    launch: &Launch,
+    usage: &ResourceUsage,
+    spec: &MachineSpec,
+    fuel: Option<u64>,
+) -> Result<TimingReport, TimingError> {
     let setup = SimSetup::new(launch, usage, spec)?;
     let mut state = SimState::new(prog, &setup);
-    state.run(&prog.code, &setup, spec);
+    state.run(&prog.code, &setup, spec, fuel).map_err(|h| match h {
+        RunHalt::Fuel => TimingError::FuelExhausted { fuel: fuel.unwrap_or(u64::MAX) },
+        RunHalt::Deadlock => TimingError::BarrierDeadlock,
+    })?;
     Ok(state.report(launch, &setup, spec))
 }
 
@@ -411,6 +523,15 @@ pub enum FamilyError {
     /// top-level loop's trip count, every member at least one trip);
     /// simulate them individually instead.
     NotAFamily,
+    /// The master run (or a fork) exceeded the fuel limit. Callers
+    /// should fall back to individual [`simulate_fueled`] runs so each
+    /// member gets its own fuel accounting.
+    FuelExhausted {
+        /// The fuel limit that was exceeded.
+        fuel: u64,
+    },
+    /// Every live warp is parked at a barrier that can never release.
+    BarrierDeadlock,
 }
 
 impl std::fmt::Display for FamilyError {
@@ -420,6 +541,10 @@ impl std::fmt::Display for FamilyError {
             Self::NotAFamily => {
                 write!(f, "programs do not form a single-varying-trip-count family")
             }
+            Self::FuelExhausted { fuel } => {
+                write!(f, "family simulation exceeded its fuel limit of {fuel} steps")
+            }
+            Self::BarrierDeadlock => write!(f, "barrier deadlock: not all warps arrived"),
         }
     }
 }
@@ -505,6 +630,22 @@ pub fn simulate_family(
     usage: &ResourceUsage,
     spec: &MachineSpec,
 ) -> Result<Vec<TimingReport>, FamilyError> {
+    simulate_family_fueled(progs, launch, usage, spec, None)
+}
+
+/// As [`simulate_family`], but with the fuel watchdog of
+/// [`simulate_fueled`] applied to the master run and every fork.
+pub fn simulate_family_fueled(
+    progs: &[&LinearProgram],
+    launch: &Launch,
+    usage: &ResourceUsage,
+    spec: &MachineSpec,
+    fuel: Option<u64>,
+) -> Result<Vec<TimingReport>, FamilyError> {
+    let halt_to_family = |h: RunHalt| match h {
+        RunHalt::Fuel => FamilyError::FuelExhausted { fuel: fuel.unwrap_or(u64::MAX) },
+        RunHalt::Deadlock => FamilyError::BarrierDeadlock,
+    };
     if progs.is_empty() {
         return Ok(Vec::new());
     }
@@ -512,7 +653,7 @@ pub fn simulate_family(
     let Some(loop_pc) = family_varying_loop(progs)? else {
         // All members identical: one run serves them all.
         let mut st = SimState::new(progs[0], &setup);
-        st.run(&progs[0].code, &setup, spec);
+        st.run(&progs[0].code, &setup, spec, fuel).map_err(halt_to_family)?;
         let rep = st.report(launch, &setup, spec);
         return Ok(vec![rep; progs.len()]);
     };
@@ -537,7 +678,15 @@ pub fn simulate_family(
     let mut reports: Vec<Option<TimingReport>> = vec![None; progs.len()];
     let mut st = SimState::new(master, &setup);
     let mut max_completed = 0u32;
-    while let Some((t, idx)) = st.pick(&master.code) {
+    loop {
+        let (t, idx) = match st.pick(&master.code) {
+            Pick::Done => break,
+            Pick::Deadlock => return Err(FamilyError::BarrierDeadlock),
+            Pick::Ready(t, idx) => (t, idx),
+        };
+        if fuel.is_some_and(|f| st.steps >= f) {
+            return Err(FamilyError::FuelExhausted { fuel: fuel.unwrap_or(u64::MAX) });
+        }
         // A back edge of the varying loop: the warp is about to finish
         // iteration `T_max - remaining + 1`. The first time any warp
         // reaches iteration `k` of a shorter member is exactly where that
@@ -559,7 +708,7 @@ pub fn simulate_family(
                             }
                         }
                         let member = progs[members[0]];
-                        clone.run(&member.code, &setup, spec);
+                        clone.run(&member.code, &setup, spec, fuel).map_err(halt_to_family)?;
                         let rep = clone.report(launch, &setup, spec);
                         for &m in members {
                             reports[m] = Some(rep.clone());
@@ -937,6 +1086,81 @@ mod family_tests {
         assert_send_sync::<ResourceUsage>();
         assert_send_sync::<Launch>();
         assert_send_sync::<FamilyError>();
+        assert_send_sync::<TimingError>();
+    }
+}
+
+#[cfg(test)]
+mod fuel_tests {
+    use super::*;
+    use gpu_ir::build::KernelBuilder;
+    use gpu_ir::linear::linearize;
+    use gpu_ir::{Dim, Kernel, Launch};
+
+    fn g80() -> MachineSpec {
+        MachineSpec::geforce_8800_gtx()
+    }
+
+    fn launch_1d(blocks: u32, threads: u32) -> Launch {
+        Launch::new(Dim::new_1d(blocks), Dim::new_1d(threads))
+    }
+
+    /// A kernel whose event loop takes at least `iters` steps.
+    fn long_kernel(iters: u32) -> Kernel {
+        let mut b = KernelBuilder::new("long");
+        let p = b.param(0);
+        let acc = b.mov(0.0f32);
+        b.repeat(iters, |b| {
+            b.fmad_acc(1.5f32, 2.5f32, acc);
+        });
+        b.st_global(p, 0, acc);
+        b.finish()
+    }
+
+    #[test]
+    fn a_runaway_kernel_terminates_with_fuel_exhausted() {
+        let prog = linearize(&long_kernel(100_000));
+        let usage = ResourceUsage::new(32, 8, 0);
+        let err =
+            simulate_fueled(&prog, &launch_1d(1, 32), &usage, &g80(), Some(1_000)).unwrap_err();
+        assert_eq!(err, TimingError::FuelExhausted { fuel: 1_000 });
+    }
+
+    #[test]
+    fn generous_fuel_reproduces_the_unfueled_report() {
+        let prog = linearize(&long_kernel(50));
+        let usage = ResourceUsage::new(32, 8, 0);
+        let unfueled = simulate(&prog, &launch_1d(4, 64), &usage, &g80()).unwrap();
+        let fueled =
+            simulate_fueled(&prog, &launch_1d(4, 64), &usage, &g80(), Some(1 << 30)).unwrap();
+        assert_eq!(unfueled, fueled);
+    }
+
+    #[test]
+    fn launch_errors_take_precedence_over_fuel() {
+        let prog = linearize(&long_kernel(4));
+        let usage = ResourceUsage::new(512, 17, 0);
+        let err = simulate_fueled(&prog, &launch_1d(1, 512), &usage, &g80(), Some(10)).unwrap_err();
+        assert!(matches!(err, TimingError::Launch(LaunchError::RegistersExhausted { .. })));
+    }
+
+    #[test]
+    fn family_runs_respect_fuel_and_match_standalone_when_generous() {
+        let spec = g80();
+        let launch = launch_1d(16, 128);
+        let usage = ResourceUsage::new(128, 10, 0);
+        let kernels: Vec<Kernel> = [12u32, 5, 3].iter().map(|&t| long_kernel(t)).collect();
+        let progs: Vec<_> = kernels.iter().map(linearize).collect();
+        let refs: Vec<&LinearProgram> = progs.iter().collect();
+
+        // Generous fuel: bit-identical to the unfueled family run.
+        let generous = simulate_family_fueled(&refs, &launch, &usage, &spec, Some(1 << 30));
+        assert_eq!(generous.unwrap(), simulate_family(&refs, &launch, &usage, &spec).unwrap());
+
+        // Starved fuel: the family run reports exhaustion rather than
+        // silently truncating.
+        let starved = simulate_family_fueled(&refs, &launch, &usage, &spec, Some(10));
+        assert_eq!(starved.unwrap_err(), FamilyError::FuelExhausted { fuel: 10 });
     }
 }
 

@@ -16,4 +16,15 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
+echo "==> fault-injection smoke (table4 --inject-faults)"
+# The search must complete (exit 0) in degraded mode and report a
+# non-empty quarantine section.
+smoke=$(cargo run --release -q -p optspace-bench --bin table4 -- \
+    --jobs 2 --inject-faults)
+echo "$smoke" | tail -n 1
+echo "$smoke" | grep -q "^quarantined configurations: [1-9]" || {
+    echo "fault-injection smoke: expected a non-empty quarantine section" >&2
+    exit 1
+}
+
 echo "All checks passed."

@@ -12,6 +12,10 @@
 //!     --jobs N                              evaluation worker threads (default 1)
 //!     --max-sims N                          cap unique timing simulations
 //!     --deadline-ms X                       cap accumulated simulated time
+//!     --sim-fuel N                          per-simulation step budget (watchdog)
+//!     --retries N                           attempts per candidate (default 3)
+//!     --inject-faults                       deterministic fault injection (dev)
+//!     --fault-seed N                        seed for --inject-faults
 //! gpu-autotune parse <file.gik>             analyse a textual kernel
 //! ```
 
@@ -20,7 +24,9 @@ use std::process::ExitCode;
 use gpu_autotune::arch::MachineSpec;
 use gpu_autotune::kernels::{cp::Cp, matmul::MatMul, mri_fhd::MriFhd, sad::Sad, App};
 use gpu_autotune::optspace::candidate::Candidate;
-use gpu_autotune::optspace::engine::{EngineConfig, EvalBudget, EvalEngine};
+use gpu_autotune::optspace::engine::{
+    EngineConfig, EvalBudget, EvalEngine, FaultPlan, RetryPolicy,
+};
 use gpu_autotune::optspace::report::{fmt_ms, table};
 use gpu_autotune::optspace::tuner::{
     ExhaustiveSearch, PrunedSearch, RandomSearch, SearchReport, SearchStrategy,
@@ -35,7 +41,8 @@ commands:
   inspect <app> <index>       static profile + PTX view of one configuration
   tune <app> [--strategy exhaustive|pareto|random] [--budget N]
              [--device g80|gt200] [--no-screen] [--jobs N]
-             [--max-sims N] [--deadline-ms X]
+             [--max-sims N] [--deadline-ms X] [--sim-fuel N]
+             [--retries N] [--inject-faults] [--fault-seed N]
   parse <file>                parse a textual kernel and print its analyses
   trace <app> <index> [N]     trace the first N instructions (default 20) of
                               one thread of a configuration, on real data
@@ -177,6 +184,24 @@ fn print_search(cands: &[Candidate], r: &SearchReport) {
         r.stats.cache_hits,
         if r.stats.budget_truncated { " (budget exhausted)" } else { "" },
     );
+    if !r.quarantined.is_empty() {
+        println!(
+            "DEGRADED: {} of {} configurations quarantined ({:.1}% of the space evaluated, \
+             {} retr{})",
+            r.quarantined_count(),
+            cands.len(),
+            r.coverage() * 100.0,
+            r.stats.retries,
+            if r.stats.retries == 1 { "y" } else { "ies" },
+        );
+        const LISTED: usize = 8;
+        for q in r.quarantined.iter().take(LISTED) {
+            println!("  {q}");
+        }
+        if r.quarantined.len() > LISTED {
+            println!("  ... and {} more", r.quarantined.len() - LISTED);
+        }
+    }
     match r.best {
         Some(best) => println!(
             "best configuration: #{best} {} ({})",
@@ -202,6 +227,10 @@ fn cmd_tune(args: &[String]) -> ExitCode {
     let mut screen = true;
     let mut jobs = 1usize;
     let mut eval_budget = EvalBudget::UNLIMITED;
+    let mut sim_fuel: Option<u64> = None;
+    let mut retry = RetryPolicy::default();
+    let mut inject = false;
+    let mut fault_seed: Option<u64> = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -248,6 +277,28 @@ fn cmd_tune(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--sim-fuel" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(f) if f > 0 => sim_fuel = Some(f),
+                _ => {
+                    eprintln!("--sim-fuel needs a positive number of steps");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--retries" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => retry.max_attempts = n,
+                _ => {
+                    eprintln!("--retries needs a number >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--inject-faults" => inject = true,
+            "--fault-seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => fault_seed = Some(s),
+                None => {
+                    eprintln!("--fault-seed needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("unknown flag `{other}`");
                 return ExitCode::FAILURE;
@@ -255,7 +306,17 @@ fn cmd_tune(args: &[String]) -> ExitCode {
         }
     }
 
-    let engine = EvalEngine::new(EngineConfig { jobs, budget: eval_budget });
+    let fault_plan = match (inject, fault_seed) {
+        (false, None) => None,
+        (false, Some(_)) => {
+            eprintln!("--fault-seed requires --inject-faults");
+            return ExitCode::FAILURE;
+        }
+        (true, None) => Some(FaultPlan::default()),
+        (true, Some(seed)) => Some(FaultPlan::with_seed(seed)),
+    };
+    let engine =
+        EvalEngine::new(EngineConfig { jobs, budget: eval_budget, retry, sim_fuel, fault_plan });
     let cands = app.candidates();
     let report = match strategy.as_str() {
         "exhaustive" => ExhaustiveSearch.run_with(&engine, &cands, &device),

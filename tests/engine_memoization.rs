@@ -98,8 +98,11 @@ fn budgets_truncate_identically_at_every_worker_count() {
     let capped: Vec<_> = [1usize, 4, 8]
         .iter()
         .map(|&jobs| {
-            let engine =
-                EvalEngine::new(EngineConfig { jobs, budget: EvalBudget::with_max_sims(cap) });
+            let engine = EvalEngine::new(EngineConfig {
+                jobs,
+                budget: EvalBudget::with_max_sims(cap),
+                ..Default::default()
+            });
             ExhaustiveSearch.run_with(&engine, &cands, &spec)
         })
         .collect();
@@ -119,6 +122,7 @@ fn budgets_truncate_identically_at_every_worker_count() {
             let engine = EvalEngine::new(EngineConfig {
                 jobs,
                 budget: EvalBudget::with_deadline_ms(deadline),
+                ..Default::default()
             });
             ExhaustiveSearch.run_with(&engine, &cands, &spec)
         })

@@ -1,0 +1,200 @@
+//! Search-level fault-tolerance guarantees:
+//!
+//! * **Partition** — for any injected fault plan, every candidate in the
+//!   space lands in exactly one report section: timed survivor,
+//!   statically invalid, or quarantined. Nothing is double-counted and
+//!   nothing silently disappears.
+//! * **Determinism** — degraded reports are byte-identical across
+//!   `--jobs` ∈ {1, 2, 8}: worker count must not change which candidates
+//!   fault, retry, or survive.
+//! * **SAD acceptance** — on a real application space, injection
+//!   quarantines exactly the candidates whose content hash the plan
+//!   faults permanently, retries the transient ones to success, and the
+//!   survivors reproduce the clean run bit for bit.
+
+#![allow(clippy::needless_range_loop)]
+
+use gpu_autotune::arch::MachineSpec;
+use gpu_autotune::ir::build::KernelBuilder;
+use gpu_autotune::ir::linear::linearize;
+use gpu_autotune::ir::{Dim, Launch};
+use gpu_autotune::kernels::{sad::Sad, App};
+use gpu_autotune::optspace::candidate::Candidate;
+use gpu_autotune::optspace::engine::{cache, EngineConfig, EvalEngine, EvalErrorKind, FaultPlan};
+use gpu_autotune::optspace::tuner::{ExhaustiveSearch, SearchReport, SearchStrategy};
+use proptest::prelude::*;
+
+fn g80() -> MachineSpec {
+    MachineSpec::geforce_8800_gtx()
+}
+
+/// A small synthetic space: cheap streaming loops plus one statically
+/// invalid configuration (shared memory beyond the SM's capacity).
+fn synthetic_space() -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for trips in [4u32, 8, 12, 16] {
+        for work in [1u32, 2, 3] {
+            let mut b = KernelBuilder::new("s");
+            let p = b.param(0);
+            let acc = b.mov(0.0f32);
+            b.repeat(trips, |b| {
+                let x = b.ld_global(p, 0);
+                for _ in 0..work {
+                    b.fmad_acc(x, 1.0f32, acc);
+                }
+            });
+            b.st_global(p, 0, acc);
+            out.push(Candidate::new(
+                format!("t{trips}/w{work}"),
+                b.finish(),
+                Launch::new(Dim::new_1d(64), Dim::new_1d(128)),
+            ));
+        }
+    }
+    let mut b = KernelBuilder::new("hog");
+    let p = b.param(0);
+    b.alloc_shared(1 << 20); // far beyond any SM: statically invalid
+    let x = b.ld_global(p, 0);
+    b.st_global(p, 0, x);
+    out.push(Candidate::new("invalid", b.finish(), Launch::new(Dim::new_1d(1), Dim::new_1d(32))));
+    out
+}
+
+/// The content hash the engine computes for a candidate, or `None` if it
+/// is statically invalid (never reaches the simulator).
+fn exact_of(c: &Candidate, spec: &MachineSpec) -> Option<u64> {
+    let e = c.evaluate(spec).ok()?;
+    Some(cache::exact_key(&linearize(&c.kernel), &c.launch, &e.kernel_profile.usage, spec))
+}
+
+fn run(cands: &[Candidate], plan: Option<FaultPlan>, jobs: usize) -> SearchReport {
+    let engine = EvalEngine::new(EngineConfig { jobs, fault_plan: plan, ..Default::default() });
+    ExhaustiveSearch.run_with(&engine, cands, &g80())
+}
+
+/// Every candidate is exactly one of: timed survivor, statically
+/// invalid, quarantined. Duplicated quarantine entries are forbidden.
+fn assert_partition(r: &SearchReport) {
+    let quarantined: Vec<usize> = r.quarantined.iter().map(|q| q.candidate).collect();
+    let mut unique = quarantined.clone();
+    unique.dedup();
+    assert_eq!(quarantined, unique, "duplicate quarantine entries");
+    for i in 0..r.space_size {
+        let timed = r.simulated[i].is_some();
+        let invalid = r.statics[i].is_none() && !quarantined.contains(&i);
+        let quar = quarantined.contains(&i);
+        assert_eq!(
+            usize::from(timed) + usize::from(invalid) + usize::from(quar),
+            1,
+            "candidate {i}: timed={timed} invalid={invalid} quarantined={quar}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For any plan, (survivors ∪ invalid ∪ quarantined) partitions the
+    /// space, and the whole degraded report is identical at 1/2/8 jobs.
+    #[test]
+    fn any_fault_plan_partitions_the_space_at_any_worker_count(
+        seed in any::<u64>(),
+        rate in 0u32..=1000,
+        transient in 0u32..=1000,
+    ) {
+        let cands = synthetic_space();
+        let plan = FaultPlan { seed, rate_per_mille: rate, transient_per_mille: transient };
+        let one = run(&cands, Some(plan), 1);
+        assert_partition(&one);
+        for jobs in [2usize, 8] {
+            let r = run(&cands, Some(plan), jobs);
+            prop_assert_eq!(&r.statics, &one.statics, "statics differ at {} jobs", jobs);
+            prop_assert_eq!(&r.simulated, &one.simulated, "sims differ at {} jobs", jobs);
+            prop_assert_eq!(&r.quarantined, &one.quarantined, "quarantine differs at {} jobs", jobs);
+            prop_assert_eq!(r.best, one.best);
+            prop_assert_eq!(r.stats.retries, one.stats.retries);
+            prop_assert_eq!(r.stats.quarantined, one.stats.quarantined);
+            prop_assert_eq!(r.stats.injected_faults, one.stats.injected_faults);
+        }
+    }
+}
+
+#[test]
+fn sad_injection_quarantines_exactly_the_injected_candidates() {
+    let spec = g80();
+    let cands = Sad::test_problem().candidates();
+    let exacts: Vec<Option<u64>> = cands.iter().map(|c| exact_of(c, &spec)).collect();
+
+    // Deterministically pick a seed whose plan injects both flavors into
+    // this space: at least one permanent and one transient fault on
+    // distinct valid candidates.
+    let plan = (0..10_000u64)
+        .map(FaultPlan::with_seed)
+        .find(|p| {
+            let faults: Vec<_> = exacts.iter().flatten().filter_map(|&h| p.fault_for(h)).collect();
+            faults.iter().any(|f| f.is_permanent()) && faults.iter().any(|f| !f.is_permanent())
+        })
+        .expect("some seed injects both fault flavors");
+
+    let clean = run(&cands, None, 2);
+    let faulted = run(&cands, Some(plan), 2);
+    assert_partition(&faulted);
+
+    // Quarantine holds exactly the candidates whose unique simulation the
+    // plan faults permanently — transient faults must be retried away.
+    let expect_quarantined: Vec<usize> = exacts
+        .iter()
+        .enumerate()
+        .filter(|(_, h)| h.and_then(|h| plan.fault_for(h)).is_some_and(|f| f.is_permanent()))
+        .map(|(i, _)| i)
+        .collect();
+    let got: Vec<usize> = faulted.quarantined.iter().map(|q| q.candidate).collect();
+    assert_eq!(got, expect_quarantined);
+    assert!(!got.is_empty(), "the chosen seed injects at least one permanent fault");
+    for q in &faulted.quarantined {
+        assert_eq!(q.error.kind(), EvalErrorKind::Injected);
+        assert_eq!(q.attempts, 1, "permanent faults are not retried");
+    }
+
+    // Transient-faulted candidates recover and, like every survivor,
+    // reproduce the clean run bit for bit.
+    let transient: Vec<usize> = exacts
+        .iter()
+        .enumerate()
+        .filter(|(_, h)| h.and_then(|h| plan.fault_for(h)).is_some_and(|f| !f.is_permanent()))
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!transient.is_empty());
+    assert!(faulted.stats.retries > 0, "transient faults must be retried");
+    for i in transient {
+        assert!(faulted.simulated[i].is_some(), "transient candidate {i} must survive");
+    }
+    for i in 0..cands.len() {
+        if !expect_quarantined.contains(&i) {
+            assert_eq!(faulted.simulated[i], clean.simulated[i], "{}", cands[i].label);
+        }
+    }
+
+    // Coverage reflects the quarantined fraction; the clean run is full.
+    assert_eq!(clean.coverage(), 1.0);
+    assert!(faulted.coverage() < 1.0);
+    let expected = 1.0 - expect_quarantined.len() as f64 / cands.len() as f64;
+    assert!((faulted.coverage() - expected).abs() < 1e-12);
+}
+
+#[test]
+fn degraded_sad_reports_are_identical_across_worker_counts() {
+    let cands = Sad::test_problem().candidates();
+    let plan = FaultPlan { seed: 7, rate_per_mille: 300, transient_per_mille: 500 };
+    let one = run(&cands, Some(plan), 1);
+    for jobs in [2usize, 8] {
+        let r = run(&cands, Some(plan), jobs);
+        assert_eq!(r.statics, one.statics);
+        assert_eq!(r.simulated, one.simulated);
+        assert_eq!(r.quarantined, one.quarantined);
+        assert_eq!(r.best, one.best);
+        assert_eq!(r.stats.unique_sims, one.stats.unique_sims);
+        assert_eq!(r.stats.retries, one.stats.retries);
+        assert_eq!(r.stats.quarantined, one.stats.quarantined);
+    }
+}
