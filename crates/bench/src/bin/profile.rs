@@ -1,0 +1,53 @@
+//! Profile the search stack over the four Table-4 applications: run the
+//! paper's pruned search per app with an event sink attached and print
+//! each run's engine-metrics summary — evaluation counts, cache
+//! behaviour, the simulated stall breakdown, per-phase wall time, and
+//! worker utilization.
+//!
+//! `--bench-out <path>` additionally writes every run's manifest into
+//! one JSON document (the committed `BENCH_pr3.json` trajectory point).
+//! The engine flags of the other experiment binaries (`--jobs`,
+//! `--sim-fuel`, `--retries`, ...) apply here too.
+
+use std::sync::Arc;
+
+use gpu_arch::MachineSpec;
+use optspace::obs::{EventSink, Json, RunManifest};
+use optspace::report::profile_table;
+use optspace::tuner::{PrunedSearch, SearchStrategy};
+use optspace_bench::{engine_from_args, flag_value, suite};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench_out: Option<String> = flag_value(&args, "--bench-out");
+    let spec = MachineSpec::geforce_8800_gtx();
+    let mut manifests: Vec<Json> = Vec::new();
+    for app in suite() {
+        // A fresh sink per app keeps wall-time and worker accounting
+        // per-run instead of smearing across the suite.
+        let sink = Arc::new(EventSink::new());
+        let engine = engine_from_args(&args).with_sink(Arc::clone(&sink));
+        let candidates = app.candidates();
+        let report = PrunedSearch::default().run_with(&engine, &candidates, &spec);
+        println!("== {} ({} configurations) ==", app.name(), candidates.len());
+        println!("{}", profile_table(&report.metrics));
+        manifests.push(RunManifest::from_search(app.name(), &report, &candidates, &spec).to_json());
+    }
+    if let Some(path) = bench_out {
+        let doc = Json::obj([
+            ("bench", Json::from("pr3")),
+            (
+                "description",
+                Json::from("pruned-search run manifests for the four Table-4 applications"),
+            ),
+            ("manifests", Json::Arr(manifests)),
+        ]);
+        match std::fs::write(&path, doc.to_string_pretty()) {
+            Ok(()) => println!("manifests -> {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

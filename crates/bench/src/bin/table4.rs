@@ -5,14 +5,25 @@
 //! Paper shape to check: the pruned search times a small fraction of
 //! each space (74–98 % reduction in the paper) and still finds the
 //! configuration exhaustive search finds.
+//!
+//! `--verbose` attaches an event sink and prints each quarantined
+//! candidate's error kind as recorded in the trace.
+
+use std::sync::Arc;
 
 use gpu_arch::MachineSpec;
+use optspace::obs::{EventSink, Json};
 use optspace::report::{fmt_ms, table};
 use optspace_bench::{compare_with, engine_from_args, suite};
 
+/// Look up one field of a trace event.
+fn field<'a>(fields: &'a [(&'static str, Json)], key: &str) -> Option<&'a Json> {
+    fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let engine = engine_from_args(&args);
+    let verbose = args.iter().any(|a| a == "--verbose");
     let spec = MachineSpec::geforce_8800_gtx();
     let mut rows = vec![vec![
         "Kernel".to_string(),
@@ -25,9 +36,39 @@ fn main() {
         "Optimum found".to_string(),
     ]];
     let mut quarantined = 0usize;
+    let mut kind_lines: Vec<String> = Vec::new();
     for app in suite() {
+        let mut engine = engine_from_args(&args);
+        let sink = if verbose {
+            let sink = Arc::new(EventSink::new());
+            engine = engine.with_sink(Arc::clone(&sink));
+            Some(sink)
+        } else {
+            None
+        };
         let c = compare_with(app.as_ref(), &spec, &engine);
         quarantined += c.exhaustive.quarantined_count() + c.pruned.quarantined_count();
+        if let Some(sink) = sink {
+            // Per-candidate error kinds, straight from the trace the
+            // engine emitted (not re-derived from the reports).
+            let trace = sink.drain();
+            for event in trace.named("quarantine") {
+                let s = |k: &str| {
+                    field(&event.fields, k).and_then(Json::as_str).unwrap_or("?").to_string()
+                };
+                let n =
+                    |k: &str| field(&event.fields, k).and_then(Json::as_u64).unwrap_or_default();
+                kind_lines.push(format!(
+                    "  {} #{} {}: {} ({} phase, attempt {})",
+                    c.name,
+                    n("candidate"),
+                    s("label"),
+                    s("kind"),
+                    s("phase"),
+                    n("attempts"),
+                ));
+            }
+        }
         rows.push(vec![
             c.name.to_string(),
             c.exhaustive.space_size.to_string(),
@@ -40,5 +81,11 @@ fn main() {
         ]);
     }
     println!("{}", table(&rows));
+    if verbose && !kind_lines.is_empty() {
+        println!("quarantined error kinds (from trace):");
+        for line in &kind_lines {
+            println!("{line}");
+        }
+    }
     println!("quarantined configurations: {quarantined}");
 }

@@ -72,7 +72,10 @@ pub fn jobs_from_args(args: &[String]) -> usize {
         .unwrap_or(1)
 }
 
-fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+/// Parse `<flag> <value>` from raw process args; `None` when the flag is
+/// absent or its value does not parse. `T = String` makes this the path
+/// flag helper (`--bench-out out.json`).
+pub fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
     args.iter().position(|a| a == flag).and_then(|p| args.get(p + 1)).and_then(|v| v.parse().ok())
 }
 

@@ -43,6 +43,8 @@ pub mod fault;
 pub mod pool;
 
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 use gpu_arch::{MachineSpec, ResourceUsage};
 use gpu_ir::linear::{linearize, LinearProgram};
@@ -51,6 +53,7 @@ use gpu_sim::timing::TimingReport;
 
 use crate::candidate::{Candidate, Evaluated};
 use crate::metrics::MetricsOptions;
+use crate::obs::{EventKind, EventSink, Json, Phase};
 
 pub use budget::EvalBudget;
 pub use error::{EvalError, EvalErrorKind, Quarantine};
@@ -236,13 +239,33 @@ pub struct EngineStats {
     pub quarantined: usize,
     /// Failures injected by the fault plan (each firing counts).
     pub injected_faults: usize,
+    /// Work units actually simulated as one forked family run.
+    pub family_forks: usize,
+    /// Unique simulations covered by those forked runs.
+    pub family_members: usize,
+    /// Scheduler steps consumed by successful unique simulations.
+    pub fuel_consumed: u64,
+    /// Simulated cycles accumulated by successful unique simulations.
+    pub sim_cycles: u64,
+    /// Issue-port stall cycles attributed to in-flight global memory,
+    /// summed over successful unique simulations.
+    pub stall_mem_cycles: u64,
+    /// Issue-port stall cycles attributed to the SFU port.
+    pub stall_sfu_cycles: u64,
+    /// Issue-port stall cycles attributed to arithmetic operands.
+    pub stall_arith_cycles: u64,
+    /// Issue-port stall cycles from control flow and barriers.
+    pub stall_other_cycles: u64,
 }
 
 /// The shared evaluation engine. See the module docs.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct EvalEngine {
     /// Parallelism, budget, and failure-handling settings.
     pub config: EngineConfig,
+    /// Optional event sink; when attached, both phases emit search-scope
+    /// trace events and runtime wall-time accounting.
+    sink: Option<Arc<EventSink>>,
 }
 
 /// One deduplicated simulation input (the memo cache's value side).
@@ -284,12 +307,37 @@ fn pool_to_eval(e: PoolError) -> EvalError {
 impl EvalEngine {
     /// Engine with explicit configuration.
     pub fn new(config: EngineConfig) -> Self {
-        Self { config }
+        Self { config, sink: None }
     }
 
     /// Engine with `jobs` workers and default everything else.
     pub fn with_jobs(jobs: usize) -> Self {
         Self::new(EngineConfig { jobs: jobs.max(1), ..Default::default() })
+    }
+
+    /// Attach an event sink: both phases will emit trace events and
+    /// runtime accounting into it.
+    pub fn with_sink(mut self, sink: Arc<EventSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// The attached event sink, if any.
+    pub fn sink(&self) -> Option<&Arc<EventSink>> {
+        self.sink.as_ref()
+    }
+
+    /// Emit a deterministic search-scope event (no-op without a sink).
+    /// Public so the search strategies driving this engine can mark
+    /// search-level spans in the same trace.
+    pub fn emit(&self, kind: EventKind, name: &'static str, fields: Vec<(&'static str, Json)>) {
+        if let Some(sink) = &self.sink {
+            sink.search(kind, name, fields);
+        }
+    }
+
+    fn observer(&self) -> Option<&EventSink> {
+        self.sink.as_deref()
     }
 
     /// Fresh stats carrying this engine's configuration.
@@ -311,15 +359,24 @@ impl EvalEngine {
         stats: &mut EngineStats,
         quarantine: &mut Vec<Quarantine>,
     ) -> Vec<Option<Evaluated>> {
+        let phase_started = Instant::now();
+        self.emit(
+            EventKind::Begin,
+            "phase.static",
+            vec![("candidates", Json::from(candidates.len()))],
+        );
         stats.static_evals += candidates.len();
         let max_attempts = self.config.retry.max_attempts.max(1);
-        let mut results: Vec<Result<Evaluated, EvalError>> =
-            pool::run_indexed(self.config.jobs, candidates.len(), |i| {
-                eval.evaluate(&candidates[i], spec)
-            })
-            .into_iter()
-            .map(|r| r.unwrap_or_else(|p| Err(pool_to_eval(p))))
-            .collect();
+        let mut results: Vec<Result<Evaluated, EvalError>> = pool::run_indexed_observed(
+            self.config.jobs,
+            candidates.len(),
+            |i| eval.evaluate(&candidates[i], spec),
+            self.observer(),
+            "static",
+        )
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|p| Err(pool_to_eval(p))))
+        .collect();
         let mut attempts: Vec<u32> = vec![1; candidates.len()];
         for attempt in 2..=max_attempts {
             let retry: Vec<usize> = results
@@ -332,15 +389,28 @@ impl EvalEngine {
                 break;
             }
             stats.retries += retry.len();
-            let redo = pool::run_indexed(self.config.jobs, retry.len(), |k| {
-                eval.evaluate(&candidates[retry[k]], spec)
-            });
+            self.emit(
+                EventKind::Point,
+                "retry.round",
+                vec![
+                    ("phase", Json::from("static")),
+                    ("attempt", Json::from(attempt)),
+                    ("count", Json::from(retry.len())),
+                ],
+            );
+            let redo = pool::run_indexed_observed(
+                self.config.jobs,
+                retry.len(),
+                |k| eval.evaluate(&candidates[retry[k]], spec),
+                self.observer(),
+                "static",
+            );
             for (k, r) in redo.into_iter().enumerate() {
                 attempts[retry[k]] = attempt;
                 results[retry[k]] = r.unwrap_or_else(|p| Err(pool_to_eval(p)));
             }
         }
-        results
+        let out: Vec<Option<Evaluated>> = results
             .into_iter()
             .enumerate()
             .map(|(i, r)| match r {
@@ -351,6 +421,17 @@ impl EvalEngine {
                 Err(EvalError::ResourceExceeded { .. }) => None,
                 Err(e) => {
                     stats.quarantined += 1;
+                    self.emit(
+                        EventKind::Point,
+                        "quarantine",
+                        vec![
+                            ("phase", Json::from("static")),
+                            ("candidate", Json::from(i)),
+                            ("label", Json::from(candidates[i].label.as_str())),
+                            ("kind", Json::from(e.kind().to_string())),
+                            ("attempts", Json::from(attempts[i])),
+                        ],
+                    );
                     quarantine.push(Quarantine {
                         candidate: i,
                         label: candidates[i].label.clone(),
@@ -360,7 +441,17 @@ impl EvalEngine {
                     None
                 }
             })
-            .collect()
+            .collect();
+        let valid = out.iter().flatten().count();
+        self.emit(
+            EventKind::End,
+            "phase.static",
+            vec![("valid", Json::from(valid)), ("invalid", Json::from(out.len() - valid))],
+        );
+        if let Some(sink) = &self.sink {
+            sink.add_phase_wall_us(Phase::Static, phase_started.elapsed().as_micros() as u64);
+        }
+        out
     }
 
     /// Timing-simulate the selected candidates: deduplicate through the
@@ -386,6 +477,8 @@ impl EvalEngine {
         stats: &mut EngineStats,
         quarantine: &mut Vec<Quarantine>,
     ) -> Vec<Option<TimingReport>> {
+        let phase_started = Instant::now();
+        self.emit(EventKind::Begin, "phase.timing", vec![("selected", Json::from(selected.len()))]);
         let mut simulated: Vec<Option<TimingReport>> = vec![None; candidates.len()];
         let plan = self.config.fault_plan;
 
@@ -400,11 +493,17 @@ impl EvalEngine {
             let prog = linearize(&c.kernel);
             let usage = e.kernel_profile.usage;
             let exact = cache::exact_key(&prog, &c.launch, &usage, spec);
+            let hit = unique_of.contains_key(&exact);
             let u = *unique_of.entry(exact).or_insert_with(|| {
                 let class = cache::class_key(&prog, &c.launch, &usage, spec);
                 uniques.push(UniqueSim { prog, launch: c.launch, usage, exact, class });
                 uniques.len() - 1
             });
+            self.emit(
+                EventKind::Point,
+                if hit { "cache.hit" } else { "cache.miss" },
+                vec![("candidate", Json::from(i)), ("unique", Json::from(u))],
+            );
             assignments.push((i, u));
         }
 
@@ -451,6 +550,11 @@ impl EvalEngine {
         // past the cap, in discovery order.
         if let Some(cap) = self.config.budget.max_sims {
             if units.len() > cap {
+                self.emit(
+                    EventKind::Point,
+                    "budget.truncate",
+                    vec![("units", Json::from(units.len())), ("cap", Json::from(cap))],
+                );
                 units.truncate(cap);
                 stats.budget_truncated = true;
             }
@@ -469,15 +573,45 @@ impl EvalEngine {
         let mut round_units = units;
         let mut attempt: u32 = 1;
         while !round_units.is_empty() {
-            let outcomes = pool::run_indexed(self.config.jobs, round_units.len(), |k| {
-                run_unit(&round_units[k], &uniques, eval, spec, plan.as_ref(), attempt)
-            });
+            if attempt >= 2 {
+                self.emit(
+                    EventKind::Point,
+                    "retry.round",
+                    vec![
+                        ("phase", Json::from("timing")),
+                        ("attempt", Json::from(attempt)),
+                        ("count", Json::from(round_units.len())),
+                    ],
+                );
+            }
+            let outcomes = pool::run_indexed_observed(
+                self.config.jobs,
+                round_units.len(),
+                |k| run_unit(&round_units[k], &uniques, eval, spec, plan.as_ref(), attempt),
+                self.observer(),
+                "timing",
+            );
             let mut retry: Vec<usize> = Vec::new();
             for (k, pooled) in outcomes.into_iter().enumerate() {
                 match pooled {
                     Ok((reports, sims_run, injected)) => {
                         stats.unique_sims += sims_run;
                         stats.injected_faults += injected;
+                        // A family unit that came back from a single
+                        // forked run actually collapsed its members —
+                        // count the collapse (a degraded family runs its
+                        // members individually and is not a fork).
+                        if let WorkUnit::Family(members) = &round_units[k] {
+                            if sims_run == 1 {
+                                stats.family_forks += 1;
+                                stats.family_members += members.len();
+                                self.emit(
+                                    EventKind::Point,
+                                    "family.fork",
+                                    vec![("members", Json::from(members.len()))],
+                                );
+                            }
+                        }
                         for (u, r) in reports {
                             attempts_of[u] = attempt;
                             if matches!(&r, Err(e) if e.is_transient()) && attempt < max_attempts {
@@ -507,6 +641,17 @@ impl EvalEngine {
             attempt += 1;
         }
 
+        // Simulator-side accounting is per *unique* run, pre-scaling, so
+        // it is independent of how many candidates share each entry.
+        for rep in outcomes_of.iter().flatten().filter_map(|r| r.as_ref().ok()) {
+            stats.fuel_consumed += rep.steps;
+            stats.sim_cycles += rep.total_cycles;
+            stats.stall_mem_cycles += rep.stall_mem_cycles;
+            stats.stall_sfu_cycles += rep.stall_sfu_cycles;
+            stats.stall_arith_cycles += rep.stall_arith_cycles;
+            stats.stall_other_cycles += rep.stall_other_cycles;
+        }
+
         // Phase 5: reassemble per candidate in index order, applying
         // invocation scaling and the simulated-time deadline. Failures
         // quarantine every candidate mapped to the failed unique.
@@ -521,13 +666,38 @@ impl EvalEngine {
                     let scaled = scale_by_invocations(rep.clone(), candidates[i].invocations);
                     if meter.accept(scaled.time_ms) {
                         stats.timed += 1;
+                        self.emit(
+                            EventKind::Point,
+                            "sim.done",
+                            vec![
+                                ("candidate", Json::from(i)),
+                                ("unique", Json::from(u)),
+                                ("time_ms", Json::from(scaled.time_ms)),
+                            ],
+                        );
                         simulated[i] = Some(scaled);
                     } else {
+                        self.emit(
+                            EventKind::Point,
+                            "budget.deadline",
+                            vec![("candidate", Json::from(i))],
+                        );
                         stats.budget_truncated = true;
                     }
                 }
                 Some(Err(e)) => {
                     stats.quarantined += 1;
+                    self.emit(
+                        EventKind::Point,
+                        "quarantine",
+                        vec![
+                            ("phase", Json::from("timing")),
+                            ("candidate", Json::from(i)),
+                            ("label", Json::from(candidates[i].label.as_str())),
+                            ("kind", Json::from(e.kind().to_string())),
+                            ("attempts", Json::from(attempts_of[u])),
+                        ],
+                    );
                     quarantine.push(Quarantine {
                         candidate: i,
                         label: candidates[i].label.clone(),
@@ -538,6 +708,17 @@ impl EvalEngine {
             }
         }
         stats.cache_hits += stats.timed.saturating_sub(stats.unique_sims);
+        self.emit(
+            EventKind::End,
+            "phase.timing",
+            vec![
+                ("timed", Json::from(stats.timed)),
+                ("unique_sims", Json::from(stats.unique_sims)),
+            ],
+        );
+        if let Some(sink) = &self.sink {
+            sink.add_phase_wall_us(Phase::Timing, phase_started.elapsed().as_micros() as u64);
+        }
         simulated
     }
 }

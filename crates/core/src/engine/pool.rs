@@ -17,6 +17,9 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
+
+use crate::obs::{EventKind, EventSink, Json};
 
 /// Why an index has no result.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,6 +59,31 @@ enum Msg<T> {
     },
 }
 
+/// Run `f(i)` under `catch_unwind`, reporting its wall time to the sink
+/// as a runtime `pool.item` event and busy-time accounting.
+fn run_item<T, F>(f: &F, i: usize, obs: Option<(&EventSink, &'static str)>) -> Result<T, PoolError>
+where
+    F: Fn(usize) -> T + Sync,
+{
+    let started = Instant::now();
+    let item =
+        catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|p| PoolError::Panicked(panic_message(p)));
+    if let Some((sink, phase)) = obs {
+        let wall_us = started.elapsed().as_micros() as u64;
+        sink.add_busy_us(wall_us);
+        sink.runtime(
+            EventKind::Point,
+            "pool.item",
+            vec![
+                ("phase", Json::from(phase)),
+                ("index", Json::from(i)),
+                ("wall_us", Json::from(wall_us)),
+            ],
+        );
+    }
+    item
+}
+
 /// Evaluate `f(0..n)` on `jobs` worker threads and return the results in
 /// index order. `jobs <= 1` runs inline on the calling thread with no
 /// thread or channel overhead — the strictly sequential reference path.
@@ -67,7 +95,25 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    run_indexed_with_faults(jobs, n, f, |_| false)
+    run_impl(jobs, n, f, |_| false, None)
+}
+
+/// [`run_indexed`] with runtime observability: per-item wall times,
+/// worker busy time, and spawn/respawn events flow into `sink` as
+/// runtime-scope records tagged with `phase`. Results are identical to
+/// [`run_indexed`] — observation never changes scheduling.
+pub fn run_indexed_observed<T, F>(
+    jobs: usize,
+    n: usize,
+    f: F,
+    sink: Option<&EventSink>,
+    phase: &'static str,
+) -> Vec<Result<T, PoolError>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_impl(jobs, n, f, |_| false, sink.map(|s| (s, phase)))
 }
 
 /// [`run_indexed`] with an induced-worker-loss predicate, for testing
@@ -86,25 +132,53 @@ where
     F: Fn(usize) -> T + Sync,
     L: Fn(usize) -> bool + Sync,
 {
+    run_impl(jobs, n, f, lose, None)
+}
+
+fn run_impl<T, F, L>(
+    jobs: usize,
+    n: usize,
+    f: F,
+    lose: L,
+    obs: Option<(&EventSink, &'static str)>,
+) -> Vec<Result<T, PoolError>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    L: Fn(usize) -> bool + Sync,
+{
     if jobs <= 1 || n <= 1 {
         return (0..n)
             .map(|i| {
                 if lose(i) {
                     return Err(PoolError::WorkerLost);
                 }
-                catch_unwind(AssertUnwindSafe(|| f(i)))
-                    .map_err(|p| PoolError::Panicked(panic_message(p)))
+                run_item(&f, i, obs)
             })
             .collect();
     }
     let next = AtomicUsize::new(0);
+    let worker_ids = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<Msg<T>>();
     std::thread::scope(|scope| {
-        let spawn_worker = || {
+        let spawn_worker = |respawn: bool| {
             let tx = tx.clone();
             let next = &next;
             let f = &f;
             let lose = &lose;
+            let worker = worker_ids.fetch_add(1, Ordering::Relaxed);
+            if let Some((sink, phase)) = obs {
+                if respawn {
+                    sink.note_respawn();
+                } else {
+                    sink.note_spawn();
+                }
+                sink.runtime(
+                    EventKind::Point,
+                    if respawn { "pool.respawn" } else { "pool.spawn" },
+                    vec![("phase", Json::from(phase)), ("worker", Json::from(worker))],
+                );
+            }
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
@@ -116,8 +190,7 @@ where
                     let _ = tx.send(Msg::Exit { clean: false });
                     break;
                 }
-                let item = catch_unwind(AssertUnwindSafe(|| f(i)))
-                    .map_err(|p| PoolError::Panicked(panic_message(p)));
+                let item = run_item(f, i, obs);
                 if tx.send(Msg::Item(i, item)).is_err() {
                     break;
                 }
@@ -125,7 +198,7 @@ where
         };
         let mut live = jobs.min(n);
         for _ in 0..live {
-            spawn_worker();
+            spawn_worker(false);
         }
         let mut out: Vec<Option<Result<T, PoolError>>> = (0..n).map(|_| None).collect();
         while live > 0 {
@@ -136,7 +209,7 @@ where
                     // unclaimed, so one crash can't serialize the rest of
                     // the map.
                     if !clean && next.load(Ordering::Relaxed) < n {
-                        spawn_worker();
+                        spawn_worker(true);
                     } else {
                         live -= 1;
                     }
@@ -219,5 +292,27 @@ mod tests {
     fn losing_every_worker_still_terminates() {
         let got = run_indexed_with_faults(4, 8, |i| i, |_| true);
         assert!(got.iter().all(|r| r == &Err(PoolError::WorkerLost)));
+    }
+
+    #[test]
+    fn observation_reports_items_and_spawns_without_changing_results() {
+        for jobs in [1usize, 4] {
+            let sink = EventSink::new();
+            let got = oks(run_indexed_observed(jobs, 20, |i| i * 3, Some(&sink), "timing"));
+            assert_eq!(got, (0..20).map(|i| i * 3).collect::<Vec<_>>(), "jobs = {jobs}");
+            let trace = sink.drain();
+            assert_eq!(trace.named("pool.item").len(), 20, "jobs = {jobs}");
+            let counters = sink.runtime_counters();
+            if jobs > 1 {
+                assert_eq!(trace.named("pool.spawn").len(), jobs);
+                assert_eq!(counters.workers_spawned, jobs as u64);
+            } else {
+                // The inline path spawns nothing.
+                assert!(trace.named("pool.spawn").is_empty());
+            }
+            // Every item event is runtime-scope: the canonical trace
+            // stays empty.
+            assert!(trace.canonical_lines().is_empty(), "jobs = {jobs}");
+        }
     }
 }

@@ -26,6 +26,9 @@
 //! * [`model`] — the "more detailed cost model" the paper's section 4
 //!   announces: a static roofline cycle predictor plus rank-correlation
 //!   tooling to score predictors against simulated time.
+//! * [`obs`] — observability: structured event tracing through the
+//!   engine, aggregated [`obs::EngineMetrics`], and the machine-readable
+//!   [`obs::RunManifest`] (all serialized with the in-tree JSON support).
 //! * [`report`] — table and ASCII-scatter formatting for the experiment
 //!   harness.
 //!
@@ -54,6 +57,7 @@ pub mod candidate;
 pub mod engine;
 pub mod metrics;
 pub mod model;
+pub mod obs;
 pub mod pareto;
 pub mod report;
 pub mod tuner;
@@ -65,6 +69,7 @@ pub use engine::{
     Quarantine, RetryPolicy,
 };
 pub use metrics::{Metrics, MetricsOptions, StaticProfile};
+pub use obs::{EngineMetrics, EventSink, Json, RunManifest, RuntimeMetrics, Trace};
 pub use pareto::{pareto_indices, Point};
 pub use tuner::{ExhaustiveSearch, PrunedSearch, RandomSearch, SearchReport, SearchStrategy};
 
@@ -77,6 +82,7 @@ pub mod prelude {
         Quarantine, RetryPolicy,
     };
     pub use crate::metrics::{Metrics, MetricsOptions, StaticProfile};
+    pub use crate::obs::{EngineMetrics, EventSink, Json, RunManifest, RuntimeMetrics, Trace};
     pub use crate::pareto::{pareto_indices, Point};
     pub use crate::tuner::{
         ExhaustiveSearch, PrunedSearch, RandomSearch, SearchReport, SearchStrategy,

@@ -1,0 +1,152 @@
+//! Structured trace events.
+//!
+//! One [`Event`] is one record in the JSONL trace: a span boundary, a
+//! point occurrence, or a counter snapshot. Every event carries two
+//! kinds of data with very different determinism guarantees:
+//!
+//! * **Content** — `scope`, `kind`, `name`, and `fields`. For
+//!   [`Scope::Search`] events this is *deterministic*: emitted from the
+//!   single-threaded search orchestrator in program order, so the
+//!   sequence of canonical lines is byte-identical at any `--jobs`.
+//! * **Timing** — `seq`, `ts_us`, `thread`. Monotonic bookkeeping that
+//!   naturally differs run to run; it is excluded from
+//!   [`Event::canonical_line`] and lives in designated JSON fields so
+//!   tools can ignore it when diffing traces.
+//!
+//! [`Scope::Runtime`] events (worker spawns, per-item wall times) are
+//! nondeterministic by nature and never enter the canonical form.
+
+use super::json::Json;
+
+/// Who vouches for the event's determinism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Deterministic search content: identical at any worker count.
+    Search,
+    /// Runtime bookkeeping (scheduling, wall times): varies run to run.
+    Runtime,
+}
+
+impl Scope {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Search => "search",
+            Self::Runtime => "runtime",
+        }
+    }
+}
+
+/// What the event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opens (a phase, a search).
+    Begin,
+    /// The matching span closes.
+    End,
+    /// A point occurrence (a cache hit, a quarantine).
+    Point,
+    /// A counter snapshot (aggregated metrics).
+    Counter,
+}
+
+impl EventKind {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Begin => "begin",
+            Self::End => "end",
+            Self::Point => "point",
+            Self::Counter => "counter",
+        }
+    }
+}
+
+/// One trace record. See the module docs for the content/timing split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Global emission order (nondeterministic across worker counts
+    /// because runtime events interleave).
+    pub seq: u64,
+    /// Microseconds since the sink was created (monotonic clock).
+    pub ts_us: u64,
+    /// Small per-thread tag (0 = first thread to emit).
+    pub thread: u64,
+    /// Determinism scope.
+    pub scope: Scope,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Dotted event name, e.g. `"phase.timing"` or `"cache.hit"`.
+    pub name: &'static str,
+    /// Structured payload, in emission-defined key order.
+    pub fields: Vec<(&'static str, Json)>,
+}
+
+impl Event {
+    /// The full JSONL record, timing fields included.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("seq", Json::from(self.seq)),
+            ("ts_us", Json::from(self.ts_us)),
+            ("thread", Json::from(self.thread)),
+            ("scope", Json::from(self.scope.as_str())),
+            ("kind", Json::from(self.kind.as_str())),
+            ("name", Json::from(self.name)),
+            (
+                "fields",
+                Json::Obj(self.fields.iter().map(|(k, v)| ((*k).to_string(), v.clone())).collect()),
+            ),
+        ])
+    }
+
+    /// The deterministic projection: kind, name, and fields only — no
+    /// sequence number, timestamp, or thread tag. For [`Scope::Search`]
+    /// events the ordered list of these lines is byte-identical at any
+    /// worker count.
+    pub fn canonical_line(&self) -> String {
+        let fields =
+            Json::Obj(self.fields.iter().map(|(k, v)| ((*k).to_string(), v.clone())).collect());
+        format!("{} {} {}", self.kind.as_str(), self.name, fields.to_string_compact())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(seq: u64, ts_us: u64, thread: u64) -> Event {
+        Event {
+            seq,
+            ts_us,
+            thread,
+            scope: Scope::Search,
+            kind: EventKind::Point,
+            name: "cache.hit",
+            fields: vec![("candidate", Json::from(3u64)), ("unique", Json::from(1u64))],
+        }
+    }
+
+    #[test]
+    fn canonical_line_excludes_timing() {
+        let a = sample(1, 100, 0);
+        let b = sample(99, 55_555, 7);
+        assert_eq!(a.canonical_line(), b.canonical_line());
+        assert_eq!(a.canonical_line(), "point cache.hit {\"candidate\":3,\"unique\":1}");
+    }
+
+    #[test]
+    fn json_record_carries_everything() {
+        let e = sample(5, 123, 2);
+        let j = e.to_json();
+        assert_eq!(j.get("seq").and_then(Json::as_u64), Some(5));
+        assert_eq!(j.get("ts_us").and_then(Json::as_u64), Some(123));
+        assert_eq!(j.get("thread").and_then(Json::as_u64), Some(2));
+        assert_eq!(j.get("scope").and_then(Json::as_str), Some("search"));
+        assert_eq!(j.get("kind").and_then(Json::as_str), Some("point"));
+        assert_eq!(j.get("name").and_then(Json::as_str), Some("cache.hit"));
+        assert_eq!(
+            j.get("fields").and_then(|f| f.get("candidate")).and_then(Json::as_u64),
+            Some(3)
+        );
+    }
+}

@@ -1,0 +1,326 @@
+//! Aggregated engine metrics: one snapshot per search, split into a
+//! **deterministic** section derived purely from [`EngineStats`]
+//! (identical at any worker count) and a **runtime** section of
+//! wall-clock measurements that naturally vary run to run.
+
+use crate::engine::EngineStats;
+
+use super::json::Json;
+use super::sink::RuntimeCounters;
+
+/// Nondeterministic wall-clock measurements for one search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RuntimeMetrics {
+    /// Worker threads configured.
+    pub jobs: u64,
+    /// Wall time of the static-evaluation phase, µs.
+    pub static_wall_us: u64,
+    /// Wall time of the timing-simulation phase, µs.
+    pub timing_wall_us: u64,
+    /// Summed per-item worker busy time across both phases, µs.
+    pub worker_busy_us: u64,
+    /// Worker threads spawned.
+    pub workers_spawned: u64,
+    /// Worker threads respawned after an unclean death.
+    pub workers_respawned: u64,
+}
+
+impl RuntimeMetrics {
+    /// Build from the sink's counters and the configured job count.
+    pub fn from_counters(c: RuntimeCounters, jobs: usize) -> Self {
+        Self {
+            jobs: jobs as u64,
+            static_wall_us: c.static_wall_us,
+            timing_wall_us: c.timing_wall_us,
+            worker_busy_us: c.worker_busy_us,
+            workers_spawned: c.workers_spawned,
+            workers_respawned: c.workers_respawned,
+        }
+    }
+
+    /// Fraction of the worker pool's capacity spent busy:
+    /// `busy / (jobs × phase wall)`, clamped to `[0, 1]`. Zero when no
+    /// wall time was recorded.
+    pub fn worker_utilization(&self) -> f64 {
+        let wall = self.static_wall_us + self.timing_wall_us;
+        if wall == 0 || self.jobs == 0 {
+            return 0.0;
+        }
+        (self.worker_busy_us as f64 / (wall * self.jobs) as f64).min(1.0)
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("jobs", Json::from(self.jobs)),
+            ("static_wall_us", Json::from(self.static_wall_us)),
+            ("timing_wall_us", Json::from(self.timing_wall_us)),
+            ("worker_busy_us", Json::from(self.worker_busy_us)),
+            ("workers_spawned", Json::from(self.workers_spawned)),
+            ("workers_respawned", Json::from(self.workers_respawned)),
+            ("worker_utilization", Json::from(self.worker_utilization())),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<Self, String> {
+        let u = |k: &str| {
+            j.get(k).and_then(Json::as_u64).ok_or_else(|| format!("runtime: missing `{k}`"))
+        };
+        Ok(Self {
+            jobs: u("jobs")?,
+            static_wall_us: u("static_wall_us")?,
+            timing_wall_us: u("timing_wall_us")?,
+            worker_busy_us: u("worker_busy_us")?,
+            workers_spawned: u("workers_spawned")?,
+            workers_respawned: u("workers_respawned")?,
+        })
+    }
+}
+
+/// One search's aggregated engine metrics.
+///
+/// Everything outside `runtime` is deterministic — derived from
+/// [`EngineStats`], whose counters are byte-identical at any `--jobs` —
+/// and is what [`EngineMetrics::deterministic_json`] serializes for
+/// trace-determinism tests.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EngineMetrics {
+    /// Candidates statically evaluated.
+    pub static_evals: u64,
+    /// Candidates that received a timing result.
+    pub timed: u64,
+    /// Timing simulations actually executed.
+    pub sims_executed: u64,
+    /// Timed candidates served from the memo cache / family forks.
+    pub sims_memoized: u64,
+    /// Family work units simulated in one forked run.
+    pub family_forks: u64,
+    /// Unique simulations covered by those forked runs.
+    pub family_members: u64,
+    /// Evaluations re-attempted after a transient failure.
+    pub retries: u64,
+    /// Candidates quarantined.
+    pub quarantined: u64,
+    /// Failures injected by the fault plan.
+    pub injected_faults: u64,
+    /// Whether a budget limit cut the evaluation short.
+    pub budget_truncated: bool,
+    /// Scheduler steps consumed by successful unique simulations.
+    pub fuel_consumed: u64,
+    /// Total simulated cycles across successful unique simulations.
+    pub sim_cycles: u64,
+    /// Issue-port idle cycles waiting on in-flight global memory.
+    pub stall_mem_cycles: u64,
+    /// Issue-port idle cycles waiting on the SFU port.
+    pub stall_sfu_cycles: u64,
+    /// Issue-port idle cycles waiting on arithmetic results.
+    pub stall_arith_cycles: u64,
+    /// Issue-port idle cycles from control flow and barriers.
+    pub stall_other_cycles: u64,
+    /// Wall-clock measurements (nondeterministic).
+    pub runtime: RuntimeMetrics,
+}
+
+impl EngineMetrics {
+    /// Derive the deterministic section from the engine's counters; the
+    /// runtime section starts zeroed (see
+    /// [`EngineMetrics::with_runtime`]).
+    pub fn from_stats(stats: &EngineStats) -> Self {
+        Self {
+            static_evals: stats.static_evals as u64,
+            timed: stats.timed as u64,
+            sims_executed: stats.unique_sims as u64,
+            sims_memoized: stats.cache_hits as u64,
+            family_forks: stats.family_forks as u64,
+            family_members: stats.family_members as u64,
+            retries: stats.retries as u64,
+            quarantined: stats.quarantined as u64,
+            injected_faults: stats.injected_faults as u64,
+            budget_truncated: stats.budget_truncated,
+            fuel_consumed: stats.fuel_consumed,
+            sim_cycles: stats.sim_cycles,
+            stall_mem_cycles: stats.stall_mem_cycles,
+            stall_sfu_cycles: stats.stall_sfu_cycles,
+            stall_arith_cycles: stats.stall_arith_cycles,
+            stall_other_cycles: stats.stall_other_cycles,
+            runtime: RuntimeMetrics::default(),
+        }
+    }
+
+    /// Attach wall-clock measurements.
+    pub fn with_runtime(mut self, runtime: RuntimeMetrics) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Fraction of timed candidates served without a fresh simulation:
+    /// `sims_memoized / timed` (zero when nothing was timed).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.timed == 0 {
+            0.0
+        } else {
+            self.sims_memoized as f64 / self.timed as f64
+        }
+    }
+
+    /// Total attributed stall cycles.
+    pub fn stall_total_cycles(&self) -> u64 {
+        self.stall_mem_cycles
+            + self.stall_sfu_cycles
+            + self.stall_arith_cycles
+            + self.stall_other_cycles
+    }
+
+    /// The deterministic section as event fields, for the search-scope
+    /// `engine.metrics` counter event.
+    pub fn deterministic_fields(&self) -> Vec<(&'static str, Json)> {
+        vec![
+            ("static_evals", Json::from(self.static_evals)),
+            ("timed", Json::from(self.timed)),
+            ("sims_executed", Json::from(self.sims_executed)),
+            ("sims_memoized", Json::from(self.sims_memoized)),
+            ("cache_hit_rate", Json::from(self.cache_hit_rate())),
+            ("family_forks", Json::from(self.family_forks)),
+            ("family_members", Json::from(self.family_members)),
+            ("retries", Json::from(self.retries)),
+            ("quarantined", Json::from(self.quarantined)),
+            ("injected_faults", Json::from(self.injected_faults)),
+            ("budget_truncated", Json::from(self.budget_truncated)),
+            ("fuel_consumed", Json::from(self.fuel_consumed)),
+            ("sim_cycles", Json::from(self.sim_cycles)),
+            ("stall_mem_cycles", Json::from(self.stall_mem_cycles)),
+            ("stall_sfu_cycles", Json::from(self.stall_sfu_cycles)),
+            ("stall_arith_cycles", Json::from(self.stall_arith_cycles)),
+            ("stall_other_cycles", Json::from(self.stall_other_cycles)),
+        ]
+    }
+
+    /// The deterministic section only — byte-identical at any `--jobs`.
+    pub fn deterministic_json(&self) -> Json {
+        Json::Obj(
+            self.deterministic_fields().into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        )
+    }
+
+    /// The full snapshot, runtime section nested under `"runtime"`.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = self.deterministic_fields();
+        pairs.push(("runtime", self.runtime.to_json()));
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Parse a snapshot produced by [`EngineMetrics::to_json`].
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let u = |k: &str| {
+            j.get(k).and_then(Json::as_u64).ok_or_else(|| format!("metrics: missing `{k}`"))
+        };
+        Ok(Self {
+            static_evals: u("static_evals")?,
+            timed: u("timed")?,
+            sims_executed: u("sims_executed")?,
+            sims_memoized: u("sims_memoized")?,
+            family_forks: u("family_forks")?,
+            family_members: u("family_members")?,
+            retries: u("retries")?,
+            quarantined: u("quarantined")?,
+            injected_faults: u("injected_faults")?,
+            budget_truncated: j
+                .get("budget_truncated")
+                .and_then(Json::as_bool)
+                .ok_or("metrics: missing `budget_truncated`")?,
+            fuel_consumed: u("fuel_consumed")?,
+            sim_cycles: u("sim_cycles")?,
+            stall_mem_cycles: u("stall_mem_cycles")?,
+            stall_sfu_cycles: u("stall_sfu_cycles")?,
+            stall_arith_cycles: u("stall_arith_cycles")?,
+            stall_other_cycles: u("stall_other_cycles")?,
+            runtime: RuntimeMetrics::from_json(
+                j.get("runtime").ok_or("metrics: missing `runtime`")?,
+            )?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats() -> EngineStats {
+        EngineStats {
+            jobs: 4,
+            static_evals: 13,
+            timed: 12,
+            unique_sims: 3,
+            cache_hits: 9,
+            retries: 2,
+            quarantined: 1,
+            injected_faults: 2,
+            family_forks: 1,
+            family_members: 4,
+            fuel_consumed: 5_000,
+            sim_cycles: 80_000,
+            stall_mem_cycles: 1_200,
+            stall_sfu_cycles: 30,
+            stall_arith_cycles: 400,
+            stall_other_cycles: 90,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn derived_rates_are_correct() {
+        let m = EngineMetrics::from_stats(&sample_stats());
+        assert_eq!(m.sims_executed, 3);
+        assert_eq!(m.sims_memoized, 9);
+        assert!((m.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(m.stall_total_cycles(), 1_720);
+        assert_eq!(EngineMetrics::default().cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_json_excludes_runtime() {
+        let m = EngineMetrics::from_stats(&sample_stats()).with_runtime(RuntimeMetrics {
+            jobs: 8,
+            static_wall_us: 123,
+            timing_wall_us: 456,
+            worker_busy_us: 400,
+            workers_spawned: 8,
+            workers_respawned: 0,
+        });
+        let det = m.deterministic_json().to_string_compact();
+        assert!(!det.contains("wall_us"), "runtime leaked into the deterministic form: {det}");
+        // Two snapshots with different runtimes share a deterministic
+        // form.
+        let other = EngineMetrics::from_stats(&sample_stats());
+        assert_eq!(det, other.deterministic_json().to_string_compact());
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let m = EngineMetrics::from_stats(&sample_stats()).with_runtime(RuntimeMetrics {
+            jobs: 2,
+            static_wall_us: 10,
+            timing_wall_us: 90,
+            worker_busy_us: 150,
+            workers_spawned: 2,
+            workers_respawned: 1,
+        });
+        let text = m.to_json().to_string_compact();
+        let back = EngineMetrics::from_json(&super::super::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn worker_utilization_is_clamped_and_guarded() {
+        let rt = RuntimeMetrics {
+            jobs: 2,
+            static_wall_us: 50,
+            timing_wall_us: 50,
+            worker_busy_us: 150,
+            ..Default::default()
+        };
+        assert!((rt.worker_utilization() - 0.75).abs() < 1e-12);
+        assert_eq!(RuntimeMetrics::default().worker_utilization(), 0.0);
+        let over = RuntimeMetrics { worker_busy_us: 10_000, ..rt };
+        assert_eq!(over.worker_utilization(), 1.0);
+    }
+}

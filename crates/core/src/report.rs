@@ -1,6 +1,8 @@
 //! Formatting helpers for the experiment harness: fixed-width tables and
-//! ASCII scatter plots of the metric plane (the Figure 6 views).
+//! ASCII scatter plots of the metric plane (the Figure 6 views), plus
+//! the human-readable profile summary of an engine-metrics snapshot.
 
+use crate::obs::EngineMetrics;
 use crate::pareto::Point;
 
 /// Render a fixed-width table. The first row is the header.
@@ -110,6 +112,59 @@ pub fn ascii_scatter(
     out
 }
 
+/// Percentage of `part` in `whole`, `-` when the whole is zero.
+fn pct(part: u64, whole: u64) -> String {
+    if whole == 0 {
+        "-".into()
+    } else {
+        format!("{:.1}%", 100.0 * part as f64 / whole as f64)
+    }
+}
+
+/// Render the human-readable profile summary of one search's
+/// [`EngineMetrics`]: evaluation counts and cache behaviour, the
+/// simulated stall breakdown, and — when wall-clock data was collected —
+/// per-phase wall time and worker utilization.
+pub fn profile_table(m: &EngineMetrics) -> String {
+    let mut rows: Vec<Vec<String>> = vec![vec!["metric".into(), "value".into(), "share".into()]];
+    let mut row = |k: &str, v: String, s: String| rows.push(vec![k.into(), v, s]);
+    row("static evals", m.static_evals.to_string(), String::new());
+    row("timed candidates", m.timed.to_string(), String::new());
+    row("sims executed", m.sims_executed.to_string(), pct(m.sims_executed, m.timed));
+    row("sims memoized", m.sims_memoized.to_string(), pct(m.sims_memoized, m.timed));
+    row("cache hit rate", format!("{:.1}%", 100.0 * m.cache_hit_rate()), String::new());
+    row("family forks", m.family_forks.to_string(), String::new());
+    row("family members", m.family_members.to_string(), String::new());
+    row("retries", m.retries.to_string(), String::new());
+    row("quarantined", m.quarantined.to_string(), String::new());
+    row("fuel consumed", m.fuel_consumed.to_string(), String::new());
+    row("sim cycles", m.sim_cycles.to_string(), String::new());
+    let stalls = m.stall_total_cycles();
+    row("stall cycles", stalls.to_string(), pct(stalls, m.sim_cycles));
+    row("  memory", m.stall_mem_cycles.to_string(), pct(m.stall_mem_cycles, stalls.max(1)));
+    row("  sfu", m.stall_sfu_cycles.to_string(), pct(m.stall_sfu_cycles, stalls.max(1)));
+    row("  arithmetic", m.stall_arith_cycles.to_string(), pct(m.stall_arith_cycles, stalls.max(1)));
+    row("  other", m.stall_other_cycles.to_string(), pct(m.stall_other_cycles, stalls.max(1)));
+    let rt = &m.runtime;
+    if rt.static_wall_us + rt.timing_wall_us > 0 {
+        let wall = rt.static_wall_us + rt.timing_wall_us;
+        row("jobs", rt.jobs.to_string(), String::new());
+        row("static wall", fmt_ms(rt.static_wall_us as f64 / 1e3), pct(rt.static_wall_us, wall));
+        row("timing wall", fmt_ms(rt.timing_wall_us as f64 / 1e3), pct(rt.timing_wall_us, wall));
+        row("worker busy", fmt_ms(rt.worker_busy_us as f64 / 1e3), String::new());
+        row(
+            "worker utilization",
+            format!("{:.1}%", 100.0 * rt.worker_utilization()),
+            String::new(),
+        );
+        row("workers spawned", rt.workers_spawned.to_string(), String::new());
+        if rt.workers_respawned > 0 {
+            row("workers respawned", rt.workers_respawned.to_string(), String::new());
+        }
+    }
+    table(&rows)
+}
+
 /// Format milliseconds with adaptive precision.
 pub fn fmt_ms(ms: f64) -> String {
     if ms >= 100.0 {
@@ -179,6 +234,31 @@ mod tests {
         assert!(s.contains("efficiency"));
         // Empty point set.
         assert!(ascii_scatter(&[], &[], None, 10, 5).contains("efficiency"));
+    }
+
+    #[test]
+    fn profile_table_renders_and_hides_empty_runtime() {
+        let mut m = EngineMetrics {
+            static_evals: 10,
+            timed: 8,
+            sims_executed: 2,
+            sims_memoized: 6,
+            sim_cycles: 1_000,
+            stall_mem_cycles: 100,
+            stall_arith_cycles: 50,
+            ..Default::default()
+        };
+        let t = profile_table(&m);
+        assert!(t.contains("cache hit rate"));
+        assert!(t.contains("75.0%"));
+        assert!(!t.contains("worker utilization"), "no runtime data yet:\n{t}");
+        m.runtime.jobs = 4;
+        m.runtime.static_wall_us = 500;
+        m.runtime.timing_wall_us = 1_500;
+        m.runtime.worker_busy_us = 4_000;
+        let t = profile_table(&m);
+        assert!(t.contains("worker utilization"));
+        assert!(t.contains("50.0%"), "busy 4ms over 4×2ms capacity:\n{t}");
     }
 
     #[test]

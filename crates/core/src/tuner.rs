@@ -27,6 +27,7 @@ use rand::SeedableRng;
 use crate::candidate::{Candidate, Evaluated};
 use crate::engine::{EngineStats, EvalEngine, MetricsEval, Quarantine, SimulatorEval};
 use crate::metrics::MetricsOptions;
+use crate::obs::{EngineMetrics, EventKind, Json, RuntimeMetrics};
 use crate::pareto::pareto_indices;
 
 pub use crate::engine::LAUNCH_OVERHEAD_MS;
@@ -55,6 +56,10 @@ pub struct SearchReport {
     /// What the evaluation engine did: parallelism, unique simulations,
     /// memo-cache hits, budget status, retries, quarantines.
     pub stats: EngineStats,
+    /// Aggregated metrics snapshot derived from `stats`, with wall-clock
+    /// runtime measurements attached when the engine carried an event
+    /// sink.
+    pub metrics: EngineMetrics,
 }
 
 impl SearchReport {
@@ -147,6 +152,11 @@ pub trait SearchStrategy {
         candidates: &[Candidate],
         spec: &MachineSpec,
     ) -> SearchReport {
+        engine.emit(
+            EventKind::Begin,
+            "search",
+            vec![("strategy", Json::from(self.name())), ("space", Json::from(candidates.len()))],
+        );
         let mut stats = engine.stats_seed();
         let mut quarantined: Vec<Quarantine> = Vec::new();
         let statics = engine.evaluate_statics(
@@ -177,8 +187,26 @@ pub trait SearchStrategy {
             best: None,
             quarantined,
             stats,
+            metrics: EngineMetrics::default(),
         };
         report.pick_best();
+        report.metrics = EngineMetrics::from_stats(&report.stats);
+        if let Some(sink) = engine.sink() {
+            report.metrics = report.metrics.with_runtime(RuntimeMetrics::from_counters(
+                sink.runtime_counters(),
+                report.stats.jobs,
+            ));
+        }
+        engine.emit(EventKind::Counter, "engine.metrics", report.metrics.deterministic_fields());
+        engine.emit(
+            EventKind::End,
+            "search",
+            vec![
+                ("best", Json::from(report.best)),
+                ("best_time_ms", Json::from(report.best_time_ms())),
+                ("timed", Json::from(report.evaluated_count())),
+            ],
+        );
         report
     }
 }
@@ -463,27 +491,48 @@ pub(crate) mod tests {
 mod debug_dump {
     use super::tests::synthetic_space_for_debug;
     use super::*;
+    use crate::obs::{EventSink, Scope};
+    use std::sync::Arc;
 
+    /// Dump the synthetic space through the event sink instead of ad-hoc
+    /// `println!` formatting: one structured `debug.candidate` event per
+    /// configuration, printed as the same JSONL the `--trace-out` flag
+    /// writes. Run with `cargo test -p optspace dump -- --ignored
+    /// --nocapture`.
     #[test]
     #[ignore]
     fn dump() {
         let space = synthetic_space_for_debug();
         let spec = MachineSpec::geforce_8800_gtx();
-        let ex = ExhaustiveSearch.run(&space, &spec);
+        let sink = Arc::new(EventSink::new());
+        let engine = EvalEngine::with_jobs(1).with_sink(Arc::clone(&sink));
+        let ex = ExhaustiveSearch.run_with(&engine, &space, &spec);
         for (i, c) in space.iter().enumerate() {
             let s = ex.statics[i].as_ref();
             let t = ex.simulated[i].as_ref();
-            println!(
-                "{:20} eff={:>10.3e} util={:>8.2} bw={:>5.2} bound={:>5} regs={:>3} bsm={:?} time={:?}",
-                c.label,
-                s.map(|e| e.metrics.efficiency).unwrap_or(0.0),
-                s.map(|e| e.metrics.utilization).unwrap_or(0.0),
-                s.map(|e| e.bandwidth.pressure()).unwrap_or(0.0),
-                s.map(|e| e.bandwidth.is_bandwidth_bound()).unwrap_or(false),
-                s.map(|e| e.kernel_profile.usage.regs_per_thread).unwrap_or(0),
-                s.map(|e| e.kernel_profile.occupancy.blocks_per_sm),
-                t.map(|t| t.time_ms),
+            sink.search(
+                EventKind::Point,
+                "debug.candidate",
+                vec![
+                    ("label", Json::from(c.label.as_str())),
+                    ("efficiency", Json::from(s.map(|e| e.metrics.efficiency))),
+                    ("utilization", Json::from(s.map(|e| e.metrics.utilization))),
+                    ("bandwidth_pressure", Json::from(s.map(|e| e.bandwidth.pressure()))),
+                    ("bandwidth_bound", Json::from(s.map(|e| e.bandwidth.is_bandwidth_bound()))),
+                    ("regs", Json::from(s.map(|e| e.kernel_profile.usage.regs_per_thread))),
+                    (
+                        "blocks_per_sm",
+                        Json::from(s.map(|e| e.kernel_profile.occupancy.blocks_per_sm)),
+                    ),
+                    ("time_ms", Json::from(t.map(|t| t.time_ms))),
+                ],
             );
+        }
+        let trace = sink.drain();
+        for event in &trace.events {
+            if event.scope == Scope::Search && event.name == "debug.candidate" {
+                println!("{}", event.canonical_line());
+            }
         }
     }
 }

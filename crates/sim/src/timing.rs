@@ -60,6 +60,19 @@ pub struct TimingReport {
     pub bandwidth_utilization: f64,
     /// The occupancy used for the simulation.
     pub occupancy: Occupancy,
+    /// Scheduler steps the event loop took — the fuel this simulation
+    /// consumed.
+    pub steps: u64,
+    /// Issue-port idle cycles attributed to waiting on an in-flight
+    /// global-memory load.
+    pub stall_mem_cycles: u64,
+    /// Issue-port idle cycles attributed to the SFU issue port.
+    pub stall_sfu_cycles: u64,
+    /// Issue-port idle cycles attributed to waiting on an arithmetic /
+    /// on-chip result.
+    pub stall_arith_cycles: u64,
+    /// Issue-port idle cycles attributed to control flow and barriers.
+    pub stall_other_cycles: u64,
 }
 
 impl TimingReport {
@@ -69,6 +82,14 @@ impl TimingReport {
             return 0.0;
         }
         self.busy_cycles as f64 / self.cycles_per_wave as f64
+    }
+
+    /// Total attributed issue-port stall cycles for the wave.
+    pub fn stall_total_cycles(&self) -> u64 {
+        self.stall_mem_cycles
+            + self.stall_sfu_cycles
+            + self.stall_arith_cycles
+            + self.stall_other_cycles
     }
 }
 
@@ -83,6 +104,9 @@ struct Warp {
     pc: usize,
     frames: Vec<Frame>,
     reg_ready: Vec<u64>,
+    /// Whether each register's pending value comes from a long-latency
+    /// (off-chip) load — drives the mem/arith split of operand stalls.
+    reg_from_mem: Vec<bool>,
     stall_until: u64,
     blocked: bool,
     done: bool,
@@ -95,6 +119,7 @@ impl Warp {
             pc: 0,
             frames: Vec::new(),
             reg_ready: vec![0; num_vregs as usize],
+            reg_from_mem: vec![false; num_vregs as usize],
             stall_until: 0,
             blocked: false,
             done: false,
@@ -215,6 +240,13 @@ struct SimState {
     /// inherit the master's count, which equals what their standalone
     /// run would have accumulated over the identical prefix.
     steps: u64,
+    /// Issue-port idle gaps attributed to their binding constraint.
+    /// Cloned with the state, so family forks report the same breakdown
+    /// a standalone run would.
+    stall_mem: u64,
+    stall_sfu: u64,
+    stall_arith: u64,
+    stall_other: u64,
 }
 
 impl SimState {
@@ -240,6 +272,10 @@ impl SimState {
             last_pick: 0,
             remaining,
             steps: 0,
+            stall_mem: 0,
+            stall_sfu: 0,
+            stall_arith: 0,
+            stall_other: 0,
         }
     }
 
@@ -275,8 +311,43 @@ impl SimState {
         }
     }
 
+    /// Attribute an issue-port idle gap (the port sat idle for `gap`
+    /// cycles before warp `idx` could issue at `t`) to the binding
+    /// constraint: an operand still in flight (split by whether it comes
+    /// from a global load), the SFU port, or control flow / barriers.
+    fn attribute_stall(&mut self, code: &[LinOp], t: u64, idx: usize) {
+        let gap = t.saturating_sub(self.issue_free);
+        if gap == 0 {
+            return;
+        }
+        let w = &self.warps[idx];
+        let operands = w.operands_ready(code);
+        let sfu =
+            if matches!(&code[w.pc], LinOp::Instr(i) if i.op.is_sfu()) { self.sfu_free } else { 0 };
+        // `t` is the max of the constraints and the (smaller) issue_free,
+        // so the largest constraint is what the port waited on.
+        if operands >= sfu && operands >= w.stall_until {
+            let from_mem = match &code[w.pc] {
+                LinOp::Instr(i) => i
+                    .uses()
+                    .any(|r| w.reg_ready[r.index()] == operands && w.reg_from_mem[r.index()]),
+                _ => false,
+            };
+            if from_mem {
+                self.stall_mem += gap;
+            } else {
+                self.stall_arith += gap;
+            }
+        } else if sfu >= w.stall_until {
+            self.stall_sfu += gap;
+        } else {
+            self.stall_other += gap;
+        }
+    }
+
     /// Issue the op of warp `idx` at time `t` and advance the state.
     fn step(&mut self, code: &[LinOp], setup: &SimSetup, spec: &MachineSpec, t: u64, idx: usize) {
+        self.attribute_stall(code, t, idx);
         self.steps += 1;
         self.last_pick = idx;
         let issue = setup.issue;
@@ -322,6 +393,8 @@ impl SimState {
                 };
                 if let Some(d) = i.dst {
                     self.warps[idx].reg_ready[d.index()] = done_at;
+                    self.warps[idx].reg_from_mem[d.index()] =
+                        matches!(i.op, Op::Ld(space) if space.is_long_latency());
                 }
                 self.warps[idx].stall_until = t + issue;
                 self.warps[idx].pc += 1;
@@ -422,6 +495,11 @@ impl SimState {
             dram_bytes: self.dram_bytes,
             bandwidth_utilization,
             occupancy: setup.occ,
+            steps: self.steps,
+            stall_mem_cycles: self.stall_mem,
+            stall_sfu_cycles: self.stall_sfu,
+            stall_arith_cycles: self.stall_arith,
+            stall_other_cycles: self.stall_other,
         }
     }
 }
@@ -919,6 +997,37 @@ mod tests {
         assert!(r.bandwidth_utilization <= 1.0 + 1e-9);
         assert!(r.time_ms > 0.0);
         assert_eq!(r.total_cycles, (r.cycles_per_wave as f64 * r.waves).round() as u64);
+        // Busy time and attributed stall gaps are disjoint intervals of
+        // the issue port's timeline.
+        assert!(r.busy_cycles + r.stall_total_cycles() <= r.cycles_per_wave);
+        assert!(r.steps > 0);
+    }
+
+    #[test]
+    fn stall_attribution_separates_memory_from_arithmetic() {
+        let usage = ResourceUsage::new(32, 10, 0);
+        // A single warp running a dependent fmad chain: every gap is an
+        // arithmetic-operand wait; no loads are in flight.
+        let compute =
+            simulate(&linearize(&compute_kernel(100)), &launch_1d(1, 32), &usage, &g80()).unwrap();
+        assert!(compute.stall_arith_cycles > 0, "dependent chain must stall on operands");
+        assert_eq!(compute.stall_mem_cycles, 0, "no global loads to wait on");
+        assert_eq!(compute.stall_sfu_cycles, 0);
+        // A single warp consuming each global load immediately: the
+        // long-latency load dominates every operand wait.
+        let mem =
+            simulate(&linearize(&memory_kernel(100, true)), &launch_1d(1, 32), &usage, &g80())
+                .unwrap();
+        assert!(
+            mem.stall_mem_cycles > mem.stall_arith_cycles,
+            "mem {} !> arith {}",
+            mem.stall_mem_cycles,
+            mem.stall_arith_cycles
+        );
+        assert!(mem.stall_mem_cycles > compute.stall_mem_cycles);
+        for r in [&compute, &mem] {
+            assert!(r.busy_cycles + r.stall_total_cycles() <= r.cycles_per_wave);
+        }
     }
 
     #[test]

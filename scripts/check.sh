@@ -16,6 +16,17 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
+echo "==> trace smoke (tune sad --trace-out/--metrics-out + validate)"
+# A full-space SAD search must export a JSONL trace whose every line
+# parses and a manifest that survives a serialize -> parse round trip;
+# `validate` checks both in-process (the container has no jq).
+tracedir=$(mktemp -d)
+trap 'rm -rf "$tracedir"' EXIT
+cargo run --release -q -- tune sad --strategy exhaustive --jobs 2 \
+    --trace-out "$tracedir/trace.jsonl" --metrics-out "$tracedir/manifest.json" \
+    > /dev/null
+cargo run --release -q -- validate "$tracedir/trace.jsonl" "$tracedir/manifest.json"
+
 echo "==> fault-injection smoke (table4 --inject-faults)"
 # The search must complete (exit 0) in degraded mode and report a
 # non-empty quarantine section.

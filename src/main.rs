@@ -16,10 +16,15 @@
 //!     --retries N                           attempts per candidate (default 3)
 //!     --inject-faults                       deterministic fault injection (dev)
 //!     --fault-seed N                        seed for --inject-faults
+//!     --trace-out <path>                    write the event trace as JSONL
+//!     --metrics-out <path>                  write the run manifest as JSON
+//!     --profile                             print the profile summary table
 //! gpu-autotune parse <file.gik>             analyse a textual kernel
+//! gpu-autotune validate <t.jsonl> <m.json>  check trace/manifest files parse
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use gpu_autotune::arch::MachineSpec;
 use gpu_autotune::kernels::{cp::Cp, matmul::MatMul, mri_fhd::MriFhd, sad::Sad, App};
@@ -27,7 +32,8 @@ use gpu_autotune::optspace::candidate::Candidate;
 use gpu_autotune::optspace::engine::{
     EngineConfig, EvalBudget, EvalEngine, FaultPlan, RetryPolicy,
 };
-use gpu_autotune::optspace::report::{fmt_ms, table};
+use gpu_autotune::optspace::obs::{json, EventSink, RunManifest};
+use gpu_autotune::optspace::report::{fmt_ms, profile_table, table};
 use gpu_autotune::optspace::tuner::{
     ExhaustiveSearch, PrunedSearch, RandomSearch, SearchReport, SearchStrategy,
 };
@@ -43,7 +49,10 @@ commands:
              [--device g80|gt200] [--no-screen] [--jobs N]
              [--max-sims N] [--deadline-ms X] [--sim-fuel N]
              [--retries N] [--inject-faults] [--fault-seed N]
+             [--trace-out <path>] [--metrics-out <path>] [--profile]
   parse <file>                parse a textual kernel and print its analyses
+  validate <trace> <manifest> check a --trace-out JSONL file parses and a
+                              --metrics-out manifest round-trips
   trace <app> <index> [N]     trace the first N instructions (default 20) of
                               one thread of a configuration, on real data
   occupancy <regs> <smem>     the occupancy-calculator table for a kernel
@@ -231,6 +240,9 @@ fn cmd_tune(args: &[String]) -> ExitCode {
     let mut retry = RetryPolicy::default();
     let mut inject = false;
     let mut fault_seed: Option<u64> = None;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut profile = false;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -299,6 +311,21 @@ fn cmd_tune(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--trace-out" => match it.next() {
+                Some(p) => trace_out = Some(p.clone()),
+                None => {
+                    eprintln!("--trace-out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--metrics-out" => match it.next() {
+                Some(p) => metrics_out = Some(p.clone()),
+                None => {
+                    eprintln!("--metrics-out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--profile" => profile = true,
             other => {
                 eprintln!("unknown flag `{other}`");
                 return ExitCode::FAILURE;
@@ -315,8 +342,17 @@ fn cmd_tune(args: &[String]) -> ExitCode {
         (true, None) => Some(FaultPlan::default()),
         (true, Some(seed)) => Some(FaultPlan::with_seed(seed)),
     };
-    let engine =
+    let mut engine =
         EvalEngine::new(EngineConfig { jobs, budget: eval_budget, retry, sim_fuel, fault_plan });
+    // Observation is opt-in: the sink only exists when some exporter
+    // will consume it.
+    let sink = if trace_out.is_some() || metrics_out.is_some() || profile {
+        let sink = Arc::new(EventSink::new());
+        engine = engine.with_sink(Arc::clone(&sink));
+        Some(sink)
+    } else {
+        None
+    };
     let cands = app.candidates();
     let report = match strategy.as_str() {
         "exhaustive" => ExhaustiveSearch.run_with(&engine, &cands, &device),
@@ -329,6 +365,92 @@ fn cmd_tune(args: &[String]) -> ExitCode {
         }
     };
     print_search(&cands, &report);
+    if let Some(sink) = sink {
+        let trace = sink.drain();
+        if let Some(path) = trace_out {
+            if let Err(e) = std::fs::write(&path, trace.to_jsonl()) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("trace: {} events -> {path}", trace.events.len());
+        }
+        if let Some(path) = metrics_out {
+            let manifest = RunManifest::from_search(app_name.as_str(), &report, &cands, &device);
+            if let Err(e) = std::fs::write(&path, manifest.to_json().to_string_pretty()) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("manifest -> {path}");
+        }
+        if profile {
+            println!("\nprofile:\n{}", profile_table(&report.metrics));
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Check that a `--trace-out` JSONL file parses line by line and that a
+/// `--metrics-out` manifest parses and survives a serialize → parse
+/// round trip. This is the in-process JSON validator the check script
+/// uses (the container has no jq).
+fn cmd_validate(args: &[String]) -> ExitCode {
+    let (Some(trace_path), Some(manifest_path)) = (args.first(), args.get(1)) else {
+        eprintln!("validate needs: <trace.jsonl> <manifest.json>");
+        return ExitCode::FAILURE;
+    };
+    let trace_text = match std::fs::read_to_string(trace_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {trace_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut events = 0usize;
+    for (n, line) in trace_text.lines().enumerate() {
+        let j = match json::parse(line) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("{trace_path}:{}: {e}", n + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        for key in ["seq", "ts_us", "thread", "scope", "kind", "name", "fields"] {
+            if j.get(key).is_none() {
+                eprintln!("{trace_path}:{}: event missing `{key}`", n + 1);
+                return ExitCode::FAILURE;
+            }
+        }
+        events += 1;
+    }
+    let manifest_text = match std::fs::read_to_string(manifest_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {manifest_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let manifest = match RunManifest::parse_str(&manifest_text) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{manifest_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match RunManifest::parse_str(&manifest.to_json().to_string_pretty()) {
+        Ok(back) if back == manifest => {}
+        Ok(_) => {
+            eprintln!("{manifest_path}: manifest does not round-trip losslessly");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("{manifest_path}: re-serialized manifest fails to parse: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "ok: {events} trace events, manifest `{}`/{} round-trips",
+        manifest.app, manifest.strategy
+    );
     ExitCode::SUCCESS
 }
 
@@ -500,6 +622,7 @@ fn main() -> ExitCode {
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("tune") => cmd_tune(&args[1..]),
         Some("parse") => cmd_parse(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("occupancy") => cmd_occupancy(&args[1..]),
         Some("--help" | "-h" | "help") | None => {

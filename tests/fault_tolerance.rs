@@ -19,8 +19,11 @@ use gpu_autotune::ir::build::KernelBuilder;
 use gpu_autotune::ir::linear::linearize;
 use gpu_autotune::ir::{Dim, Launch};
 use gpu_autotune::kernels::{sad::Sad, App};
+use std::sync::Arc;
+
 use gpu_autotune::optspace::candidate::Candidate;
 use gpu_autotune::optspace::engine::{cache, EngineConfig, EvalEngine, EvalErrorKind, FaultPlan};
+use gpu_autotune::optspace::obs::{EventSink, Trace};
 use gpu_autotune::optspace::tuner::{ExhaustiveSearch, SearchReport, SearchStrategy};
 use proptest::prelude::*;
 
@@ -72,6 +75,16 @@ fn run(cands: &[Candidate], plan: Option<FaultPlan>, jobs: usize) -> SearchRepor
     ExhaustiveSearch.run_with(&engine, cands, &g80())
 }
 
+/// [`run`] with an event sink attached, returning the drained trace
+/// alongside the report.
+fn run_traced(cands: &[Candidate], plan: Option<FaultPlan>, jobs: usize) -> (SearchReport, Trace) {
+    let sink = Arc::new(EventSink::new());
+    let engine = EvalEngine::new(EngineConfig { jobs, fault_plan: plan, ..Default::default() })
+        .with_sink(Arc::clone(&sink));
+    let report = ExhaustiveSearch.run_with(&engine, cands, &g80());
+    (report, sink.drain())
+}
+
 /// Every candidate is exactly one of: timed survivor, statically
 /// invalid, quarantined. Duplicated quarantine entries are forbidden.
 fn assert_partition(r: &SearchReport) {
@@ -104,10 +117,10 @@ proptest! {
     ) {
         let cands = synthetic_space();
         let plan = FaultPlan { seed, rate_per_mille: rate, transient_per_mille: transient };
-        let one = run(&cands, Some(plan), 1);
+        let (one, trace_one) = run_traced(&cands, Some(plan), 1);
         assert_partition(&one);
         for jobs in [2usize, 8] {
-            let r = run(&cands, Some(plan), jobs);
+            let (r, trace) = run_traced(&cands, Some(plan), jobs);
             prop_assert_eq!(&r.statics, &one.statics, "statics differ at {} jobs", jobs);
             prop_assert_eq!(&r.simulated, &one.simulated, "sims differ at {} jobs", jobs);
             prop_assert_eq!(&r.quarantined, &one.quarantined, "quarantine differs at {} jobs", jobs);
@@ -115,6 +128,21 @@ proptest! {
             prop_assert_eq!(r.stats.retries, one.stats.retries);
             prop_assert_eq!(r.stats.quarantined, one.stats.quarantined);
             prop_assert_eq!(r.stats.injected_faults, one.stats.injected_faults);
+            // Even under fault injection, the canonical (search-scope)
+            // trace and the deterministic metrics section are
+            // byte-identical at any worker count.
+            prop_assert_eq!(
+                trace.canonical_text(),
+                trace_one.canonical_text(),
+                "canonical trace differs at {} jobs",
+                jobs
+            );
+            prop_assert_eq!(
+                r.metrics.deterministic_json().to_string_compact(),
+                one.metrics.deterministic_json().to_string_compact(),
+                "deterministic metrics differ at {} jobs",
+                jobs
+            );
         }
     }
 }

@@ -1,0 +1,124 @@
+//! Observability guarantees of the search stack:
+//!
+//! * **Trace determinism** — the canonical (search-scope) projection of
+//!   the event trace and the deterministic section of the metrics
+//!   snapshot are byte-identical at `--jobs` 1 and 8 on a real
+//!   application space.
+//! * **Exporter validity** — every JSONL trace line parses as a
+//!   self-contained JSON event record, and the run manifest reconciles
+//!   field-for-field with the search report it was built from and
+//!   survives a serialize → parse round trip.
+
+use std::sync::Arc;
+
+use gpu_autotune::arch::MachineSpec;
+use gpu_autotune::kernels::{sad::Sad, App};
+use gpu_autotune::optspace::obs::{json, EventSink, RunManifest, Scope, Trace};
+use gpu_autotune::optspace::tuner::{ExhaustiveSearch, PrunedSearch, SearchReport, SearchStrategy};
+use gpu_autotune::optspace::EvalEngine;
+
+fn traced_run(
+    strategy: &dyn SearchStrategy,
+    jobs: usize,
+) -> (SearchReport, Trace, Vec<gpu_autotune::optspace::candidate::Candidate>) {
+    let spec = MachineSpec::geforce_8800_gtx();
+    let cands = Sad::test_problem().candidates();
+    let sink = Arc::new(EventSink::new());
+    let engine = EvalEngine::with_jobs(jobs).with_sink(Arc::clone(&sink));
+    let report = strategy.run_with(&engine, &cands, &spec);
+    (report, sink.drain(), cands)
+}
+
+#[test]
+fn canonical_trace_and_metrics_are_identical_across_worker_counts() {
+    let (one, trace_one, _) = traced_run(&ExhaustiveSearch, 1);
+    let (eight, trace_eight, _) = traced_run(&ExhaustiveSearch, 8);
+    assert!(!trace_one.canonical_lines().is_empty());
+    assert_eq!(trace_one.canonical_text(), trace_eight.canonical_text());
+    assert_eq!(
+        one.metrics.deterministic_json().to_string_compact(),
+        eight.metrics.deterministic_json().to_string_compact()
+    );
+    // The runtime section is genuinely populated (wall time passed).
+    assert!(eight.metrics.runtime.static_wall_us + eight.metrics.runtime.timing_wall_us > 0);
+    assert_eq!(eight.metrics.runtime.jobs, 8);
+}
+
+#[test]
+fn trace_spans_bracket_both_phases_in_order() {
+    let (_, trace, _) = traced_run(&PrunedSearch::default(), 2);
+    let lines = trace.canonical_lines();
+    let pos = |needle: &str| {
+        lines
+            .iter()
+            .position(|l| l.starts_with(needle))
+            .unwrap_or_else(|| panic!("no `{needle}` line in canonical trace"))
+    };
+    assert!(pos("begin search") < pos("begin phase.static"));
+    assert!(pos("begin phase.static") < pos("end phase.static"));
+    assert!(pos("end phase.static") < pos("begin phase.timing"));
+    assert!(pos("begin phase.timing") < pos("end phase.timing"));
+    assert!(pos("end phase.timing") < pos("counter engine.metrics"));
+    assert!(pos("counter engine.metrics") < pos("end search"));
+}
+
+#[test]
+fn jsonl_lines_are_self_contained_event_records() {
+    let (_, trace, _) = traced_run(&ExhaustiveSearch, 4);
+    let text = trace.to_jsonl();
+    assert_eq!(text.lines().count(), trace.events.len());
+    for line in text.lines() {
+        let j = json::parse(line).expect("trace line parses");
+        for key in ["seq", "ts_us", "thread", "scope", "kind", "name", "fields"] {
+            assert!(j.get(key).is_some(), "event missing `{key}`: {line}");
+        }
+    }
+    // Runtime events exist (pool items) but never enter the canonical
+    // projection.
+    assert!(trace.events.iter().any(|e| e.scope == Scope::Runtime));
+    assert!(trace.canonical_lines().iter().all(|l| !l.contains("pool.item")));
+}
+
+#[test]
+fn manifest_reconciles_with_the_report_and_round_trips() {
+    let spec = MachineSpec::geforce_8800_gtx();
+    let (report, _, cands) = traced_run(&ExhaustiveSearch, 4);
+    let manifest = RunManifest::from_search("sad", &report, &cands, &spec);
+
+    assert_eq!(manifest.space_size, report.space_size as u64);
+    assert_eq!(manifest.valid, report.valid_count() as u64);
+    assert_eq!(manifest.simulated, report.evaluated_count() as u64);
+    assert_eq!(manifest.quarantined, report.quarantined.len() as u64);
+    assert_eq!(manifest.metrics.sims_executed, report.stats.unique_sims as u64);
+    assert_eq!(manifest.metrics.sims_memoized, report.stats.cache_hits as u64);
+    assert_eq!(manifest.metrics.timed, report.stats.timed as u64);
+    assert!((manifest.evaluation_time_ms - report.evaluation_time_ms()).abs() < 1e-12);
+    assert!((manifest.space_reduction - report.space_reduction()).abs() < 1e-12);
+    let best = manifest.best.as_ref().expect("SAD times at least one configuration");
+    assert_eq!(best.candidate, report.best.unwrap() as u64);
+    assert_eq!(best.label, cands[report.best.unwrap()].label);
+
+    let pretty = manifest.to_json().to_string_pretty();
+    let back = RunManifest::parse_str(&pretty).expect("pretty manifest parses");
+    assert_eq!(back, manifest);
+}
+
+#[test]
+fn every_timed_candidate_appears_in_the_trace_exactly_once() {
+    let (report, trace, _) = traced_run(&ExhaustiveSearch, 2);
+    let done = trace.named("sim.done");
+    assert_eq!(done.len(), report.evaluated_count());
+    let mut seen: Vec<u64> = done
+        .iter()
+        .map(|e| {
+            e.fields
+                .iter()
+                .find(|(k, _)| *k == "candidate")
+                .and_then(|(_, v)| v.as_u64())
+                .expect("sim.done carries a candidate index")
+        })
+        .collect();
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(done.len(), seen.len(), "duplicate sim.done events");
+}
