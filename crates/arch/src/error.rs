@@ -12,6 +12,9 @@ use std::fmt;
 pub enum LaunchError {
     /// The block declares zero threads.
     EmptyBlock,
+    /// The grid declares zero blocks (a zero-extent grid dimension), so
+    /// the launch would run no thread at all.
+    EmptyGrid,
     /// Threads per block exceeds Table 2's 512-thread limit.
     BlockTooLarge {
         /// Requested threads per block.
@@ -40,6 +43,7 @@ impl fmt::Display for LaunchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LaunchError::EmptyBlock => write!(f, "thread block has zero threads"),
+            LaunchError::EmptyGrid => write!(f, "grid has zero thread blocks"),
             LaunchError::BlockTooLarge { threads, limit } => {
                 write!(f, "{threads} threads per block exceeds device limit of {limit}")
             }

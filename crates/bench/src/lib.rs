@@ -80,12 +80,13 @@ pub fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T
 }
 
 /// Build an engine from the experiment binaries' shared flags:
-/// `--jobs N`, `--sim-fuel N`, `--retries N`, `--inject-faults`,
-/// `--fault-seed N`. Unrecognised arguments are ignored so binaries can
-/// layer their own flags on top.
+/// `--jobs N`, `--sim-fuel N`, `--check-races`, `--retries N`,
+/// `--inject-faults`, `--fault-seed N`. Unrecognised arguments are
+/// ignored so binaries can layer their own flags on top.
 pub fn engine_from_args(args: &[String]) -> EvalEngine {
     let mut config = EngineConfig { jobs: jobs_from_args(args), ..Default::default() };
     config.sim_fuel = flag_value(args, "--sim-fuel");
+    config.check_races = args.iter().any(|a| a == "--check-races");
     if let Some(n) = flag_value(args, "--retries") {
         config.retry.max_attempts = n;
     }

@@ -30,6 +30,10 @@ pub enum EvalErrorKind {
     Resource,
     /// The simulator raised a fault while executing the kernel.
     Sim,
+    /// A shared-memory race was detected (statically or by the dynamic
+    /// race oracle): the kernel's answer is interleaving-dependent on a
+    /// real GPU even though the sequential interpreter reproduces it.
+    Race,
     /// The simulation exceeded its fuel (step) limit.
     Fuel,
     /// The worker evaluating the candidate panicked or disappeared.
@@ -45,6 +49,7 @@ impl fmt::Display for EvalErrorKind {
             Self::Verify => "verify-failed",
             Self::Resource => "resource-exceeded",
             Self::Sim => "sim-fault",
+            Self::Race => "race-detected",
             Self::Fuel => "fuel-exhausted",
             Self::WorkerLost => "worker-lost",
             Self::Injected => "injected",
@@ -77,6 +82,15 @@ pub enum EvalError {
         /// Rendered [`SimError`] (or simulator-internal fault).
         message: String,
     },
+    /// The static race detector or the dynamic race oracle found a
+    /// shared-memory race.
+    RaceDetected {
+        /// Number of findings (1 for the dynamic oracle, which stops at
+        /// the first conflict).
+        findings: usize,
+        /// Rendered first finding.
+        first: String,
+    },
     /// The simulation burned through its fuel budget without retiring.
     FuelExhausted {
         /// The fuel limit that was exceeded.
@@ -103,6 +117,7 @@ impl EvalError {
             Self::VerifyFailed { .. } => EvalErrorKind::Verify,
             Self::ResourceExceeded { .. } => EvalErrorKind::Resource,
             Self::SimFault { .. } => EvalErrorKind::Sim,
+            Self::RaceDetected { .. } => EvalErrorKind::Race,
             Self::FuelExhausted { .. } => EvalErrorKind::Fuel,
             Self::WorkerLost { .. } => EvalErrorKind::WorkerLost,
             Self::Injected { .. } => EvalErrorKind::Injected,
@@ -133,6 +148,15 @@ impl EvalError {
             first: findings.first().map(|e| format!("{e:?}")).unwrap_or_default(),
         }
     }
+
+    /// Collapse a static race report into an evaluation error. The
+    /// report must not be race-free.
+    pub fn from_races(report: &gpu_ir::analysis::RaceReport) -> Self {
+        Self::RaceDetected {
+            findings: report.findings.len(),
+            first: report.findings.first().map(|f| f.to_string()).unwrap_or_default(),
+        }
+    }
 }
 
 impl fmt::Display for EvalError {
@@ -144,6 +168,9 @@ impl fmt::Display for EvalError {
             }
             Self::ResourceExceeded { message } => write!(f, "resources exceeded: {message}"),
             Self::SimFault { message } => write!(f, "simulation fault: {message}"),
+            Self::RaceDetected { findings, first } => {
+                write!(f, "shared-memory race detected ({findings} findings; first: {first})")
+            }
             Self::FuelExhausted { fuel } => {
                 write!(f, "simulation exceeded its fuel limit of {fuel} steps")
             }
@@ -174,6 +201,9 @@ impl From<SimError> for EvalError {
         match e {
             SimError::StepBudgetExhausted => {
                 Self::FuelExhausted { fuel: gpu_sim::interp::DEFAULT_STEP_BUDGET }
+            }
+            race @ SimError::SharedRace { .. } => {
+                Self::RaceDetected { findings: 1, first: race.to_string() }
             }
             other => Self::SimFault { message: other.to_string() },
         }

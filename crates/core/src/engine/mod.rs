@@ -86,6 +86,12 @@ pub struct MetricsEval {
     /// [`EvalError::VerifyFailed`]. Off by default — the generators
     /// produce verified kernels, so this guards mutated or external IR.
     pub verify: bool,
+    /// Run the static shared-memory race detector
+    /// (`gpu_ir::analysis::races`) on each launchable kernel; findings
+    /// become [`EvalError::RaceDetected`] and quarantine the candidate.
+    /// This closes the soundness hole left by the sequential functional
+    /// interpreter, which reproduces racy kernels deterministically.
+    pub check_races: bool,
 }
 
 impl StaticEval for MetricsEval {
@@ -96,7 +102,17 @@ impl StaticEval for MetricsEval {
                 return Err(EvalError::from_verify(&findings));
             }
         }
-        candidate.evaluate_with(spec, self.options).map_err(Into::into)
+        // Resource validity first: an unlaunchable configuration stays
+        // classified as the paper's "invalid executable" even when its
+        // kernel also races.
+        let evaluated = candidate.evaluate_with(spec, self.options)?;
+        if self.check_races {
+            let races = gpu_ir::analysis::analyze_races(&candidate.kernel, &candidate.launch);
+            if !races.is_race_free() {
+                return Err(EvalError::from_races(&races));
+            }
+        }
+        Ok(evaluated)
     }
 }
 
@@ -199,6 +215,12 @@ pub struct EngineConfig {
     /// Deterministic fault injection; `None` (the default) injects
     /// nothing.
     pub fault_plan: Option<FaultPlan>,
+    /// Run the static shared-memory race detector during the static
+    /// phase; racy candidates quarantine with
+    /// [`EvalErrorKind::Race`](error::EvalErrorKind::Race) instead of
+    /// flowing into selection. Off by default (the `--check-races` CLI
+    /// flag turns it on).
+    pub check_races: bool,
 }
 
 impl Default for EngineConfig {
@@ -209,6 +231,7 @@ impl Default for EngineConfig {
             retry: RetryPolicy::default(),
             sim_fuel: None,
             fault_plan: None,
+            check_races: false,
         }
     }
 }
@@ -421,6 +444,20 @@ impl EvalEngine {
                 Err(EvalError::ResourceExceeded { .. }) => None,
                 Err(e) => {
                     stats.quarantined += 1;
+                    if e.kind() == EvalErrorKind::Race {
+                        // Race findings get their own verify-stage event
+                        // so trace consumers can tell soundness
+                        // violations from resource/fault quarantines.
+                        self.emit(
+                            EventKind::Point,
+                            "verify.race",
+                            vec![
+                                ("candidate", Json::from(i)),
+                                ("label", Json::from(candidates[i].label.as_str())),
+                                ("detail", Json::from(e.to_string())),
+                            ],
+                        );
+                    }
                     self.emit(
                         EventKind::Point,
                         "quarantine",

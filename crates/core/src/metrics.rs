@@ -121,6 +121,13 @@ pub fn profile_kernel(
     launch: &Launch,
     spec: &MachineSpec,
 ) -> Result<KernelProfile, LaunchError> {
+    // A zero-extent grid dimension runs no thread at all; the block side
+    // of the same degeneracy falls out of the occupancy arithmetic as
+    // `EmptyBlock` (zero threads per block), but the grid never reaches
+    // it, so reject it here.
+    if launch.grid.is_empty() {
+        return Err(LaunchError::EmptyGrid);
+    }
     let counts = dynamic_counts(kernel);
     let pressure = register_pressure(kernel);
     let mix = instruction_mix(kernel);

@@ -160,7 +160,11 @@ pub trait SearchStrategy {
         let mut stats = engine.stats_seed();
         let mut quarantined: Vec<Quarantine> = Vec::new();
         let statics = engine.evaluate_statics(
-            &MetricsEval { options: self.metrics_options(), verify: false },
+            &MetricsEval {
+                options: self.metrics_options(),
+                verify: false,
+                check_races: engine.config.check_races,
+            },
             candidates,
             spec,
             &mut stats,

@@ -5,14 +5,22 @@
 //! (section 4), the instruction mix used by the bandwidth-boundedness
 //! screen, per-thread register usage, and a linear-scan register
 //! allocator that realises the pressure figure as an actual assignment.
+//! [`races`] goes beyond the paper's artifacts: it proves generated
+//! configurations free of shared-memory races, a property the
+//! functional interpreter's sequential thread execution cannot witness.
 
 pub mod counts;
 pub mod mix;
 pub mod pressure;
+pub mod races;
 pub mod regalloc;
 
 pub use counts::{dynamic_counts, dynamic_counts_with, DynCounts};
 pub use mix::{instruction_mix, InstrMix};
 pub use pressure::{
     live_ranges, register_pressure, LiveRange, LiveRanges, PressureReport, RESERVED_REGS,
+};
+pub use races::{
+    analyze_races, analyze_races_linear, barrier_uniformity, BarrierUniformity, ConflictKind,
+    RaceFinding, RaceReport,
 };

@@ -1,0 +1,1099 @@
+//! Static shared-memory race detection and barrier-uniformity analysis.
+//!
+//! The functional interpreter in `gpu-sim` runs the threads of a block
+//! *sequentially* between barriers, so a kernel with a shared-memory
+//! data race still produces a deterministic answer — one a real GPU is
+//! not obliged to reproduce. This module closes that soundness hole
+//! statically: [`analyze_races`] abstractly interprets the kernel once
+//! with `tid.x`/`tid.y` symbolic, collects every shared-memory access
+//! with its barrier-segment index, and then concretizes the address (and,
+//! for stores, the stored value) per thread to find write/write and
+//! read/write conflicts between distinct threads inside one
+//! barrier-delimited segment.
+//!
+//! Two design points keep the verdict aligned with the dynamic race
+//! oracle (`gpu_sim::interp::run_kernel_checked`), which serves as its
+//! ground truth:
+//!
+//! * **Benign write/write exemption.** Two threads writing the *same*
+//!   value to the same word leave the word interleaving-independent, so
+//!   the conflict is not reported. The dynamic oracle compares the
+//!   stored `f32` bit patterns; here two stored values count as equal
+//!   only when their concretized expression DAGs are structurally
+//!   identical (e.g. both threads store `global[min(i, n-1)]` with equal
+//!   clamped `i` — the pattern SAD's staging loop relies on).
+//! * **Conservatism everywhere else.** An address the analysis cannot
+//!   concretize, or an analysis that runs out of budget, yields an
+//!   [`RaceFinding::Unresolved`] — a race verdict, never a silent pass.
+//!
+//! Value identity leans on one documented assumption: memory a kernel
+//! *loads* from is not concurrently mutated at the same address by
+//! another thread in the same launch (loads are tagged with a
+//! store-version counter, so a thread's own store/load ordering is
+//! respected, but cross-thread global-memory races are out of scope —
+//! this is a *shared-memory* race detector). All four paper kernels
+//! satisfy the assumption: inputs are read-only, outputs are written to
+//! thread-private locations.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use gpu_arch::MemorySpace;
+
+use crate::kernel::{Kernel, Stmt};
+use crate::linear::{linearize, LinOp, LinearProgram};
+use crate::types::{Operand, Special, VReg};
+use crate::{Instr, Launch, Op};
+
+/// Abstract-step budget: symbolic walk plus per-thread concretization.
+/// Generous — the largest paper configuration needs well under a
+/// million — but bounds adversarial inputs.
+const ANALYSIS_STEP_BUDGET: u64 = 1 << 24;
+
+/// Expression DAGs deeper than this are not concretized (the recursive
+/// walk must fit the stack); the access is reported as unresolved.
+const MAX_GROUND_DEPTH: u32 = 2_000;
+
+/// Shape of a detected conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ConflictKind {
+    /// One thread reads a word another thread writes.
+    ReadWrite,
+    /// Two threads write different values to the same word.
+    WriteWrite,
+}
+
+impl fmt::Display for ConflictKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ConflictKind::ReadWrite => "read/write",
+            ConflictKind::WriteWrite => "write/write",
+        })
+    }
+}
+
+/// One finding of the static race analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RaceFinding {
+    /// Two distinct threads conflict on one shared-memory word within a
+    /// barrier-delimited segment.
+    Conflict {
+        /// Zero-based barrier-segment index (segment `n` lies after the
+        /// `n`-th dynamic barrier).
+        segment: u32,
+        /// Shared-memory word address.
+        addr: i64,
+        /// Linear thread index (`tid.y * ntid.x + tid.x`) of one party.
+        first: u32,
+        /// Linear thread index of the other party.
+        second: u32,
+        /// Conflict shape.
+        kind: ConflictKind,
+    },
+    /// The analysis could not prove the segment race-free: an address it
+    /// cannot concretize per thread, or an exhausted step budget. A
+    /// conservative race verdict.
+    Unresolved {
+        /// Barrier-segment index of the offending access (or of the
+        /// point the budget ran out).
+        segment: u32,
+        /// Why the access resisted analysis.
+        detail: String,
+    },
+}
+
+impl fmt::Display for RaceFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaceFinding::Conflict { segment, addr, first, second, kind } => write!(
+                f,
+                "shared-memory {kind} race on word {addr} between threads {first} and {second} \
+                 in barrier segment {segment}"
+            ),
+            RaceFinding::Unresolved { segment, detail } => {
+                write!(f, "unresolved shared access in barrier segment {segment}: {detail}")
+            }
+        }
+    }
+}
+
+/// Result of [`analyze_races`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaceReport {
+    /// Conflicts found, sorted by (segment, word, threads). Empty means
+    /// the kernel is proven free of shared-memory races for this launch.
+    pub findings: Vec<RaceFinding>,
+    /// Dynamic barrier executions per thread.
+    pub barriers: u64,
+    /// Whether every barrier is reached uniformly by all threads of a
+    /// block. Structurally guaranteed today (see [`barrier_uniformity`]).
+    pub uniform_barriers: bool,
+}
+
+impl RaceReport {
+    /// Whether the kernel is proven free of shared-memory races.
+    pub fn is_race_free(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Result of the barrier-uniformity check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierUniformity {
+    /// Whether every thread of a block reaches every barrier.
+    pub uniform: bool,
+    /// Barrier executions per thread (saturating).
+    pub dynamic_barriers: u64,
+}
+
+/// Check that every barrier is executed uniformly by all threads of a
+/// block, and count how often each thread crosses one.
+///
+/// The IR's only control flow is the counted loop with a single static
+/// trip count shared by all threads, so a barrier can never sit under
+/// thread-dependent control flow and `uniform` is `true` by
+/// construction. The check exists as the static mirror of the dynamic
+/// `BarrierDivergence` error (which compares segment stops at runtime)
+/// and becomes load-bearing the day divergent branches enter the IR.
+pub fn barrier_uniformity(kernel: &Kernel) -> BarrierUniformity {
+    fn walk(stmts: &[Stmt]) -> u64 {
+        let mut n = 0u64;
+        for s in stmts {
+            match s {
+                Stmt::Sync => n = n.saturating_add(1),
+                Stmt::Loop(l) => {
+                    n = n.saturating_add(walk(&l.body).saturating_mul(u64::from(l.trip_count)));
+                }
+                Stmt::Op(_) => {}
+            }
+        }
+        n
+    }
+    BarrierUniformity { uniform: true, dynamic_barriers: walk(&kernel.body) }
+}
+
+/// Statically detect shared-memory races in `kernel` under `launch`.
+///
+/// See the module docs for the method. The verdict is conservative: an
+/// empty [`RaceReport::findings`] proves the kernel race-free (relative
+/// to the documented load-identity assumption), while a non-empty one
+/// either pinpoints a conflict or reports an access the analysis could
+/// not resolve.
+pub fn analyze_races(kernel: &Kernel, launch: &Launch) -> RaceReport {
+    analyze_races_linear(&linearize(kernel), launch)
+}
+
+/// [`analyze_races`] over an already-linearized program.
+pub fn analyze_races_linear(prog: &LinearProgram, launch: &Launch) -> RaceReport {
+    let mut a = Analyzer::new(prog, launch);
+    let walked = a.walk();
+    let mut findings = match walked {
+        Ok(()) => a.detect(),
+        // Budget exhausted mid-walk: conservative verdict.
+        Err(f) => vec![f],
+    };
+    findings.sort_by_key(finding_key);
+    findings.dedup();
+    RaceReport { findings, barriers: a.barriers, uniform_barriers: true }
+}
+
+type FindingKey = (u32, u8, i64, u32, u32);
+
+/// Per shared word within one segment: the reading lanes and the
+/// writing lanes paired with their grounded stored value (when the
+/// value resolved).
+type WordAccesses = (Vec<u32>, Vec<(u32, Option<ExprId>)>);
+
+fn finding_key(f: &RaceFinding) -> FindingKey {
+    match f {
+        RaceFinding::Conflict { segment, addr, first, second, kind } => {
+            (*segment, if *kind == ConflictKind::ReadWrite { 0 } else { 1 }, *addr, *first, *second)
+        }
+        RaceFinding::Unresolved { segment, .. } => (*segment, 2, 0, 0, 0),
+    }
+}
+
+type ExprId = u32;
+
+/// Block-uniform opaque leaf: the same (unknown) value for every thread
+/// of one block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Uniform {
+    CtaIdX,
+    CtaIdY,
+    Param(u32),
+}
+
+/// A hash-consed symbolic expression. Equal ids imply equal runtime
+/// values (for the same thread); the converse need not hold.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum SExpr {
+    /// Known 32-bit integer.
+    ConstI(i32),
+    /// Known `f32`, by bit pattern (so `NaN`s and `-0.0` compare like
+    /// the dynamic oracle's bitwise comparison).
+    ConstF(u32),
+    /// `c + ax·tid.x + ay·tid.y`, coefficients wrapped to `i32` range.
+    /// Only appears as a leaf under non-affine nodes.
+    Aff { c: i64, ax: i64, ay: i64 },
+    /// Block-uniform unknown.
+    Uniform(Uniform),
+    /// Unfoldable operation over child expressions.
+    Node { op: Op, args: Vec<ExprId> },
+    /// One word loaded from memory. `version` counts the stores to
+    /// `space` executed before this load, so a load after a store never
+    /// compares equal to one before it.
+    Load { space: MemorySpace, addr: ExprId, offset: i32, version: u32 },
+    /// A value with no cross-thread identity (unknown local-memory
+    /// contents): unique per `serial`, and distinct per thread once
+    /// concretized.
+    OpaqueTid { serial: u32 },
+    /// Concretization of [`SExpr::OpaqueTid`] for one thread.
+    OpaqueGround { serial: u32, tx: u32, ty: u32 },
+}
+
+/// Abstract value of a register: an affine function of the thread id, or
+/// an interned symbolic expression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum AVal {
+    Aff { c: i64, ax: i64, ay: i64 },
+    Sym(ExprId),
+}
+
+impl AVal {
+    fn constant(v: i32) -> Self {
+        AVal::Aff { c: i64::from(v), ax: 0, ay: 0 }
+    }
+
+    fn as_const_i(self) -> Option<i32> {
+        match self {
+            AVal::Aff { c, ax: 0, ay: 0 } => Some(c as i32),
+            _ => None,
+        }
+    }
+}
+
+/// Wrap an `i64` the way a chain of `i32` wrapping ops would.
+fn wrap(v: i64) -> i64 {
+    i64::from(v as i32)
+}
+
+/// A fully concrete value, for constant folding that mirrors the
+/// interpreter's semantics operation for operation.
+#[derive(Debug, Clone, Copy)]
+enum CVal {
+    I(i32),
+    F(f32),
+}
+
+/// Fold `op` over concrete operands exactly as `gpu_sim`'s interpreter
+/// executes it. `None` when the op cannot fold (loads, stores, operand
+/// type mixes the interpreter would fault on).
+fn fold_concrete(op: Op, args: &[CVal]) -> Option<CVal> {
+    use CVal::{F, I};
+    let fi = |n: usize| match args.get(n) {
+        Some(F(v)) => Some(*v),
+        _ => None,
+    };
+    let ii = |n: usize| match args.get(n) {
+        Some(I(v)) => Some(*v),
+        _ => None,
+    };
+    Some(match op {
+        Op::FAdd => F(fi(0)? + fi(1)?),
+        Op::FSub => F(fi(0)? - fi(1)?),
+        Op::FMul => F(fi(0)? * fi(1)?),
+        Op::FMad => F(fi(0)?.mul_add(fi(1)?, fi(2)?)),
+        Op::FMin => F(fi(0)?.min(fi(1)?)),
+        Op::FMax => F(fi(0)?.max(fi(1)?)),
+        Op::FNeg => F(-fi(0)?),
+        Op::FAbs => F(fi(0)?.abs()),
+        Op::Rcp => F(1.0 / fi(0)?),
+        Op::Rsqrt => F(1.0 / fi(0)?.sqrt()),
+        Op::Sqrt => F(fi(0)?.sqrt()),
+        Op::Sin => F(fi(0)?.sin()),
+        Op::Cos => F(fi(0)?.cos()),
+        Op::Ex2 => F(fi(0)?.exp2()),
+        Op::IAdd => I(ii(0)?.wrapping_add(ii(1)?)),
+        Op::ISub => I(ii(0)?.wrapping_sub(ii(1)?)),
+        Op::IMul => I(ii(0)?.wrapping_mul(ii(1)?)),
+        Op::IMad => I(ii(0)?.wrapping_mul(ii(1)?).wrapping_add(ii(2)?)),
+        Op::IDiv => {
+            let (a, b) = (ii(0)?, ii(1)?);
+            I(if b == 0 { 0 } else { a.wrapping_div(b) })
+        }
+        Op::IRem => {
+            let (a, b) = (ii(0)?, ii(1)?);
+            I(if b == 0 { 0 } else { a.wrapping_rem(b) })
+        }
+        Op::Shl => I(ii(0)?.wrapping_shl(ii(1)? as u32)),
+        Op::Shr => I(ii(0)?.wrapping_shr(ii(1)? as u32)),
+        Op::And => I(ii(0)? & ii(1)?),
+        Op::Or => I(ii(0)? | ii(1)?),
+        Op::Xor => I(ii(0)? ^ ii(1)?),
+        Op::IMin => I(ii(0)?.min(ii(1)?)),
+        Op::IMax => I(ii(0)?.max(ii(1)?)),
+        Op::Mov => *args.first()?,
+        Op::F2I => I(fi(0)? as i32),
+        Op::I2F => F(ii(0)? as f32),
+        Op::SetLt | Op::SetLe | Op::SetEq | Op::SetNe => {
+            let ord = match (args.first()?, args.get(1)?) {
+                (F(x), F(y)) => x.partial_cmp(y),
+                (I(x), I(y)) => Some(x.cmp(y)),
+                _ => return None,
+            };
+            let t = match (op, ord) {
+                (Op::SetLt, Some(o)) => o.is_lt(),
+                (Op::SetLe, Some(o)) => o.is_le(),
+                (Op::SetEq, Some(o)) => o.is_eq(),
+                (Op::SetNe, Some(o)) => o.is_ne(),
+                (Op::SetNe, None) => true,
+                (_, None) => false,
+                _ => unreachable!("outer match restricts the op"),
+            };
+            I(i32::from(t))
+        }
+        Op::Selp => {
+            if ii(2)? != 0 {
+                *args.first()?
+            } else {
+                *args.get(1)?
+            }
+        }
+        Op::Ld(_) | Op::St(_) => return None,
+    })
+}
+
+/// One recorded shared-memory access of the symbolic thread.
+#[derive(Debug, Clone)]
+struct Access {
+    segment: u32,
+    write: bool,
+    base: AVal,
+    offset: i32,
+    /// Stored value, for writes.
+    value: Option<AVal>,
+}
+
+struct Analyzer<'a> {
+    prog: &'a LinearProgram,
+    block: (u32, u32),
+    grid: (u32, u32),
+    exprs: Vec<SExpr>,
+    depths: Vec<u32>,
+    interned: HashMap<SExpr, ExprId>,
+    regs: Vec<AVal>,
+    /// Thread-private local (spill) memory, exact while addresses stay
+    /// constant.
+    local: HashMap<i64, AVal>,
+    local_unknown: bool,
+    opaque_serial: u32,
+    global_version: u32,
+    shared_version: u32,
+    segment: u32,
+    barriers: u64,
+    accesses: Vec<Access>,
+    steps: u64,
+}
+
+impl<'a> Analyzer<'a> {
+    fn new(prog: &'a LinearProgram, launch: &'a Launch) -> Self {
+        Self {
+            prog,
+            block: (launch.block.x, launch.block.y),
+            grid: (launch.grid.x, launch.grid.y),
+            exprs: Vec::new(),
+            depths: Vec::new(),
+            interned: HashMap::new(),
+            regs: vec![AVal::constant(0); prog.num_vregs as usize],
+            local: HashMap::new(),
+            local_unknown: false,
+            opaque_serial: 0,
+            global_version: 0,
+            shared_version: 0,
+            segment: 0,
+            barriers: 0,
+            accesses: Vec::new(),
+            steps: 0,
+        }
+    }
+
+    fn intern(&mut self, e: SExpr) -> ExprId {
+        if let Some(&id) = self.interned.get(&e) {
+            return id;
+        }
+        let depth = 1 + match &e {
+            SExpr::Node { args, .. } => {
+                args.iter().map(|&a| self.depths[a as usize]).max().unwrap_or(0)
+            }
+            SExpr::Load { addr, .. } => self.depths[*addr as usize],
+            _ => 0,
+        };
+        let id = self.exprs.len() as ExprId;
+        self.exprs.push(e.clone());
+        self.depths.push(depth);
+        self.interned.insert(e, id);
+        id
+    }
+
+    /// Lift an abstract value into the expression DAG.
+    fn sym_of(&mut self, v: AVal) -> ExprId {
+        match v {
+            AVal::Aff { c, ax: 0, ay: 0 } => self.intern(SExpr::ConstI(c as i32)),
+            AVal::Aff { c, ax, ay } => self.intern(SExpr::Aff { c, ax, ay }),
+            AVal::Sym(id) => id,
+        }
+    }
+
+    /// Fresh value with no cross-thread identity.
+    fn opaque(&mut self) -> AVal {
+        let serial = self.opaque_serial;
+        self.opaque_serial += 1;
+        AVal::Sym(self.intern(SExpr::OpaqueTid { serial }))
+    }
+
+    fn as_cval(&self, v: AVal) -> Option<CVal> {
+        match v {
+            AVal::Aff { c, ax: 0, ay: 0 } => Some(CVal::I(c as i32)),
+            AVal::Aff { .. } => None,
+            AVal::Sym(id) => match self.exprs[id as usize] {
+                SExpr::ConstI(i) => Some(CVal::I(i)),
+                SExpr::ConstF(bits) => Some(CVal::F(f32::from_bits(bits))),
+                _ => None,
+            },
+        }
+    }
+
+    fn cval_to_aval(&mut self, v: CVal) -> AVal {
+        match v {
+            CVal::I(i) => AVal::constant(i),
+            CVal::F(f) => AVal::Sym(self.intern(SExpr::ConstF(f.to_bits()))),
+        }
+    }
+
+    fn operand(&mut self, o: &Operand) -> AVal {
+        match o {
+            Operand::Reg(r) => self.regs[r.index()],
+            Operand::ImmI32(v) => AVal::constant(*v),
+            Operand::ImmF32(v) => AVal::Sym(self.intern(SExpr::ConstF(v.to_bits()))),
+            Operand::Special(s) => match s {
+                Special::TidX => AVal::Aff { c: 0, ax: 1, ay: 0 },
+                Special::TidY => AVal::Aff { c: 0, ax: 0, ay: 1 },
+                Special::NTidX => AVal::constant(self.block.0 as i32),
+                Special::NTidY => AVal::constant(self.block.1 as i32),
+                Special::NCtaIdX => AVal::constant(self.grid.0 as i32),
+                Special::NCtaIdY => AVal::constant(self.grid.1 as i32),
+                Special::CtaIdX => AVal::Sym(self.intern(SExpr::Uniform(Uniform::CtaIdX))),
+                Special::CtaIdY => AVal::Sym(self.intern(SExpr::Uniform(Uniform::CtaIdY))),
+            },
+            Operand::Param(i) => AVal::Sym(self.intern(SExpr::Uniform(Uniform::Param(*i)))),
+        }
+    }
+
+    /// Abstract evaluation of `op`, with eager concrete + affine folding.
+    fn eval_op(&mut self, op: Op, args: &[AVal]) -> AVal {
+        // Fully concrete operands fold exactly like the interpreter.
+        let cvals: Option<Vec<CVal>> = args.iter().map(|&a| self.as_cval(a)).collect();
+        if let Some(cv) = cvals {
+            if let Some(folded) = fold_concrete(op, &cv) {
+                return self.cval_to_aval(folded);
+            }
+        }
+        use AVal::Aff;
+        match (op, args) {
+            (Op::Mov, [a]) => return *a,
+            (Op::IAdd, [Aff { c, ax, ay }, Aff { c: c2, ax: ax2, ay: ay2 }]) => {
+                return Aff { c: wrap(c + c2), ax: wrap(ax + ax2), ay: wrap(ay + ay2) };
+            }
+            (Op::ISub, [Aff { c, ax, ay }, Aff { c: c2, ax: ax2, ay: ay2 }]) => {
+                return Aff { c: wrap(c - c2), ax: wrap(ax - ax2), ay: wrap(ay - ay2) };
+            }
+            (Op::IMul, [Aff { c, ax, ay }, Aff { c: k, ax: 0, ay: 0 }])
+            | (Op::IMul, [Aff { c: k, ax: 0, ay: 0 }, Aff { c, ax, ay }]) => {
+                return Aff { c: wrap(c * k), ax: wrap(ax * k), ay: wrap(ay * k) };
+            }
+            (
+                Op::IMad,
+                [Aff { c, ax, ay }, Aff { c: k, ax: 0, ay: 0 }, Aff { c: c3, ax: ax3, ay: ay3 }],
+            )
+            | (
+                Op::IMad,
+                [Aff { c: k, ax: 0, ay: 0 }, Aff { c, ax, ay }, Aff { c: c3, ax: ax3, ay: ay3 }],
+            ) => {
+                return Aff {
+                    c: wrap(wrap(c * k) + c3),
+                    ax: wrap(wrap(ax * k) + ax3),
+                    ay: wrap(wrap(ay * k) + ay3),
+                };
+            }
+            (Op::Shl, [Aff { c, ax, ay }, Aff { c: k, ax: 0, ay: 0 }]) => {
+                let m = 1i64 << ((*k as u32) & 31);
+                return Aff {
+                    c: wrap(c.wrapping_mul(m)),
+                    ax: wrap(ax.wrapping_mul(m)),
+                    ay: wrap(ay.wrapping_mul(m)),
+                };
+            }
+            (Op::Selp, [a, b, c]) => {
+                if let Some(sel) = c.as_const_i() {
+                    return if sel != 0 { *a } else { *b };
+                }
+            }
+            _ => {}
+        }
+        let ids: Vec<ExprId> = args.iter().map(|&a| self.sym_of(a)).collect();
+        AVal::Sym(self.intern(SExpr::Node { op, args: ids }))
+    }
+
+    fn exec(&mut self, i: &Instr) {
+        match i.op {
+            Op::Ld(space) => {
+                let base = self.operand(&i.srcs[0]);
+                let value = self.load(space, base, i.offset);
+                self.regs[i.dst.expect("loads have destinations").index()] = value;
+            }
+            Op::St(space) => {
+                let base = self.operand(&i.srcs[0]);
+                let value = self.operand(&i.srcs[1]);
+                self.store(space, base, i.offset, value);
+            }
+            op => {
+                let args: Vec<AVal> = i.srcs.iter().map(|s| self.operand(s)).collect();
+                let value = self.eval_op(op, &args);
+                if let Some(d) = i.dst {
+                    self.regs[d.index()] = value;
+                }
+            }
+        }
+    }
+
+    fn load(&mut self, space: MemorySpace, base: AVal, offset: i32) -> AVal {
+        match space {
+            MemorySpace::Shared => {
+                self.accesses.push(Access {
+                    segment: self.segment,
+                    write: false,
+                    base,
+                    offset,
+                    value: None,
+                });
+                let addr = self.sym_of(base);
+                let version = self.shared_version;
+                AVal::Sym(self.intern(SExpr::Load { space, addr, offset, version }))
+            }
+            MemorySpace::Global => {
+                let addr = self.sym_of(base);
+                let version = self.global_version;
+                AVal::Sym(self.intern(SExpr::Load { space, addr, offset, version }))
+            }
+            MemorySpace::Constant | MemorySpace::Texture => {
+                // Read-only banks: content never changes, version 0.
+                let addr = self.sym_of(base);
+                AVal::Sym(self.intern(SExpr::Load { space, addr, offset, version: 0 }))
+            }
+            MemorySpace::Local => {
+                match base.as_const_i() {
+                    Some(b) if !self.local_unknown => {
+                        let slot = i64::from(b) + i64::from(offset);
+                        // Unwritten local memory reads as 0.0, like the
+                        // interpreter's demand-grown spill space.
+                        self.local.get(&slot).copied().unwrap_or_else(|| {
+                            AVal::Sym(self.intern(SExpr::ConstF(0.0f32.to_bits())))
+                        })
+                    }
+                    _ => self.opaque(),
+                }
+            }
+        }
+    }
+
+    fn store(&mut self, space: MemorySpace, base: AVal, offset: i32, value: AVal) {
+        match space {
+            MemorySpace::Shared => {
+                self.accesses.push(Access {
+                    segment: self.segment,
+                    write: true,
+                    base,
+                    offset,
+                    value: Some(value),
+                });
+                self.shared_version += 1;
+            }
+            MemorySpace::Global => self.global_version += 1,
+            MemorySpace::Local => match base.as_const_i() {
+                Some(b) if !self.local_unknown => {
+                    self.local.insert(i64::from(b) + i64::from(offset), value);
+                }
+                _ => {
+                    // A thread-dependent spill address poisons the whole
+                    // private store: later loads become opaque.
+                    self.local_unknown = true;
+                    self.local.clear();
+                }
+            },
+            // Stores to read-only spaces are interpreter faults; the
+            // race analysis has nothing to track.
+            MemorySpace::Constant | MemorySpace::Texture => {}
+        }
+    }
+
+    /// Symbolically execute the whole program once (loops unrolled).
+    fn walk(&mut self) -> Result<(), RaceFinding> {
+        let code = &self.prog.code;
+        let mut pc = 0usize;
+        let mut frames: Vec<(usize, u32, Option<VReg>, i32)> = Vec::new();
+        while pc < code.len() {
+            self.steps += 1;
+            if self.steps > ANALYSIS_STEP_BUDGET {
+                return Err(RaceFinding::Unresolved {
+                    segment: self.segment,
+                    detail: "analysis step budget exhausted during the symbolic walk".into(),
+                });
+            }
+            match &code[pc] {
+                LinOp::Sync => {
+                    self.segment += 1;
+                    self.barriers = self.barriers.saturating_add(1);
+                    pc += 1;
+                }
+                LinOp::LoopStart { counter, trips, end } => {
+                    if *trips == 0 {
+                        pc = end + 1;
+                    } else {
+                        if let Some(c) = counter {
+                            self.regs[c.index()] = AVal::constant(0);
+                        }
+                        frames.push((pc + 1, *trips, *counter, 0));
+                        pc += 1;
+                    }
+                }
+                LinOp::LoopEnd { .. } => {
+                    let frame = frames.last_mut().expect("loop frame underflow");
+                    frame.1 -= 1;
+                    if frame.1 > 0 {
+                        frame.3 += 1;
+                        if let Some(c) = frame.2 {
+                            self.regs[c.index()] = AVal::constant(frame.3);
+                        }
+                        pc = frame.0;
+                    } else {
+                        frames.pop();
+                        pc += 1;
+                    }
+                }
+                LinOp::Instr(i) => {
+                    self.exec(i);
+                    pc += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Concretize `id` for thread `(tx, ty)`: affine leaves become
+    /// constants and every fully-constant node folds, so e.g.
+    /// `min(tid.x + k, n-1)` grounds to a concrete word index.
+    fn ground(
+        &mut self,
+        id: ExprId,
+        tx: u32,
+        ty: u32,
+        memo: &mut HashMap<(ExprId, u32, u32), ExprId>,
+    ) -> ExprId {
+        if let Some(&g) = memo.get(&(id, tx, ty)) {
+            return g;
+        }
+        self.steps += 1;
+        let g = match self.exprs[id as usize].clone() {
+            SExpr::ConstI(_)
+            | SExpr::ConstF(_)
+            | SExpr::Uniform(_)
+            | SExpr::OpaqueGround { .. } => id,
+            SExpr::Aff { c, ax, ay } => {
+                let v = c
+                    .wrapping_add(ax.wrapping_mul(i64::from(tx)))
+                    .wrapping_add(ay.wrapping_mul(i64::from(ty)));
+                self.intern(SExpr::ConstI(v as i32))
+            }
+            SExpr::OpaqueTid { serial } => self.intern(SExpr::OpaqueGround { serial, tx, ty }),
+            SExpr::Node { op, args } => {
+                let gargs: Vec<ExprId> =
+                    args.iter().map(|&a| self.ground(a, tx, ty, memo)).collect();
+                let cvals: Option<Vec<CVal>> = gargs
+                    .iter()
+                    .map(|&a| match self.exprs[a as usize] {
+                        SExpr::ConstI(i) => Some(CVal::I(i)),
+                        SExpr::ConstF(bits) => Some(CVal::F(f32::from_bits(bits))),
+                        _ => None,
+                    })
+                    .collect();
+                match cvals.and_then(|cv| fold_concrete(op, &cv)) {
+                    Some(CVal::I(i)) => self.intern(SExpr::ConstI(i)),
+                    Some(CVal::F(f)) => self.intern(SExpr::ConstF(f.to_bits())),
+                    None => self.intern(SExpr::Node { op, args: gargs }),
+                }
+            }
+            SExpr::Load { space, addr, offset, version } => {
+                let gaddr = self.ground(addr, tx, ty, memo);
+                self.intern(SExpr::Load { space, addr: gaddr, offset, version })
+            }
+        };
+        memo.insert((id, tx, ty), g);
+        g
+    }
+
+    /// Concretize an access address for one thread; `None` when the word
+    /// index is not statically known.
+    fn ground_addr(
+        &mut self,
+        a: &Access,
+        tx: u32,
+        ty: u32,
+        memo: &mut HashMap<(ExprId, u32, u32), ExprId>,
+    ) -> Option<i64> {
+        match a.base {
+            AVal::Aff { c, ax, ay } => {
+                let base = c
+                    .wrapping_add(ax.wrapping_mul(i64::from(tx)))
+                    .wrapping_add(ay.wrapping_mul(i64::from(ty)));
+                Some(i64::from(base as i32) + i64::from(a.offset))
+            }
+            AVal::Sym(id) => {
+                if self.depths[id as usize] > MAX_GROUND_DEPTH {
+                    return None;
+                }
+                let g = self.ground(id, tx, ty, memo);
+                match self.exprs[g as usize] {
+                    SExpr::ConstI(b) => Some(i64::from(b) + i64::from(a.offset)),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Concretize a stored value for one thread, as an interned id whose
+    /// equality means "provably the same bits".
+    fn ground_value(
+        &mut self,
+        v: AVal,
+        tx: u32,
+        ty: u32,
+        memo: &mut HashMap<(ExprId, u32, u32), ExprId>,
+    ) -> Option<ExprId> {
+        let id = self.sym_of(v);
+        if self.depths[id as usize] > MAX_GROUND_DEPTH {
+            return None;
+        }
+        Some(self.ground(id, tx, ty, memo))
+    }
+
+    /// Enumerate per-thread addresses for every write-containing segment
+    /// and report conflicts.
+    fn detect(&mut self) -> Vec<RaceFinding> {
+        let (bx, by) = self.block;
+        let mut by_segment: BTreeMap<u32, Vec<Access>> = BTreeMap::new();
+        for a in std::mem::take(&mut self.accesses) {
+            by_segment.entry(a.segment).or_default().push(a);
+        }
+        let mut findings = Vec::new();
+        let mut memo: HashMap<(ExprId, u32, u32), ExprId> = HashMap::new();
+        'segments: for (&segment, accesses) in &by_segment {
+            // Threads only conflict through writes: read-only segments
+            // (and kernels without shared memory) are free.
+            if !accesses.iter().any(|a| a.write) {
+                continue;
+            }
+            // word -> (reads, writes-with-value) per thread.
+            let mut buckets: BTreeMap<i64, WordAccesses> = BTreeMap::new();
+            for a in accesses.clone() {
+                for ty in 0..by {
+                    for tx in 0..bx {
+                        self.steps += 1;
+                        if self.steps > ANALYSIS_STEP_BUDGET {
+                            findings.push(RaceFinding::Unresolved {
+                                segment,
+                                detail: "analysis step budget exhausted while enumerating threads"
+                                    .into(),
+                            });
+                            break 'segments;
+                        }
+                        let lane = ty * bx + tx;
+                        let Some(word) = self.ground_addr(&a, tx, ty, &mut memo) else {
+                            findings.push(RaceFinding::Unresolved {
+                                segment,
+                                detail: format!(
+                                    "cannot concretize a shared {} address per thread",
+                                    if a.write { "store" } else { "load" }
+                                ),
+                            });
+                            continue 'segments;
+                        };
+                        let slot = buckets.entry(word).or_default();
+                        if a.write {
+                            let gv = a.value.and_then(|v| self.ground_value(v, tx, ty, &mut memo));
+                            slot.1.push((lane, gv));
+                        } else {
+                            slot.0.push(lane);
+                        }
+                    }
+                }
+            }
+            for (&word, (reads, writes)) in &buckets {
+                // Read/write: any cross-thread read of a written word.
+                let rw = writes.iter().find_map(|&(w, _)| {
+                    reads.iter().find(|&&r| r != w).map(|&r| (w.min(r), w.max(r)))
+                });
+                if let Some((first, second)) = rw {
+                    findings.push(RaceFinding::Conflict {
+                        segment,
+                        addr: word,
+                        first,
+                        second,
+                        kind: ConflictKind::ReadWrite,
+                    });
+                    continue;
+                }
+                // Write/write: distinct threads, provably-equal values
+                // are benign; unknown values are conservatively unequal.
+                if let Some((&(w1, v1), &(w2, _))) = writes.iter().enumerate().find_map(|(n, a)| {
+                    writes[n + 1..]
+                        .iter()
+                        .find(|b| {
+                            b.0 != a.0
+                                && match (a.1, b.1) {
+                                    (Some(x), Some(y)) => x != y,
+                                    _ => true,
+                                }
+                        })
+                        .map(|b| (a, b))
+                }) {
+                    let _ = v1;
+                    findings.push(RaceFinding::Conflict {
+                        segment,
+                        addr: word,
+                        first: w1.min(w2),
+                        second: w1.max(w2),
+                        kind: ConflictKind::WriteWrite,
+                    });
+                }
+            }
+        }
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::KernelBuilder;
+    use crate::Dim;
+
+    fn launch_1d(blocks: u32, threads: u32) -> Launch {
+        Launch::new(Dim::new_1d(blocks), Dim::new_1d(threads))
+    }
+
+    /// shared[tid] = in[tid]; sync; read shared[n-1-tid] — race-free.
+    fn reversal(n: u32, with_sync: bool) -> Kernel {
+        let mut b = KernelBuilder::new("rev");
+        let src = b.param(0);
+        let dst = b.param(1);
+        b.alloc_shared(n * 4);
+        let tid = b.read_special(Special::TidX);
+        let sa = b.iadd(src, tid);
+        let v = b.ld_global(sa, 0);
+        b.st_shared(tid, 0, v);
+        if with_sync {
+            b.sync();
+        }
+        let ni = b.mov((n as i32) - 1);
+        let rev = b.isub(ni, tid);
+        let rv = b.ld_shared(rev, 0);
+        let da = b.iadd(dst, tid);
+        b.st_global(da, 0, rv);
+        b.finish()
+    }
+
+    #[test]
+    fn synchronized_reversal_is_race_free() {
+        let r = analyze_races(&reversal(16, true), &launch_1d(1, 16));
+        assert!(r.is_race_free(), "{:?}", r.findings);
+        assert_eq!(r.barriers, 1);
+        assert!(r.uniform_barriers);
+    }
+
+    #[test]
+    fn unsynchronized_reversal_races() {
+        let r = analyze_races(&reversal(16, false), &launch_1d(1, 16));
+        assert!(!r.is_race_free());
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| matches!(f, RaceFinding::Conflict { kind: ConflictKind::ReadWrite, .. })));
+    }
+
+    #[test]
+    fn distinct_value_write_write_races() {
+        // Every thread writes its tid to word 0.
+        let mut b = KernelBuilder::new("ww");
+        b.alloc_shared(4);
+        let tid = b.read_special(Special::TidX);
+        let f = b.i2f(tid);
+        b.st_shared(0i32, 0, f);
+        let r = analyze_races(&b.finish(), &launch_1d(1, 8));
+        assert!(matches!(
+            r.findings.first(),
+            Some(RaceFinding::Conflict { kind: ConflictKind::WriteWrite, addr: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn same_value_write_write_is_benign() {
+        // Every thread writes the same constant to word 0.
+        let mut b = KernelBuilder::new("ww_benign");
+        b.alloc_shared(4);
+        b.st_shared(0i32, 0, 3.25f32);
+        let r = analyze_races(&b.finish(), &launch_1d(1, 8));
+        assert!(r.is_race_free(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn clamped_staging_write_is_benign() {
+        // SAD's pattern: idx = min(tid, n-1); shared[idx] = g[base+idx].
+        // Threads past n-1 all store g[base+n-1] to word n-1 — the same
+        // value, so no race.
+        let n = 4i32;
+        let mut b = KernelBuilder::new("clamp");
+        let src = b.param(0);
+        b.alloc_shared((n as u32) * 4);
+        let tid = b.read_special(Special::TidX);
+        let idx = b.imin(tid, n - 1);
+        let ga = b.iadd(src, idx);
+        let px = b.ld_global(ga, 0);
+        b.st_shared(idx, 0, px);
+        let r = analyze_races(&b.finish(), &launch_1d(1, 16));
+        assert!(r.is_race_free(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn clamped_staging_with_divergent_values_races() {
+        // Same clamped address, but the stored value depends on the
+        // *unclamped* tid — colliding threads store different values.
+        let n = 4i32;
+        let mut b = KernelBuilder::new("clamp_bad");
+        b.alloc_shared((n as u32) * 4);
+        let tid = b.read_special(Special::TidX);
+        let idx = b.imin(tid, n - 1);
+        let f = b.i2f(tid);
+        b.st_shared(idx, 0, f);
+        let r = analyze_races(&b.finish(), &launch_1d(1, 16));
+        assert!(!r.is_race_free());
+        assert!(matches!(
+            r.findings.first(),
+            Some(RaceFinding::Conflict { kind: ConflictKind::WriteWrite, .. })
+        ));
+    }
+
+    #[test]
+    fn races_in_later_loop_segments_are_found() {
+        // Segment 0 is clean; the racy write sits in the second
+        // iteration of a loop whose body ends with a barrier.
+        let mut b = KernelBuilder::new("late");
+        b.alloc_shared(64);
+        let tid = b.read_special(Special::TidX);
+        b.for_loop(3, |b, i| {
+            let f = b.i2f(tid);
+            let sel = b.set_lt(i, 1i32);
+            // Iteration 0 writes shared[tid] (disjoint); iterations 1
+            // and 2 write shared[0] from every thread.
+            let zero = b.mov(0i32);
+            let addr = b.selp(tid, zero, sel);
+            b.st_shared(addr, 0, f);
+            b.sync();
+        });
+        let r = analyze_races(&b.finish(), &launch_1d(1, 8));
+        let seg: Vec<u32> = r
+            .findings
+            .iter()
+            .filter_map(|f| match f {
+                RaceFinding::Conflict { segment, .. } => Some(*segment),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seg, vec![1, 2], "{:?}", r.findings);
+    }
+
+    #[test]
+    fn two_dimensional_blocks_use_both_tids() {
+        // shared[ty*W + tx] is injective over a WxH block: race-free.
+        let (w, h) = (8u32, 4u32);
+        let mut b = KernelBuilder::new("2d");
+        b.alloc_shared(w * h * 4);
+        let tx = b.read_special(Special::TidX);
+        let ty = b.read_special(Special::TidY);
+        let idx = b.imad(ty, w as i32, tx);
+        let f = b.i2f(tx);
+        b.st_shared(idx, 0, f);
+        let launch = Launch::new(Dim::new_1d(1), Dim::new_2d(w, h));
+        let r = analyze_races(&b.finish(), &launch);
+        assert!(r.is_race_free(), "{:?}", r.findings);
+
+        // Dropping the row stride makes rows collide with different
+        // values.
+        let mut b = KernelBuilder::new("2d_bad");
+        b.alloc_shared(w * h * 4);
+        let tx = b.read_special(Special::TidX);
+        let ty = b.read_special(Special::TidY);
+        let f = b.i2f(ty);
+        let _ = ty;
+        b.st_shared(tx, 0, f);
+        let r = analyze_races(&b.finish(), &launch);
+        assert!(!r.is_race_free());
+    }
+
+    #[test]
+    fn kernel_without_shared_memory_is_trivially_free() {
+        let mut b = KernelBuilder::new("none");
+        let dst = b.param(0);
+        let tid = b.read_special(Special::TidX);
+        let a = b.iadd(dst, tid);
+        b.st_global(a, 0, 1.0f32);
+        let r = analyze_races(&b.finish(), &launch_1d(4, 64));
+        assert!(r.is_race_free());
+        assert_eq!(r.barriers, 0);
+    }
+
+    #[test]
+    fn barrier_uniformity_counts_dynamic_barriers() {
+        let mut b = KernelBuilder::new("bars");
+        b.repeat(5, |b| {
+            b.repeat(3, |b| {
+                b.sync();
+            });
+            b.sync();
+        });
+        let u = barrier_uniformity(&b.finish());
+        assert!(u.uniform);
+        assert_eq!(u.dynamic_barriers, 5 * 3 + 5);
+    }
+
+    #[test]
+    fn findings_are_deterministically_sorted() {
+        // Two racy words; findings come out ordered by word address.
+        let mut b = KernelBuilder::new("two");
+        b.alloc_shared(8);
+        let tid = b.read_special(Special::TidX);
+        let f = b.i2f(tid);
+        b.st_shared(1i32, 0, f);
+        b.st_shared(0i32, 0, f);
+        let r = analyze_races(&b.finish(), &launch_1d(1, 4));
+        let addrs: Vec<i64> = r
+            .findings
+            .iter()
+            .filter_map(|f| match f {
+                RaceFinding::Conflict { addr, .. } => Some(*addr),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(addrs, vec![0, 1]);
+    }
+}

@@ -30,6 +30,11 @@ impl Dim {
     pub fn count(&self) -> u64 {
         u64::from(self.x) * u64::from(self.y)
     }
+
+    /// Whether either extent is zero (the dimension covers no elements).
+    pub fn is_empty(&self) -> bool {
+        self.x == 0 || self.y == 0
+    }
 }
 
 impl fmt::Display for Dim {
@@ -66,6 +71,14 @@ impl Launch {
     /// Total thread blocks in the grid.
     pub fn total_blocks(&self) -> u64 {
         self.grid.count()
+    }
+
+    /// Whether the launch runs no threads at all: a zero-extent grid or
+    /// block dimension. Such launches are invalid executables — static
+    /// evaluation rejects them (`LaunchError`) and the interpreter
+    /// refuses to run them rather than crash on an empty thread block.
+    pub fn is_empty(&self) -> bool {
+        self.grid.is_empty() || self.block.is_empty()
     }
 }
 

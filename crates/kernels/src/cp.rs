@@ -20,7 +20,7 @@ use std::fmt;
 use gpu_ir::build::KernelBuilder;
 use gpu_ir::types::Special;
 use gpu_ir::{Dim, Kernel, Launch};
-use gpu_sim::interp::{run_kernel, DeviceMemory};
+use gpu_sim::interp::{run_kernel_checked, DeviceMemory};
 use gpu_sim::SimError;
 use optspace::candidate::Candidate;
 use rand::rngs::StdRng;
@@ -188,12 +188,13 @@ impl Cp {
         (mem, vec![0])
     }
 
-    /// Execute `cfg` functionally; returns the lattice in row-major
-    /// order regardless of the store layout the config used.
+    /// Execute `cfg` functionally, with the dynamic shared-memory race
+    /// oracle armed; returns the lattice in row-major order regardless
+    /// of the store layout the config used.
     ///
     /// # Errors
     ///
-    /// Propagates interpreter faults.
+    /// Propagates interpreter faults, including [`SimError::SharedRace`].
     pub fn run_config(
         &self,
         cfg: &CpConfig,
@@ -202,7 +203,7 @@ impl Cp {
     ) -> Result<Vec<f32>, SimError> {
         let kernel = self.generate(cfg);
         let prog = gpu_ir::linear::linearize(&kernel);
-        run_kernel(&prog, &self.launch(cfg), params, mem)?;
+        run_kernel_checked(&prog, &self.launch(cfg), params, mem)?;
         let (nx, ny) = (self.nx as usize, self.ny as usize);
         if cfg.coalesced_output {
             Ok(mem.global[..nx * ny].to_vec())

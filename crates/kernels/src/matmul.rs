@@ -24,7 +24,7 @@ use gpu_passes::{
     find_loops, fold_strided_addresses, innermost_loops, prefetch_global_loads, spill_candidates,
     spill_registers, unroll,
 };
-use gpu_sim::interp::{run_kernel, DeviceMemory};
+use gpu_sim::interp::{run_kernel_checked, DeviceMemory};
 use gpu_sim::SimError;
 use optspace::candidate::Candidate;
 use rand::rngs::StdRng;
@@ -289,12 +289,13 @@ impl MatMul {
         (mem, vec![a, bb, c])
     }
 
-    /// Execute `cfg` functionally on the interpreter; returns `C`.
+    /// Execute `cfg` functionally on the interpreter, with the dynamic
+    /// shared-memory race oracle armed; returns `C`.
     ///
     /// # Errors
     ///
-    /// Propagates interpreter faults; generated configurations must not
-    /// produce any.
+    /// Propagates interpreter faults, including [`SimError::SharedRace`];
+    /// generated configurations must not produce any.
     pub fn run_config(
         &self,
         cfg: &MatMulConfig,
@@ -303,7 +304,7 @@ impl MatMul {
     ) -> Result<Vec<f32>, SimError> {
         let kernel = self.generate(cfg);
         let prog = gpu_ir::linear::linearize(&kernel);
-        run_kernel(&prog, &self.launch(cfg), params, mem)?;
+        run_kernel_checked(&prog, &self.launch(cfg), params, mem)?;
         let n2 = (self.n * self.n) as usize;
         Ok(mem.global[2 * n2..3 * n2].to_vec())
     }

@@ -26,7 +26,7 @@ use gpu_ir::build::KernelBuilder;
 use gpu_ir::types::Special;
 use gpu_ir::{Dim, Instr, Kernel, Launch, Op};
 use gpu_passes::{innermost_loops, unroll};
-use gpu_sim::interp::{run_kernel, DeviceMemory};
+use gpu_sim::interp::{run_kernel_checked, DeviceMemory};
 use gpu_sim::SimError;
 use optspace::candidate::Candidate;
 use rand::rngs::StdRng;
@@ -205,12 +205,13 @@ impl MriFhd {
         (mem, vec![0, n, 2 * n, 3 * n, 4 * n])
     }
 
-    /// Execute all invocations of `cfg` functionally; returns the
-    /// concatenated `(rFhd, iFhd)` arrays.
+    /// Execute all invocations of `cfg` functionally, with the dynamic
+    /// shared-memory race oracle armed; returns the concatenated
+    /// `(rFhd, iFhd)` arrays.
     ///
     /// # Errors
     ///
-    /// Propagates interpreter faults.
+    /// Propagates interpreter faults, including [`SimError::SharedRace`].
     pub fn run_config(
         &self,
         cfg: &MriConfig,
@@ -224,7 +225,7 @@ impl MriFhd {
         for g in 0..cfg.invocations {
             let mut p = params.to_vec();
             p.push((g * per_inv * 5) as i32);
-            run_kernel(&prog, &launch, &p, mem)?;
+            run_kernel_checked(&prog, &launch, &p, mem)?;
         }
         let n = self.voxels as usize;
         Ok(mem.global[3 * n..5 * n].to_vec())

@@ -22,7 +22,7 @@ use gpu_ir::build::KernelBuilder;
 use gpu_ir::types::Special;
 use gpu_ir::{Dim, Instr, Kernel, Launch, Op};
 use gpu_passes::{find_loops, unroll, LoopId};
-use gpu_sim::interp::{run_kernel, DeviceMemory};
+use gpu_sim::interp::{run_kernel_checked, DeviceMemory};
 use gpu_sim::SimError;
 use optspace::candidate::Candidate;
 use rand::rngs::StdRng;
@@ -295,12 +295,16 @@ impl Sad {
         (mem, vec![cur, rf, out])
     }
 
-    /// Execute `cfg` functionally; returns the SAD table
-    /// (`mb_linear × positions`).
+    /// Execute `cfg` functionally, with the dynamic shared-memory race
+    /// oracle armed; returns the SAD table (`mb_linear × positions`).
+    ///
+    /// The staging loop's clamped tail writes the same value from
+    /// several threads; the oracle's same-bits write/write exemption
+    /// keeps that benign pattern legal.
     ///
     /// # Errors
     ///
-    /// Propagates interpreter faults.
+    /// Propagates interpreter faults, including [`SimError::SharedRace`].
     pub fn run_config(
         &self,
         cfg: &SadConfig,
@@ -309,7 +313,7 @@ impl Sad {
     ) -> Result<Vec<f32>, SimError> {
         let kernel = self.generate(cfg);
         let prog = gpu_ir::linear::linearize(&kernel);
-        run_kernel(&prog, &self.launch(cfg), params, mem)?;
+        run_kernel_checked(&prog, &self.launch(cfg), params, mem)?;
         let (_, _, out, out_len) = self.layout();
         Ok(mem.global[out as usize..out as usize + out_len].to_vec())
     }

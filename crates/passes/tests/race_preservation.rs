@@ -1,0 +1,178 @@
+//! Every transformation pass must preserve shared-memory race-freedom:
+//! a kernel the static detector proves clean stays clean through any
+//! pipeline, and a racy kernel is never laundered into a clean one.
+//! Both directions are checked against the static analysis
+//! (`gpu_ir::analysis::races`) and, for the positive direction, against
+//! the dynamic race oracle (`gpu_sim::interp::run_kernel_checked`).
+
+use gpu_ir::analysis::analyze_races;
+use gpu_ir::build::KernelBuilder;
+use gpu_ir::linear::linearize;
+use gpu_ir::types::Special;
+use gpu_ir::{Dim, Kernel, Launch};
+use gpu_passes::{
+    find_loops, fold_constants, fold_strided_addresses, innermost_loops, prefetch_global_loads,
+    schedule_for_pressure, spill_candidates, spill_registers, unroll,
+};
+use gpu_sim::interp::{run_kernel_checked, DeviceMemory};
+use proptest::prelude::*;
+
+const THREADS: u32 = 8;
+
+/// A race-free staged-reversal stream over `iters * THREADS` words: each
+/// iteration every thread loads one input word, stages it in shared
+/// memory, synchronizes, reads its mirror thread's word, accumulates,
+/// and synchronizes again before the tile is overwritten. The leading
+/// global load makes the loop prefetchable; the barrier pair makes the
+/// shared traffic race-free.
+fn staged_reversal(iters: u32, chain: u32) -> Kernel {
+    let mut b = KernelBuilder::new("stage_rev");
+    let src = b.param(0);
+    let dst = b.param(1);
+    b.alloc_shared(THREADS * 4);
+    let tid = b.read_special(Special::TidX);
+    let pa = b.iadd(src, tid);
+    let acc = b.mov(0.0f32);
+    let rev_base = b.mov((THREADS as i32) - 1);
+    let rev = b.isub(rev_base, tid);
+    b.repeat(iters, |b| {
+        let x = b.ld_global(pa, 0);
+        let mut v = x;
+        for _ in 0..chain {
+            v = b.fmad(v, 0.5f32, 1.0f32);
+        }
+        b.st_shared(tid, 0, v);
+        b.sync();
+        let m = b.ld_shared(rev, 0);
+        b.fmad_acc(m, 0.25f32, acc);
+        b.sync();
+        b.iadd_acc(pa, THREADS as i32);
+    });
+    let pd = b.iadd(dst, tid);
+    b.st_global(pd, 0, acc);
+    b.finish()
+}
+
+fn launch() -> Launch {
+    Launch::new(Dim::new_1d(1), Dim::new_1d(THREADS))
+}
+
+/// Run the kernel with the dynamic race oracle armed; returns the
+/// per-thread accumulators.
+fn run_checked(k: &Kernel, iters: u32) -> Vec<f32> {
+    let in_words = (iters + 1) as usize * THREADS as usize; // +1 tile of prefetch slack
+    let mut mem = DeviceMemory::new(in_words + THREADS as usize);
+    for i in 0..in_words {
+        mem.global[i] = (i as f32 * 0.61).cos();
+    }
+    run_kernel_checked(&linearize(k), &launch(), &[0, in_words as i32], &mut mem)
+        .expect("race-free kernel runs under the oracle");
+    mem.global[in_words..].to_vec()
+}
+
+#[test]
+fn each_pass_preserves_race_freedom() {
+    let iters = 8;
+    let baseline = staged_reversal(iters, 2);
+    assert!(analyze_races(&baseline, &launch()).is_race_free());
+    let expect = run_checked(&baseline, iters);
+
+    // unroll → fold → constfold → schedule, checked after every stage.
+    let mut k = staged_reversal(iters, 2);
+    let inner = innermost_loops(&k).into_iter().next().expect("loop");
+    unroll(&mut k, &inner, 2).expect("divides");
+    assert!(analyze_races(&k, &launch()).is_race_free(), "after unroll");
+    fold_strided_addresses(&mut k);
+    assert!(analyze_races(&k, &launch()).is_race_free(), "after fold");
+    fold_constants(&mut k);
+    assert!(analyze_races(&k, &launch()).is_race_free(), "after constfold");
+    schedule_for_pressure(&mut k);
+    assert!(analyze_races(&k, &launch()).is_race_free(), "after schedule");
+    assert_eq!(run_checked(&k, iters), expect);
+
+    // prefetch and spill on a fresh copy (prefetch wants the original
+    // leading-load shape).
+    let mut k = staged_reversal(iters, 2);
+    let outer = find_loops(&k).into_iter().next().expect("loop");
+    prefetch_global_loads(&mut k, &outer).expect("leading load exists");
+    assert!(analyze_races(&k, &launch()).is_race_free(), "after prefetch");
+    let victims = spill_candidates(&k, 2);
+    spill_registers(&mut k, &victims).expect("no counters picked");
+    assert!(analyze_races(&k, &launch()).is_race_free(), "after spill");
+    assert_eq!(run_checked(&k, iters), expect);
+}
+
+#[test]
+fn passes_do_not_launder_races_away() {
+    // Drop the barriers: the reversal read races with the staging write.
+    let mut b = KernelBuilder::new("racy");
+    let src = b.param(0);
+    b.alloc_shared(THREADS * 4);
+    let tid = b.read_special(Special::TidX);
+    let pa = b.iadd(src, tid);
+    let rev_base = b.mov((THREADS as i32) - 1);
+    let rev = b.isub(rev_base, tid);
+    let acc = b.mov(0.0f32);
+    b.repeat(4, |b| {
+        let x = b.ld_global(pa, 0);
+        b.st_shared(tid, 0, x);
+        let m = b.ld_shared(rev, 0);
+        b.fmad_acc(m, 0.25f32, acc);
+        b.iadd_acc(pa, THREADS as i32);
+    });
+    b.st_global(pa, 0, acc);
+    let mut k = b.finish();
+    assert!(!analyze_races(&k, &launch()).is_race_free());
+
+    let inner = innermost_loops(&k).into_iter().next().expect("loop");
+    unroll(&mut k, &inner, 2).expect("divides");
+    fold_strided_addresses(&mut k);
+    fold_constants(&mut k);
+    schedule_for_pressure(&mut k);
+    assert!(!analyze_races(&k, &launch()).is_race_free(), "pipeline hid a race");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any legal pipeline combination over the staged stream keeps the
+    /// kernel statically race-free, acceptable to the dynamic oracle,
+    /// and bit-identical to the untransformed result.
+    #[test]
+    fn pipeline_preserves_race_freedom(
+        iters_pow in 2u32..4,
+        chain in 0u32..3,
+        factor_pow in 0u32..3,
+        do_prefetch in any::<bool>(),
+        do_spill in any::<bool>(),
+        do_schedule in any::<bool>(),
+        do_constfold in any::<bool>(),
+    ) {
+        let iters = 1 << iters_pow; // 4..8, divisible by every factor
+        let factor = 1 << factor_pow;
+        let baseline = run_checked(&staged_reversal(iters, chain), iters);
+
+        let mut k = staged_reversal(iters, chain);
+        if do_prefetch {
+            let outer = find_loops(&k).into_iter().next().expect("loop");
+            prefetch_global_loads(&mut k, &outer).expect("leading load exists");
+        }
+        let inner = innermost_loops(&k).into_iter().next().expect("loop");
+        unroll(&mut k, &inner, factor).expect("divides");
+        fold_strided_addresses(&mut k);
+        if do_spill {
+            let victims = spill_candidates(&k, 2);
+            spill_registers(&mut k, &victims).expect("no counters picked");
+        }
+        if do_schedule {
+            schedule_for_pressure(&mut k);
+        }
+        if do_constfold {
+            fold_constants(&mut k);
+        }
+
+        let report = analyze_races(&k, &launch());
+        prop_assert!(report.is_race_free(), "{:?}", report.findings);
+        prop_assert_eq!(run_checked(&k, iters), baseline);
+    }
+}

@@ -31,6 +31,25 @@ pub enum SimError {
     BarrierDivergence,
     /// The step budget was exhausted; guards against generator bugs.
     StepBudgetExhausted,
+    /// Two threads of one block touched the same shared-memory word in
+    /// the same barrier-delimited segment, at least one access a write,
+    /// and the accesses do not commute (write/write conflicts of the
+    /// *same* bit pattern are benign and not reported). Only raised by
+    /// the race-oracle entry points.
+    SharedRace {
+        /// Shared-memory word address raced on.
+        addr: usize,
+        /// Linear index (`tid.y * ntid.x + tid.x`) of the thread whose
+        /// access was recorded first.
+        first: u32,
+        /// Linear index of the thread whose access collided with it.
+        second: u32,
+        /// Conflict shape: `"write/write"` or `"read/write"`.
+        kind: &'static str,
+    },
+    /// The launch has a zero-extent grid or block dimension, so no
+    /// thread would ever run.
+    EmptyLaunch,
 }
 
 impl fmt::Display for SimError {
@@ -45,6 +64,14 @@ impl fmt::Display for SimError {
                 write!(f, "threads of one block reached different barriers")
             }
             SimError::StepBudgetExhausted => write!(f, "interpreter step budget exhausted"),
+            SimError::SharedRace { addr, first, second, kind } => write!(
+                f,
+                "shared-memory {kind} race on word {addr} between threads {first} and {second} \
+                 (no barrier between the accesses)"
+            ),
+            SimError::EmptyLaunch => {
+                write!(f, "launch has a zero-extent grid or block dimension")
+            }
         }
     }
 }
@@ -60,6 +87,14 @@ mod tests {
         let e = SimError::OutOfBounds { space: "global", addr: 99, len: 10 };
         let s = e.to_string();
         assert!(s.contains("global") && s.contains("99") && s.contains("10"));
+    }
+
+    #[test]
+    fn race_display_names_both_threads() {
+        let e = SimError::SharedRace { addr: 7, first: 0, second: 3, kind: "write/write" };
+        let s = e.to_string();
+        assert!(s.contains("word 7") && s.contains("threads 0 and 3"));
+        assert!(s.contains("write/write"));
     }
 
     #[test]

@@ -102,6 +102,119 @@ enum Stop {
     Done,
 }
 
+/// Per-word access record for the dynamic race oracle, epoch-stamped so
+/// a barrier resets every word in O(1): a record is live only while its
+/// `epoch` matches the tracker's current epoch.
+#[derive(Debug, Clone, Copy)]
+struct WordAccess {
+    epoch: u64,
+    /// First thread that wrote this word this segment.
+    writer: Option<u32>,
+    /// Bit pattern of the last recorded write.
+    write_bits: u32,
+    /// A second *distinct* thread that also wrote this word — necessarily
+    /// with the same bit pattern, or the tracker would already have
+    /// reported a race.
+    other_writer: Option<u32>,
+    /// First thread that read this word this segment.
+    reader: Option<u32>,
+    /// A second distinct thread that read this word this segment.
+    other_reader: Option<u32>,
+}
+
+const EMPTY_WORD: WordAccess = WordAccess {
+    epoch: 0,
+    writer: None,
+    write_bits: 0,
+    other_writer: None,
+    reader: None,
+    other_reader: None,
+};
+
+/// The dynamic shared-memory race oracle for one thread block.
+///
+/// Tracks which threads read and wrote each shared-memory word within the
+/// current barrier-delimited segment and reports the first conflict
+/// between distinct threads as [`SimError::SharedRace`]. Write/write
+/// collisions that store the *same* bit pattern are benign — the word's
+/// final value is the same under any interleaving — and are tolerated
+/// (the clamped staging loops of the SAD kernel rely on this); the
+/// static detector in `gpu_ir::analysis::races` applies the same
+/// exemption so the two stay comparable.
+#[derive(Debug)]
+struct RaceTracker {
+    words: Vec<WordAccess>,
+    epoch: u64,
+}
+
+impl RaceTracker {
+    fn new(words: usize) -> Self {
+        Self { words: vec![EMPTY_WORD; words], epoch: 1 }
+    }
+
+    /// Start a new barrier-delimited segment, forgetting all accesses.
+    fn advance(&mut self) {
+        self.epoch += 1;
+    }
+
+    fn slot(&mut self, addr: usize) -> &mut WordAccess {
+        let w = &mut self.words[addr];
+        if w.epoch != self.epoch {
+            *w = WordAccess { epoch: self.epoch, ..EMPTY_WORD };
+        }
+        w
+    }
+
+    /// Record a read of shared word `addr` by thread `lane`.
+    fn on_read(&mut self, addr: usize, lane: u32) -> Result<(), SimError> {
+        let w = self.slot(addr);
+        if let Some(t) = [w.writer, w.other_writer].into_iter().flatten().find(|&t| t != lane) {
+            return Err(SimError::SharedRace { addr, first: t, second: lane, kind: "read/write" });
+        }
+        match w.reader {
+            None => w.reader = Some(lane),
+            Some(r) if r != lane && w.other_reader.is_none() => w.other_reader = Some(lane),
+            Some(_) => {}
+        }
+        Ok(())
+    }
+
+    /// Record a write of bit pattern `bits` to shared word `addr` by
+    /// thread `lane`.
+    fn on_write(&mut self, addr: usize, lane: u32, bits: u32) -> Result<(), SimError> {
+        let w = self.slot(addr);
+        if let Some(t) = [w.reader, w.other_reader].into_iter().flatten().find(|&t| t != lane) {
+            return Err(SimError::SharedRace { addr, first: t, second: lane, kind: "read/write" });
+        }
+        match w.writer {
+            None => {
+                w.writer = Some(lane);
+                w.write_bits = bits;
+            }
+            Some(prev) => {
+                if bits != w.write_bits {
+                    // A different value makes every earlier write by any
+                    // *other* thread order-dependent.
+                    if let Some(t) =
+                        [Some(prev), w.other_writer].into_iter().flatten().find(|&t| t != lane)
+                    {
+                        return Err(SimError::SharedRace {
+                            addr,
+                            first: t,
+                            second: lane,
+                            kind: "write/write",
+                        });
+                    }
+                    w.write_bits = bits;
+                } else if prev != lane && w.other_writer.is_none() {
+                    w.other_writer = Some(lane);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 struct Thread {
     regs: Vec<Value>,
     pc: usize,
@@ -137,6 +250,10 @@ impl Thread {
     }
 
     /// Execute until the next barrier or the end of the program.
+    ///
+    /// `race` is the block's race oracle (when enabled) and `lane` this
+    /// thread's linear index `tid.y * ntid.x + tid.x` within the block.
+    #[allow(clippy::too_many_arguments)]
     fn run_segment(
         &mut self,
         prog: &LinearProgram,
@@ -144,6 +261,8 @@ impl Thread {
         mem: &mut DeviceMemory,
         shared: &mut [f32],
         budget: &mut u64,
+        mut race: Option<&mut RaceTracker>,
+        lane: u32,
     ) -> Result<Stop, SimError> {
         let code = &prog.code;
         loop {
@@ -191,7 +310,7 @@ impl Thread {
                     }
                 }
                 LinOp::Instr(i) => {
-                    self.exec(i, params, mem, shared)?;
+                    self.exec(i, params, mem, shared, race.as_deref_mut(), lane)?;
                     self.pc += 1;
                 }
             }
@@ -209,6 +328,8 @@ impl Thread {
         addr: i64,
         mem: &DeviceMemory,
         shared: &[f32],
+        race: Option<&mut RaceTracker>,
+        lane: u32,
     ) -> Result<Value, SimError> {
         let fetch = |buf: &[f32], name: &'static str| -> Result<Value, SimError> {
             usize::try_from(addr)
@@ -220,7 +341,14 @@ impl Thread {
         match space {
             MemorySpace::Global | MemorySpace::Texture => fetch(&mem.global, "global"),
             MemorySpace::Constant => fetch(&mem.constant, "const"),
-            MemorySpace::Shared => fetch(shared, "shared"),
+            MemorySpace::Shared => {
+                let v = fetch(shared, "shared")?;
+                if let Some(t) = race {
+                    // The fetch succeeded, so `addr` fits in usize.
+                    t.on_read(addr as usize, lane)?;
+                }
+                Ok(v)
+            }
             MemorySpace::Local => {
                 // Local memory grows on demand: it is private spill space.
                 let a = usize::try_from(addr).map_err(|_| SimError::OutOfBounds {
@@ -233,6 +361,7 @@ impl Thread {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn store(
         &mut self,
         space: MemorySpace,
@@ -241,6 +370,8 @@ impl Thread {
         mem: &mut DeviceMemory,
         shared: &mut [f32],
         op: &Instr,
+        race: Option<&mut RaceTracker>,
+        lane: u32,
     ) -> Result<(), SimError> {
         match space {
             MemorySpace::Global => {
@@ -257,7 +388,12 @@ impl Thread {
                     .ok()
                     .and_then(|a| shared.get_mut(a))
                     .ok_or(SimError::OutOfBounds { space: "shared", addr, len })?;
-                *slot = value.as_f32(op)?;
+                let v = value.as_f32(op)?;
+                *slot = v;
+                if let Some(t) = race {
+                    // The bounds check passed, so `addr` fits in usize.
+                    t.on_write(addr as usize, lane, v.to_bits())?;
+                }
             }
             MemorySpace::Local => {
                 let a = usize::try_from(addr).map_err(|_| SimError::OutOfBounds {
@@ -283,6 +419,8 @@ impl Thread {
         params: &[i32],
         mem: &mut DeviceMemory,
         shared: &mut [f32],
+        race: Option<&mut RaceTracker>,
+        lane: u32,
     ) -> Result<(), SimError> {
         use Op::*;
         let v = |t: &Self, n: usize| t.operand(&i.srcs[n], params);
@@ -359,12 +497,12 @@ impl Thread {
             }
             Ld(space) => {
                 let addr = self.addr_of(i, params)?;
-                self.load(space, addr, mem, shared)?
+                self.load(space, addr, mem, shared, race, lane)?
             }
             St(space) => {
                 let addr = self.addr_of(i, params)?;
                 let value = self.operand(&i.srcs[1], params)?;
-                self.store(space, addr, value, mem, shared, i)?;
+                self.store(space, addr, value, mem, shared, i, race, lane)?;
                 return Ok(());
             }
         };
@@ -405,12 +543,48 @@ pub fn run_kernel_with_budget(
     mem: &mut DeviceMemory,
     budget: u64,
 ) -> Result<(), SimError> {
+    run_grid(prog, launch, params, mem, budget, false)
+}
+
+/// [`run_kernel`] with the dynamic shared-memory race oracle enabled.
+///
+/// In addition to executing the kernel, every shared-memory access is
+/// recorded in a per-block, per-barrier-segment access set; the first
+/// conflict between distinct threads (read/write, or write/write with
+/// different bit patterns) aborts the run. This is the ground truth the
+/// static detector in `gpu_ir::analysis::races` is validated against.
+///
+/// # Errors
+///
+/// As [`run_kernel`], plus [`SimError::SharedRace`] on the first
+/// shared-memory conflict.
+pub fn run_kernel_checked(
+    prog: &LinearProgram,
+    launch: &Launch,
+    params: &[i32],
+    mem: &mut DeviceMemory,
+) -> Result<(), SimError> {
+    run_grid(prog, launch, params, mem, DEFAULT_STEP_BUDGET, true)
+}
+
+fn run_grid(
+    prog: &LinearProgram,
+    launch: &Launch,
+    params: &[i32],
+    mem: &mut DeviceMemory,
+    budget: u64,
+    check_races: bool,
+) -> Result<(), SimError> {
+    if launch.grid.count() == 0 || launch.block.count() == 0 {
+        return Err(SimError::EmptyLaunch);
+    }
     let (gx, gy) = (launch.grid.x, launch.grid.y);
     let (bx, by) = (launch.block.x, launch.block.y);
 
     for cy in 0..gy {
         for cx in 0..gx {
             let mut shared = vec![0.0f32; prog.smem_words as usize];
+            let mut tracker = check_races.then(|| RaceTracker::new(prog.smem_words as usize));
             let mut threads: Vec<Thread> = (0..by)
                 .flat_map(|ty| (0..bx).map(move |tx| (tx, ty)))
                 .map(|(tx, ty)| {
@@ -429,15 +603,27 @@ pub fn run_kernel_with_budget(
             let mut block_budget = budget;
             loop {
                 let mut stops = Vec::with_capacity(threads.len());
-                for t in &mut threads {
-                    stops.push(t.run_segment(prog, params, mem, &mut shared, &mut block_budget)?);
+                for (lane, t) in threads.iter_mut().enumerate() {
+                    stops.push(t.run_segment(
+                        prog,
+                        params,
+                        mem,
+                        &mut shared,
+                        &mut block_budget,
+                        tracker.as_mut(),
+                        lane as u32,
+                    )?);
                 }
+                // Non-empty: zero-extent launches were rejected above.
                 let first = stops[0];
                 if stops.iter().any(|s| *s != first) {
                     return Err(SimError::BarrierDivergence);
                 }
                 if first == Stop::Done {
                     break;
+                }
+                if let Some(t) = tracker.as_mut() {
+                    t.advance();
                 }
             }
         }
@@ -682,6 +868,140 @@ mod tests {
         run_kernel(&prog, &launch, &[0], &mut mem).unwrap();
         let want: Vec<f32> = (0..8).map(|i| i as f32).collect();
         assert_eq!(mem.global, want);
+    }
+
+    #[test]
+    fn empty_block_is_an_error_not_a_panic() {
+        let mut b = KernelBuilder::new("empty");
+        b.mov(0i32);
+        let prog = linearize(&b.finish());
+        let mut mem = DeviceMemory::new(1);
+        let err = run_kernel(&prog, &launch_1d(1, 0), &[], &mut mem).unwrap_err();
+        assert_eq!(err, SimError::EmptyLaunch);
+        let err = run_kernel(&prog, &launch_1d(0, 4), &[], &mut mem).unwrap_err();
+        assert_eq!(err, SimError::EmptyLaunch);
+        let launch = Launch::new(Dim::new_2d(1, 0), Dim::new_1d(4));
+        let err = run_kernel(&prog, &launch, &[], &mut mem).unwrap_err();
+        assert_eq!(err, SimError::EmptyLaunch);
+    }
+
+    /// Reversal kernel *without* the barrier: thread t writes shared[t]
+    /// and reads shared[N-1-t] — a read/write race the sequential
+    /// interpreter silently masks.
+    fn racy_reversal(n: u32) -> LinearProgram {
+        let mut b = KernelBuilder::new("racy_rev");
+        let src = b.param(0);
+        let dst = b.param(1);
+        b.alloc_shared(n * 4);
+        let tid = b.read_special(Special::TidX);
+        let sa = b.iadd(src, tid);
+        let v = b.ld_global(sa, 0);
+        b.st_shared(tid, 0, v);
+        // missing b.sync()
+        let ni = b.mov((n as i32) - 1);
+        let rev = b.isub(ni, tid);
+        let rv = b.ld_shared(rev, 0);
+        let da = b.iadd(dst, tid);
+        b.st_global(da, 0, rv);
+        linearize(&b.finish())
+    }
+
+    #[test]
+    fn race_oracle_flags_read_write_conflict() {
+        let n = 16u32;
+        let prog = racy_reversal(n);
+        let mut mem = DeviceMemory::new(2 * n as usize);
+        // The plain interpreter accepts the racy kernel (the soundness
+        // hole the oracle closes)...
+        run_kernel(&prog, &launch_1d(1, n), &[0, n as i32], &mut mem).unwrap();
+        // ...while the oracle reports the conflict.
+        let err =
+            run_kernel_checked(&prog, &launch_1d(1, n), &[0, n as i32], &mut mem).unwrap_err();
+        assert!(matches!(err, SimError::SharedRace { kind: "read/write", .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn race_oracle_accepts_barrier_separated_accesses() {
+        // The well-synchronized reversal from
+        // `shared_memory_reversal_with_barrier`.
+        let n = 16u32;
+        let mut b = KernelBuilder::new("rev");
+        let src = b.param(0);
+        let dst = b.param(1);
+        b.alloc_shared(n * 4);
+        let tid = b.read_special(Special::TidX);
+        let sa = b.iadd(src, tid);
+        let v = b.ld_global(sa, 0);
+        b.st_shared(tid, 0, v);
+        b.sync();
+        let ni = b.mov((n as i32) - 1);
+        let rev = b.isub(ni, tid);
+        let rv = b.ld_shared(rev, 0);
+        let da = b.iadd(dst, tid);
+        b.st_global(da, 0, rv);
+        let prog = linearize(&b.finish());
+        let mut mem = DeviceMemory::new(2 * n as usize);
+        for i in 0..n as usize {
+            mem.global[i] = i as f32;
+        }
+        run_kernel_checked(&prog, &launch_1d(1, n), &[0, n as i32], &mut mem).unwrap();
+        for i in 0..n as usize {
+            assert_eq!(mem.global[n as usize + i], (n as usize - 1 - i) as f32);
+        }
+    }
+
+    #[test]
+    fn race_oracle_flags_write_write_of_distinct_values() {
+        // Every thread writes its own tid to shared word 0.
+        let mut b = KernelBuilder::new("ww");
+        b.alloc_shared(4);
+        let tid = b.read_special(Special::TidX);
+        let f = b.i2f(tid);
+        b.st_shared(0i32, 0, f);
+        let prog = linearize(&b.finish());
+        let mut mem = DeviceMemory::new(1);
+        let err = run_kernel_checked(&prog, &launch_1d(1, 4), &[], &mut mem).unwrap_err();
+        assert!(matches!(err, SimError::SharedRace { kind: "write/write", addr: 0, .. }));
+    }
+
+    #[test]
+    fn race_oracle_tolerates_same_value_write_write() {
+        // Every thread writes the same constant to shared word 0 — the
+        // final value is interleaving-independent, so this is benign
+        // (SAD's clamped staging loop depends on this exemption).
+        let mut b = KernelBuilder::new("ww_benign");
+        let dst = b.param(0);
+        b.alloc_shared(4);
+        b.st_shared(0i32, 0, 7.5f32);
+        b.sync();
+        let v = b.ld_shared(0i32, 0);
+        let tid = b.read_special(Special::TidX);
+        let da = b.iadd(dst, tid);
+        b.st_global(da, 0, v);
+        let prog = linearize(&b.finish());
+        let mut mem = DeviceMemory::new(4);
+        run_kernel_checked(&prog, &launch_1d(1, 4), &[0], &mut mem).unwrap();
+        assert_eq!(mem.global, vec![7.5; 4]);
+    }
+
+    #[test]
+    fn race_oracle_resets_at_barriers() {
+        // Thread t writes shared[t] in segment 1 and shared[(t+1)%n] in
+        // segment 2: same words touched by different threads, but never
+        // within one segment.
+        let n = 8u32;
+        let mut b = KernelBuilder::new("rotate");
+        b.alloc_shared(n * 4);
+        let tid = b.read_special(Special::TidX);
+        let f = b.i2f(tid);
+        b.st_shared(tid, 0, f);
+        b.sync();
+        let shifted = b.iadd(tid, 1i32);
+        let wrapped = b.irem(shifted, n as i32);
+        b.st_shared(wrapped, 0, f);
+        let prog = linearize(&b.finish());
+        let mut mem = DeviceMemory::new(1);
+        run_kernel_checked(&prog, &launch_1d(1, n), &[], &mut mem).unwrap();
     }
 
     #[test]

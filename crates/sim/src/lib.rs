@@ -8,7 +8,10 @@
 //!   every block on real `f32` data, with shared memory and
 //!   `__syncthreads` semantics. It exists so the test suite can prove
 //!   that every optimization configuration of every generated kernel
-//!   computes the same answer as the single-thread CPU reference.
+//!   computes the same answer as the single-thread CPU reference. Its
+//!   [`interp::run_kernel_checked`] variant adds a dynamic shared-memory
+//!   race oracle (threads run sequentially, so an unchecked run would
+//!   mask races behind deterministic-but-GPU-wrong results).
 //! * [`timing`] — a **cycle-approximate warp-level timing simulator**:
 //!   one SM hosting the occupancy-determined number of blocks, a
 //!   single-issue port (one warp instruction per 4 cycles), scoreboarded
@@ -52,6 +55,6 @@ pub mod timing;
 pub mod trace;
 
 pub use error::SimError;
-pub use interp::{run_kernel, DeviceMemory};
+pub use interp::{run_kernel, run_kernel_checked, DeviceMemory};
 pub use timing::{simulate, TimingReport};
 pub use trace::{trace_kernel, Trace};

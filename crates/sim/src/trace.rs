@@ -55,7 +55,7 @@ impl TraceSummary {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     /// Retired-instruction events, in order. Capped by the `limit` given
-    /// to [`trace_kernel`]; `truncated` reports whether the cap bit.
+    /// to [`trace_kernel`]; `truncated` reports whether the cap was hit.
     pub events: Vec<TraceEvent>,
     /// Whether `events` hit the recording cap.
     pub truncated: bool,

@@ -38,4 +38,19 @@ echo "$smoke" | grep -q "^quarantined configurations: [1-9]" || {
     exit 1
 }
 
+echo "==> race-detector smoke (tune cp --check-races)"
+# With the static race detector armed, a real application space must
+# come through clean: no degraded report, no verify.race trace events.
+races=$(cargo run --release -q -- tune cp --strategy exhaustive --jobs 2 \
+    --check-races --trace-out "$tracedir/races.jsonl")
+echo "$races" | tail -n 1
+if echo "$races" | grep -q "DEGRADED"; then
+    echo "race smoke: --check-races quarantined configurations on the CP space" >&2
+    exit 1
+fi
+if grep -q "verify.race" "$tracedir/races.jsonl"; then
+    echo "race smoke: unexpected verify.race event on the CP space" >&2
+    exit 1
+fi
+
 echo "All checks passed."

@@ -13,6 +13,7 @@
 //!     --max-sims N                          cap unique timing simulations
 //!     --deadline-ms X                       cap accumulated simulated time
 //!     --sim-fuel N                          per-simulation step budget (watchdog)
+//!     --check-races                         quarantine statically racy kernels
 //!     --retries N                           attempts per candidate (default 3)
 //!     --inject-faults                       deterministic fault injection (dev)
 //!     --fault-seed N                        seed for --inject-faults
@@ -47,7 +48,7 @@ commands:
   inspect <app> <index>       static profile + PTX view of one configuration
   tune <app> [--strategy exhaustive|pareto|random] [--budget N]
              [--device g80|gt200] [--no-screen] [--jobs N]
-             [--max-sims N] [--deadline-ms X] [--sim-fuel N]
+             [--max-sims N] [--deadline-ms X] [--sim-fuel N] [--check-races]
              [--retries N] [--inject-faults] [--fault-seed N]
              [--trace-out <path>] [--metrics-out <path>] [--profile]
   parse <file>                parse a textual kernel and print its analyses
@@ -237,6 +238,7 @@ fn cmd_tune(args: &[String]) -> ExitCode {
     let mut jobs = 1usize;
     let mut eval_budget = EvalBudget::UNLIMITED;
     let mut sim_fuel: Option<u64> = None;
+    let mut check_races = false;
     let mut retry = RetryPolicy::default();
     let mut inject = false;
     let mut fault_seed: Option<u64> = None;
@@ -296,6 +298,7 @@ fn cmd_tune(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--check-races" => check_races = true,
             "--retries" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(n) if n >= 1 => retry.max_attempts = n,
                 _ => {
@@ -342,8 +345,14 @@ fn cmd_tune(args: &[String]) -> ExitCode {
         (true, None) => Some(FaultPlan::default()),
         (true, Some(seed)) => Some(FaultPlan::with_seed(seed)),
     };
-    let mut engine =
-        EvalEngine::new(EngineConfig { jobs, budget: eval_budget, retry, sim_fuel, fault_plan });
+    let mut engine = EvalEngine::new(EngineConfig {
+        jobs,
+        budget: eval_budget,
+        retry,
+        sim_fuel,
+        fault_plan,
+        check_races,
+    });
     // Observation is opt-in: the sink only exists when some exporter
     // will consume it.
     let sink = if trace_out.is_some() || metrics_out.is_some() || profile {

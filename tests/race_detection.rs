@@ -1,0 +1,276 @@
+//! The race-soundness hole, closed end to end:
+//!
+//! * **Engine integration** — a racy kernel the sequential interpreter
+//!   happily reproduces is accepted (and timed) by the engine with race
+//!   checking off, and quarantined with [`EvalErrorKind::Race`] when
+//!   `check_races` is on; degraded reports stay byte-identical at any
+//!   worker count.
+//! * **Paper spaces** — every enumerated configuration of all four
+//!   application spaces (matmul, CP, SAD, MRI-FHD) is statically proven
+//!   free of shared-memory races, so `--check-races` quarantines
+//!   nothing on real spaces.
+//! * **Static/dynamic agreement** — on randomized shared-memory kernels
+//!   whose stored values are observably distinct, the static detector's
+//!   verdict coincides exactly with the dynamic race oracle's.
+
+use std::sync::Arc;
+
+use gpu_autotune::arch::MachineSpec;
+use gpu_autotune::ir::analysis::{analyze_races, RaceFinding};
+use gpu_autotune::ir::build::KernelBuilder;
+use gpu_autotune::ir::linear::linearize;
+use gpu_autotune::ir::types::Special;
+use gpu_autotune::ir::{Dim, Kernel, Launch};
+use gpu_autotune::kernels::{cp::Cp, matmul::MatMul, mri_fhd::MriFhd, sad::Sad, App};
+use gpu_autotune::optspace::candidate::Candidate;
+use gpu_autotune::optspace::engine::{EngineConfig, EvalEngine, EvalError, EvalErrorKind};
+use gpu_autotune::optspace::obs::EventSink;
+use gpu_autotune::optspace::tuner::{ExhaustiveSearch, PrunedSearch, SearchStrategy};
+use gpu_autotune::sim::interp::{run_kernel_checked, DeviceMemory};
+use gpu_autotune::sim::SimError;
+use proptest::prelude::*;
+
+fn g80() -> MachineSpec {
+    MachineSpec::geforce_8800_gtx()
+}
+
+/// An unsynchronized shared-memory reversal: resource-valid, verifies,
+/// runs deterministically on the sequential interpreter — and races on
+/// any real GPU. This is the fixture the pre-detector pipeline accepts.
+fn racy_candidate(threads: u32) -> Candidate {
+    let mut b = KernelBuilder::new("racy_rev");
+    let src = b.param(0);
+    let dst = b.param(1);
+    b.alloc_shared(threads * 4);
+    let tid = b.read_special(Special::TidX);
+    let sa = b.iadd(src, tid);
+    let v = b.ld_global(sa, 0);
+    b.st_shared(tid, 0, v);
+    // Missing b.sync() — the read below races with the writes above.
+    let ni = b.mov((threads as i32) - 1);
+    let rev = b.isub(ni, tid);
+    let rv = b.ld_shared(rev, 0);
+    let da = b.iadd(dst, tid);
+    b.st_global(da, 0, rv);
+    Candidate::new("racy", b.finish(), Launch::new(Dim::new_1d(4), Dim::new_1d(threads)))
+}
+
+/// A clean streaming candidate for padding the space.
+fn clean_candidate(trips: u32) -> Candidate {
+    let mut b = KernelBuilder::new("clean");
+    let p = b.param(0);
+    let acc = b.mov(0.0f32);
+    b.repeat(trips, |b| {
+        let x = b.ld_global(p, 0);
+        b.fmad_acc(x, 1.0f32, acc);
+    });
+    b.st_global(p, 0, acc);
+    Candidate::new(
+        format!("clean{trips}"),
+        b.finish(),
+        Launch::new(Dim::new_1d(8), Dim::new_1d(64)),
+    )
+}
+
+fn mixed_space() -> Vec<Candidate> {
+    vec![clean_candidate(4), racy_candidate(32), clean_candidate(8)]
+}
+
+#[test]
+fn racy_kernel_is_accepted_without_the_detector_and_quarantined_with_it() {
+    let cands = mixed_space();
+
+    // Off (the old pipeline): the racy candidate sails through statics
+    // and is even timed — the soundness hole this PR closes.
+    let off = ExhaustiveSearch.run_with(&EvalEngine::default(), &cands, &g80());
+    assert!(off.quarantined.is_empty());
+    assert!(off.statics[1].is_some(), "racy candidate passes static evaluation");
+    assert!(off.simulated[1].is_some(), "racy candidate is even timed");
+
+    // On: quarantined with the Race kind, deterministically on the first
+    // attempt; the clean candidates are untouched.
+    let sink = Arc::new(EventSink::new());
+    let engine = EvalEngine::new(EngineConfig { check_races: true, ..Default::default() })
+        .with_sink(Arc::clone(&sink));
+    let on = ExhaustiveSearch.run_with(&engine, &cands, &g80());
+    assert_eq!(on.quarantined.len(), 1);
+    let q = &on.quarantined[0];
+    assert_eq!(q.candidate, 1);
+    assert_eq!(q.error.kind(), EvalErrorKind::Race);
+    assert_eq!(q.attempts, 1, "race verdicts are permanent, never retried");
+    assert!(matches!(q.error, EvalError::RaceDetected { findings, .. } if findings > 0));
+    assert!(q.error.to_string().contains("race"), "{}", q.error);
+    assert!(on.statics[1].is_none() && on.simulated[1].is_none());
+    for i in [0usize, 2] {
+        assert_eq!(on.statics[i], off.statics[i], "clean candidate {i} unaffected");
+        assert_eq!(on.simulated[i], off.simulated[i]);
+    }
+
+    // The verify stage announces the finding on the trace.
+    let trace = sink.drain();
+    let race_events: Vec<_> = trace.events.iter().filter(|e| e.name == "verify.race").collect();
+    assert_eq!(race_events.len(), 1);
+    let fields = &race_events[0].fields;
+    assert_eq!(
+        fields.iter().find(|(k, _)| *k == "candidate").map(|(_, v)| v.to_string_compact()),
+        Some("1".to_string())
+    );
+    assert!(fields.iter().any(|(k, v)| *k == "detail" && v.to_string_compact().contains("race")));
+}
+
+#[test]
+fn race_quarantine_reports_are_identical_across_worker_counts() {
+    let cands = mixed_space();
+    let run = |jobs: usize| {
+        let engine =
+            EvalEngine::new(EngineConfig { jobs, check_races: true, ..Default::default() });
+        ExhaustiveSearch.run_with(&engine, &cands, &g80())
+    };
+    let one = run(1);
+    assert_eq!(one.quarantined.len(), 1);
+    for jobs in [2usize, 8] {
+        let r = run(jobs);
+        assert_eq!(r.statics, one.statics, "statics differ at {jobs} jobs");
+        assert_eq!(r.simulated, one.simulated, "sims differ at {jobs} jobs");
+        assert_eq!(r.quarantined, one.quarantined, "quarantine differs at {jobs} jobs");
+        assert_eq!(r.best, one.best);
+    }
+}
+
+#[test]
+fn all_four_paper_spaces_are_statically_race_free() {
+    let apps: Vec<(&str, Box<dyn App>)> = vec![
+        ("matmul", Box::new(MatMul::reduced_problem())),
+        ("cp", Box::new(Cp::paper_problem())),
+        ("sad", Box::new(Sad::paper_problem())),
+        ("mri", Box::new(MriFhd::paper_problem())),
+    ];
+    for (name, app) in apps {
+        for c in app.candidates() {
+            let r = analyze_races(&c.kernel, &c.launch);
+            assert!(r.is_race_free(), "{name}/{}: {:?}", c.label, r.findings.first(),);
+            assert!(r.uniform_barriers);
+            assert!(
+                !r.findings.iter().any(|f| matches!(f, RaceFinding::Unresolved { .. })),
+                "{name}/{}: detector could not resolve an access",
+                c.label
+            );
+        }
+    }
+}
+
+#[test]
+fn checked_search_quarantines_nothing_on_a_real_space() {
+    // End-to-end: the pruned search over matmul's full space with
+    // `check_races` on behaves exactly like the unchecked one.
+    let cands = MatMul::test_problem().candidates();
+    let spec = g80();
+    let clean = PrunedSearch::default().run_with(&EvalEngine::default(), &cands, &spec);
+    let checked = PrunedSearch::default().run_with(
+        &EvalEngine::new(EngineConfig { check_races: true, ..Default::default() }),
+        &cands,
+        &spec,
+    );
+    assert!(checked.quarantined.is_empty());
+    assert_eq!(checked.statics, clean.statics);
+    assert_eq!(checked.simulated, clean.simulated);
+    assert_eq!(checked.best, clean.best);
+}
+
+// ---------------------------------------------------------------------
+// Static/dynamic agreement on randomized kernels.
+// ---------------------------------------------------------------------
+
+const WORDS: i32 = 16;
+
+/// A randomized shared-memory kernel whose every staged value is
+/// observably distinct: stores stage words loaded from global memory at
+/// per-(thread, step) distinct addresses, over memory initialized with
+/// distinct values — so two different threads never coincidentally write
+/// equal bits, and the static structural-identity exemption matches the
+/// dynamic bitwise one exactly.
+fn build_agreement_kernel(recipe: &[u8], threads: u32) -> Kernel {
+    let mut b = KernelBuilder::new("agree");
+    let src = b.param(0);
+    let dst = b.param(1);
+    b.alloc_shared(WORDS as u32 * 4);
+    let tid = b.read_special(Special::TidX);
+    let acc = b.mov(0.0f32);
+    let mut base = 0i32;
+    for &byte in recipe {
+        // Address pattern: stride-1 (injective over the block when
+        // `threads <= WORDS`) or stride-0 (all threads on one word).
+        let addr = if (byte / 8) % 2 == 0 {
+            let t = b.iadd(tid, i32::from(byte / 16) % WORDS);
+            b.irem(t, WORDS)
+        } else {
+            b.mov(i32::from(byte / 16) % WORDS)
+        };
+        match byte % 4 {
+            0 | 3 => {
+                // Staged write of a distinct global word per (thread, step).
+                let ga = b.iadd(src, tid);
+                let x = b.ld_global(ga, base);
+                base += threads as i32;
+                b.st_shared(addr, 0, x);
+            }
+            1 => {
+                let v = b.ld_shared(addr, 0);
+                b.fmad_acc(v, 0.5f32, acc);
+            }
+            2 => b.sync(),
+            _ => unreachable!(),
+        }
+    }
+    let da = b.iadd(dst, tid);
+    b.st_global(da, 0, acc);
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The static verdict and the dynamic oracle agree exactly: the
+    /// detector flags a kernel iff running it trips `SharedRace`.
+    #[test]
+    fn static_verdict_agrees_with_dynamic_oracle(
+        recipe in proptest::collection::vec(any::<u8>(), 1..24),
+        threads_pow in 1u32..4,
+        blocks in 1u32..3,
+    ) {
+        let threads = 1 << threads_pow; // 2..8, all <= WORDS
+        let k = build_agreement_kernel(&recipe, threads);
+        let launch = Launch::new(Dim::new_1d(blocks), Dim::new_1d(threads));
+        let report = analyze_races(&k, &launch);
+        prop_assert!(
+            !report.findings.iter().any(|f| matches!(f, RaceFinding::Unresolved { .. })),
+            "affine addressing must always resolve: {:?}",
+            report.findings
+        );
+
+        let loads = recipe.iter().filter(|&&x| x % 4 == 0 || x % 4 == 3).count();
+        let in_words = (loads + 1) * threads as usize;
+        let mut mem = DeviceMemory::new(in_words + threads as usize);
+        for i in 0..in_words {
+            mem.global[i] = 2.0 + i as f32; // distinct, never a kernel constant
+        }
+        let dynamic = run_kernel_checked(
+            &linearize(&k),
+            &launch,
+            &[0, in_words as i32],
+            &mut mem,
+        );
+        match dynamic {
+            Ok(()) => prop_assert!(
+                report.is_race_free(),
+                "oracle passed but static flagged: {:?}",
+                report.findings
+            ),
+            Err(SimError::SharedRace { .. }) => prop_assert!(
+                !report.is_race_free(),
+                "oracle tripped but static proved race-free"
+            ),
+            Err(other) => prop_assert!(false, "unexpected interpreter fault: {other}"),
+        }
+    }
+}
