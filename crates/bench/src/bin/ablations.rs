@@ -33,7 +33,10 @@ fn main() {
     for app in suite() {
         let cands = app.candidates();
         let exhaustive = ExhaustiveSearch.run_with(&engine, &cands, &spec);
-        let best = exhaustive.best_time_ms().expect("valid space");
+        let Some(best) = exhaustive.best_time_ms() else {
+            rows.push(vec![app.name().to_string(); 7]);
+            continue;
+        };
         let gap = |t: Option<f64>| match t {
             Some(t) => format!("+{:.1}%", (t / best - 1.0) * 100.0),
             None => "-".to_string(),
@@ -75,7 +78,8 @@ fn main() {
         let mut regret = 0.0;
         for seed in 0..20 {
             let r = RandomSearch { budget, seed }.run_with(&engine, &cands, &spec);
-            regret += r.best_time_ms().expect("non-empty sample") / best - 1.0;
+            let Some(t) = r.best_time_ms() else { continue };
+            regret += t / best - 1.0;
         }
         let random = format!("+{:.1}%", regret / 20.0 * 100.0);
 

@@ -38,11 +38,7 @@ fn main() {
         rows.push(vec![c.label.clone(), time, regs, bsm, bound]);
     }
     println!("{}", table(&rows));
-    if let Some(best) = r.best {
-        println!(
-            "optimal configuration: {} ({})",
-            cands[best].label,
-            fmt_ms(r.best_time_ms().unwrap())
-        );
+    if let (Some(best), Some(t)) = (r.best, r.best_time_ms()) {
+        println!("optimal configuration: {} ({})", cands[best].label, fmt_ms(t));
     }
 }

@@ -16,7 +16,7 @@ type LineKey = (u32, u32, u32, u32);
 fn main() {
     let spec = MachineSpec::geforce_8800_gtx();
     let sad = Sad::paper_problem();
-    let cfgs = sad.space();
+    let cfgs = sad.configs();
     let cands: Vec<_> = cfgs.iter().map(|c| sad.candidate(c)).collect();
     let r = ExhaustiveSearch.run(&cands, &spec);
 

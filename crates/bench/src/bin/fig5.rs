@@ -31,7 +31,7 @@ fn run_sweep(cp: &Cp) {
     let r = ExhaustiveSearch.run(&cands, &spec);
 
     // Normalise the reciprocals as the paper plots them.
-    let evals: Vec<_> = r.statics.iter().map(|e| e.as_ref().unwrap()).collect();
+    let evals: Vec<_> = r.statics.iter().flatten().collect();
     let max_inv_eff = evals.iter().map(|e| 1.0 / e.metrics.efficiency).fold(0.0, f64::max);
     let max_inv_util = evals.iter().map(|e| 1.0 / e.metrics.utilization).fold(0.0, f64::max);
 
@@ -42,16 +42,20 @@ fn run_sweep(cp: &Cp) {
         "1/Utilization (norm)".to_string(),
     ]];
     for (i, &t) in tilings.iter().enumerate() {
-        let e = evals[i];
-        let time = r.simulated[i].as_ref().unwrap().time_ms;
+        let (Some(Some(e)), Some(Some(sim))) = (r.statics.get(i), r.simulated.get(i)) else {
+            rows.push(vec![t.to_string(), "-".into(), "-".into(), "-".into()]);
+            continue;
+        };
         rows.push(vec![
             t.to_string(),
-            format!("{time:.2}"),
+            format!("{:.2}", sim.time_ms),
             format!("{:.3}", (1.0 / e.metrics.efficiency) / max_inv_eff),
             format!("{:.3}", (1.0 / e.metrics.utilization) / max_inv_util),
         ]);
     }
     println!("{}", table(&rows));
-    let best = r.best.unwrap();
-    println!("best tiling factor: {}", tilings[best]);
+    match r.best {
+        Some(best) => println!("best tiling factor: {}", tilings[best]),
+        None => println!("no tiling could be timed"),
+    }
 }

@@ -31,7 +31,7 @@ fn main() {
         let report = PrunedSearch::default().run_with(&engine, &candidates, &spec);
         println!("== {} ({} configurations) ==", app.name(), candidates.len());
         println!("{}", profile_table(&report.metrics));
-        manifests.push(RunManifest::from_search(app.name(), &report, &candidates, &spec).to_json());
+        manifests.push(RunManifest::from_search(app.name(), &report, &spec).to_json());
     }
     if let Some(path) = bench_out {
         let doc = Json::obj([

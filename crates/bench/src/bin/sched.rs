@@ -20,7 +20,7 @@ fn main() {
         "B_SM".to_string(),
         "B_SM(sched)".to_string(),
     ]];
-    for cfg in mm.space() {
+    for cfg in mm.configs() {
         let k0 = mm.generate(&cfg);
         let mut k1 = k0.clone();
         schedule_for_pressure(&mut k1);

@@ -36,7 +36,7 @@ fn main() {
     // reaches for before experimentation corrects them.
     let mm = MatMul::reduced_problem();
     let hand_mm = mm
-        .space()
+        .configs()
         .iter()
         .position(|c| {
             *c == MatMulConfig { tile: 16, rect: 1, unroll: 2, prefetch: false, spill: false }
@@ -44,13 +44,13 @@ fn main() {
         .expect("config in space");
     let cp = Cp::paper_problem();
     let hand_cp = cp
-        .space()
+        .configs()
         .iter()
         .position(|c| *c == CpConfig { block: 128, tiling: 2, coalesced_output: true })
         .expect("config in space");
     let sad = Sad::paper_problem();
     let hand_sad = sad
-        .space()
+        .configs()
         .iter()
         .position(|c| {
             *c == SadConfig { tpb: 128, mb_tiling: 1, pos_unroll: 1, row_unroll: 2, col_unroll: 2 }
@@ -58,7 +58,7 @@ fn main() {
         .expect("config in space");
     let mri = MriFhd::paper_problem();
     let hand_mri = mri
-        .space()
+        .configs()
         .iter()
         .position(|c| *c == MriConfig { block: 256, unroll: 2, invocations: 1 })
         .expect("config in space");

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use gpu_arch::MachineSpec;
 use optspace::obs::{EventSink, Json};
 use optspace::report::{fmt_ms, table};
-use optspace_bench::{compare_with, engine_from_args, suite};
+use optspace_bench::{compare_selected, engine_from_args, selection_from_args, suite};
 
 /// Look up one field of a trace event.
 fn field<'a>(fields: &'a [(&'static str, Json)], key: &str) -> Option<&'a Json> {
@@ -24,6 +24,16 @@ fn field<'a>(fields: &'a [(&'static str, Json)], key: &str) -> Option<&'a Json> 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let verbose = args.iter().any(|a| a == "--verbose");
+    let selection = match selection_from_args(&args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    if !selection.is_noop() {
+        println!("selection: {selection} (applied per app; unknown axes ignored)");
+    }
     let spec = MachineSpec::geforce_8800_gtx();
     let mut rows = vec![vec![
         "Kernel".to_string(),
@@ -46,7 +56,7 @@ fn main() {
         } else {
             None
         };
-        let c = compare_with(app.as_ref(), &spec, &engine);
+        let c = compare_selected(app.as_ref(), &spec, &engine, &selection);
         quarantined += c.exhaustive.quarantined_count() + c.pruned.quarantined_count();
         if let Some(sink) = sink {
             // Per-candidate error kinds, straight from the trace the

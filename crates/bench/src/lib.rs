@@ -5,9 +5,10 @@
 //! application suite at bench scale and the search-comparison runner.
 
 use gpu_arch::MachineSpec;
-use gpu_kernels::{cp::Cp, matmul::MatMul, mri_fhd::MriFhd, sad::Sad, App};
+use gpu_kernels::{cp::Cp, matmul::MatMul, mri_fhd::MriFhd, sad::Sad, App, SpaceSource};
 use optspace::engine::{EngineConfig, EvalEngine, FaultPlan};
 use optspace::tuner::{ExhaustiveSearch, PrunedSearch, SearchReport, SearchStrategy};
+use optspace::{Filter, Sample, Selection};
 
 /// The four applications at the scale the experiment binaries run them.
 ///
@@ -51,14 +52,57 @@ pub fn compare(app: &dyn App, spec: &MachineSpec) -> Comparison {
     compare_with(app, spec, &EvalEngine::default())
 }
 
-/// Run both searches over one application on an explicit engine.
+/// Run both searches over one application on an explicit engine,
+/// instantiating candidates lazily inside the engine's worker pool.
 pub fn compare_with(app: &dyn App, spec: &MachineSpec, engine: &EvalEngine) -> Comparison {
-    let candidates = app.candidates();
-    Comparison {
-        name: app.name(),
-        exhaustive: ExhaustiveSearch.run_with(engine, &candidates, spec),
-        pruned: PrunedSearch::default().run_with(engine, &candidates, spec),
+    compare_selected(app, spec, engine, &Selection::default())
+}
+
+/// Run both searches over the part of one application's space a
+/// selection keeps. Filters naming axes the app does not declare are
+/// ignored (lenient application), so one `--filter tile=16` meant for
+/// matmul doesn't empty the other suites' spaces. An empty selection
+/// yields empty — but well-formed — reports, never a panic.
+pub fn compare_selected(
+    app: &dyn App,
+    spec: &MachineSpec,
+    engine: &EvalEngine,
+    selection: &Selection,
+) -> Comparison {
+    let space = app.space();
+    let points = selection.apply_lenient(&space);
+    let matched = points.len();
+    let source = SpaceSource::new(app, points);
+    let mut exhaustive = ExhaustiveSearch.run_source(engine, &source, spec);
+    let mut pruned = PrunedSearch::default().run_source(engine, &source, spec);
+    if !selection.is_noop() {
+        exhaustive.selection = Some(selection.record(matched));
+        pruned.selection = Some(selection.record(matched));
     }
+    Comparison { name: app.name(), exhaustive, pruned }
+}
+
+/// Parse the selection flags shared by the experiment binaries:
+/// every `--filter axis=value` occurrence plus `--sample N` and
+/// `--sample-seed S`.
+///
+/// # Errors
+///
+/// A `--filter` clause without a `=` (or with an empty side) is
+/// reported as an error string suitable for printing.
+pub fn selection_from_args(args: &[String]) -> Result<Selection, String> {
+    let mut filters = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--filter" {
+            match args.get(i + 1) {
+                Some(raw) => filters.push(Filter::parse(raw).map_err(|e| e.to_string())?),
+                None => return Err("--filter needs axis=value".to_string()),
+            }
+        }
+    }
+    let sample = flag_value::<usize>(args, "--sample")
+        .map(|count| Sample { count, seed: flag_value(args, "--sample-seed").unwrap_or(0) });
+    Ok(Selection { filters, sample })
 }
 
 /// Parse a `--jobs N` flag from raw process args (the experiment

@@ -54,6 +54,7 @@ use gpu_sim::timing::TimingReport;
 use crate::candidate::{Candidate, Evaluated};
 use crate::metrics::MetricsOptions;
 use crate::obs::{EventKind, EventSink, Json, Phase};
+use crate::space::CandidateSource;
 
 pub use budget::EvalBudget;
 pub use error::{EvalError, EvalErrorKind, Quarantine};
@@ -217,7 +218,7 @@ pub struct EngineConfig {
     pub fault_plan: Option<FaultPlan>,
     /// Run the static shared-memory race detector during the static
     /// phase; racy candidates quarantine with
-    /// [`EvalErrorKind::Race`](error::EvalErrorKind::Race) instead of
+    /// [`EvalErrorKind::Race`] instead of
     /// flowing into selection. Off by default (the `--check-races` CLI
     /// flag turns it on).
     pub check_races: bool,
@@ -369,7 +370,13 @@ impl EvalEngine {
     }
 
     /// Statically evaluate every candidate on the worker pool. Output
-    /// order matches `candidates` regardless of `jobs`.
+    /// order matches the source's enumeration regardless of `jobs`.
+    ///
+    /// The `source` may be an eager slice (`&candidates`) or a lazy
+    /// view that instantiates points on demand — workers call
+    /// [`CandidateSource::get`], so for a lazy source kernel generation
+    /// and the pass pipelines run inside the pool and the full space is
+    /// never materialized up front.
     ///
     /// `None` entries are the paper's "invalid executable" cases
     /// (resource-exceeded) *and* candidates quarantined by any other
@@ -377,30 +384,26 @@ impl EvalEngine {
     pub fn evaluate_statics(
         &self,
         eval: &dyn StaticEval,
-        candidates: &[Candidate],
+        source: &dyn CandidateSource,
         spec: &MachineSpec,
         stats: &mut EngineStats,
         quarantine: &mut Vec<Quarantine>,
     ) -> Vec<Option<Evaluated>> {
         let phase_started = Instant::now();
-        self.emit(
-            EventKind::Begin,
-            "phase.static",
-            vec![("candidates", Json::from(candidates.len()))],
-        );
-        stats.static_evals += candidates.len();
+        self.emit(EventKind::Begin, "phase.static", vec![("candidates", Json::from(source.len()))]);
+        stats.static_evals += source.len();
         let max_attempts = self.config.retry.max_attempts.max(1);
         let mut results: Vec<Result<Evaluated, EvalError>> = pool::run_indexed_observed(
             self.config.jobs,
-            candidates.len(),
-            |i| eval.evaluate(&candidates[i], spec),
+            source.len(),
+            |i| eval.evaluate(&source.get(i), spec),
             self.observer(),
             "static",
         )
         .into_iter()
         .map(|r| r.unwrap_or_else(|p| Err(pool_to_eval(p))))
         .collect();
-        let mut attempts: Vec<u32> = vec![1; candidates.len()];
+        let mut attempts: Vec<u32> = vec![1; source.len()];
         for attempt in 2..=max_attempts {
             let retry: Vec<usize> = results
                 .iter()
@@ -424,7 +427,7 @@ impl EvalEngine {
             let redo = pool::run_indexed_observed(
                 self.config.jobs,
                 retry.len(),
-                |k| eval.evaluate(&candidates[retry[k]], spec),
+                |k| eval.evaluate(&source.get(retry[k]), spec),
                 self.observer(),
                 "static",
             );
@@ -444,6 +447,7 @@ impl EvalEngine {
                 Err(EvalError::ResourceExceeded { .. }) => None,
                 Err(e) => {
                     stats.quarantined += 1;
+                    let label = source.label(i);
                     if e.kind() == EvalErrorKind::Race {
                         // Race findings get their own verify-stage event
                         // so trace consumers can tell soundness
@@ -453,7 +457,7 @@ impl EvalEngine {
                             "verify.race",
                             vec![
                                 ("candidate", Json::from(i)),
-                                ("label", Json::from(candidates[i].label.as_str())),
+                                ("label", Json::from(label.as_str())),
                                 ("detail", Json::from(e.to_string())),
                             ],
                         );
@@ -464,14 +468,14 @@ impl EvalEngine {
                         vec![
                             ("phase", Json::from("static")),
                             ("candidate", Json::from(i)),
-                            ("label", Json::from(candidates[i].label.as_str())),
+                            ("label", Json::from(label.as_str())),
                             ("kind", Json::from(e.kind().to_string())),
                             ("attempts", Json::from(attempts[i])),
                         ],
                     );
                     quarantine.push(Quarantine {
                         candidate: i,
-                        label: candidates[i].label.clone(),
+                        label,
                         error: e,
                         attempts: attempts[i],
                     });
@@ -507,7 +511,7 @@ impl EvalEngine {
     pub fn simulate_selected(
         &self,
         eval: &dyn TimingEval,
-        candidates: &[Candidate],
+        source: &dyn CandidateSource,
         statics: &[Option<Evaluated>],
         selected: &[usize],
         spec: &MachineSpec,
@@ -516,24 +520,69 @@ impl EvalEngine {
     ) -> Vec<Option<TimingReport>> {
         let phase_started = Instant::now();
         self.emit(EventKind::Begin, "phase.timing", vec![("selected", Json::from(selected.len()))]);
-        let mut simulated: Vec<Option<TimingReport>> = vec![None; candidates.len()];
+        let mut simulated: Vec<Option<TimingReport>> = vec![None; source.len()];
         let plan = self.config.fault_plan;
 
-        // Phase 1: key and deduplicate. `uniques` keeps discovery order,
+        // Phase 1a: instantiate and linearize the selected candidates on
+        // the worker pool. For an eager slice source this merely borrows;
+        // for a lazy point source this is where kernel generation and the
+        // pass pipelines actually run — inside the pool, never
+        // materialized up front. Pool dispatch emits only Runtime-scope
+        // events, so the canonical (Search-scope) trace is unchanged.
+        let eligible: Vec<usize> = selected
+            .iter()
+            .copied()
+            .filter(|&i| statics.get(i).is_some_and(Option::is_some))
+            .collect();
+        let prepared = pool::run_indexed_observed(
+            self.config.jobs,
+            eligible.len(),
+            |k| {
+                let c = source.get(eligible[k]);
+                (linearize(&c.kernel), c.launch, c.invocations)
+            },
+            self.observer(),
+            "timing",
+        );
+
+        // Phase 1b: key and deduplicate. `uniques` keeps discovery order,
         // which makes every later ordering decision deterministic.
         let mut unique_of: HashMap<u64, usize> = HashMap::new();
         let mut uniques: Vec<UniqueSim> = Vec::new();
-        let mut assignments: Vec<(usize, usize)> = Vec::new(); // (candidate, unique)
-        for &i in selected {
+        // (candidate, unique, invocations)
+        let mut assignments: Vec<(usize, usize, u32)> = Vec::new();
+        for (&i, prep) in eligible.iter().zip(prepared) {
             let Some(e) = statics.get(i).and_then(|s| s.as_ref()) else { continue };
-            let c = &candidates[i];
-            let prog = linearize(&c.kernel);
+            let (prog, launch, invocations) = match prep {
+                Ok(p) => p,
+                // The prepare worker died (a panicking generator, say):
+                // the candidate never reaches dedup, so quarantine it
+                // here as worker-lost.
+                Err(perr) => {
+                    let err = pool_to_eval(perr);
+                    stats.quarantined += 1;
+                    let label = source.label(i);
+                    self.emit(
+                        EventKind::Point,
+                        "quarantine",
+                        vec![
+                            ("phase", Json::from("timing")),
+                            ("candidate", Json::from(i)),
+                            ("label", Json::from(label.as_str())),
+                            ("kind", Json::from(err.kind().to_string())),
+                            ("attempts", Json::from(1u32)),
+                        ],
+                    );
+                    quarantine.push(Quarantine { candidate: i, label, error: err, attempts: 1 });
+                    continue;
+                }
+            };
             let usage = e.kernel_profile.usage;
-            let exact = cache::exact_key(&prog, &c.launch, &usage, spec);
+            let exact = cache::exact_key(&prog, &launch, &usage, spec);
             let hit = unique_of.contains_key(&exact);
             let u = *unique_of.entry(exact).or_insert_with(|| {
-                let class = cache::class_key(&prog, &c.launch, &usage, spec);
-                uniques.push(UniqueSim { prog, launch: c.launch, usage, exact, class });
+                let class = cache::class_key(&prog, &launch, &usage, spec);
+                uniques.push(UniqueSim { prog, launch, usage, exact, class });
                 uniques.len() - 1
             });
             self.emit(
@@ -541,7 +590,7 @@ impl EvalEngine {
                 if hit { "cache.hit" } else { "cache.miss" },
                 vec![("candidate", Json::from(i)), ("unique", Json::from(u))],
             );
-            assignments.push((i, u));
+            assignments.push((i, u, invocations));
         }
 
         // Phase 2: group uniques by class into work units. A class whose
@@ -692,15 +741,15 @@ impl EvalEngine {
         // Phase 5: reassemble per candidate in index order, applying
         // invocation scaling and the simulated-time deadline. Failures
         // quarantine every candidate mapped to the failed unique.
-        assignments.sort_by_key(|&(i, _)| i);
+        assignments.sort_by_key(|&(i, _, _)| i);
         let mut meter = budget::DeadlineMeter::new(&self.config.budget);
-        for (i, u) in assignments {
+        for (i, u, invocations) in assignments {
             match &outcomes_of[u] {
                 // Budget-truncated before dispatch: not evaluated, not
                 // quarantined.
                 None => {}
                 Some(Ok(rep)) => {
-                    let scaled = scale_by_invocations(rep.clone(), candidates[i].invocations);
+                    let scaled = scale_by_invocations(rep.clone(), invocations);
                     if meter.accept(scaled.time_ms) {
                         stats.timed += 1;
                         self.emit(
@@ -724,20 +773,21 @@ impl EvalEngine {
                 }
                 Some(Err(e)) => {
                     stats.quarantined += 1;
+                    let label = source.label(i);
                     self.emit(
                         EventKind::Point,
                         "quarantine",
                         vec![
                             ("phase", Json::from("timing")),
                             ("candidate", Json::from(i)),
-                            ("label", Json::from(candidates[i].label.as_str())),
+                            ("label", Json::from(label.as_str())),
                             ("kind", Json::from(e.kind().to_string())),
                             ("attempts", Json::from(attempts_of[u])),
                         ],
                     );
                     quarantine.push(Quarantine {
                         candidate: i,
-                        label: candidates[i].label.clone(),
+                        label,
                         error: e.clone(),
                         attempts: attempts_of[u],
                     });
@@ -875,7 +925,7 @@ mod tests {
         let mut quarantine = Vec::new();
         let statics = engine.evaluate_statics(
             &MetricsEval::default(),
-            cands,
+            &cands,
             &spec,
             &mut stats,
             &mut quarantine,
@@ -884,7 +934,7 @@ mod tests {
             statics.iter().enumerate().filter_map(|(i, e)| e.as_ref().map(|_| i)).collect();
         let sims = engine.simulate_selected(
             &SimulatorEval::default(),
-            cands,
+            &cands,
             &statics,
             &selected,
             &spec,
@@ -1035,7 +1085,7 @@ mod fault_tests {
         let mut quarantine = Vec::new();
         let statics = engine.evaluate_statics(
             &MetricsEval::default(),
-            cands,
+            &cands,
             &spec,
             &mut stats,
             &mut quarantine,
@@ -1044,7 +1094,7 @@ mod fault_tests {
             statics.iter().enumerate().filter_map(|(i, e)| e.as_ref().map(|_| i)).collect();
         let sims = engine.simulate_selected(
             &SimulatorEval::with_fuel(engine.config.sim_fuel),
-            cands,
+            &cands,
             &statics,
             &selected,
             &spec,

@@ -17,6 +17,11 @@
 //! * [`pareto`] — Pareto-optimal subset selection.
 //! * [`candidate`] — one configuration: a generated kernel plus launch
 //!   geometry, and its statically evaluated profile.
+//! * [`space`] — the optimization space as a first-class object:
+//!   declared axes and constraints ([`space::Space`]), typed points
+//!   ([`space::Point`]), declarative selection (`--filter`/`--sample`),
+//!   and the [`space::CandidateSource`] abstraction that lets the
+//!   engine instantiate candidates lazily inside the worker pool.
 //! * [`tuner`] — the three search strategies compared in the paper and
 //!   its future work: exhaustive evaluation (ground truth), the pruned
 //!   Pareto search, and random sampling.
@@ -60,6 +65,7 @@ pub mod model;
 pub mod obs;
 pub mod pareto;
 pub mod report;
+pub mod space;
 pub mod tuner;
 
 pub use bandwidth::BandwidthAssessment;
@@ -71,6 +77,9 @@ pub use engine::{
 pub use metrics::{Metrics, MetricsOptions, StaticProfile};
 pub use obs::{EngineMetrics, EventSink, Json, RunManifest, RuntimeMetrics, Trace};
 pub use pareto::{pareto_indices, Point};
+pub use space::{
+    Axis, CandidateSource, Filter, Sample, Selection, SelectionError, SelectionRecord, Space, Value,
+};
 pub use tuner::{ExhaustiveSearch, PrunedSearch, RandomSearch, SearchReport, SearchStrategy};
 
 /// Convenient glob import for examples and the bench harness.
@@ -84,6 +93,10 @@ pub mod prelude {
     pub use crate::metrics::{Metrics, MetricsOptions, StaticProfile};
     pub use crate::obs::{EngineMetrics, EventSink, Json, RunManifest, RuntimeMetrics, Trace};
     pub use crate::pareto::{pareto_indices, Point};
+    pub use crate::space::{
+        Axis, CandidateSource, Filter, Sample, Selection, SelectionError, SelectionRecord, Space,
+        Value,
+    };
     pub use crate::tuner::{
         ExhaustiveSearch, PrunedSearch, RandomSearch, SearchReport, SearchStrategy,
     };

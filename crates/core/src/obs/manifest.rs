@@ -5,7 +5,7 @@
 
 use gpu_arch::MachineSpec;
 
-use crate::candidate::Candidate;
+use crate::space::SelectionRecord;
 use crate::tuner::SearchReport;
 
 use super::json::{parse, Json, ParseError};
@@ -114,22 +114,27 @@ pub struct RunManifest {
     pub metrics: EngineMetrics,
     /// Quarantine counts per error kind, sorted by kind name.
     pub quarantine_by_kind: Vec<(String, u64)>,
+    /// The declarative selection (`--filter`/`--sample`) the search ran
+    /// under, if any. Serialized tolerantly (absent/`null` means none),
+    /// so pre-selection manifests still parse under schema 1.
+    pub selection: Option<SelectionRecord>,
 }
 
 impl RunManifest {
-    /// Build a manifest from a finished search. `candidates` must be the
-    /// space the report was produced from (labels are read from it).
-    pub fn from_search(
-        app: impl Into<String>,
-        report: &SearchReport,
-        candidates: &[Candidate],
-        spec: &MachineSpec,
-    ) -> Self {
+    /// Build a manifest from a finished search. The winner's label is
+    /// read from its static evaluation, so no candidate slice is needed
+    /// — lazily instantiated searches produce the same manifest.
+    pub fn from_search(app: impl Into<String>, report: &SearchReport, spec: &MachineSpec) -> Self {
         let best = report.best.and_then(|i| {
             let time_ms = report.simulated.get(i)?.as_ref()?.time_ms;
             Some(BestSummary {
                 candidate: i as u64,
-                label: candidates.get(i).map(|c| c.label.clone()).unwrap_or_default(),
+                label: report
+                    .statics
+                    .get(i)
+                    .and_then(|s| s.as_ref())
+                    .map(|e| e.label.clone())
+                    .unwrap_or_default(),
                 time_ms,
             })
         });
@@ -158,6 +163,7 @@ impl RunManifest {
             budget_deadline_ms: report.stats.budget.deadline_ms,
             metrics: report.metrics,
             quarantine_by_kind: by_kind,
+            selection: report.selection.clone(),
         }
     }
 
@@ -196,6 +202,13 @@ impl RunManifest {
                         .map(|(k, n)| (k.clone(), Json::from(*n)))
                         .collect(),
                 ),
+            ),
+            (
+                "selection",
+                match &self.selection {
+                    None => Json::Null,
+                    Some(sel) => sel.to_json(),
+                },
             ),
         ])
     }
@@ -255,6 +268,10 @@ impl RunManifest {
             },
             metrics: EngineMetrics::from_json(j.get("metrics").ok_or("missing `metrics`")?)?,
             quarantine_by_kind: by_kind,
+            selection: match j.get("selection") {
+                None | Some(Json::Null) => None,
+                Some(sel) => Some(SelectionRecord::from_json(sel).ok_or("selection: malformed")?),
+            },
         })
     }
 
@@ -268,6 +285,7 @@ impl RunManifest {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::candidate::Candidate;
     use crate::tuner::{ExhaustiveSearch, SearchStrategy};
     use gpu_ir::build::KernelBuilder;
     use gpu_ir::{Dim, Launch};
@@ -297,7 +315,7 @@ mod tests {
         let spec = MachineSpec::geforce_8800_gtx();
         let space = tiny_space();
         let report = ExhaustiveSearch.run(&space, &spec);
-        let manifest = RunManifest::from_search("tiny", &report, &space, &spec);
+        let manifest = RunManifest::from_search("tiny", &report, &spec);
 
         assert_eq!(manifest.simulated, report.evaluated_count() as u64);
         assert_eq!(manifest.metrics.sims_executed, report.stats.unique_sims as u64);
@@ -312,11 +330,35 @@ mod tests {
     }
 
     #[test]
+    fn selection_round_trips_and_absent_selection_parses() {
+        let spec = MachineSpec::geforce_8800_gtx();
+        let space = tiny_space();
+        let mut report = ExhaustiveSearch.run(&space, &spec);
+        report.selection = Some(SelectionRecord {
+            filters: vec![("tile".into(), "16".into())],
+            sample: Some((10, 7)),
+            matched: 3,
+        });
+        let manifest = RunManifest::from_search("tiny", &report, &spec);
+        let text = manifest.to_json().to_string_compact();
+        let back = RunManifest::parse_str(&text).expect("round trip parses");
+        assert_eq!(back.selection, manifest.selection);
+
+        // A pre-selection manifest (no `selection` key at all) still
+        // parses under schema 1.
+        let mut j = manifest.to_json();
+        if let Json::Obj(pairs) = &mut j {
+            pairs.retain(|(k, _)| k != "selection");
+        }
+        assert_eq!(RunManifest::from_json(&j).expect("tolerant parse").selection, None);
+    }
+
+    #[test]
     fn unknown_schema_is_rejected() {
         let spec = MachineSpec::geforce_8800_gtx();
         let space = tiny_space();
         let report = ExhaustiveSearch.run(&space, &spec);
-        let mut j = RunManifest::from_search("tiny", &report, &space, &spec).to_json();
+        let mut j = RunManifest::from_search("tiny", &report, &spec).to_json();
         if let Json::Obj(pairs) = &mut j {
             pairs[0].1 = Json::from(99u64);
         }

@@ -1,0 +1,819 @@
+//! First-class configuration spaces.
+//!
+//! The paper's premise is that an optimization *space* — tile size,
+//! rectangular tiling, unroll factors, prefetching, register spilling,
+//! work per invocation (Table 4) — is a structured object worth
+//! reasoning about. This module gives it a concrete representation:
+//!
+//! - [`Axis`]: one named knob with an ordered list of [`Value`]s;
+//! - [`Space`]: the cross product of axes, narrowed by structural
+//!   [constraints](SpaceBuilder::constraint), enumerated in a fixed
+//!   lexicographic order (last axis fastest);
+//! - [`Point`]: one typed assignment of every axis, whose `Display`
+//!   reproduces the application's label format;
+//! - [`Selection`]: declarative narrowing (`--filter axis=value`,
+//!   `--sample n --sample-seed s`) applied to a space before a search;
+//! - [`CandidateSource`]: the engine-facing abstraction that lets a
+//!   search run either over an eager `&[Candidate]` slice or over
+//!   points instantiated lazily inside the worker pool.
+//!
+//! Enumeration order is part of the contract: candidate indices,
+//! report layouts, and trace events all key off a point's ordinal, so
+//! [`Space::points`] visits the full grid in lexicographic axis order
+//! and merely skips constraint-violating tuples, exactly like the
+//! hand-rolled nested loops it replaces.
+
+use std::borrow::Cow;
+use std::fmt;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::candidate::Candidate;
+use crate::obs::Json;
+
+/// One setting of one knob: the typed payload carried by an axis slot.
+///
+/// Values render through `Display` (`16`, `true`) and filters compare
+/// against that printed form, so `--filter tile=16` needs no type
+/// annotations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// A numeric knob (tile width, unroll factor, threads per block…).
+    U32(u32),
+    /// An on/off knob (prefetching, register spilling…).
+    Bool(bool),
+}
+
+impl Value {
+    /// The numeric payload, if this is a numeric knob.
+    pub fn as_u32(self) -> Option<u32> {
+        match self {
+            Value::U32(v) => Some(v),
+            Value::Bool(_) => None,
+        }
+    }
+
+    /// The boolean payload, if this is an on/off knob.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(v),
+            Value::U32(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U32(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U32(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// One named knob and the ordered values it may take.
+///
+/// The declaration order of values is the enumeration order: an axis
+/// declared `[8, 16]` visits 8 before 16, and the *last* declared axis
+/// of a space varies fastest, mirroring the innermost hand-rolled loop.
+#[derive(Debug, Clone)]
+pub struct Axis {
+    name: &'static str,
+    values: Vec<Value>,
+}
+
+impl Axis {
+    /// Build an axis from anything whose items convert into [`Value`].
+    pub fn new<V: Into<Value>>(name: &'static str, values: impl IntoIterator<Item = V>) -> Self {
+        Axis { name, values: values.into_iter().map(Into::into).collect() }
+    }
+
+    /// The axis name, as used by `Point` accessors and `--filter`.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The ordered values this axis may take.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+}
+
+type PredFn = dyn Fn(&Point) -> bool + Send + Sync;
+type LabelFn = dyn Fn(&Point) -> String + Send + Sync;
+
+/// A named structural constraint: a predicate over full points.
+///
+/// Constraints never change enumeration *order* — the grid is walked
+/// in full and violating tuples are skipped, which is exactly what a
+/// `continue` in a hand-rolled nested loop did.
+struct Constraint {
+    name: &'static str,
+    pred: Arc<PredFn>,
+}
+
+struct SpaceCore {
+    axes: Vec<Axis>,
+    constraints: Vec<Constraint>,
+    label: Option<Arc<LabelFn>>,
+}
+
+impl SpaceCore {
+    fn axis_index(&self, name: &str) -> Option<usize> {
+        self.axes.iter().position(|a| a.name == name)
+    }
+
+    fn admits(&self, point: &Point) -> bool {
+        self.constraints.iter().all(|c| (c.pred)(point))
+    }
+}
+
+impl fmt::Debug for SpaceCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Space")
+            .field("axes", &self.axes)
+            .field("constraints", &self.constraints.iter().map(|c| c.name).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// A declarative optimization space: axes, constraints, and a label
+/// scheme. Cheap to clone (the definition is shared behind an `Arc`).
+#[derive(Clone, Debug)]
+pub struct Space {
+    core: Arc<SpaceCore>,
+}
+
+impl Space {
+    /// Start declaring a space.
+    pub fn builder() -> SpaceBuilder {
+        SpaceBuilder { axes: Vec::new(), constraints: Vec::new(), label: None }
+    }
+
+    /// The declared axes, in enumeration order (last varies fastest).
+    pub fn axes(&self) -> &[Axis] {
+        &self.core.axes
+    }
+
+    /// Look up an axis by name.
+    pub fn axis(&self, name: &str) -> Option<&Axis> {
+        self.core.axis_index(name).map(|i| &self.core.axes[i])
+    }
+
+    /// The size of the full cross product, before constraints.
+    pub fn grid_len(&self) -> usize {
+        self.core.axes.iter().map(|a| a.values.len()).product()
+    }
+
+    /// The number of points that satisfy every constraint.
+    pub fn len(&self) -> usize {
+        if self.core.constraints.is_empty() {
+            self.grid_len()
+        } else {
+            self.points().count()
+        }
+    }
+
+    /// Whether no point satisfies the constraints.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enumerate the constraint-satisfying points in lexicographic
+    /// order over the declared axes.
+    pub fn points(&self) -> Points {
+        Points {
+            core: Arc::clone(&self.core),
+            counters: vec![0; self.core.axes.len()],
+            ordinal: 0,
+            done: self.grid_len() == 0,
+        }
+    }
+}
+
+/// Builder for [`Space`]; axes enumerate in declaration order.
+pub struct SpaceBuilder {
+    axes: Vec<Axis>,
+    constraints: Vec<Constraint>,
+    label: Option<Arc<LabelFn>>,
+}
+
+impl SpaceBuilder {
+    /// Declare the next axis. Later axes vary faster.
+    pub fn axis<V: Into<Value>>(
+        mut self,
+        name: &'static str,
+        values: impl IntoIterator<Item = V>,
+    ) -> Self {
+        self.axes.push(Axis::new(name, values));
+        self
+    }
+
+    /// Add a named structural constraint over full points.
+    pub fn constraint(
+        mut self,
+        name: &'static str,
+        pred: impl Fn(&Point) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.constraints.push(Constraint { name, pred: Arc::new(pred) });
+        self
+    }
+
+    /// Install the label scheme `Point::to_string` renders with. When
+    /// absent, points print as `axis=value/axis=value/…`.
+    pub fn label(mut self, f: impl Fn(&Point) -> String + Send + Sync + 'static) -> Self {
+        self.label = Some(Arc::new(f));
+        self
+    }
+
+    /// Finish the declaration.
+    pub fn build(self) -> Space {
+        Space {
+            core: Arc::new(SpaceCore {
+                axes: self.axes,
+                constraints: self.constraints,
+                label: self.label,
+            }),
+        }
+    }
+}
+
+/// One typed assignment of every axis in a space.
+///
+/// A point remembers its `ordinal` — its position in the space's
+/// enumeration — so lazily instantiated candidates line up with the
+/// indices an eager `candidates()` vector would have used.
+#[derive(Clone)]
+pub struct Point {
+    values: Vec<Value>,
+    ordinal: usize,
+    core: Arc<SpaceCore>,
+}
+
+impl Point {
+    /// The value assigned to `name`, if the axis exists.
+    pub fn value(&self, name: &str) -> Option<Value> {
+        self.core.axis_index(name).map(|i| self.values[i])
+    }
+
+    /// The numeric value of axis `name`.
+    ///
+    /// # Panics
+    /// Panics if the axis does not exist or is not numeric — both are
+    /// programming errors in a space declaration, not runtime inputs.
+    pub fn u32(&self, name: &str) -> u32 {
+        self.value(name)
+            .and_then(Value::as_u32)
+            .unwrap_or_else(|| panic!("space has no u32 axis named `{name}`"))
+    }
+
+    /// The boolean value of axis `name`.
+    ///
+    /// # Panics
+    /// Panics if the axis does not exist or is not boolean.
+    pub fn flag(&self, name: &str) -> bool {
+        self.value(name)
+            .and_then(Value::as_bool)
+            .unwrap_or_else(|| panic!("space has no bool axis named `{name}`"))
+    }
+
+    /// This point's position in the space's enumeration order.
+    pub fn ordinal(&self) -> usize {
+        self.ordinal
+    }
+
+    /// The values in axis declaration order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.core.label {
+            Some(label) => f.write_str(&label(self)),
+            None => {
+                for (i, (axis, value)) in self.core.axes.iter().zip(&self.values).enumerate() {
+                    if i > 0 {
+                        f.write_str("/")?;
+                    }
+                    write!(f, "{}={}", axis.name, value)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Point#{}({})", self.ordinal, self)
+    }
+}
+
+impl PartialEq for Point {
+    fn eq(&self, other: &Self) -> bool {
+        self.values == other.values
+            && self.core.axes.iter().zip(&other.core.axes).all(|(a, b)| a.name == b.name)
+    }
+}
+
+/// Iterator over a space's constraint-satisfying points. See
+/// [`Space::points`].
+pub struct Points {
+    core: Arc<SpaceCore>,
+    counters: Vec<usize>,
+    ordinal: usize,
+    done: bool,
+}
+
+impl Points {
+    fn advance(&mut self) -> bool {
+        for slot in (0..self.counters.len()).rev() {
+            self.counters[slot] += 1;
+            if self.counters[slot] < self.core.axes[slot].values.len() {
+                return true;
+            }
+            self.counters[slot] = 0;
+        }
+        false
+    }
+}
+
+impl Iterator for Points {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Point> {
+        while !self.done {
+            let point = Point {
+                values: self
+                    .counters
+                    .iter()
+                    .zip(&self.core.axes)
+                    .map(|(&c, a)| a.values[c])
+                    .collect(),
+                ordinal: self.ordinal,
+                core: Arc::clone(&self.core),
+            };
+            self.done = !self.advance();
+            if self.core.admits(&point) {
+                self.ordinal += 1;
+                return Some(point);
+            }
+        }
+        None
+    }
+}
+
+/// One `--filter axis=value` clause. The value is kept as the raw
+/// string and compared against each point value's printed form, so
+/// `tile=16` and `prefetch=true` need no type annotations and a value
+/// outside the axis (`tile=17`) simply matches nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Filter {
+    /// Axis name to constrain.
+    pub axis: String,
+    /// Required printed value.
+    pub value: String,
+}
+
+impl Filter {
+    /// Parse an `axis=value` clause.
+    pub fn parse(raw: &str) -> Result<Filter, SelectionError> {
+        match raw.split_once('=') {
+            Some((axis, value)) if !axis.is_empty() && !value.is_empty() => {
+                Ok(Filter { axis: axis.to_string(), value: value.to_string() })
+            }
+            _ => Err(SelectionError::BadFilter { raw: raw.to_string() }),
+        }
+    }
+
+    fn matches(&self, point: &Point) -> bool {
+        point.value(&self.axis).is_some_and(|v| v.to_string() == self.value)
+    }
+}
+
+/// A seeded random subset request: `--sample n --sample-seed s`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    /// How many surviving points to keep.
+    pub count: usize,
+    /// Seed for the shuffle that picks them.
+    pub seed: u64,
+}
+
+/// Declarative narrowing of a space before a search: conjunction of
+/// filters, then an optional seeded sample. Sampled points are
+/// re-sorted by ordinal, so the selected subsequence preserves the
+/// space's enumeration order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Selection {
+    /// All filters must match (conjunction).
+    pub filters: Vec<Filter>,
+    /// Optional seeded subset of the filter survivors.
+    pub sample: Option<Sample>,
+}
+
+impl Selection {
+    /// True when this selection keeps the whole space.
+    pub fn is_noop(&self) -> bool {
+        self.filters.is_empty() && self.sample.is_none()
+    }
+
+    /// Apply to a space, *strictly*: a filter naming an axis the space
+    /// does not declare is an error (almost certainly a typo). A value
+    /// outside the axis's range yields an empty selection, not an
+    /// error — "nothing matches" is an answer.
+    pub fn apply(&self, space: &Space) -> Result<Vec<Point>, SelectionError> {
+        for f in &self.filters {
+            if space.axis(&f.axis).is_none() {
+                return Err(SelectionError::UnknownAxis {
+                    axis: f.axis.clone(),
+                    available: space.axes().iter().map(Axis::name).collect(),
+                });
+            }
+        }
+        Ok(self.narrow(space))
+    }
+
+    /// Apply to a space, *leniently*: filters naming axes the space
+    /// does not declare are ignored. Multi-app sweeps use this so a
+    /// `--filter tile=16` meant for matmul doesn't empty the CP space.
+    pub fn apply_lenient(&self, space: &Space) -> Vec<Point> {
+        let known: Vec<&Filter> =
+            self.filters.iter().filter(|f| space.axis(&f.axis).is_some()).collect();
+        let narrowed =
+            Selection { filters: known.into_iter().cloned().collect(), sample: self.sample };
+        narrowed.narrow(space)
+    }
+
+    fn narrow(&self, space: &Space) -> Vec<Point> {
+        let mut points: Vec<Point> =
+            space.points().filter(|p| self.filters.iter().all(|f| f.matches(p))).collect();
+        if let Some(sample) = self.sample {
+            let mut picks: Vec<usize> = (0..points.len()).collect();
+            let mut rng = StdRng::seed_from_u64(sample.seed);
+            picks.shuffle(&mut rng);
+            picks.truncate(sample.count);
+            picks.sort_unstable();
+            points = picks.into_iter().map(|i| points[i].clone()).collect();
+        }
+        points
+    }
+
+    /// Summarize this selection for a report manifest.
+    pub fn record(&self, matched: usize) -> SelectionRecord {
+        SelectionRecord {
+            filters: self.filters.iter().map(|f| (f.axis.clone(), f.value.clone())).collect(),
+            sample: self.sample.map(|s| (s.count as u64, s.seed)),
+            matched: matched as u64,
+        }
+    }
+}
+
+impl fmt::Display for Selection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut sep = "";
+        for filter in &self.filters {
+            write!(f, "{sep}{}={}", filter.axis, filter.value)?;
+            sep = ", ";
+        }
+        if let Some(s) = self.sample {
+            write!(f, "{sep}sample {} (seed {})", s.count, s.seed)?;
+        }
+        Ok(())
+    }
+}
+
+/// Why a selection could not be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectionError {
+    /// A filter named an axis the space does not declare.
+    UnknownAxis {
+        /// The unrecognised axis name.
+        axis: String,
+        /// The axes the space does declare.
+        available: Vec<&'static str>,
+    },
+    /// A `--filter` clause was not of the form `axis=value`.
+    BadFilter {
+        /// The malformed clause.
+        raw: String,
+    },
+}
+
+impl fmt::Display for SelectionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectionError::UnknownAxis { axis, available } => {
+                write!(f, "unknown axis `{axis}` (space has: {})", available.join(", "))
+            }
+            SelectionError::BadFilter { raw } => {
+                write!(f, "bad filter `{raw}` (expected axis=value)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SelectionError {}
+
+/// The selection a report was produced under, as recorded in its
+/// manifest: filter clauses, sample parameters, and how many points
+/// survived.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SelectionRecord {
+    /// `(axis, value)` filter clauses.
+    pub filters: Vec<(String, String)>,
+    /// `(count, seed)` of the sample, if one was taken.
+    pub sample: Option<(u64, u64)>,
+    /// How many points the selection matched.
+    pub matched: u64,
+}
+
+impl SelectionRecord {
+    /// Serialize for embedding in a run manifest.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "filters",
+                Json::Arr(
+                    self.filters.iter().map(|(a, v)| Json::from(format!("{a}={v}"))).collect(),
+                ),
+            ),
+            (
+                "sample",
+                match self.sample {
+                    None => Json::Null,
+                    Some((count, seed)) => {
+                        Json::obj([("count", Json::from(count)), ("seed", Json::from(seed))])
+                    }
+                },
+            ),
+            ("matched", Json::from(self.matched)),
+        ])
+    }
+
+    /// Parse back from manifest JSON.
+    pub fn from_json(json: &Json) -> Option<SelectionRecord> {
+        let filters = json
+            .get("filters")?
+            .as_arr()?
+            .iter()
+            .map(|j| {
+                let (a, v) = j.as_str()?.split_once('=')?;
+                Some((a.to_string(), v.to_string()))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let sample = match json.get("sample") {
+            None | Some(Json::Null) => None,
+            Some(s) => Some((s.get("count")?.as_u64()?, s.get("seed")?.as_u64()?)),
+        };
+        Some(SelectionRecord { filters, sample, matched: json.get("matched")?.as_u64()? })
+    }
+}
+
+/// Where a search gets its candidates: either an eager, materialized
+/// slice, or a lazy view that instantiates points on demand inside
+/// the worker pool.
+///
+/// The contract that makes eager and lazy reports byte-identical:
+/// `get(i)` must return the same candidate every time it is called
+/// for a given `i`, and `label(i)` must equal `get(i).label`.
+pub trait CandidateSource: Sync {
+    /// Number of candidates (the search's `space_size`).
+    fn len(&self) -> usize;
+
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The label of candidate `index` without instantiating it.
+    fn label(&self, index: usize) -> String;
+
+    /// Candidate `index`: borrowed from an eager slice, or built on
+    /// the calling (worker) thread for a lazy source.
+    fn get(&self, index: usize) -> Cow<'_, Candidate>;
+}
+
+impl CandidateSource for [Candidate] {
+    fn len(&self) -> usize {
+        <[Candidate]>::len(self)
+    }
+
+    fn label(&self, index: usize) -> String {
+        self[index].label.clone()
+    }
+
+    fn get(&self, index: usize) -> Cow<'_, Candidate> {
+        Cow::Borrowed(&self[index])
+    }
+}
+
+// `[Candidate]` is unsized, so it cannot itself coerce to a
+// `&dyn CandidateSource`; these sized carriers are what call sites
+// actually pass (`&candidates` for a `Vec`, `&slice` for a slice).
+impl CandidateSource for &[Candidate] {
+    fn len(&self) -> usize {
+        <[Candidate]>::len(self)
+    }
+
+    fn label(&self, index: usize) -> String {
+        self[index].label.clone()
+    }
+
+    fn get(&self, index: usize) -> Cow<'_, Candidate> {
+        Cow::Borrowed(&self[index])
+    }
+}
+
+impl CandidateSource for Vec<Candidate> {
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    fn label(&self, index: usize) -> String {
+        self[index].label.clone()
+    }
+
+    fn get(&self, index: usize) -> Cow<'_, Candidate> {
+        Cow::Borrowed(&self[index])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_space() -> Space {
+        Space::builder()
+            .axis("tile", [8u32, 16])
+            .axis("unroll", [1u32, 2, 4])
+            .axis("prefetch", [false, true])
+            .build()
+    }
+
+    #[test]
+    fn enumeration_is_lexicographic_last_axis_fastest() {
+        let s = toy_space();
+        assert_eq!(s.grid_len(), 12);
+        assert_eq!(s.len(), 12);
+        let pts: Vec<Point> = s.points().collect();
+        assert_eq!(pts.len(), 12);
+        assert_eq!(pts[0].u32("tile"), 8);
+        assert_eq!(pts[0].u32("unroll"), 1);
+        assert!(!pts[0].flag("prefetch"));
+        assert!(pts[1].flag("prefetch"));
+        assert_eq!(pts[2].u32("unroll"), 2);
+        assert_eq!(pts[6].u32("tile"), 16);
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(p.ordinal(), i);
+        }
+    }
+
+    #[test]
+    fn constraints_skip_tuples_without_reordering() {
+        let s = Space::builder()
+            .axis("a", [1u32, 2, 3])
+            .axis("b", [1u32, 2, 3])
+            .constraint("a divides b", |p| p.u32("b").is_multiple_of(p.u32("a")))
+            .build();
+        assert_eq!(s.grid_len(), 9);
+        let got: Vec<(u32, u32)> = s.points().map(|p| (p.u32("a"), p.u32("b"))).collect();
+        assert_eq!(got, vec![(1, 1), (1, 2), (1, 3), (2, 2), (3, 3)]);
+        assert_eq!(s.len(), 5);
+        // Ordinals number the *surviving* sequence densely.
+        let ords: Vec<usize> = s.points().map(|p| p.ordinal()).collect();
+        assert_eq!(ords, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn default_label_and_custom_label() {
+        let s = toy_space();
+        let p = s.points().next().unwrap();
+        assert_eq!(p.to_string(), "tile=8/unroll=1/prefetch=false");
+
+        let labelled = Space::builder()
+            .axis("tile", [8u32])
+            .label(|p| format!("{0}x{0}", p.u32("tile")))
+            .build();
+        let p = labelled.points().next().unwrap();
+        assert_eq!(p.to_string(), "8x8");
+    }
+
+    #[test]
+    fn filters_narrow_by_printed_value() {
+        let s = toy_space();
+        let sel = Selection { filters: vec![Filter::parse("tile=16").unwrap()], sample: None };
+        let pts = sel.apply(&s).unwrap();
+        assert_eq!(pts.len(), 6);
+        assert!(pts.iter().all(|p| p.u32("tile") == 16));
+        // Enumeration order survives the narrowing.
+        let ords: Vec<usize> = pts.iter().map(Point::ordinal).collect();
+        let mut sorted = ords.clone();
+        sorted.sort_unstable();
+        assert_eq!(ords, sorted);
+
+        let sel =
+            Selection { filters: vec![Filter::parse("prefetch=true").unwrap()], sample: None };
+        assert_eq!(sel.apply(&s).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn out_of_range_value_is_empty_unknown_axis_is_error() {
+        let s = toy_space();
+        let empty = Selection { filters: vec![Filter::parse("tile=17").unwrap()], sample: None };
+        assert!(empty.apply(&s).unwrap().is_empty());
+
+        let contradictory = Selection {
+            filters: vec![Filter::parse("tile=8").unwrap(), Filter::parse("tile=16").unwrap()],
+            sample: None,
+        };
+        assert!(contradictory.apply(&s).unwrap().is_empty());
+
+        let typo = Selection { filters: vec![Filter::parse("tyle=16").unwrap()], sample: None };
+        match typo.apply(&s) {
+            Err(SelectionError::UnknownAxis { axis, available }) => {
+                assert_eq!(axis, "tyle");
+                assert_eq!(available, vec!["tile", "unroll", "prefetch"]);
+            }
+            other => panic!("expected UnknownAxis, got {other:?}"),
+        }
+        // The lenient variant ignores the typo'd clause entirely.
+        assert_eq!(typo.apply_lenient(&s).len(), 12);
+    }
+
+    #[test]
+    fn sampling_is_seeded_and_order_preserving() {
+        let s = toy_space();
+        let sel = |seed| Selection { filters: Vec::new(), sample: Some(Sample { count: 5, seed }) };
+        let a = sel(7).apply(&s).unwrap();
+        let b = sel(7).apply(&s).unwrap();
+        assert_eq!(a, b, "same seed, same subset");
+        assert_eq!(a.len(), 5);
+        let ords: Vec<usize> = a.iter().map(Point::ordinal).collect();
+        let mut sorted = ords.clone();
+        sorted.sort_unstable();
+        assert_eq!(ords, sorted, "sample preserves enumeration order");
+        let c = sel(8).apply(&s).unwrap();
+        assert_ne!(a, c, "different seed, different subset");
+
+        // Oversized samples keep everything.
+        let all = Selection { filters: Vec::new(), sample: Some(Sample { count: 99, seed: 0 }) };
+        assert_eq!(all.apply(&s).unwrap().len(), 12);
+    }
+
+    #[test]
+    fn bad_filter_syntax_is_rejected() {
+        assert!(Filter::parse("tile").is_err());
+        assert!(Filter::parse("=16").is_err());
+        assert!(Filter::parse("tile=").is_err());
+        assert_eq!(
+            Filter::parse("tile=16").unwrap(),
+            Filter { axis: "tile".into(), value: "16".into() }
+        );
+    }
+
+    #[test]
+    fn selection_record_round_trips_through_json() {
+        let rec = SelectionRecord {
+            filters: vec![("tile".into(), "16".into()), ("prefetch".into(), "true".into())],
+            sample: Some((10, 42)),
+            matched: 7,
+        };
+        let back = SelectionRecord::from_json(&rec.to_json()).unwrap();
+        assert_eq!(rec, back);
+
+        let plain = SelectionRecord { filters: Vec::new(), sample: None, matched: 96 };
+        assert_eq!(SelectionRecord::from_json(&plain.to_json()).unwrap(), plain);
+    }
+
+    #[test]
+    fn slice_source_borrows() {
+        use crate::candidate::Candidate;
+        use gpu_ir::build::KernelBuilder;
+        use gpu_ir::{Dim, Launch};
+        let k = KernelBuilder::new("noop").finish();
+        let cands = vec![Candidate::new("only", k, Launch::new(Dim::new_1d(1), Dim::new_1d(1)))];
+        let src: &dyn CandidateSource = &cands;
+        assert_eq!(src.len(), 1);
+        assert!(!src.is_empty());
+        assert_eq!(src.label(0), "only");
+        assert!(matches!(src.get(0), Cow::Borrowed(_)));
+    }
+}

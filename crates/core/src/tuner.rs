@@ -29,6 +29,7 @@ use crate::engine::{EngineStats, EvalEngine, MetricsEval, Quarantine, SimulatorE
 use crate::metrics::MetricsOptions;
 use crate::obs::{EngineMetrics, EventKind, Json, RuntimeMetrics};
 use crate::pareto::pareto_indices;
+use crate::space::{CandidateSource, SelectionRecord};
 
 pub use crate::engine::LAUNCH_OVERHEAD_MS;
 
@@ -60,6 +61,10 @@ pub struct SearchReport {
     /// runtime measurements attached when the engine carried an event
     /// sink.
     pub metrics: EngineMetrics,
+    /// The declarative selection (`--filter`/`--sample`) this search ran
+    /// under, when the caller narrowed the space before searching. The
+    /// run manifest records it so a sharded sweep stays reconstructible.
+    pub selection: Option<SelectionRecord>,
 }
 
 impl SearchReport {
@@ -78,7 +83,9 @@ impl SearchReport {
     /// "Evaluation Time" columns of Table 4 (time a developer would
     /// spend running them on hardware).
     pub fn evaluation_time_ms(&self) -> f64 {
-        self.simulated.iter().flatten().map(|t| t.time_ms).sum()
+        // fold, not sum: an empty f64 sum is -0.0, which would print as
+        // "-0.0 us" for an empty selection.
+        self.simulated.iter().flatten().map(|t| t.time_ms).fold(0.0, |a, b| a + b)
     }
 
     /// Best (minimum) simulated time.
@@ -136,7 +143,7 @@ pub trait SearchStrategy {
     /// Choose which candidate indices to timing-simulate, given the
     /// static evaluations. Returned indices must refer to valid
     /// (`Some`) entries of `statics`.
-    fn select(&self, candidates: &[Candidate], statics: &[Option<Evaluated>]) -> Vec<usize>;
+    fn select(&self, statics: &[Option<Evaluated>]) -> Vec<usize>;
 
     /// Run on a default engine: one worker, no budget — the reference
     /// sequential path.
@@ -144,18 +151,31 @@ pub trait SearchStrategy {
         self.run_with(&EvalEngine::default(), candidates, spec)
     }
 
-    /// Run on an explicit engine. This is the single simulate loop in
-    /// the crate: statics → select → memoized/parallel simulation.
+    /// Run on an explicit engine over an eager, materialized slice.
     fn run_with(
         &self,
         engine: &EvalEngine,
         candidates: &[Candidate],
         spec: &MachineSpec,
     ) -> SearchReport {
+        self.run_source(engine, &candidates, spec)
+    }
+
+    /// Run on an explicit engine over any [`CandidateSource`] — an eager
+    /// slice or a lazy point view instantiating candidates inside the
+    /// worker pool. This is the single simulate loop in the crate:
+    /// statics → select → memoized/parallel simulation. Reports are
+    /// byte-identical between eager and lazy sources of the same space.
+    fn run_source(
+        &self,
+        engine: &EvalEngine,
+        source: &dyn CandidateSource,
+        spec: &MachineSpec,
+    ) -> SearchReport {
         engine.emit(
             EventKind::Begin,
             "search",
-            vec![("strategy", Json::from(self.name())), ("space", Json::from(candidates.len()))],
+            vec![("strategy", Json::from(self.name())), ("space", Json::from(source.len()))],
         );
         let mut stats = engine.stats_seed();
         let mut quarantined: Vec<Quarantine> = Vec::new();
@@ -165,15 +185,15 @@ pub trait SearchStrategy {
                 verify: false,
                 check_races: engine.config.check_races,
             },
-            candidates,
+            source,
             spec,
             &mut stats,
             &mut quarantined,
         );
-        let selected = self.select(candidates, &statics);
+        let selected = self.select(&statics);
         let simulated = engine.simulate_selected(
             &SimulatorEval::with_fuel(engine.config.sim_fuel),
-            candidates,
+            source,
             &statics,
             &selected,
             spec,
@@ -185,13 +205,14 @@ pub trait SearchStrategy {
         quarantined.sort_by_key(|q| q.candidate);
         let mut report = SearchReport {
             strategy: self.name(),
-            space_size: candidates.len(),
+            space_size: source.len(),
             statics,
             simulated,
             best: None,
             quarantined,
             stats,
             metrics: EngineMetrics::default(),
+            selection: None,
         };
         report.pick_best();
         report.metrics = EngineMetrics::from_stats(&report.stats);
@@ -229,7 +250,7 @@ impl SearchStrategy for ExhaustiveSearch {
         "exhaustive".into()
     }
 
-    fn select(&self, _candidates: &[Candidate], statics: &[Option<Evaluated>]) -> Vec<usize> {
+    fn select(&self, statics: &[Option<Evaluated>]) -> Vec<usize> {
         valid_indices(statics)
     }
 }
@@ -275,7 +296,7 @@ impl SearchStrategy for PrunedSearch {
         self.options
     }
 
-    fn select(&self, _candidates: &[Candidate], statics: &[Option<Evaluated>]) -> Vec<usize> {
+    fn select(&self, statics: &[Option<Evaluated>]) -> Vec<usize> {
         // Candidates entering the plot: valid, and (optionally) not
         // bandwidth-bound. If the screen removes everything (a fully
         // bandwidth-bound space), fall back to the unscreened plot.
@@ -344,7 +365,7 @@ impl SearchStrategy for RandomSearch {
         format!("random-{}", self.budget)
     }
 
-    fn select(&self, _candidates: &[Candidate], statics: &[Option<Evaluated>]) -> Vec<usize> {
+    fn select(&self, statics: &[Option<Evaluated>]) -> Vec<usize> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
         let mut picks = valid_indices(statics);
         picks.shuffle(&mut rng);

@@ -19,7 +19,7 @@
 //!   model standing in for the CUDA runtime's register allocator.
 //! * [`linear`] — flattening into a branch-explicit program consumed by
 //!   the functional interpreter and the timing simulator in `gpu-sim`.
-//! * [`print`] — a developer-readable "-ptx" style pretty printer.
+//! * [`mod@print`] — a developer-readable "-ptx" style pretty printer.
 //! * [`text`] — a round-trippable textual kernel format with a parser,
 //!   so kernels can be hand-written or stored as fixtures.
 //! * [`verify`] — static well-formedness checking (use-before-def,

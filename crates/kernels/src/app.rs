@@ -1,39 +1,132 @@
 //! Object-safe interface over the four applications, for harness code
 //! that iterates the whole suite (Table 4, Figure 6).
+//!
+//! An application exposes its optimization space *declaratively* — a
+//! [`Space`] of named axes and constraints — plus an [`App::instantiate`]
+//! hook that turns one [`Point`] into a ready-to-evaluate [`Candidate`].
+//! The eager [`App::candidates`] view is a default method composing the
+//! two, and [`SpaceSource`] adapts an app into the engine's lazy
+//! [`CandidateSource`], so candidates are generated on demand inside
+//! the worker pool instead of being materialized up front.
+
+use std::borrow::Cow;
 
 use optspace::candidate::Candidate;
+use optspace::space::{CandidateSource, Point, Space};
 
-/// A tunable application: a name and its full configuration space as
-/// ready-to-evaluate candidates.
-pub trait App {
+/// A tunable application: a name, a declared configuration space, and a
+/// generator from points to candidates.
+pub trait App: Sync {
     /// Application name as it appears in the paper's tables.
     fn name(&self) -> &'static str;
 
+    /// The declared optimization space (Table 4's "Parameters Varied"),
+    /// in the application's historical enumeration order. Configurations
+    /// that violate hardware limits are *included* — static evaluation
+    /// classifies them as invalid executables, as the paper's far-right
+    /// Figure 3 bar shows.
+    fn space(&self) -> Space;
+
+    /// Generate the candidate for one point of [`App::space`]. The
+    /// candidate's label must equal `point.to_string()`.
+    fn instantiate(&self, point: &Point) -> Candidate;
+
     /// Every configuration of the space as a [`Candidate`], in
-    /// enumeration order. Configurations that violate hardware limits
-    /// are *included* — static evaluation classifies them as invalid
-    /// executables, as the paper's far-right Figure 3 bar shows.
-    fn candidates(&self) -> Vec<Candidate>;
+    /// enumeration order — the eager view, equivalent point-for-point to
+    /// lazy instantiation through [`SpaceSource`].
+    fn candidates(&self) -> Vec<Candidate> {
+        self.space().points().map(|p| self.instantiate(&p)).collect()
+    }
+}
+
+/// A lazy [`CandidateSource`] over an application's points: `get`
+/// instantiates the candidate on the calling (worker) thread, so kernel
+/// generation and the pass pipelines parallelize across the pool and
+/// the space is never materialized up front.
+pub struct SpaceSource<'a> {
+    app: &'a dyn App,
+    points: Vec<Point>,
+}
+
+impl<'a> SpaceSource<'a> {
+    /// Source over an explicit point selection (e.g. the survivors of a
+    /// `--filter`/`--sample` narrowing).
+    pub fn new(app: &'a dyn App, points: Vec<Point>) -> Self {
+        Self { app, points }
+    }
+
+    /// Source over the app's full space.
+    pub fn full(app: &'a dyn App) -> Self {
+        let points = app.space().points().collect();
+        Self { app, points }
+    }
+
+    /// The points this source will instantiate, in enumeration order.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// The labels of every point, without instantiating any kernel.
+    pub fn labels(&self) -> Vec<String> {
+        self.points.iter().map(Point::to_string).collect()
+    }
+}
+
+impl CandidateSource for SpaceSource<'_> {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn label(&self, index: usize) -> String {
+        self.points[index].to_string()
+    }
+
+    fn get(&self, index: usize) -> Cow<'_, Candidate> {
+        Cow::Owned(self.app.instantiate(&self.points[index]))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpu_ir::build::KernelBuilder;
+    use gpu_ir::{Dim, Launch};
 
     struct Dummy;
     impl App for Dummy {
         fn name(&self) -> &'static str {
             "dummy"
         }
-        fn candidates(&self) -> Vec<Candidate> {
-            Vec::new()
+        fn space(&self) -> Space {
+            Space::builder().axis("knob", [1u32, 2]).build()
+        }
+        fn instantiate(&self, point: &Point) -> Candidate {
+            Candidate::new(
+                point.to_string(),
+                KernelBuilder::new("d").finish(),
+                Launch::new(Dim::new_1d(point.u32("knob")), Dim::new_1d(32)),
+            )
         }
     }
 
     #[test]
-    fn trait_is_object_safe() {
+    fn trait_is_object_safe_and_candidates_compose() {
         let apps: Vec<Box<dyn App>> = vec![Box::new(Dummy)];
         assert_eq!(apps[0].name(), "dummy");
-        assert!(apps[0].candidates().is_empty());
+        let cands = apps[0].candidates();
+        assert_eq!(cands.len(), 2);
+        assert_eq!(cands[0].label, "knob=1");
+    }
+
+    #[test]
+    fn space_source_instantiates_lazily_and_matches_eager() {
+        let eager = Dummy.candidates();
+        let source = SpaceSource::full(&Dummy);
+        assert_eq!(source.len(), eager.len());
+        assert_eq!(source.labels(), vec!["knob=1", "knob=2"]);
+        for (i, want) in eager.iter().enumerate() {
+            assert_eq!(source.label(i), want.label);
+            assert_eq!(source.get(i).as_ref(), want);
+        }
     }
 }

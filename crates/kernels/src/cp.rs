@@ -23,6 +23,7 @@ use gpu_ir::{Dim, Kernel, Launch};
 use gpu_sim::interp::{run_kernel_checked, DeviceMemory};
 use gpu_sim::SimError;
 use optspace::candidate::Candidate;
+use optspace::space::{Point, Space};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -92,17 +93,20 @@ impl Cp {
         Self::new(512, 16, 8)
     }
 
-    /// The 40-point configuration grid (38 valid on the 8800 GTX).
-    pub fn space(&self) -> Vec<CpConfig> {
-        let mut out = Vec::with_capacity(40);
-        for block in [64u32, 128, 256, 512] {
-            for tiling in [1u32, 2, 4, 8, 16] {
-                for coalesced_output in [true, false] {
-                    out.push(CpConfig { block, tiling, coalesced_output });
-                }
-            }
+    /// Decode one point of the declared space back into a typed
+    /// configuration.
+    pub fn config_of(point: &Point) -> CpConfig {
+        CpConfig {
+            block: point.u32("block"),
+            tiling: point.u32("tiling"),
+            coalesced_output: point.flag("coalesced"),
         }
-        out
+    }
+
+    /// The 40-point configuration grid as typed configurations, decoded
+    /// from the declarative [`App::space`].
+    pub fn configs(&self) -> Vec<CpConfig> {
+        self.space().points().map(|p| Self::config_of(&p)).collect()
     }
 
     /// Launch geometry: 1-D blocks along x, tiling groups along y.
@@ -254,8 +258,21 @@ impl App for Cp {
         "CP"
     }
 
-    fn candidates(&self) -> Vec<Candidate> {
-        self.space().iter().map(|c| self.candidate(c)).collect()
+    /// Table 4 row 2 as declared axes: thread-block size, per-thread
+    /// tiling, output coalescing (coalesced first, matching the
+    /// historical order). The register-file overflows at the largest
+    /// tiles stay in the space as invalid executables.
+    fn space(&self) -> Space {
+        Space::builder()
+            .axis("block", [64u32, 128, 256, 512])
+            .axis("tiling", [1u32, 2, 4, 8, 16])
+            .axis("coalesced", [true, false])
+            .label(|p| Cp::config_of(p).to_string())
+            .build()
+    }
+
+    fn instantiate(&self, point: &Point) -> Candidate {
+        self.candidate(&Self::config_of(point))
     }
 }
 
@@ -273,7 +290,7 @@ mod tests {
         // same phenomenon, with our allocator's slightly higher
         // per-thread usage claiming one extra tiling level.
         let cp = Cp::paper_problem();
-        let space = cp.space();
+        let space = cp.configs();
         assert_eq!(space.len(), 40);
         let spec = MachineSpec::geforce_8800_gtx();
         let valid = space.iter().filter(|c| cp.candidate(c).evaluate(&spec).is_ok()).count();

@@ -4,8 +4,9 @@
 //!
 //! * a **problem** type with paper-scale, reduced, and functional-test
 //!   instances;
-//! * a **configuration** type and `space()` enumerating the paper's
-//!   optimization-configuration space (Table 4's "Parameters Varied");
+//! * a **configuration** type plus a declarative [`App::space`] of named
+//!   axes (Table 4's "Parameters Varied"), with `configs()` decoding the
+//!   space back into typed configurations in enumeration order;
 //! * a **generator** producing, for any configuration, a complete
 //!   kernel via the `gpu-ir` builder and the `gpu-passes`
 //!   transformations (unrolling, address folding, prefetching,
@@ -27,4 +28,4 @@ pub mod matmul;
 pub mod mri_fhd;
 pub mod sad;
 
-pub use app::App;
+pub use app::{App, SpaceSource};

@@ -27,6 +27,7 @@ use gpu_passes::{
 use gpu_sim::interp::{run_kernel_checked, DeviceMemory};
 use gpu_sim::SimError;
 use optspace::candidate::Candidate;
+use optspace::space::{Point, Space};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -115,27 +116,28 @@ impl MatMul {
         Self::new(64)
     }
 
-    /// The full 96-point configuration grid, Figure 3 ordering:
-    /// tile, then rect, then unroll, then prefetch, then spill.
-    pub fn space(&self) -> Vec<MatMulConfig> {
-        let mut out = Vec::with_capacity(96);
-        for tile in [8u32, 16] {
-            for rect in [1u32, 2, 4] {
-                for unroll in [1u32, 2, 4, 0] {
-                    for prefetch in [false, true] {
-                        for spill in [false, true] {
-                            out.push(MatMulConfig { tile, rect, unroll, prefetch, spill });
-                        }
-                    }
-                }
-            }
+    /// Decode one point of the declared space back into a typed
+    /// configuration.
+    pub fn config_of(point: &Point) -> MatMulConfig {
+        MatMulConfig {
+            tile: point.u32("tile"),
+            rect: point.u32("rect"),
+            unroll: point.u32("unroll"),
+            prefetch: point.flag("prefetch"),
+            spill: point.flag("spill"),
         }
-        out
+    }
+
+    /// The full 96-point configuration grid as typed configurations,
+    /// decoded from the declarative [`App::space`] — Figure 3 ordering:
+    /// tile, then rect, then unroll, then prefetch, then spill.
+    pub fn configs(&self) -> Vec<MatMulConfig> {
+        self.space().points().map(|p| Self::config_of(&p)).collect()
     }
 
     /// The abbreviated Figure 3 space (spill off): 48 bars.
     pub fn figure3_space(&self) -> Vec<MatMulConfig> {
-        self.space().into_iter().filter(|c| !c.spill).collect()
+        self.configs().into_iter().filter(|c| !c.spill).collect()
     }
 
     /// Launch geometry for one configuration.
@@ -358,8 +360,23 @@ impl App for MatMul {
         "Matrix Multiplication"
     }
 
-    fn candidates(&self) -> Vec<Candidate> {
-        self.space().iter().map(|c| self.candidate(c)).collect()
+    /// Table 4 row 1 as declared axes: tile/block size, rectangular
+    /// tiling, inner-loop unrolling (`0` = complete), prefetching, and
+    /// register spilling. No structural constraints — resource-invalid
+    /// grid points stay in and fail occupancy, as in Figure 3.
+    fn space(&self) -> Space {
+        Space::builder()
+            .axis("tile", [8u32, 16])
+            .axis("rect", [1u32, 2, 4])
+            .axis("unroll", [1u32, 2, 4, 0])
+            .axis("prefetch", [false, true])
+            .axis("spill", [false, true])
+            .label(|p| MatMul::config_of(p).to_string())
+            .build()
+    }
+
+    fn instantiate(&self, point: &Point) -> Candidate {
+        self.candidate(&Self::config_of(point))
     }
 }
 

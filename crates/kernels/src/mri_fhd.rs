@@ -29,6 +29,7 @@ use gpu_passes::{innermost_loops, unroll};
 use gpu_sim::interp::{run_kernel_checked, DeviceMemory};
 use gpu_sim::SimError;
 use optspace::candidate::Candidate;
+use optspace::space::{Point, Space};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -86,17 +87,20 @@ impl MriFhd {
         Self::new(512, 1_024)
     }
 
-    /// The 175-point configuration grid (5 × 5 × 7), all valid.
-    pub fn space(&self) -> Vec<MriConfig> {
-        let mut out = Vec::with_capacity(175);
-        for block in [32u32, 64, 128, 256, 512] {
-            for unroll in [1u32, 2, 4, 8, 16] {
-                for invocations in [1u32, 2, 4, 8, 16, 32, 64] {
-                    out.push(MriConfig { block, unroll, invocations });
-                }
-            }
+    /// Decode one point of the declared space back into a typed
+    /// configuration.
+    pub fn config_of(point: &Point) -> MriConfig {
+        MriConfig {
+            block: point.u32("block"),
+            unroll: point.u32("unroll"),
+            invocations: point.u32("inv"),
         }
-        out
+    }
+
+    /// The 175-point configuration grid (5 × 5 × 7) as typed
+    /// configurations, decoded from the declarative [`App::space`].
+    pub fn configs(&self) -> Vec<MriConfig> {
+        self.space().points().map(|p| Self::config_of(&p)).collect()
     }
 
     /// Launch geometry (identical for every invocation).
@@ -265,8 +269,20 @@ impl App for MriFhd {
         "MRI-FHD"
     }
 
-    fn candidates(&self) -> Vec<Candidate> {
-        self.space().iter().map(|c| self.candidate(c)).collect()
+    /// Table 4 row 4 as declared axes: thread-block size, k-loop
+    /// unroll, and invocation split — the paper's 175 configurations
+    /// exactly, no structural constraints.
+    fn space(&self) -> Space {
+        Space::builder()
+            .axis("block", [32u32, 64, 128, 256, 512])
+            .axis("unroll", [1u32, 2, 4, 8, 16])
+            .axis("inv", [1u32, 2, 4, 8, 16, 32, 64])
+            .label(|p| MriFhd::config_of(p).to_string())
+            .build()
+    }
+
+    fn instantiate(&self, point: &Point) -> Candidate {
+        self.candidate(&Self::config_of(point))
     }
 }
 
@@ -278,7 +294,7 @@ mod tests {
     #[test]
     fn space_is_175_all_valid() {
         let mri = MriFhd::paper_problem();
-        let space = mri.space();
+        let space = mri.configs();
         assert_eq!(space.len(), 175);
         let spec = MachineSpec::geforce_8800_gtx();
         let valid = space.iter().filter(|c| mri.candidate(c).evaluate(&spec).is_ok()).count();

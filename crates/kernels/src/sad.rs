@@ -25,6 +25,7 @@ use gpu_passes::{find_loops, unroll, LoopId};
 use gpu_sim::interp::{run_kernel_checked, DeviceMemory};
 use gpu_sim::SimError;
 use optspace::candidate::Candidate;
+use optspace::space::{Point, Space};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -110,32 +111,23 @@ impl Sad {
         self.positions().div_ceil(tpb)
     }
 
-    /// All constructible configurations: the full parameter grid
-    /// restricted to position-unroll factors that divide the trip count.
-    pub fn space(&self) -> Vec<SadConfig> {
-        let mut out = Vec::new();
-        for tpb in (1..=12).map(|k| k * 32) {
-            let trips = self.pos_trips(tpb);
-            for mb_tiling in [1u32, 2, 4] {
-                for pos_unroll in [1u32, 2, 4] {
-                    if !trips.is_multiple_of(pos_unroll) {
-                        continue;
-                    }
-                    for row_unroll in [1u32, 2, 4] {
-                        for col_unroll in [1u32, 2, 4] {
-                            out.push(SadConfig {
-                                tpb,
-                                mb_tiling,
-                                pos_unroll,
-                                row_unroll,
-                                col_unroll,
-                            });
-                        }
-                    }
-                }
-            }
+    /// Decode one point of the declared space back into a typed
+    /// configuration.
+    pub fn config_of(point: &Point) -> SadConfig {
+        SadConfig {
+            tpb: point.u32("tpb"),
+            mb_tiling: point.u32("mb"),
+            pos_unroll: point.u32("pos"),
+            row_unroll: point.u32("row"),
+            col_unroll: point.u32("col"),
         }
-        out
+    }
+
+    /// All constructible configurations as typed configurations, decoded
+    /// from the declarative [`App::space`]: the full parameter grid
+    /// restricted to position-unroll factors that divide the trip count.
+    pub fn configs(&self) -> Vec<SadConfig> {
+        self.space().points().map(|p| Self::config_of(&p)).collect()
     }
 
     /// Launch geometry: one block per horizontal macroblock ×
@@ -262,7 +254,7 @@ impl Sad {
         // Position loop: the last top-level loop.
         let pos =
             find_loops(&k).into_iter().rfind(|id| id.depth() == 1).expect("position loop exists");
-        unroll(&mut k, &pos, cfg.pos_unroll).expect("space() filtered divisibility");
+        unroll(&mut k, &pos, cfg.pos_unroll).expect("the space constraint filtered divisibility");
         gpu_passes::fold_strided_addresses(&mut k);
         // Complete unrolls substitute the row/column counters with
         // constants; fold the resulting immediate address arithmetic
@@ -360,8 +352,28 @@ impl App for Sad {
         "SAD"
     }
 
-    fn candidates(&self) -> Vec<Candidate> {
-        self.space().iter().map(|c| self.candidate(c)).collect()
+    /// Table 4 row 3 as declared axes plus one structural constraint:
+    /// the position loop can only be unrolled by factors dividing its
+    /// trip count, which depends on the block size — the constraint
+    /// skips exactly the tuples the historical nested loop skipped, so
+    /// enumeration order and the constructible count are unchanged.
+    fn space(&self) -> Space {
+        let app = *self;
+        Space::builder()
+            .axis("tpb", (1..=12u32).map(|k| k * 32))
+            .axis("mb", [1u32, 2, 4])
+            .axis("pos", [1u32, 2, 4])
+            .axis("row", [1u32, 2, 4])
+            .axis("col", [1u32, 2, 4])
+            .constraint("pos unroll divides trip count", move |p| {
+                app.pos_trips(p.u32("tpb")).is_multiple_of(p.u32("pos"))
+            })
+            .label(|p| Sad::config_of(p).to_string())
+            .build()
+    }
+
+    fn instantiate(&self, point: &Point) -> Candidate {
+        self.candidate(&Self::config_of(point))
     }
 }
 
@@ -372,7 +384,7 @@ mod tests {
     #[test]
     fn space_is_constructible_and_large() {
         let sad = Sad::paper_problem();
-        let space = sad.space();
+        let space = sad.configs();
         // 12 block sizes × 3 tilings × 9 row/col unroll pairs ×
         // divisible position unrolls (25 block/pos pairs) = 675.
         assert_eq!(space.len(), 675);

@@ -4,7 +4,7 @@
 //! five categories; the mechanical ones — the ones a compiler applies to
 //! code rather than a programmer applies to an algorithm — live here:
 //!
-//! * [`unroll`] — loop unrolling, partial and complete, with
+//! * [`mod@unroll`] — loop unrolling, partial and complete, with
 //!   constant-substituted counters (the "instruction count reduction"
 //!   category; Figure 2(c)).
 //! * [`fold`] — strength reduction of strided address updates after

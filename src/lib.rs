@@ -26,10 +26,14 @@
 //!
 //! ```
 //! use gpu_autotune::kernels::matmul::MatMul;
+//! use gpu_autotune::kernels::App;
 //!
-//! // Enumerate the paper's matrix-multiplication configuration grid.
+//! // The paper's matrix-multiplication configuration grid, declared
+//! // as named axes.
 //! let app = MatMul::paper_problem();
-//! assert_eq!(app.space().len(), 96);
+//! let space = app.space();
+//! assert_eq!(space.axes().len(), 5);
+//! assert_eq!(space.len(), 96);
 //! ```
 
 pub use gpu_arch as arch;

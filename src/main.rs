@@ -17,6 +17,10 @@
 //!     --retries N                           attempts per candidate (default 3)
 //!     --inject-faults                       deterministic fault injection (dev)
 //!     --fault-seed N                        seed for --inject-faults
+//!     --filter axis=value                   keep only matching points (repeatable)
+//!     --sample N                            seeded random subset of the survivors
+//!     --sample-seed S                       seed for --sample (default 0)
+//!     --eager                               materialize all candidates up front
 //!     --trace-out <path>                    write the event trace as JSONL
 //!     --metrics-out <path>                  write the run manifest as JSON
 //!     --profile                             print the profile summary table
@@ -28,7 +32,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use gpu_autotune::arch::MachineSpec;
-use gpu_autotune::kernels::{cp::Cp, matmul::MatMul, mri_fhd::MriFhd, sad::Sad, App};
+use gpu_autotune::kernels::{cp::Cp, matmul::MatMul, mri_fhd::MriFhd, sad::Sad, App, SpaceSource};
 use gpu_autotune::optspace::candidate::Candidate;
 use gpu_autotune::optspace::engine::{
     EngineConfig, EvalBudget, EvalEngine, FaultPlan, RetryPolicy,
@@ -38,6 +42,7 @@ use gpu_autotune::optspace::report::{fmt_ms, profile_table, table};
 use gpu_autotune::optspace::tuner::{
     ExhaustiveSearch, PrunedSearch, RandomSearch, SearchReport, SearchStrategy,
 };
+use gpu_autotune::optspace::{Filter, Sample, Selection};
 
 const USAGE: &str = "\
 usage: gpu-autotune <command> [args]
@@ -50,6 +55,7 @@ commands:
              [--device g80|gt200] [--no-screen] [--jobs N]
              [--max-sims N] [--deadline-ms X] [--sim-fuel N] [--check-races]
              [--retries N] [--inject-faults] [--fault-seed N]
+             [--filter axis=value]... [--sample N] [--sample-seed S] [--eager]
              [--trace-out <path>] [--metrics-out <path>] [--profile]
   parse <file>                parse a textual kernel and print its analyses
   validate <trace> <manifest> check a --trace-out JSONL file parses and a
@@ -158,17 +164,20 @@ fn cmd_inspect(args: &[String]) -> ExitCode {
         eprintln!("unknown app `{app_name}` (matmul|cp|sad|mri)");
         return ExitCode::FAILURE;
     };
-    let cands = app.candidates();
+    let space = app.space();
     let Ok(i) = index.parse::<usize>() else {
         eprintln!("bad index `{index}`");
         return ExitCode::FAILURE;
     };
-    let Some(c) = cands.get(i) else {
-        eprintln!("index {i} out of range (space has {} configurations)", cands.len());
+    // Instantiate only the requested point — no reason to generate the
+    // other few hundred kernels of the space.
+    let Some(point) = space.points().nth(i) else {
+        eprintln!("index {i} out of range (space has {} configurations)", space.len());
         return ExitCode::FAILURE;
     };
+    let c = app.instantiate(&point);
     let spec = MachineSpec::geforce_8800_gtx();
-    print_candidate(c, &spec);
+    print_candidate(&c, &spec);
     println!("\n--- PTX view (head) ---");
     for line in gpu_autotune::ir::print::to_ptx(&c.kernel).lines().take(30) {
         println!("{line}");
@@ -176,7 +185,7 @@ fn cmd_inspect(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn print_search(cands: &[Candidate], r: &SearchReport) {
+fn print_search(labels: &[String], r: &SearchReport) {
     println!(
         "strategy {}: {} of {} valid configurations timed ({:.0}% reduction), \
          simulated evaluation time {}",
@@ -199,7 +208,7 @@ fn print_search(cands: &[Candidate], r: &SearchReport) {
             "DEGRADED: {} of {} configurations quarantined ({:.1}% of the space evaluated, \
              {} retr{})",
             r.quarantined_count(),
-            cands.len(),
+            labels.len(),
             r.coverage() * 100.0,
             r.stats.retries,
             if r.stats.retries == 1 { "y" } else { "ies" },
@@ -212,13 +221,11 @@ fn print_search(cands: &[Candidate], r: &SearchReport) {
             println!("  ... and {} more", r.quarantined.len() - LISTED);
         }
     }
-    match r.best {
-        Some(best) => println!(
-            "best configuration: #{best} {} ({})",
-            cands[best].label,
-            fmt_ms(r.best_time_ms().expect("best implies time")),
-        ),
-        None => println!("no configuration could be timed"),
+    match (r.best, r.best_time_ms()) {
+        (Some(best), Some(time)) => {
+            println!("best configuration: #{best} {} ({})", labels[best], fmt_ms(time));
+        }
+        _ => println!("no configuration could be timed"),
     }
 }
 
@@ -245,6 +252,10 @@ fn cmd_tune(args: &[String]) -> ExitCode {
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut profile = false;
+    let mut filters: Vec<Filter> = Vec::new();
+    let mut sample: Option<usize> = None;
+    let mut sample_seed: Option<u64> = None;
+    let mut eager = false;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -329,6 +340,32 @@ fn cmd_tune(args: &[String]) -> ExitCode {
                 }
             },
             "--profile" => profile = true,
+            "--filter" => match it.next().map(|s| Filter::parse(s)) {
+                Some(Ok(f)) => filters.push(f),
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--filter needs axis=value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--sample" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => sample = Some(n),
+                _ => {
+                    eprintln!("--sample needs a number >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--sample-seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => sample_seed = Some(s),
+                None => {
+                    eprintln!("--sample-seed needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--eager" => eager = true,
             other => {
                 eprintln!("unknown flag `{other}`");
                 return ExitCode::FAILURE;
@@ -336,6 +373,14 @@ fn cmd_tune(args: &[String]) -> ExitCode {
         }
     }
 
+    if sample_seed.is_some() && sample.is_none() {
+        eprintln!("--sample-seed requires --sample");
+        return ExitCode::FAILURE;
+    }
+    let selection = Selection {
+        filters,
+        sample: sample.map(|count| Sample { count, seed: sample_seed.unwrap_or(0) }),
+    };
     let fault_plan = match (inject, fault_seed) {
         (false, None) => None,
         (false, Some(_)) => {
@@ -362,18 +407,43 @@ fn cmd_tune(args: &[String]) -> ExitCode {
     } else {
         None
     };
-    let cands = app.candidates();
-    let report = match strategy.as_str() {
-        "exhaustive" => ExhaustiveSearch.run_with(&engine, &cands, &device),
-        "pareto" => PrunedSearch { screen_bandwidth: screen, ..Default::default() }
-            .run_with(&engine, &cands, &device),
-        "random" => RandomSearch { budget, seed: 0 }.run_with(&engine, &cands, &device),
+    let space = app.space();
+    let points = match selection.apply(&space) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !selection.is_noop() {
+        println!("selection: {selection} -> {} of {} configurations", points.len(), space.len());
+        if points.is_empty() {
+            println!("selection matched no configurations; the report will be empty");
+        }
+    }
+    let source = SpaceSource::new(app.as_ref(), points);
+    let labels = source.labels();
+    let searcher: Box<dyn SearchStrategy> = match strategy.as_str() {
+        "exhaustive" => Box::new(ExhaustiveSearch),
+        "pareto" => Box::new(PrunedSearch { screen_bandwidth: screen, ..Default::default() }),
+        "random" => Box::new(RandomSearch { budget, seed: 0 }),
         other => {
             eprintln!("unknown strategy `{other}` (exhaustive|pareto|random)");
             return ExitCode::FAILURE;
         }
     };
-    print_search(&cands, &report);
+    let mut report = if eager {
+        // Materialize every candidate up front — the reference path the
+        // lazy default is pinned against.
+        let cands: Vec<Candidate> = source.points().iter().map(|p| app.instantiate(p)).collect();
+        searcher.run_source(&engine, &cands, &device)
+    } else {
+        searcher.run_source(&engine, &source, &device)
+    };
+    if !selection.is_noop() {
+        report.selection = Some(selection.record(labels.len()));
+    }
+    print_search(&labels, &report);
     if let Some(sink) = sink {
         let trace = sink.drain();
         if let Some(path) = trace_out {
@@ -384,7 +454,7 @@ fn cmd_tune(args: &[String]) -> ExitCode {
             println!("trace: {} events -> {path}", trace.events.len());
         }
         if let Some(path) = metrics_out {
-            let manifest = RunManifest::from_search(app_name.as_str(), &report, &cands, &device);
+            let manifest = RunManifest::from_search(app_name.as_str(), &report, &device);
             if let Err(e) = std::fs::write(&path, manifest.to_json().to_string_pretty()) {
                 eprintln!("cannot write {path}: {e}");
                 return ExitCode::FAILURE;
@@ -524,7 +594,7 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     };
     let (kernel, launch, mut mem, params) = match &app {
         Traced::M(a) => {
-            let space = a.space();
+            let space = a.configs();
             let Some(cfg) = space.get(i) else {
                 eprintln!("index {i} out of range ({} configs)", space.len());
                 return ExitCode::FAILURE;
@@ -533,7 +603,7 @@ fn cmd_trace(args: &[String]) -> ExitCode {
             (a.generate(cfg), a.launch(cfg), mem, params)
         }
         Traced::C(a) => {
-            let space = a.space();
+            let space = a.configs();
             let Some(cfg) = space.get(i) else {
                 eprintln!("index {i} out of range ({} configs)", space.len());
                 return ExitCode::FAILURE;
@@ -542,7 +612,7 @@ fn cmd_trace(args: &[String]) -> ExitCode {
             (a.generate(cfg), a.launch(cfg), mem, params)
         }
         Traced::S(a) => {
-            let space = a.space();
+            let space = a.configs();
             let Some(cfg) = space.get(i) else {
                 eprintln!("index {i} out of range ({} configs)", space.len());
                 return ExitCode::FAILURE;
@@ -551,7 +621,7 @@ fn cmd_trace(args: &[String]) -> ExitCode {
             (a.generate(cfg), a.launch(cfg), mem, params)
         }
         Traced::R(a) => {
-            let space = a.space();
+            let space = a.configs();
             let Some(cfg) = space.get(i) else {
                 eprintln!("index {i} out of range ({} configs)", space.len());
                 return ExitCode::FAILURE;

@@ -67,7 +67,7 @@ fn matmul_unroll_monotone_for_16x16() {
 fn matmul_optimum_is_1x4_complete_unroll() {
     let spec = MachineSpec::geforce_8800_gtx();
     let mm = MatMul::new(256);
-    let cfgs = mm.space();
+    let cfgs = mm.configs();
     let cands: Vec<_> = cfgs.iter().map(|c| mm.candidate(c)).collect();
     let r = ExhaustiveSearch.run(&cands, &spec);
     let best = &cfgs[r.best.expect("valid space")];

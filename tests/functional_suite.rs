@@ -16,7 +16,7 @@ fn matmul_every_fourth_config() {
     let mm = MatMul::test_problem();
     let (mem0, params) = mm.setup(101);
     let reference = mm.cpu_reference(&mem0);
-    for (i, cfg) in mm.space().iter().enumerate() {
+    for (i, cfg) in mm.configs().iter().enumerate() {
         if i % 4 != 0 {
             continue;
         }
@@ -31,7 +31,7 @@ fn cp_every_fourth_config() {
     let cp = Cp::test_problem();
     let (mem0, params) = cp.setup(102);
     let reference = cp.cpu_reference(&mem0);
-    for (i, cfg) in cp.space().iter().enumerate() {
+    for (i, cfg) in cp.configs().iter().enumerate() {
         if i % 4 != 1 {
             continue;
         }
@@ -46,7 +46,7 @@ fn sad_knob_extremes() {
     let sad = Sad::test_problem();
     let (mem0, params) = sad.setup(103);
     let reference = sad.cpu_reference(&mem0);
-    let space = sad.space();
+    let space = sad.configs();
     // First, last, and a few interior configurations.
     let picks: Vec<usize> = vec![0, space.len() / 3, 2 * space.len() / 3, space.len() - 1];
     for i in picks {
@@ -62,7 +62,7 @@ fn mri_knob_extremes() {
     let mri = MriFhd::test_problem();
     let (mem0, params) = mri.setup(104);
     let reference = mri.cpu_reference(&mem0);
-    let space = mri.space();
+    let space = mri.configs();
     let picks: Vec<usize> = vec![0, space.len() / 2, space.len() - 1];
     for i in picks {
         let cfg = &space[i];
@@ -78,7 +78,7 @@ fn matmul_all_configs() {
     let mm = MatMul::test_problem();
     let (mem0, params) = mm.setup(201);
     let reference = mm.cpu_reference(&mem0);
-    for cfg in mm.space() {
+    for cfg in mm.configs() {
         let mut mem = mem0.clone();
         let got = mm.run_config(&cfg, &mut mem, &params).expect("runs");
         assert_eq!(got, reference, "matmul config {cfg}");
@@ -91,7 +91,7 @@ fn cp_all_configs() {
     let cp = Cp::test_problem();
     let (mem0, params) = cp.setup(202);
     let reference = cp.cpu_reference(&mem0);
-    for cfg in cp.space() {
+    for cfg in cp.configs() {
         let mut mem = mem0.clone();
         let got = cp.run_config(&cfg, &mut mem, &params).expect("runs");
         assert_eq!(got, reference, "cp config {cfg}");
@@ -104,7 +104,7 @@ fn sad_all_configs() {
     let sad = Sad::test_problem();
     let (mem0, params) = sad.setup(203);
     let reference = sad.cpu_reference(&mem0);
-    for cfg in sad.space() {
+    for cfg in sad.configs() {
         let mut mem = mem0.clone();
         let got = sad.run_config(&cfg, &mut mem, &params).expect("runs");
         assert_eq!(got, reference, "sad config {cfg}");
@@ -117,7 +117,7 @@ fn mri_all_configs() {
     let mri = MriFhd::test_problem();
     let (mem0, params) = mri.setup(204);
     let reference = mri.cpu_reference(&mem0);
-    for cfg in mri.space() {
+    for cfg in mri.configs() {
         let mut mem = mem0.clone();
         let got = mri.run_config(&cfg, &mut mem, &params).expect("runs");
         assert_eq!(got, reference, "mri config {cfg}");

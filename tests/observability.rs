@@ -83,7 +83,7 @@ fn jsonl_lines_are_self_contained_event_records() {
 fn manifest_reconciles_with_the_report_and_round_trips() {
     let spec = MachineSpec::geforce_8800_gtx();
     let (report, _, cands) = traced_run(&ExhaustiveSearch, 4);
-    let manifest = RunManifest::from_search("sad", &report, &cands, &spec);
+    let manifest = RunManifest::from_search("sad", &report, &spec);
 
     assert_eq!(manifest.space_size, report.space_size as u64);
     assert_eq!(manifest.valid, report.valid_count() as u64);

@@ -1,0 +1,170 @@
+//! Contracts of the space layer, checked over the real applications:
+//!
+//! * **Point/instantiate equivalence** — walking every point of each
+//!   app's declared space through `instantiate` reproduces the eager
+//!   `candidates()` enumeration exactly: same labels, same kernels,
+//!   same launches, same order.
+//! * **Eager/lazy search equivalence** — a search over a lazy
+//!   `SpaceSource` produces the same report as one over materialized
+//!   candidates at any worker count, including under fault injection,
+//!   and the canonical trace and deterministic metrics are
+//!   byte-identical.
+//! * **Selection semantics** — filters narrow without reordering,
+//!   sampling is seed-deterministic, and an empty selection flows
+//!   through the whole search stack without panicking.
+
+use std::sync::Arc;
+
+use gpu_autotune::arch::MachineSpec;
+use gpu_autotune::kernels::{cp::Cp, matmul::MatMul, mri_fhd::MriFhd, sad::Sad, App, SpaceSource};
+use gpu_autotune::optspace::engine::{EngineConfig, EvalEngine, FaultPlan};
+use gpu_autotune::optspace::obs::{EventSink, RunManifest, Trace};
+use gpu_autotune::optspace::tuner::{ExhaustiveSearch, SearchReport, SearchStrategy};
+use gpu_autotune::optspace::{CandidateSource, Filter, Sample, Selection};
+
+/// Every app at its functional-test scale — full declared spaces, fast
+/// kernel generation.
+fn apps() -> Vec<Box<dyn App>> {
+    vec![
+        Box::new(MatMul::test_problem()),
+        Box::new(Cp::test_problem()),
+        Box::new(Sad::test_problem()),
+        Box::new(MriFhd::test_problem()),
+    ]
+}
+
+#[test]
+fn every_point_instantiates_to_the_eager_candidate() {
+    for app in apps() {
+        let eager = app.candidates();
+        let space = app.space();
+        assert_eq!(space.len(), eager.len(), "{}", app.name());
+        let source = SpaceSource::full(app.as_ref());
+        assert_eq!(source.len(), eager.len(), "{}", app.name());
+        for (i, want) in eager.iter().enumerate() {
+            assert_eq!(source.label(i), want.label, "{} point {i}", app.name());
+            assert_eq!(source.get(i).as_ref(), want, "{} point {i}", app.name());
+        }
+        // Point ordinals number the enumeration densely, in order.
+        for (i, p) in space.points().enumerate() {
+            assert_eq!(p.ordinal(), i, "{}", app.name());
+        }
+    }
+}
+
+fn traced_search(source: &dyn CandidateSource, jobs: usize, faults: bool) -> (SearchReport, Trace) {
+    let spec = MachineSpec::geforce_8800_gtx();
+    let sink = Arc::new(EventSink::new());
+    let mut config = EngineConfig { jobs, ..Default::default() };
+    if faults {
+        config.fault_plan = Some(FaultPlan::with_seed(7));
+    }
+    let engine = EvalEngine::new(config).with_sink(Arc::clone(&sink));
+    let report = ExhaustiveSearch.run_source(&engine, source, &spec);
+    (report, sink.drain())
+}
+
+fn assert_eager_lazy_identical(jobs: usize, faults: bool) {
+    let app = Sad::test_problem();
+    let cands = app.candidates();
+    let (eager, eager_trace) = traced_search(&cands, jobs, faults);
+    let source = SpaceSource::full(&app);
+    let (lazy, lazy_trace) = traced_search(&source, jobs, faults);
+
+    let ctx = format!("jobs={jobs} faults={faults}");
+    assert_eq!(eager.statics, lazy.statics, "{ctx}");
+    assert_eq!(eager.simulated, lazy.simulated, "{ctx}");
+    assert_eq!(eager.best, lazy.best, "{ctx}");
+    assert_eq!(eager.quarantined, lazy.quarantined, "{ctx}");
+    assert_eq!(eager.stats, lazy.stats, "{ctx}");
+    assert_eq!(eager_trace.canonical_text(), lazy_trace.canonical_text(), "{ctx}");
+    assert_eq!(
+        eager.metrics.deterministic_json().to_string_compact(),
+        lazy.metrics.deterministic_json().to_string_compact(),
+        "{ctx}"
+    );
+    // The manifests — what a sharded sweep would actually diff — agree
+    // on everything except wall-clock runtime.
+    let spec = MachineSpec::geforce_8800_gtx();
+    let me = RunManifest::from_search("sad", &eager, &spec);
+    let ml = RunManifest::from_search("sad", &lazy, &spec);
+    assert_eq!(me.best, ml.best, "{ctx}");
+    assert_eq!(me.quarantined, ml.quarantined, "{ctx}");
+}
+
+#[test]
+fn eager_and_lazy_reports_are_identical_across_worker_counts() {
+    for jobs in [1, 2, 8] {
+        assert_eager_lazy_identical(jobs, false);
+    }
+}
+
+#[test]
+fn eager_and_lazy_reports_are_identical_under_fault_injection() {
+    for jobs in [1, 2, 8] {
+        assert_eager_lazy_identical(jobs, true);
+    }
+}
+
+#[test]
+fn filters_narrow_without_reordering() {
+    let mm = MatMul::test_problem();
+    let space = mm.space();
+    let selection = Selection { filters: vec![Filter::parse("tile=16").unwrap()], sample: None };
+    let points = selection.apply(&space).expect("tile is an axis");
+    assert_eq!(points.len(), 48);
+    // The survivors keep their enumeration order: ordinals ascend.
+    for pair in points.windows(2) {
+        assert!(pair[0].ordinal() < pair[1].ordinal());
+    }
+    // And every survivor decodes to a tile-16 configuration.
+    for p in &points {
+        assert_eq!(MatMul::config_of(p).tile, 16);
+    }
+    // Unknown axes are strict errors...
+    let bad = Selection { filters: vec![Filter::parse("tiel=16").unwrap()], sample: None };
+    assert!(bad.apply(&space).is_err());
+    // ...but lenient application ignores them (the multi-app sweep path).
+    assert_eq!(bad.apply_lenient(&space).len(), space.len());
+}
+
+#[test]
+fn sampling_is_seeded_and_order_preserving() {
+    let cp = Cp::paper_problem();
+    let space = cp.space();
+    let sel = |seed| Selection { filters: vec![], sample: Some(Sample { count: 7, seed }) };
+    let a = sel(1).apply(&space).unwrap();
+    let b = sel(1).apply(&space).unwrap();
+    let c = sel(2).apply(&space).unwrap();
+    assert_eq!(a, b, "same seed, same subset");
+    assert_ne!(a, c, "different seed, different subset");
+    assert_eq!(a.len(), 7);
+    for pair in a.windows(2) {
+        assert!(pair[0].ordinal() < pair[1].ordinal(), "sample preserves enumeration order");
+    }
+}
+
+#[test]
+fn empty_selection_flows_through_the_search_without_panicking() {
+    let mm = MatMul::test_problem();
+    let space = mm.space();
+    // tile=99 names a real axis with a value outside its range: an
+    // empty match, not an error.
+    let selection = Selection { filters: vec![Filter::parse("tile=99").unwrap()], sample: None };
+    let points = selection.apply(&space).expect("known axis");
+    assert!(points.is_empty());
+    let source = SpaceSource::new(&mm, points);
+    let (mut report, trace) = traced_search(&source, 2, false);
+    report.selection = Some(selection.record(0));
+    assert_eq!(report.space_size, 0);
+    assert_eq!(report.best, None);
+    assert!(report.quarantined.is_empty());
+    assert!(!trace.canonical_lines().is_empty(), "search begin/end still traced");
+    // The empty report still produces a parseable manifest that records
+    // the selection.
+    let spec = MachineSpec::geforce_8800_gtx();
+    let manifest = RunManifest::from_search("matmul", &report, &spec);
+    let back = RunManifest::parse_str(&manifest.to_json().to_string_pretty()).expect("parses");
+    assert_eq!(back, manifest);
+    assert_eq!(back.selection.expect("selection recorded").matched, 0);
+}
