@@ -8,7 +8,8 @@
 
 use gpu_arch::MachineSpec;
 use gpu_kernels::matmul::MatMul;
-use gpu_kernels::App;
+use gpu_kernels::{App, SpaceSource};
+use optspace::engine::EvalEngine;
 use optspace::report::{fmt_ms, table};
 use optspace::tuner::{ExhaustiveSearch, PrunedSearch, SearchStrategy};
 
@@ -16,10 +17,16 @@ fn main() {
     let g80 = MachineSpec::geforce_8800_gtx();
     let next = MachineSpec::gtx_280_like();
     let mm = MatMul::reduced_problem();
-    let cands = mm.candidates();
+    // The space size and the candidate labels both come from the
+    // declared space — `Space::len()`, not a hand-maintained count that
+    // a finer grid could silently outgrow.
+    let engine = EvalEngine::default();
+    let source = SpaceSource::full(&mm);
+    let labels = source.labels();
+    println!("space: {} configurations (declared)", mm.space().len());
 
-    let on_g80 = ExhaustiveSearch.run(&cands, &g80);
-    let on_next = ExhaustiveSearch.run(&cands, &next);
+    let on_g80 = ExhaustiveSearch.run_source(&engine, &source, &g80);
+    let on_next = ExhaustiveSearch.run_source(&engine, &source, &next);
     let (Some(best_g80), Some(best_next)) = (on_g80.best, on_next.best) else {
         println!("no configuration could be timed on one of the devices");
         return;
@@ -38,7 +45,7 @@ fn main() {
     ]];
     rows.push(vec![
         "8800 GTX".into(),
-        cands[best_g80].label.clone(),
+        labels[best_g80].clone(),
         fmt_ms(g80_time),
         "-".into(),
         "-".into(),
@@ -51,7 +58,7 @@ fn main() {
     };
     rows.push(vec![
         "GT200-like".into(),
-        cands[best_next].label.clone(),
+        labels[best_next].clone(),
         fmt_ms(fresh),
         carried,
         penalty,
@@ -59,7 +66,7 @@ fn main() {
     println!("{}", table(&rows));
 
     // And the pruned methodology transfers as-is.
-    let pruned = PrunedSearch::default().run(&cands, &next);
+    let pruned = PrunedSearch::default().run_source(&engine, &source, &next);
     let found = match pruned.best_time_ms() {
         Some(t) if (t / fresh - 1.0).abs() < 1e-9 => "yes",
         Some(_) => "NO",

@@ -6,20 +6,26 @@
 //!
 //! `--bench-out <path>` additionally writes every run's manifest into
 //! one JSON document (the committed `BENCH_pr3.json` trajectory point).
-//! The engine flags of the other experiment binaries (`--jobs`,
-//! `--sim-fuel`, `--retries`, ...) apply here too.
+//! `--bnb-out <path>` writes the exhaustive-vs-branch-and-bound
+//! comparison — simulations to reach the optimum, and the subspaces the
+//! bound discarded without instantiation — as the committed
+//! `BENCH_pr6.json` trajectory point. The engine flags of the other
+//! experiment binaries (`--jobs`, `--sim-fuel`, `--retries`, ...) apply
+//! here too.
 
 use std::sync::Arc;
 
 use gpu_arch::MachineSpec;
+use gpu_kernels::AppInstantiator;
 use optspace::obs::{EventSink, Json, RunManifest};
-use optspace::report::profile_table;
-use optspace::tuner::{PrunedSearch, SearchStrategy};
+use optspace::report::{profile_table, table};
+use optspace::tuner::{BranchAndBound, ExhaustiveSearch, PrunedSearch, SearchStrategy};
 use optspace_bench::{engine_from_args, flag_value, suite};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let bench_out: Option<String> = flag_value(&args, "--bench-out");
+    let bnb_out: Option<String> = flag_value(&args, "--bnb-out");
     let spec = MachineSpec::geforce_8800_gtx();
     let mut manifests: Vec<Json> = Vec::new();
     for app in suite() {
@@ -33,6 +39,60 @@ fn main() {
         println!("{}", profile_table(&report.metrics));
         manifests.push(RunManifest::from_search(app.name(), &report, &spec).to_json());
     }
+
+    // Exhaustive vs branch-and-bound: how many unique simulations each
+    // needs to certify the optimum, and how much of the space the bound
+    // discarded before instantiation.
+    let mut rows = vec![vec![
+        "app".to_string(),
+        "space".to_string(),
+        "exhaustive sims".to_string(),
+        "bnb sims".to_string(),
+        "bnb static evals".to_string(),
+        "pruned subspaces".to_string(),
+        "pruned points".to_string(),
+        "optimum".to_string(),
+    ]];
+    let mut comparisons: Vec<Json> = Vec::new();
+    for app in suite() {
+        let engine = engine_from_args(&args);
+        let space = app.space();
+        let exhaustive = ExhaustiveSearch.run_source(
+            &engine,
+            &gpu_kernels::SpaceSource::full(app.as_ref()),
+            &spec,
+        );
+        let bnb = BranchAndBound.run_space(&engine, &space, &AppInstantiator(app.as_ref()), &spec);
+        let same = match (exhaustive.best_time_ms(), bnb.best_time_ms()) {
+            (Some(a), Some(b)) => (b / a - 1.0).abs() < 1e-9,
+            (None, None) => true,
+            _ => false,
+        };
+        rows.push(vec![
+            app.name().to_string(),
+            space.len().to_string(),
+            exhaustive.stats.unique_sims.to_string(),
+            bnb.stats.unique_sims.to_string(),
+            bnb.stats.static_evals.to_string(),
+            bnb.stats.bound_pruned_subspaces.to_string(),
+            bnb.stats.bound_pruned_points.to_string(),
+            if same { "match".to_string() } else { "MISMATCH".to_string() },
+        ]);
+        comparisons.push(Json::obj([
+            ("app", Json::from(app.name())),
+            ("space", Json::from(space.len() as u64)),
+            ("exhaustive_sims", Json::from(exhaustive.stats.unique_sims as u64)),
+            ("bnb_sims", Json::from(bnb.stats.unique_sims as u64)),
+            ("bnb_static_evals", Json::from(bnb.stats.static_evals as u64)),
+            ("bound_pruned_subspaces", Json::from(bnb.stats.bound_pruned_subspaces as u64)),
+            ("bound_pruned_points", Json::from(bnb.stats.bound_pruned_points as u64)),
+            ("optimum_matches", Json::from(same)),
+            ("best_time_ms", bnb.best_time_ms().map(Json::from).unwrap_or(Json::Null)),
+        ]));
+    }
+    println!("== exhaustive vs branch-and-bound ==");
+    println!("{}", table(&rows));
+
     if let Some(path) = bench_out {
         let doc = Json::obj([
             ("bench", Json::from("pr3")),
@@ -44,6 +104,26 @@ fn main() {
         ]);
         match std::fs::write(&path, doc.to_string_pretty()) {
             Ok(()) => println!("manifests -> {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = bnb_out {
+        let doc = Json::obj([
+            ("bench", Json::from("pr6")),
+            (
+                "description",
+                Json::from(
+                    "exhaustive vs branch-and-bound simulations-to-optimum for the four \
+                     Table-4 applications",
+                ),
+            ),
+            ("comparisons", Json::Arr(comparisons)),
+        ]);
+        match std::fs::write(&path, doc.to_string_pretty()) {
+            Ok(()) => println!("comparison -> {path}"),
             Err(e) => {
                 eprintln!("cannot write {path}: {e}");
                 std::process::exit(1);

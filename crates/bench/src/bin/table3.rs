@@ -8,7 +8,8 @@
 //! SFU-friendly math must show the largest wins.
 
 use gpu_arch::MachineSpec;
-use gpu_kernels::{cp::Cp, matmul::MatMul, mri_fhd::MriFhd, sad::Sad, App};
+use gpu_kernels::{cp::Cp, matmul::MatMul, mri_fhd::MriFhd, sad::Sad, App, SpaceSource};
+use optspace::engine::EvalEngine;
 use optspace::report::{fmt_ms, table};
 use optspace::tuner::{ExhaustiveSearch, SearchStrategy};
 use std::time::Instant;
@@ -27,21 +28,33 @@ fn time_cpu(mut f: impl FnMut()) -> f64 {
 
 fn main() {
     let spec = MachineSpec::geforce_8800_gtx();
+    let engine = EvalEngine::default();
     let mut rows = vec![vec![
         "Application".to_string(),
+        "Space".to_string(),
         "CPU ref".to_string(),
         "GPU best (sim)".to_string(),
         "Speedup".to_string(),
     ]];
 
     let mut add = |name: &str, cpu_ms: f64, app: &dyn App| {
-        let r = ExhaustiveSearch.run(&app.candidates(), &spec);
+        // Space size comes from the declared space, never a hand count —
+        // the same `Space::len()` every search strategy sees.
+        let size = app.space().len();
+        let r = ExhaustiveSearch.run_source(&engine, &SpaceSource::full(app), &spec);
         let Some(gpu_ms) = r.best_time_ms() else {
-            rows.push(vec![name.to_string(), fmt_ms(cpu_ms), "-".into(), "-".into()]);
+            rows.push(vec![
+                name.to_string(),
+                size.to_string(),
+                fmt_ms(cpu_ms),
+                "-".into(),
+                "-".into(),
+            ]);
             return;
         };
         rows.push(vec![
             name.to_string(),
+            size.to_string(),
             fmt_ms(cpu_ms),
             fmt_ms(gpu_ms),
             format!("{:.1}x", cpu_ms / gpu_ms),

@@ -280,6 +280,13 @@ pub struct EngineStats {
     pub stall_arith_cycles: u64,
     /// Issue-port stall cycles from control flow and barriers.
     pub stall_other_cycles: u64,
+    /// Subspaces a branch-and-bound search discarded because their
+    /// admissible lower bound exceeded the incumbent.
+    pub bound_pruned_subspaces: usize,
+    /// Configurations eliminated by bound pruning without ever being
+    /// instantiated (admitted completions of pruned subspaces, minus
+    /// the few corner points probed while computing bounds).
+    pub bound_pruned_points: usize,
 }
 
 /// The shared evaluation engine. See the module docs.
@@ -520,6 +527,10 @@ impl EvalEngine {
     ) -> Vec<Option<TimingReport>> {
         let phase_started = Instant::now();
         self.emit(EventKind::Begin, "phase.timing", vec![("selected", Json::from(selected.len()))]);
+        // `stats` may arrive pre-populated (batched searches reuse one
+        // accumulator across many calls), so the cache-hit derivation
+        // at the end of the phase must work on this call's deltas.
+        let (timed_at_entry, unique_at_entry) = (stats.timed, stats.unique_sims);
         let mut simulated: Vec<Option<TimingReport>> = vec![None; source.len()];
         let plan = self.config.fault_plan;
 
@@ -794,7 +805,8 @@ impl EvalEngine {
                 }
             }
         }
-        stats.cache_hits += stats.timed.saturating_sub(stats.unique_sims);
+        stats.cache_hits +=
+            (stats.timed - timed_at_entry).saturating_sub(stats.unique_sims - unique_at_entry);
         self.emit(
             EventKind::End,
             "phase.timing",

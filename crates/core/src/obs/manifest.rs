@@ -118,6 +118,11 @@ pub struct RunManifest {
     /// under, if any. Serialized tolerantly (absent/`null` means none),
     /// so pre-selection manifests still parse under schema 1.
     pub selection: Option<SelectionRecord>,
+    /// Which declared grid the app built its space from (`--grid`),
+    /// when the app offers more than one (e.g. matmul's `coarse` /
+    /// `fine`). Absent/`null` means the app's single default grid;
+    /// serialized tolerantly so earlier manifests still parse.
+    pub grid: Option<String>,
 }
 
 impl RunManifest {
@@ -164,7 +169,14 @@ impl RunManifest {
             metrics: report.metrics,
             quarantine_by_kind: by_kind,
             selection: report.selection.clone(),
+            grid: None,
         }
+    }
+
+    /// Record which declared grid the space came from.
+    pub fn with_grid(mut self, grid: impl Into<String>) -> Self {
+        self.grid = Some(grid.into());
+        self
     }
 
     /// Serialize to a JSON value.
@@ -208,6 +220,13 @@ impl RunManifest {
                 match &self.selection {
                     None => Json::Null,
                     Some(sel) => sel.to_json(),
+                },
+            ),
+            (
+                "grid",
+                match &self.grid {
+                    None => Json::Null,
+                    Some(g) => Json::from(g.as_str()),
                 },
             ),
         ])
@@ -271,6 +290,10 @@ impl RunManifest {
             selection: match j.get("selection") {
                 None | Some(Json::Null) => None,
                 Some(sel) => Some(SelectionRecord::from_json(sel).ok_or("selection: malformed")?),
+            },
+            grid: match j.get("grid") {
+                None | Some(Json::Null) => None,
+                Some(g) => Some(g.as_str().ok_or("grid not a string")?.to_string()),
             },
         })
     }
@@ -351,6 +374,24 @@ mod tests {
             pairs.retain(|(k, _)| k != "selection");
         }
         assert_eq!(RunManifest::from_json(&j).expect("tolerant parse").selection, None);
+    }
+
+    #[test]
+    fn grid_round_trips_and_absent_grid_parses() {
+        let spec = MachineSpec::geforce_8800_gtx();
+        let space = tiny_space();
+        let report = ExhaustiveSearch.run(&space, &spec);
+        let manifest = RunManifest::from_search("tiny", &report, &spec).with_grid("fine");
+        let text = manifest.to_json().to_string_compact();
+        let back = RunManifest::parse_str(&text).expect("round trip parses");
+        assert_eq!(back.grid.as_deref(), Some("fine"));
+
+        // A pre-grid manifest (no `grid` key at all) still parses.
+        let mut j = manifest.to_json();
+        if let Json::Obj(pairs) = &mut j {
+            pairs.retain(|(k, _)| k != "grid");
+        }
+        assert_eq!(RunManifest::from_json(&j).expect("tolerant parse").grid, None);
     }
 
     #[test]

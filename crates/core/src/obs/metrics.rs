@@ -116,6 +116,11 @@ pub struct EngineMetrics {
     pub stall_arith_cycles: u64,
     /// Issue-port idle cycles from control flow and barriers.
     pub stall_other_cycles: u64,
+    /// Subspaces a branch-and-bound search discarded by bound.
+    pub bound_pruned_subspaces: u64,
+    /// Configurations eliminated by bound pruning without ever being
+    /// instantiated.
+    pub bound_pruned_points: u64,
     /// Wall-clock measurements (nondeterministic).
     pub runtime: RuntimeMetrics,
 }
@@ -142,6 +147,8 @@ impl EngineMetrics {
             stall_sfu_cycles: stats.stall_sfu_cycles,
             stall_arith_cycles: stats.stall_arith_cycles,
             stall_other_cycles: stats.stall_other_cycles,
+            bound_pruned_subspaces: stats.bound_pruned_subspaces as u64,
+            bound_pruned_points: stats.bound_pruned_points as u64,
             runtime: RuntimeMetrics::default(),
         }
     }
@@ -191,6 +198,8 @@ impl EngineMetrics {
             ("stall_sfu_cycles", Json::from(self.stall_sfu_cycles)),
             ("stall_arith_cycles", Json::from(self.stall_arith_cycles)),
             ("stall_other_cycles", Json::from(self.stall_other_cycles)),
+            ("bound_pruned_subspaces", Json::from(self.bound_pruned_subspaces)),
+            ("bound_pruned_points", Json::from(self.bound_pruned_points)),
         ]
     }
 
@@ -233,6 +242,14 @@ impl EngineMetrics {
             stall_sfu_cycles: u("stall_sfu_cycles")?,
             stall_arith_cycles: u("stall_arith_cycles")?,
             stall_other_cycles: u("stall_other_cycles")?,
+            // Absent in snapshots written before branch-and-bound
+            // existed (e.g. committed BENCH files): default to zero
+            // instead of rejecting them.
+            bound_pruned_subspaces: j
+                .get("bound_pruned_subspaces")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            bound_pruned_points: j.get("bound_pruned_points").and_then(Json::as_u64).unwrap_or(0),
             runtime: RuntimeMetrics::from_json(
                 j.get("runtime").ok_or("metrics: missing `runtime`")?,
             )?,
@@ -262,8 +279,27 @@ mod tests {
             stall_sfu_cycles: 30,
             stall_arith_cycles: 400,
             stall_other_cycles: 90,
+            bound_pruned_subspaces: 5,
+            bound_pruned_points: 70,
             ..Default::default()
         }
+    }
+
+    #[test]
+    fn snapshots_without_bound_counters_parse_as_zero() {
+        // BENCH files written before branch-and-bound existed lack the
+        // bound_pruned_* keys; they must still parse.
+        let mut m = EngineMetrics::from_stats(&sample_stats());
+        m.bound_pruned_subspaces = 0;
+        m.bound_pruned_points = 0;
+        let text = m
+            .to_json()
+            .to_string_compact()
+            .replace("\"bound_pruned_subspaces\":0,", "")
+            .replace("\"bound_pruned_points\":0,", "");
+        assert!(!text.contains("bound_pruned"));
+        let back = EngineMetrics::from_json(&super::super::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, m);
     }
 
     #[test]

@@ -137,6 +137,14 @@ pub fn profile_table(m: &EngineMetrics) -> String {
     row("family members", m.family_members.to_string(), String::new());
     row("retries", m.retries.to_string(), String::new());
     row("quarantined", m.quarantined.to_string(), String::new());
+    if m.bound_pruned_subspaces > 0 || m.bound_pruned_points > 0 {
+        row("bound-pruned subspaces", m.bound_pruned_subspaces.to_string(), String::new());
+        row(
+            "bound-pruned points",
+            m.bound_pruned_points.to_string(),
+            pct(m.bound_pruned_points, m.bound_pruned_points + m.static_evals),
+        );
+    }
     row("fuel consumed", m.fuel_consumed.to_string(), String::new());
     row("sim cycles", m.sim_cycles.to_string(), String::new());
     let stalls = m.stall_total_cycles();
@@ -252,6 +260,14 @@ mod tests {
         assert!(t.contains("cache hit rate"));
         assert!(t.contains("75.0%"));
         assert!(!t.contains("worker utilization"), "no runtime data yet:\n{t}");
+        assert!(!t.contains("bound-pruned"), "no bound pruning happened:\n{t}");
+        m.bound_pruned_subspaces = 3;
+        m.bound_pruned_points = 90;
+        let t = profile_table(&m);
+        assert!(t.contains("bound-pruned subspaces"));
+        assert!(t.contains("90.0%"), "90 pruned of 100 considered:\n{t}");
+        m.bound_pruned_subspaces = 0;
+        m.bound_pruned_points = 0;
         m.runtime.jobs = 4;
         m.runtime.static_wall_us = 500;
         m.runtime.timing_wall_us = 1_500;

@@ -9,13 +9,21 @@
 //! - [`Space`]: the cross product of axes, narrowed by structural
 //!   [constraints](SpaceBuilder::constraint), enumerated in a fixed
 //!   lexicographic order (last axis fastest);
-//! - [`Point`]: one typed assignment of every axis, whose `Display`
-//!   reproduces the application's label format;
+//! - [`PartialPoint`]: a *partially* specified assignment — some axes
+//!   bound to one value, the rest still carrying their full domains —
+//!   with [`bind`](PartialPoint::bind), [`split`](PartialPoint::split)
+//!   and [`completions`](PartialPoint::completions) operations;
+//! - [`Point`]: the fully-bound special case — one typed assignment of
+//!   every axis, whose `Display` reproduces the application's label
+//!   format;
 //! - [`Selection`]: declarative narrowing (`--filter axis=value`,
 //!   `--sample n --sample-seed s`) applied to a space before a search;
 //! - [`CandidateSource`]: the engine-facing abstraction that lets a
 //!   search run either over an eager `&[Candidate]` slice or over
-//!   points instantiated lazily inside the worker pool.
+//!   points instantiated lazily inside the worker pool;
+//! - [`Instantiator`]: the point-to-candidate hook that lets subspace
+//!   searches ([`BranchAndBound`](crate::tuner::BranchAndBound))
+//!   instantiate frontier leaves and probe corners on demand.
 //!
 //! Enumeration order is part of the contract: candidate indices,
 //! report layouts, and trace events all key off a point's ordinal, so
@@ -141,6 +149,29 @@ impl SpaceCore {
     fn admits(&self, point: &Point) -> bool {
         self.constraints.iter().all(|c| (c.pred)(point))
     }
+
+    /// Mixed-radix rank of a full grid assignment (one value index per
+    /// axis), in enumeration order: last axis fastest.
+    fn rank_of(&self, counters: &[usize]) -> usize {
+        let mut rank = 0usize;
+        for (c, a) in counters.iter().zip(&self.axes) {
+            rank = rank * a.values.len() + c;
+        }
+        rank
+    }
+
+    /// Inverse of [`rank_of`]: decode a full-grid rank back into one
+    /// value index per axis.
+    fn counters_of(&self, rank: usize) -> Vec<usize> {
+        let mut counters = vec![0usize; self.axes.len()];
+        let mut r = rank;
+        for slot in (0..self.axes.len()).rev() {
+            let n = self.axes[slot].values.len();
+            counters[slot] = r % n;
+            r /= n;
+        }
+        counters
+    }
 }
 
 impl fmt::Debug for SpaceCore {
@@ -196,13 +227,43 @@ impl Space {
 
     /// Enumerate the constraint-satisfying points in lexicographic
     /// order over the declared axes.
+    ///
+    /// This is the dense renumbering of
+    /// [`partial().completions()`](PartialPoint::completions): the
+    /// fully-unbound partial point's completions are the whole space,
+    /// and `points()` assigns them consecutive ordinals.
     pub fn points(&self) -> Points {
-        Points {
-            core: Arc::clone(&self.core),
-            counters: vec![0; self.core.axes.len()],
-            ordinal: 0,
-            done: self.grid_len() == 0,
-        }
+        Points { inner: self.partial().completions(), ordinal: 0 }
+    }
+
+    /// The fully-unbound partial assignment over this space: the root
+    /// subspace a branch-and-bound search starts from.
+    pub fn partial(&self) -> PartialPoint {
+        PartialPoint { bound: vec![None; self.core.axes.len()], core: Arc::clone(&self.core) }
+    }
+
+    /// A probe point at an explicit full assignment. Its ordinal is the
+    /// assignment's full-grid rank, *not* a dense enumeration ordinal,
+    /// and the assignment is **not** checked against the constraints —
+    /// bound probes deliberately evaluate corners the space excludes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not assign every axis a value from that
+    /// axis's domain — probe corners are always built from domain
+    /// values, so a mismatch is a programming error.
+    pub fn probe_point(&self, values: Vec<Value>) -> Point {
+        assert_eq!(values.len(), self.core.axes.len(), "probe point must assign every axis");
+        let counters: Vec<usize> = values
+            .iter()
+            .zip(&self.core.axes)
+            .map(|(v, a)| {
+                a.values.iter().position(|w| w == v).unwrap_or_else(|| {
+                    panic!("probe value {v} is outside the domain of axis `{}`", a.name)
+                })
+            })
+            .collect();
+        Point { values, ordinal: self.core.rank_of(&counters), core: Arc::clone(&self.core) }
     }
 }
 
@@ -301,6 +362,18 @@ impl Point {
     pub fn values(&self) -> &[Value] {
         &self.values
     }
+
+    /// View this point as the fully-bound partial point it is: every
+    /// axis bound to this point's value.
+    pub fn to_partial(&self) -> PartialPoint {
+        let bound = self
+            .values
+            .iter()
+            .zip(&self.core.axes)
+            .map(|(v, a)| Some(a.values.iter().position(|w| w == v).expect("value in domain")))
+            .collect();
+        PartialPoint { bound, core: Arc::clone(&self.core) }
+    }
 }
 
 impl fmt::Display for Point {
@@ -333,20 +406,216 @@ impl PartialEq for Point {
     }
 }
 
-/// Iterator over a space's constraint-satisfying points. See
-/// [`Space::points`].
-pub struct Points {
+/// A partially specified point: a typed set of bound axes plus the
+/// unbound axes' full domains. A [`Point`] is the fully-bound special
+/// case (see [`Point::to_partial`] / [`PartialPoint::as_point`]).
+///
+/// Partial points denote *subspaces* — the set of
+/// [`completions`](PartialPoint::completions) obtained by assigning
+/// every unbound axis — and are the unit a branch-and-bound search
+/// bounds and prunes. The canonical refinement order is deterministic:
+/// [`split`](PartialPoint::split) always binds the **first unbound
+/// axis in declaration order**, producing one child per domain value
+/// in declaration order, so the subspace tree (and any frontier keyed
+/// on it) is identical from run to run.
+#[derive(Clone)]
+pub struct PartialPoint {
+    /// Per axis: `Some(value index)` when bound, `None` when unbound.
+    bound: Vec<Option<usize>>,
     core: Arc<SpaceCore>,
+}
+
+impl PartialPoint {
+    /// The declared axes, in enumeration order.
+    pub fn axes(&self) -> &[Axis] {
+        &self.core.axes
+    }
+
+    /// Whether every axis is bound (the subspace is a single point).
+    pub fn is_complete(&self) -> bool {
+        self.bound.iter().all(Option::is_some)
+    }
+
+    /// How many axes are still unbound.
+    pub fn unbound_len(&self) -> usize {
+        self.bound.iter().filter(|b| b.is_none()).count()
+    }
+
+    /// The value bound to axis `name`, or `None` while it is unbound
+    /// (or the axis does not exist).
+    pub fn value(&self, name: &str) -> Option<Value> {
+        let i = self.core.axis_index(name)?;
+        self.bound[i].map(|v| self.core.axes[i].values[v])
+    }
+
+    /// The value *index* bound to axis `axis` (by position), or `None`
+    /// while it is unbound or out of range.
+    pub fn binding(&self, axis: usize) -> Option<usize> {
+        self.bound.get(axis).copied().flatten()
+    }
+
+    /// Bind axis `name` to `value`, narrowing the subspace. Returns
+    /// `None` if the axis does not exist or `value` is outside its
+    /// domain; re-binding a bound axis to a different value also
+    /// returns `None` (the subspace would be empty).
+    pub fn bind(&self, name: &str, value: Value) -> Option<PartialPoint> {
+        let axis = self.core.axis_index(name)?;
+        let idx = self.core.axes[axis].values.iter().position(|w| *w == value)?;
+        match self.bound[axis] {
+            Some(prev) if prev != idx => None,
+            _ => Some(self.bind_index(axis, idx)),
+        }
+    }
+
+    fn bind_index(&self, axis: usize, idx: usize) -> PartialPoint {
+        let mut next = self.clone();
+        next.bound[axis] = Some(idx);
+        next
+    }
+
+    /// The axis index [`split`](Self::split) will bind: the first
+    /// unbound axis in declaration order. `None` when complete.
+    pub fn split_axis(&self) -> Option<usize> {
+        self.bound.iter().position(Option::is_none)
+    }
+
+    /// Partition this subspace along the first unbound axis: one child
+    /// per domain value, in declaration order. Complete points return
+    /// an empty vector.
+    pub fn split(&self) -> Vec<PartialPoint> {
+        let Some(axis) = self.split_axis() else {
+            return Vec::new();
+        };
+        (0..self.core.axes[axis].values.len()).map(|idx| self.bind_index(axis, idx)).collect()
+    }
+
+    /// Enumerate the constraint-admitted completions of this subspace
+    /// in lexicographic order (last unbound axis fastest). Each yielded
+    /// point's ordinal is its **full-grid rank**, not a dense index —
+    /// [`Space::points`] is the dense renumbering of the root partial's
+    /// completions.
+    pub fn completions(&self) -> Completions {
+        let counters: Vec<usize> = self.bound.iter().map(|b| b.unwrap_or(0)).collect();
+        let done = self.grid_count() == 0;
+        Completions { partial: self.clone(), counters, done }
+    }
+
+    /// The number of grid tuples in this subspace, before constraints.
+    pub fn grid_count(&self) -> usize {
+        self.bound
+            .iter()
+            .zip(&self.core.axes)
+            .map(|(b, a)| if b.is_some() { 1 } else { a.values.len() })
+            .product()
+    }
+
+    /// The number of constraint-admitted completions.
+    pub fn admitted_count(&self) -> usize {
+        if self.core.constraints.is_empty() {
+            self.grid_count()
+        } else {
+            self.completions().count()
+        }
+    }
+
+    /// The full-grid rank of this subspace's lexicographically first
+    /// tuple — the canonical tie-breaking key for frontier ordering.
+    pub fn first_grid_rank(&self) -> usize {
+        let counters: Vec<usize> = self.bound.iter().map(|b| b.unwrap_or(0)).collect();
+        self.core.rank_of(&counters)
+    }
+
+    /// The single point this subspace denotes, when complete. Its
+    /// ordinal is the full-grid rank (as for completions).
+    pub fn as_point(&self) -> Option<Point> {
+        if !self.is_complete() {
+            return None;
+        }
+        let counters: Vec<usize> = self.bound.iter().map(|b| b.expect("complete")).collect();
+        Some(Point {
+            values: counters.iter().zip(&self.core.axes).map(|(&c, a)| a.values[c]).collect(),
+            ordinal: self.core.rank_of(&counters),
+            core: Arc::clone(&self.core),
+        })
+    }
+
+    /// Whether the full-grid tuple at `rank` lies inside this subspace
+    /// *and* satisfies the space's constraints. Branch-and-bound
+    /// accounting uses this to avoid counting an already-probed corner
+    /// as "eliminated without instantiation" when its subspace is
+    /// pruned.
+    pub fn contains_admitted_rank(&self, rank: usize) -> bool {
+        let total: usize = self.core.axes.iter().map(|a| a.values.len()).product();
+        if rank >= total {
+            return false;
+        }
+        let counters = self.core.counters_of(rank);
+        if !self.bound.iter().zip(&counters).all(|(b, &c)| b.is_none_or(|b| b == c)) {
+            return false;
+        }
+        let point = Point {
+            values: counters.iter().zip(&self.core.axes).map(|(&c, a)| a.values[c]).collect(),
+            ordinal: rank,
+            core: Arc::clone(&self.core),
+        };
+        self.core.admits(&point)
+    }
+
+    /// A full assignment with bound axes at their bound value and each
+    /// unbound axis `i` at value index `fill[i]` — the optimistic
+    /// "corner" a bound probe evaluates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fill` is shorter than the axis list or a fill index
+    /// is outside its axis domain.
+    pub fn corner_values(&self, fill: &[usize]) -> Vec<Value> {
+        self.bound
+            .iter()
+            .zip(&self.core.axes)
+            .enumerate()
+            .map(|(i, (b, a))| a.values[b.unwrap_or(fill[i])])
+            .collect()
+    }
+}
+
+impl fmt::Display for PartialPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (axis, b)) in self.core.axes.iter().zip(&self.bound).enumerate() {
+            if i > 0 {
+                f.write_str("/")?;
+            }
+            match b {
+                Some(idx) => write!(f, "{}={}", axis.name, axis.values[*idx])?,
+                None => write!(f, "{}=*", axis.name)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for PartialPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PartialPoint({self})")
+    }
+}
+
+/// Iterator over a subspace's admitted completions. See
+/// [`PartialPoint::completions`].
+pub struct Completions {
+    partial: PartialPoint,
     counters: Vec<usize>,
-    ordinal: usize,
     done: bool,
 }
 
-impl Points {
+impl Completions {
     fn advance(&mut self) -> bool {
         for slot in (0..self.counters.len()).rev() {
+            if self.partial.bound[slot].is_some() {
+                continue;
+            }
             self.counters[slot] += 1;
-            if self.counters[slot] < self.core.axes[slot].values.len() {
+            if self.counters[slot] < self.partial.core.axes[slot].values.len() {
                 return true;
             }
             self.counters[slot] = 0;
@@ -355,28 +624,41 @@ impl Points {
     }
 }
 
-impl Iterator for Points {
+impl Iterator for Completions {
     type Item = Point;
 
     fn next(&mut self) -> Option<Point> {
         while !self.done {
+            let core = &self.partial.core;
             let point = Point {
-                values: self
-                    .counters
-                    .iter()
-                    .zip(&self.core.axes)
-                    .map(|(&c, a)| a.values[c])
-                    .collect(),
-                ordinal: self.ordinal,
-                core: Arc::clone(&self.core),
+                values: self.counters.iter().zip(&core.axes).map(|(&c, a)| a.values[c]).collect(),
+                ordinal: core.rank_of(&self.counters),
+                core: Arc::clone(core),
             };
             self.done = !self.advance();
-            if self.core.admits(&point) {
-                self.ordinal += 1;
+            if self.partial.core.admits(&point) {
                 return Some(point);
             }
         }
         None
+    }
+}
+
+/// Iterator over a space's constraint-satisfying points. See
+/// [`Space::points`].
+pub struct Points {
+    inner: Completions,
+    ordinal: usize,
+}
+
+impl Iterator for Points {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Point> {
+        let mut point = self.inner.next()?;
+        point.ordinal = self.ordinal;
+        self.ordinal += 1;
+        Some(point)
     }
 }
 
@@ -656,6 +938,63 @@ impl CandidateSource for Vec<Candidate> {
     }
 }
 
+/// Point-to-candidate instantiation, as a capability a subspace search
+/// can invoke on demand — for frontier leaves it is about to evaluate
+/// and for the optimistic corners a lower bound probes.
+///
+/// The contract mirrors [`CandidateSource`]: `instantiate` must be
+/// deterministic (the same point always yields the same candidate), and
+/// the candidate's label must equal the point's `Display` form.
+pub trait Instantiator: Sync {
+    /// Build the candidate for a (fully bound) point.
+    fn instantiate(&self, point: &Point) -> Candidate;
+
+    /// Adjust an arbitrary grid assignment to one the generator can
+    /// build. Bound probes evaluate per-axis-optimistic corners that
+    /// may violate a space's structural constraints (e.g. an unroll
+    /// factor that does not divide a trip count); an application whose
+    /// generator rejects such tuples overrides this to snap the
+    /// offending axes to the nearest buildable — and no more costly —
+    /// setting. The default accepts every assignment unchanged.
+    fn legalize(&self, space: &Space, values: &mut [Value]) {
+        let _ = (space, values);
+    }
+}
+
+/// A lazy [`CandidateSource`] over an explicit list of points — the
+/// frontier leaves a branch-and-bound wave hands to the engine.
+/// Candidates are instantiated on the calling (worker) thread.
+pub struct PointBatch<'a> {
+    points: Vec<Point>,
+    inst: &'a dyn Instantiator,
+}
+
+impl<'a> PointBatch<'a> {
+    /// Wrap a batch of points and their instantiator.
+    pub fn new(points: Vec<Point>, inst: &'a dyn Instantiator) -> Self {
+        PointBatch { points, inst }
+    }
+
+    /// The points in this batch, in submission order.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+}
+
+impl CandidateSource for PointBatch<'_> {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn label(&self, index: usize) -> String {
+        self.points[index].to_string()
+    }
+
+    fn get(&self, index: usize) -> Cow<'_, Candidate> {
+        Cow::Owned(self.inst.instantiate(&self.points[index]))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -801,6 +1140,105 @@ mod tests {
 
         let plain = SelectionRecord { filters: Vec::new(), sample: None, matched: 96 };
         assert_eq!(SelectionRecord::from_json(&plain.to_json()).unwrap(), plain);
+    }
+
+    #[test]
+    fn partial_bind_split_and_completions() {
+        let s = toy_space();
+        let root = s.partial();
+        assert!(!root.is_complete());
+        assert_eq!(root.unbound_len(), 3);
+        assert_eq!(root.grid_count(), 12);
+        assert_eq!(root.admitted_count(), 12);
+        assert_eq!(root.first_grid_rank(), 0);
+        assert_eq!(root.to_string(), "tile=*/unroll=*/prefetch=*");
+
+        // Split binds the first unbound axis, children in value order.
+        let children = root.split();
+        assert_eq!(children.len(), 2);
+        assert_eq!(children[0].value("tile"), Some(Value::U32(8)));
+        assert_eq!(children[1].value("tile"), Some(Value::U32(16)));
+        assert_eq!(children[1].first_grid_rank(), 6);
+        assert_eq!(children[1].grid_count(), 6);
+
+        // Completions enumerate in full-grid order with grid-rank
+        // ordinals, restricted to the subspace.
+        let ranks: Vec<usize> = children[1].completions().map(|p| p.ordinal()).collect();
+        assert_eq!(ranks, vec![6, 7, 8, 9, 10, 11]);
+
+        // bind() narrows by value; bad binds are None.
+        let narrowed = root.bind("unroll", Value::U32(4)).unwrap();
+        assert_eq!(narrowed.grid_count(), 4);
+        assert!(root.bind("unroll", Value::U32(3)).is_none());
+        assert!(root.bind("missing", Value::U32(1)).is_none());
+        let rebound = narrowed.bind("unroll", Value::U32(4)).unwrap();
+        assert_eq!(rebound.grid_count(), 4);
+        assert!(narrowed.bind("unroll", Value::U32(2)).is_none());
+
+        // Fully binding reaches the Point special case.
+        let leaf = narrowed
+            .bind("tile", Value::U32(16))
+            .unwrap()
+            .bind("prefetch", Value::Bool(true))
+            .unwrap();
+        assert!(leaf.is_complete());
+        assert!(leaf.split().is_empty());
+        let p = leaf.as_point().unwrap();
+        assert_eq!(p.u32("tile"), 16);
+        assert_eq!(p.u32("unroll"), 4);
+        assert!(p.flag("prefetch"));
+        assert_eq!(p.ordinal(), 11);
+        // Round trip through the fully-bound view.
+        assert_eq!(p.to_partial().as_point().unwrap(), p);
+    }
+
+    #[test]
+    fn partial_completions_respect_constraints() {
+        let s = Space::builder()
+            .axis("a", [1u32, 2, 3])
+            .axis("b", [1u32, 2, 3])
+            .constraint("a divides b", |p| p.u32("b").is_multiple_of(p.u32("a")))
+            .build();
+        let sub = s.partial().bind("a", Value::U32(2)).unwrap();
+        assert_eq!(sub.grid_count(), 3);
+        assert_eq!(sub.admitted_count(), 1);
+        let got: Vec<(u32, u32)> = sub.completions().map(|p| (p.u32("a"), p.u32("b"))).collect();
+        assert_eq!(got, vec![(2, 2)]);
+        // The root's completions are the space, with grid-rank
+        // ordinals where points() renumbers densely.
+        let grid_ranks: Vec<usize> = s.partial().completions().map(|p| p.ordinal()).collect();
+        assert_eq!(grid_ranks, vec![0, 1, 2, 4, 8]);
+        let dense: Vec<usize> = s.points().map(|p| p.ordinal()).collect();
+        assert_eq!(dense, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn contains_admitted_rank_matches_completions() {
+        let s = Space::builder()
+            .axis("a", [1u32, 2, 3])
+            .axis("b", [1u32, 2, 3])
+            .constraint("a divides b", |p| p.u32("b").is_multiple_of(p.u32("a")))
+            .build();
+        let sub = s.partial().bind("a", Value::U32(2)).unwrap();
+        let admitted: Vec<usize> = sub.completions().map(|p| p.ordinal()).collect();
+        for rank in 0..s.grid_len() {
+            assert_eq!(sub.contains_admitted_rank(rank), admitted.contains(&rank), "rank {rank}");
+        }
+        assert!(!sub.contains_admitted_rank(999));
+    }
+
+    #[test]
+    fn corner_values_and_probe_points() {
+        let s = toy_space();
+        let sub = s.partial().bind("unroll", Value::U32(2)).unwrap();
+        // Fill indices: tile -> 1 (16), prefetch -> 0 (false); the
+        // bound axis keeps its value regardless of the fill.
+        let corner = sub.corner_values(&[1, 9, 0]);
+        assert_eq!(corner, vec![Value::U32(16), Value::U32(2), Value::Bool(false)]);
+        let probe = s.probe_point(corner);
+        assert_eq!(probe.u32("tile"), 16);
+        assert_eq!(probe.u32("unroll"), 2);
+        assert_eq!(probe.ordinal(), 8, "probe ordinal is the full-grid rank");
     }
 
     #[test]

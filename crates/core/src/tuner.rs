@@ -19,6 +19,8 @@
 //! (single-worker, unlimited) engine and reproduces the historical
 //! sequential behavior exactly.
 
+use std::collections::{BinaryHeap, HashMap};
+
 use gpu_arch::MachineSpec;
 use gpu_sim::timing::TimingReport;
 use rand::seq::SliceRandom;
@@ -27,9 +29,10 @@ use rand::SeedableRng;
 use crate::candidate::{Candidate, Evaluated};
 use crate::engine::{EngineStats, EvalEngine, MetricsEval, Quarantine, SimulatorEval};
 use crate::metrics::MetricsOptions;
+use crate::model::{LowerBound, ProbeBound};
 use crate::obs::{EngineMetrics, EventKind, Json, RuntimeMetrics};
 use crate::pareto::pareto_indices;
-use crate::space::{CandidateSource, SelectionRecord};
+use crate::space::{CandidateSource, Instantiator, PointBatch, SelectionRecord, Space};
 
 pub use crate::engine::LAUNCH_OVERHEAD_MS;
 
@@ -374,6 +377,281 @@ impl SearchStrategy for RandomSearch {
     }
 }
 
+/// Best-first branch-and-bound over a structured [`Space`]: subspaces
+/// ([`crate::space::PartialPoint`]s) sit on a frontier keyed by an admissible
+/// [`LowerBound`], and a subspace whose bound exceeds the incumbent
+/// (best simulated time so far) is discarded *whole* — none of its
+/// interior points is ever instantiated. This is the refactor the
+/// Telamon line of work motivates: prune subspaces, not candidates.
+///
+/// Exactness: pruning is strictly `bound > incumbent`, so any point at
+/// least as fast as the final optimum has `floor ≤ optimum ≤ incumbent`
+/// at every moment and can never be pruned — it is simulated, and
+/// `SearchReport::pick_best`'s first-index tie-break then matches
+/// exhaustive search configuration-for-configuration.
+///
+/// Determinism: the frontier is a binary min-heap ordered by
+/// `(bound, first_grid_rank)` — total on coexisting frontier nodes
+/// because splitting always binds the first unbound axis, so two
+/// coexisting subspaces differ somewhere in their common bound prefix
+/// and thus in their first grid rank. The main loop is sequential;
+/// worker parallelism lives entirely inside the engine's batch calls,
+/// which reassemble in deterministic order. Reports are therefore
+/// byte-identical at any `--jobs`.
+///
+/// A child's key is `max(parent key, child bound)`, which makes the
+/// popped-key sequence non-decreasing even if a bound implementation
+/// loses monotonicity to legalization; combined with a monotonically
+/// non-increasing incumbent, the *first* prune decision ends the
+/// search — everything still on the heap is pruned in one drain.
+///
+/// Used through [`BranchAndBound::run_space`]; the [`SearchStrategy`]
+/// impl exists so `bnb` slots into strategy tables, but over a plain
+/// candidate slice (no space structure to split) it degenerates to
+/// exhaustive selection.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BranchAndBound;
+
+/// A frontier entry: a subspace and its heap key. Ordered as a
+/// *min*-heap element on `(key, first grid rank)`.
+struct FrontierNode {
+    key: f64,
+    rank: usize,
+    partial: crate::space::PartialPoint,
+}
+
+impl PartialEq for FrontierNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.key.total_cmp(&other.key).is_eq() && self.rank == other.rank
+    }
+}
+impl Eq for FrontierNode {}
+impl PartialOrd for FrontierNode {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for FrontierNode {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest
+        // (bound, rank) on top.
+        other.key.total_cmp(&self.key).then_with(|| other.rank.cmp(&self.rank))
+    }
+}
+
+impl SearchStrategy for BranchAndBound {
+    fn name(&self) -> String {
+        "bnb".into()
+    }
+
+    /// Over a flat slice there is no subspace structure to bound, so
+    /// the fallback selection is exhaustive. The real entry point is
+    /// [`BranchAndBound::run_space`].
+    fn select(&self, statics: &[Option<Evaluated>]) -> Vec<usize> {
+        valid_indices(statics)
+    }
+}
+
+impl BranchAndBound {
+    /// Run branch-and-bound over a structured space with the production
+    /// [`ProbeBound`]. Only frontier leaves that survive bounding reach
+    /// instantiation and simulation; everything else is accounted in
+    /// `stats.bound_pruned_subspaces` / `stats.bound_pruned_points`.
+    pub fn run_space(
+        &self,
+        engine: &EvalEngine,
+        space: &Space,
+        inst: &dyn Instantiator,
+        spec: &MachineSpec,
+    ) -> SearchReport {
+        engine.emit(
+            EventKind::Begin,
+            "search",
+            vec![("strategy", Json::from(self.name())), ("space", Json::from(space.len()))],
+        );
+        let bound = ProbeBound::new(space, inst, spec);
+        let mut stats = engine.stats_seed();
+        let mut quarantined: Vec<Quarantine> = Vec::new();
+
+        let n = space.len();
+        let mut statics: Vec<Option<Evaluated>> = vec![None; n];
+        let mut simulated: Vec<Option<TimingReport>> = vec![None; n];
+
+        // Completions carry full-grid ranks; report vectors are indexed
+        // by the dense admitted ordering (`Space::points`). When the
+        // constraints exclude nothing the two coincide.
+        let constrained = space.len() != space.grid_len();
+        let dense_of: HashMap<usize, usize> = if constrained {
+            space.partial().completions().enumerate().map(|(d, p)| (p.ordinal(), d)).collect()
+        } else {
+            HashMap::new()
+        };
+        let dense = |grid_rank: usize| -> usize {
+            if constrained {
+                dense_of[&grid_rank]
+            } else {
+                grid_rank
+            }
+        };
+
+        let mut heap: BinaryHeap<FrontierNode> = BinaryHeap::new();
+        if n > 0 {
+            let root = space.partial();
+            let key = bound.bound_ms(&root);
+            heap.push(FrontierNode { key, rank: root.first_grid_rank(), partial: root });
+        }
+
+        let mut incumbent = f64::INFINITY;
+        let mut spent_ms = 0.0f64;
+        let mut pruned: Vec<crate::space::PartialPoint> = Vec::new();
+
+        while let Some(node) = heap.pop() {
+            if node.key > incumbent {
+                // Popped keys are non-decreasing and the incumbent only
+                // improves, so the first prune decision is terminal:
+                // everything still on the heap is at least as bounded.
+                engine.emit(
+                    EventKind::Point,
+                    "bound.prune",
+                    vec![
+                        ("subspaces", Json::from(heap.len() + 1)),
+                        ("first", Json::from(node.partial.to_string())),
+                        ("bound_ms", Json::from(node.key)),
+                        ("incumbent_ms", Json::from(incumbent)),
+                    ],
+                );
+                pruned.push(node.partial);
+                while let Some(rest) = heap.pop() {
+                    pruned.push(rest.partial);
+                }
+                break;
+            }
+            if node.partial.is_complete() {
+                // Batch the maximal run of ready leaves so the engine's
+                // per-call memoization and family forking see as many
+                // related points together as possible.
+                let mut points = vec![node.partial.as_point().expect("complete")];
+                while let Some(top) = heap.peek() {
+                    if top.partial.is_complete() && top.key <= incumbent {
+                        let leaf = heap.pop().expect("peeked");
+                        points.push(leaf.partial.as_point().expect("complete"));
+                    } else {
+                        break;
+                    }
+                }
+                let ranks: Vec<usize> = points.iter().map(crate::space::Point::ordinal).collect();
+                let batch = PointBatch::new(points, inst);
+
+                // Budgets are enforced per engine call; hand each batch
+                // only what the whole search has left.
+                let mut batch_engine = engine.clone();
+                if let Some(cap) = engine.config.budget.max_sims {
+                    batch_engine.config.budget.max_sims =
+                        Some(cap.saturating_sub(stats.unique_sims));
+                }
+                if let Some(deadline) = engine.config.budget.deadline_ms {
+                    batch_engine.config.budget.deadline_ms = Some(deadline - spent_ms);
+                }
+
+                let mut batch_quar: Vec<Quarantine> = Vec::new();
+                let batch_statics = batch_engine.evaluate_statics(
+                    &MetricsEval {
+                        options: self.metrics_options(),
+                        verify: false,
+                        check_races: engine.config.check_races,
+                    },
+                    &batch,
+                    spec,
+                    &mut stats,
+                    &mut batch_quar,
+                );
+                let selected = valid_indices(&batch_statics);
+                let batch_sims = batch_engine.simulate_selected(
+                    &SimulatorEval::with_fuel(engine.config.sim_fuel),
+                    &batch,
+                    &batch_statics,
+                    &selected,
+                    spec,
+                    &mut stats,
+                    &mut batch_quar,
+                );
+                for (local, grid_rank) in ranks.iter().copied().enumerate() {
+                    let d = dense(grid_rank);
+                    statics[d] = batch_statics[local].clone();
+                    if let Some(t) = &batch_sims[local] {
+                        incumbent = incumbent.min(t.time_ms);
+                        spent_ms += t.time_ms;
+                    }
+                    simulated[d] = batch_sims[local].clone();
+                }
+                for mut q in batch_quar {
+                    q.candidate = dense(ranks[q.candidate]);
+                    quarantined.push(q);
+                }
+                if stats.budget_truncated {
+                    // The budget, not the bound, cut this search short;
+                    // the remaining frontier is abandoned, not pruned.
+                    break;
+                }
+            } else {
+                for child in node.partial.split() {
+                    if constrained && child.completions().next().is_none() {
+                        // Constraint-empty, exactly the configurations
+                        // exhaustive search never enumerates either.
+                        continue;
+                    }
+                    let key = bound.bound_ms(&child).max(node.key);
+                    heap.push(FrontierNode { key, rank: child.first_grid_rank(), partial: child });
+                }
+            }
+        }
+
+        // Honest elimination accounting: of each pruned subspace's
+        // admitted completions, the corners the bound itself probed
+        // *were* instantiated — only the rest were eliminated sight
+        // unseen.
+        let probed = bound.instantiated_ranks();
+        stats.bound_pruned_subspaces = pruned.len();
+        for sub in &pruned {
+            let admitted = sub.admitted_count();
+            let probed_inside = probed.iter().filter(|&&r| sub.contains_admitted_rank(r)).count();
+            stats.bound_pruned_points += admitted.saturating_sub(probed_inside);
+        }
+
+        quarantined.sort_by_key(|q| q.candidate);
+        let mut report = SearchReport {
+            strategy: self.name(),
+            space_size: n,
+            statics,
+            simulated,
+            best: None,
+            quarantined,
+            stats,
+            metrics: EngineMetrics::default(),
+            selection: None,
+        };
+        report.pick_best();
+        report.metrics = EngineMetrics::from_stats(&report.stats);
+        if let Some(sink) = engine.sink() {
+            report.metrics = report.metrics.with_runtime(RuntimeMetrics::from_counters(
+                sink.runtime_counters(),
+                report.stats.jobs,
+            ));
+        }
+        engine.emit(EventKind::Counter, "engine.metrics", report.metrics.deterministic_fields());
+        engine.emit(
+            EventKind::End,
+            "search",
+            vec![
+                ("best", Json::from(report.best)),
+                ("best_time_ms", Json::from(report.best_time_ms())),
+                ("timed", Json::from(report.evaluated_count())),
+            ],
+        );
+        report
+    }
+}
+
 #[cfg(test)]
 pub(crate) mod tests {
     use super::*;
@@ -488,6 +766,86 @@ pub(crate) mod tests {
         let r = ExhaustiveSearch.run(&space, &g80());
         assert!(r.statics[12].is_none());
         assert!(r.simulated[12].is_none());
+    }
+
+    /// The synthetic space as a structured `Space` + `Instantiator`,
+    /// for exercising subspace search in-crate.
+    struct SyntheticInst;
+
+    impl crate::space::Instantiator for SyntheticInst {
+        fn instantiate(&self, p: &crate::space::Point) -> Candidate {
+            let space = synthetic_space();
+            let (tile, pad) = (p.u32("tile"), p.u32("pad"));
+            space
+                .into_iter()
+                .find(|c| c.label == format!("tile={tile}/pad={pad}"))
+                .expect("point maps to a synthetic candidate")
+        }
+    }
+
+    fn synthetic_structured() -> Space {
+        Space::builder().axis("tile", [1u32, 2, 4, 8]).axis("pad", [0u32, 8, 20]).build()
+    }
+
+    #[test]
+    fn branch_and_bound_matches_exhaustive_with_fewer_sims() {
+        let spec = g80();
+        let space = synthetic_structured();
+        let inst = SyntheticInst;
+        // Exhaustive over the same 12 candidates (the structured space
+        // omits the deliberately-invalid 13th configuration).
+        let eager: Vec<Candidate> = space.points().map(|p| inst.instantiate(&p)).collect();
+        let ex = ExhaustiveSearch.run(&eager, &spec);
+        let bb = BranchAndBound.run_space(&EvalEngine::default(), &space, &inst, &spec);
+        assert_eq!(bb.strategy, "bnb");
+        assert_eq!(bb.space_size, 12);
+        assert_eq!(bb.best_time_ms(), ex.best_time_ms());
+        assert_eq!(bb.best, ex.best);
+        assert!(
+            bb.stats.unique_sims < ex.stats.unique_sims,
+            "bnb {} sims !< exhaustive {}",
+            bb.stats.unique_sims,
+            ex.stats.unique_sims
+        );
+        assert!(bb.stats.bound_pruned_subspaces > 0);
+        // With only two axes, the conditioned calibration sweeps probe
+        // every point of every pruned subspace, so the points counter
+        // stays honest at zero here; `tests/branch_and_bound.rs` pins
+        // it nonzero on the real (deeper) application spaces.
+        assert!(bb.stats.bound_pruned_points + bb.evaluated_count() <= bb.space_size);
+    }
+
+    #[test]
+    fn branch_and_bound_is_jobs_invariant() {
+        let spec = g80();
+        let space = synthetic_structured();
+        let inst = SyntheticInst;
+        let seq = BranchAndBound.run_space(&EvalEngine::default(), &space, &inst, &spec);
+        for jobs in [2usize, 8] {
+            let par = BranchAndBound.run_space(&EvalEngine::with_jobs(jobs), &space, &inst, &spec);
+            assert_eq!(seq.best, par.best);
+            assert_eq!(seq.simulated, par.simulated);
+            assert_eq!(seq.stats.unique_sims, par.stats.unique_sims);
+            assert_eq!(seq.stats.bound_pruned_subspaces, par.stats.bound_pruned_subspaces);
+            assert_eq!(seq.stats.bound_pruned_points, par.stats.bound_pruned_points);
+        }
+    }
+
+    #[test]
+    fn branch_and_bound_respects_sim_budget() {
+        let spec = g80();
+        let space = synthetic_structured();
+        let inst = SyntheticInst;
+        let free = BranchAndBound.run_space(&EvalEngine::default(), &space, &inst, &spec);
+        assert!(free.stats.unique_sims >= 1);
+        // Cap the search below what it wants: it must stop at the cap
+        // and say so.
+        let cap = free.stats.unique_sims.saturating_sub(1);
+        let mut engine = EvalEngine::default();
+        engine.config.budget = crate::engine::EvalBudget::with_max_sims(cap);
+        let r = BranchAndBound.run_space(&engine, &space, &inst, &spec);
+        assert!(r.stats.unique_sims <= cap);
+        assert!(r.stats.budget_truncated);
     }
 
     /// The engine path with >1 worker must reproduce the sequential

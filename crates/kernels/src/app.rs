@@ -12,7 +12,7 @@
 use std::borrow::Cow;
 
 use optspace::candidate::Candidate;
-use optspace::space::{CandidateSource, Point, Space};
+use optspace::space::{CandidateSource, Instantiator, Point, Space, Value};
 
 /// A tunable application: a name, a declared configuration space, and a
 /// generator from points to candidates.
@@ -36,6 +36,31 @@ pub trait App: Sync {
     /// lazy instantiation through [`SpaceSource`].
     fn candidates(&self) -> Vec<Candidate> {
         self.space().points().map(|p| self.instantiate(&p)).collect()
+    }
+
+    /// Snap an arbitrary grid assignment to one [`App::instantiate`]
+    /// accepts (see [`Instantiator::legalize`]); bound probes evaluate
+    /// optimistic corners that may violate structural constraints. The
+    /// default accepts everything unchanged — apps whose generators
+    /// panic on such corners (e.g. SAD's `pos`-divides-trips rule)
+    /// override this.
+    fn legalize(&self, space: &Space, values: &mut [Value]) {
+        let _ = (space, values);
+    }
+}
+
+/// An [`App`] as an [`Instantiator`], for subspace searches
+/// (`optspace` cannot name `App`, and a blanket foreign-trait impl is
+/// not ours to write).
+pub struct AppInstantiator<'a>(pub &'a dyn App);
+
+impl Instantiator for AppInstantiator<'_> {
+    fn instantiate(&self, point: &Point) -> Candidate {
+        self.0.instantiate(point)
+    }
+
+    fn legalize(&self, space: &Space, values: &mut [Value]) {
+        self.0.legalize(space, values);
     }
 }
 

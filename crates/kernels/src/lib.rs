@@ -28,4 +28,4 @@ pub mod matmul;
 pub mod mri_fhd;
 pub mod sad;
 
-pub use app::{App, SpaceSource};
+pub use app::{App, AppInstantiator, SpaceSource};

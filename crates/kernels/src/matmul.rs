@@ -22,7 +22,7 @@ use gpu_ir::types::Special;
 use gpu_ir::{Dim, Kernel, Launch};
 use gpu_passes::{
     find_loops, fold_strided_addresses, innermost_loops, prefetch_global_loads, spill_candidates,
-    spill_registers, unroll,
+    spill_registers, unroll, unroll_with_remainder,
 };
 use gpu_sim::interp::{run_kernel_checked, DeviceMemory};
 use gpu_sim::SimError;
@@ -355,6 +355,154 @@ impl MatMul {
     }
 }
 
+/// One configuration of the fine matmul grid (see [`MatMulFine`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatMulFineConfig {
+    /// Square tile / thread-block edge: 2–32.
+    pub tile: u32,
+    /// Rectangular tiling factor: outputs per thread (1–16).
+    pub rect: u32,
+    /// Inner-loop unroll factor; `0` means complete, factors past the
+    /// trip count clamp to complete, non-dividing factors take the
+    /// remainder-unroll path.
+    pub unroll: u32,
+    /// Outer (tile-stream) loop unroll factor, remainder allowed.
+    pub ounroll: u32,
+    /// Prefetch next tile's global loads into registers.
+    pub prefetch: bool,
+    /// Proactively spill the two longest-lived registers.
+    pub spill: bool,
+}
+
+impl fmt::Display for MatMulFineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{t}x{t}/1x{r}/u{u}/o{o}{p}{s}",
+            t = self.tile,
+            r = self.rect,
+            u = if self.unroll == 0 { "C".to_string() } else { self.unroll.to_string() },
+            o = self.ounroll,
+            p = if self.prefetch { "/pf" } else { "" },
+            s = if self.spill { "/sp" } else { "" },
+        )
+    }
+}
+
+/// The `--grid fine` matmul space: the same kernel family as [`MatMul`]
+/// over a much finer grid — tile ∈ {2..32}, rect ∈ {1..16}, an
+/// open-ended inner unroll axis 0..=63 (remainder-unrolled, so factors
+/// need not divide the tile; factors past the trip count clamp to
+/// complete), an outer-loop unroll axis 1..=16, plus prefetch and
+/// spill: 5 × 5 × 64 × 16 × 2 × 2 = 102 400 points. Eager
+/// enumeration at this size is exactly what branch-and-bound makes
+/// unnecessary; resource-invalid corners (e.g. 32×32 = 1024 threads per
+/// block) stay in the grid and classify as invalid executables.
+///
+/// The declared grid assumes `n ≥ 512` (a multiple of 512) so that
+/// every `tile × rect` block shape divides the matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatMulFine {
+    /// The underlying problem instance.
+    pub base: MatMul,
+}
+
+impl MatMulFine {
+    /// A fine-grid matmul of dimension `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a positive multiple of 512 (the widest
+    /// `tile × rect` shape in the grid).
+    pub fn new(n: u32) -> Self {
+        assert!(n > 0 && n.is_multiple_of(512), "n must be a positive multiple of 512");
+        Self { base: MatMul::new(n) }
+    }
+
+    /// The reduced 512×512 problem the CLI's `--grid fine` runs.
+    pub fn reduced_problem() -> Self {
+        Self::new(512)
+    }
+
+    /// Decode one point of the declared space.
+    pub fn config_of(point: &Point) -> MatMulFineConfig {
+        MatMulFineConfig {
+            tile: point.u32("tile"),
+            rect: point.u32("rect"),
+            unroll: point.u32("unroll"),
+            ounroll: point.u32("ounroll"),
+            prefetch: point.flag("prefetch"),
+            spill: point.flag("spill"),
+        }
+    }
+
+    /// Launch geometry for one configuration.
+    pub fn launch(&self, cfg: &MatMulFineConfig) -> Launch {
+        Launch::new(
+            Dim::new_2d(self.base.n / (cfg.rect * cfg.tile), self.base.n / cfg.tile),
+            Dim::new_2d(cfg.tile, cfg.tile),
+        )
+    }
+
+    /// Generate the kernel for `cfg`: prefetch → remainder-unroll the
+    /// inner product loop → remainder-unroll the outer tile loop →
+    /// address folding → spill. Every grid tuple generates — there is
+    /// no divisibility constraint to legalize.
+    pub fn generate(&self, cfg: &MatMulFineConfig) -> Kernel {
+        let proxy = MatMulConfig {
+            tile: cfg.tile,
+            rect: cfg.rect,
+            unroll: 1,
+            prefetch: false,
+            spill: false,
+        };
+        let mut k = self.base.generate_base(&proxy);
+        k.name = format!("matmul_{cfg}");
+        if cfg.prefetch {
+            let outer = find_loops(&k).into_iter().next().expect("outer loop exists");
+            prefetch_global_loads(&mut k, &outer).expect("matmul body starts with loads");
+        }
+        let inner = innermost_loops(&k).into_iter().next().expect("inner loop exists");
+        let factor = if cfg.unroll == 0 { cfg.tile } else { cfg.unroll };
+        unroll_with_remainder(&mut k, &inner, factor).expect("any nonzero factor is accepted");
+        let outer = find_loops(&k).into_iter().next().expect("outer loop survives");
+        unroll_with_remainder(&mut k, &outer, cfg.ounroll).expect("any nonzero factor");
+        fold_strided_addresses(&mut k);
+        if cfg.spill {
+            let victims = spill_candidates(&k, 2);
+            spill_registers(&mut k, &victims).expect("candidates exclude counters");
+        }
+        k
+    }
+
+    /// Candidate for the tuner/bench harness.
+    pub fn candidate(&self, cfg: &MatMulFineConfig) -> Candidate {
+        Candidate::new(cfg.to_string(), self.generate(cfg), self.launch(cfg))
+    }
+}
+
+impl App for MatMulFine {
+    fn name(&self) -> &'static str {
+        "Matrix Multiplication (fine)"
+    }
+
+    fn space(&self) -> Space {
+        Space::builder()
+            .axis("tile", [2u32, 4, 8, 16, 32])
+            .axis("rect", [1u32, 2, 4, 8, 16])
+            .axis("unroll", 0u32..=63)
+            .axis("ounroll", 1u32..=16)
+            .axis("prefetch", [false, true])
+            .axis("spill", [false, true])
+            .label(|p| MatMulFine::config_of(p).to_string())
+            .build()
+    }
+
+    fn instantiate(&self, point: &Point) -> Candidate {
+        self.candidate(&Self::config_of(point))
+    }
+}
+
 impl App for MatMul {
     fn name(&self) -> &'static str {
         "Matrix Multiplication"
@@ -391,6 +539,83 @@ mod tests {
         let mm = MatMul::test_problem();
         assert_eq!(mm.space().len(), 96);
         assert_eq!(mm.figure3_space().len(), 48);
+    }
+
+    #[test]
+    fn fine_space_has_over_1e5_points_and_consistent_labels() {
+        let mm = MatMulFine::reduced_problem();
+        let space = mm.space();
+        assert_eq!(space.len(), 102_400);
+        assert!(space.len() >= 100_000);
+        // Spot-check a corner's label round trip without instantiating
+        // anything beyond one point.
+        let p = space.points().next().unwrap();
+        assert_eq!(p.to_string(), MatMulFine::config_of(&p).to_string());
+        let c = mm.instantiate(&p);
+        assert_eq!(c.label, p.to_string());
+    }
+
+    #[test]
+    fn fine_configs_stay_functionally_correct() {
+        // The fine pipeline (remainder unrolls on both loops) must agree
+        // with the CPU reference, including factors that do not divide
+        // the trip counts. 512×512 interpretation is too slow for a unit
+        // test, so run the same generator on the 64-problem, restricted
+        // to block shapes that divide 64.
+        let mm = MatMulFine { base: MatMul::test_problem() };
+        let (mem0, params) = mm.base.setup(11);
+        let reference = mm.base.cpu_reference(&mem0);
+        let picks = [
+            MatMulFineConfig {
+                tile: 8,
+                rect: 2,
+                unroll: 3,
+                ounroll: 3,
+                prefetch: false,
+                spill: false,
+            },
+            MatMulFineConfig {
+                tile: 16,
+                rect: 2,
+                unroll: 5,
+                ounroll: 2,
+                prefetch: true,
+                spill: false,
+            },
+            MatMulFineConfig {
+                tile: 4,
+                rect: 4,
+                unroll: 0,
+                ounroll: 7,
+                prefetch: false,
+                spill: true,
+            },
+            MatMulFineConfig {
+                tile: 8,
+                rect: 1,
+                unroll: 32,
+                ounroll: 8,
+                prefetch: true,
+                spill: true,
+            },
+            MatMulFineConfig {
+                tile: 2,
+                rect: 1,
+                unroll: 1,
+                ounroll: 1,
+                prefetch: false,
+                spill: false,
+            },
+        ];
+        for cfg in picks {
+            let mut mem = mem0.clone();
+            let kernel = mm.generate(&cfg);
+            let prog = gpu_ir::linear::linearize(&kernel);
+            gpu_sim::interp::run_kernel_checked(&prog, &mm.launch(&cfg), &params, &mut mem)
+                .unwrap();
+            let n2 = (mm.base.n * mm.base.n) as usize;
+            assert_eq!(&mem.global[2 * n2..3 * n2], &reference[..], "config {cfg}");
+        }
     }
 
     #[test]

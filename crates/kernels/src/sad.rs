@@ -25,7 +25,7 @@ use gpu_passes::{find_loops, unroll, LoopId};
 use gpu_sim::interp::{run_kernel_checked, DeviceMemory};
 use gpu_sim::SimError;
 use optspace::candidate::Candidate;
-use optspace::space::{Point, Space};
+use optspace::space::{Point, Space, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -374,6 +374,28 @@ impl App for Sad {
 
     fn instantiate(&self, point: &Point) -> Candidate {
         self.candidate(&Self::config_of(point))
+    }
+
+    /// Snap `pos` to the largest declared factor dividing the position
+    /// loop's trip count for the assignment's `tpb`. Bound probes visit
+    /// optimistic corners outside the constrained space; an unsnapped
+    /// corner would panic in [`Sad::generate`]'s unroll.
+    fn legalize(&self, space: &Space, values: &mut [Value]) {
+        let idx = |name: &str| space.axes().iter().position(|a| a.name() == name);
+        let (Some(ti), Some(pi)) = (idx("tpb"), idx("pos")) else { return };
+        let Some(tpb) = values[ti].as_u32() else { return };
+        let trips = self.pos_trips(tpb);
+        let pos = values[pi].as_u32().unwrap_or(1);
+        if !trips.is_multiple_of(pos) {
+            let snapped = space.axes()[pi]
+                .values()
+                .iter()
+                .filter_map(|v| v.as_u32())
+                .filter(|&f| trips.is_multiple_of(f))
+                .max()
+                .unwrap_or(1);
+            values[pi] = Value::from(snapped);
+        }
     }
 }
 

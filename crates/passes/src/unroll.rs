@@ -114,6 +114,72 @@ pub fn unroll(kernel: &mut Kernel, id: &LoopId, factor: u32) -> Result<(), PassE
     Ok(())
 }
 
+/// Unroll the loop addressed by `id` by `factor`, accepting factors
+/// that do not divide the trip count.
+///
+/// The loop becomes `trips / factor` iterations of `factor` body
+/// copies, followed by `trips % factor` constant-substituted epilogue
+/// copies spliced after the loop. `factor >= trips` unrolls completely
+/// (the fine-grid spaces clamp their open-ended unroll axis this way);
+/// dividing factors delegate to [`unroll`] and produce no epilogue, so
+/// the paper's original configurations are bit-identical through either
+/// entry point.
+///
+/// # Errors
+///
+/// * [`PassError::LoopNotFound`] — `id` does not address a loop.
+/// * [`PassError::ZeroFactor`] — `factor == 0`.
+pub fn unroll_with_remainder(
+    kernel: &mut Kernel,
+    id: &LoopId,
+    factor: u32,
+) -> Result<(), PassError> {
+    if factor == 0 {
+        return Err(PassError::ZeroFactor);
+    }
+    let l = get_loop(kernel, id).ok_or(PassError::LoopNotFound)?;
+    let trips = l.trip_count;
+    if factor == 1 || trips == 0 {
+        return Ok(());
+    }
+    if factor >= trips {
+        return unroll(kernel, id, trips);
+    }
+    if trips.is_multiple_of(factor) {
+        return unroll(kernel, id, factor);
+    }
+    let q = trips / factor;
+    let r = trips % factor;
+    let counter = l.counter;
+    let template = l.body.clone();
+    if let Some(c) = counter {
+        if writes(&template, c) {
+            return Err(PassError::LoopNotFound);
+        }
+    }
+    // Epilogue: the trailing `r` iterations as constant-substituted
+    // copies, exactly like a complete unroll of that tail.
+    let mut epilogue: Vec<Stmt> = Vec::with_capacity(template.len() * r as usize);
+    for j in 0..r {
+        let mut copy = template.clone();
+        if let Some(c) = counter {
+            substitute(&mut copy, c, Operand::ImmI32((q * factor + j) as i32));
+        }
+        epilogue.extend(copy);
+    }
+    // Splice the epilogue in first, while the loop still addresses its
+    // slot — when `q == 1` the delegated unroll below removes the loop
+    // entirely, and the epilogue keeps its place after the splice.
+    let (parent, idx) = get_parent_mut(kernel, id)?;
+    parent.splice(idx + 1..idx + 1, epilogue);
+    // Main loop: trim to the divisible prefix, then unroll it (complete
+    // when q == 1, partial otherwise).
+    let l = crate::loops::get_loop_mut(kernel, id).ok_or(PassError::LoopNotFound)?;
+    l.trip_count = q * factor;
+    unroll(kernel, id, factor)?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +269,44 @@ mod tests {
         // No imads inserted for counterless loops.
         let l = crate::loops::get_loop(&k, &id).unwrap();
         assert_eq!(l.body.len(), 3);
+    }
+
+    #[test]
+    fn remainder_unroll_preserves_semantics_for_any_factor() {
+        let baseline = run(&squares_kernel());
+        for factor in 1..=20u32 {
+            let mut k = squares_kernel();
+            let id = find_loops(&k).remove(0);
+            unroll_with_remainder(&mut k, &id, factor).unwrap();
+            assert_eq!(run(&k), baseline, "factor {factor}");
+            if factor >= 9 {
+                // q = trips/factor = 1: the main loop unrolls away too,
+                // leaving only straight-line code (plus the epilogue).
+                assert!(find_loops(&k).is_empty(), "factor {factor} should fully unroll");
+            } else if factor > 1 {
+                let l = crate::loops::get_loop(&k, &id).unwrap();
+                assert_eq!(l.trip_count, 16 / factor, "factor {factor}");
+            }
+        }
+    }
+
+    #[test]
+    fn remainder_unroll_matches_strict_unroll_on_divisors() {
+        for factor in [2u32, 4, 8, 16] {
+            let mut a = squares_kernel();
+            let mut b = squares_kernel();
+            let id = find_loops(&a).remove(0);
+            unroll(&mut a, &id, factor).unwrap();
+            unroll_with_remainder(&mut b, &id, factor).unwrap();
+            assert_eq!(a, b, "factor {factor}");
+        }
+    }
+
+    #[test]
+    fn remainder_unroll_rejects_zero_factor() {
+        let mut k = squares_kernel();
+        let id = find_loops(&k).remove(0);
+        assert_eq!(unroll_with_remainder(&mut k, &id, 0), Err(PassError::ZeroFactor));
     }
 
     #[test]
@@ -308,6 +412,36 @@ mod proptests {
                 unroll(&mut k, &id, factor).unwrap();
                 prop_assert_eq!(run(&k), baseline);
             }
+        }
+
+        /// Remainder unrolling preserves the result for *every* factor,
+        /// dividing or not, including factors past the trip count.
+        #[test]
+        fn remainder_unroll_preserves_sums(trips in 1u32..=24, factor in 1u32..=30, seed in 0i32..100) {
+            let build = || {
+                let mut b = KernelBuilder::new("p");
+                let dst = b.param(0);
+                let acc = b.mov(0.0f32);
+                b.for_loop(trips, |b, i| {
+                    let shifted = b.iadd(i, seed);
+                    let f = b.i2f(shifted);
+                    b.fmad_acc(f, 2.0f32, acc);
+                });
+                b.st_global(dst, 0, acc);
+                b.finish()
+            };
+            let run = |k: &gpu_ir::Kernel| {
+                let prog = linearize(k);
+                let mut mem = DeviceMemory::new(1);
+                run_kernel(&prog, &Launch::new(Dim::new_1d(1), Dim::new_1d(1)), &[0], &mut mem)
+                    .unwrap();
+                mem.global[0]
+            };
+            let baseline = run(&build());
+            let mut k = build();
+            let id = find_loops(&k).remove(0);
+            unroll_with_remainder(&mut k, &id, factor).unwrap();
+            prop_assert_eq!(run(&k), baseline);
         }
     }
 }

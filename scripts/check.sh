@@ -81,6 +81,28 @@ diff -u "$tracedir/lazy.txt" "$tracedir/eager.txt" || {
     exit 1
 }
 
+echo "==> branch-and-bound smoke (tune cp --strategy bnb)"
+# Best-first search under the admissible bound must land on the same
+# optimum exhaustive evaluation finds on the CP space, and its profile
+# must show subspaces discarded without instantiation.
+cargo run --release -q -- tune cp --strategy exhaustive --jobs 2 \
+    > "$tracedir/cp_exhaustive.txt"
+cargo run --release -q -- tune cp --strategy bnb --jobs 2 --profile \
+    > "$tracedir/cp_bnb.txt"
+best_exhaustive=$(grep "^best configuration:" "$tracedir/cp_exhaustive.txt")
+best_bnb=$(grep "^best configuration:" "$tracedir/cp_bnb.txt")
+echo "$best_bnb"
+if [ "$best_exhaustive" != "$best_bnb" ]; then
+    echo "bnb smoke: optimum differs from exhaustive:" >&2
+    echo "  exhaustive: $best_exhaustive" >&2
+    echo "  bnb:        $best_bnb" >&2
+    exit 1
+fi
+grep -Eq "^bound-pruned subspaces +[1-9]" "$tracedir/cp_bnb.txt" || {
+    echo "bnb smoke: expected bound_pruned_subspaces > 0 in the profile" >&2
+    exit 1
+}
+
 echo "==> cargo doc (-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc -q --workspace --no-deps > /dev/null
 

@@ -5,7 +5,8 @@
 //! gpu-autotune devices                      list the machine models
 //! gpu-autotune inspect <app> <index>        static profile of one config
 //! gpu-autotune tune <app> [opts]            search a configuration space
-//!     --strategy exhaustive|pareto|random   (default pareto)
+//!     --strategy exhaustive|pareto|random|bnb  (default pareto)
+//!     --grid default|fine                   which declared grid to tune over
 //!     --budget N                            random-search budget (default 10)
 //!     --device g80|gt200                    (default g80)
 //!     --no-screen                           disable the bandwidth screen
@@ -32,7 +33,13 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use gpu_autotune::arch::MachineSpec;
-use gpu_autotune::kernels::{cp::Cp, matmul::MatMul, mri_fhd::MriFhd, sad::Sad, App, SpaceSource};
+use gpu_autotune::kernels::{
+    cp::Cp,
+    matmul::{MatMul, MatMulFine},
+    mri_fhd::MriFhd,
+    sad::Sad,
+    App, AppInstantiator, SpaceSource,
+};
 use gpu_autotune::optspace::candidate::Candidate;
 use gpu_autotune::optspace::engine::{
     EngineConfig, EvalBudget, EvalEngine, FaultPlan, RetryPolicy,
@@ -40,7 +47,7 @@ use gpu_autotune::optspace::engine::{
 use gpu_autotune::optspace::obs::{json, EventSink, RunManifest};
 use gpu_autotune::optspace::report::{fmt_ms, profile_table, table};
 use gpu_autotune::optspace::tuner::{
-    ExhaustiveSearch, PrunedSearch, RandomSearch, SearchReport, SearchStrategy,
+    BranchAndBound, ExhaustiveSearch, PrunedSearch, RandomSearch, SearchReport, SearchStrategy,
 };
 use gpu_autotune::optspace::{Filter, Sample, Selection};
 
@@ -51,8 +58,8 @@ commands:
   spaces                      list applications and configuration-space sizes
   devices                     list machine models
   inspect <app> <index>       static profile + PTX view of one configuration
-  tune <app> [--strategy exhaustive|pareto|random] [--budget N]
-             [--device g80|gt200] [--no-screen] [--jobs N]
+  tune <app> [--strategy exhaustive|pareto|random|bnb] [--budget N]
+             [--grid default|fine] [--device g80|gt200] [--no-screen] [--jobs N]
              [--max-sims N] [--deadline-ms X] [--sim-fuel N] [--check-races]
              [--retries N] [--inject-faults] [--fault-seed N]
              [--filter axis=value]... [--sample N] [--sample-seed S] [--eager]
@@ -234,11 +241,12 @@ fn cmd_tune(args: &[String]) -> ExitCode {
         eprintln!("tune needs an app (matmul|cp|sad|mri)");
         return ExitCode::FAILURE;
     };
-    let Some(app) = app_by_name(app_name) else {
+    if app_by_name(app_name).is_none() {
         eprintln!("unknown app `{app_name}` (matmul|cp|sad|mri)");
         return ExitCode::FAILURE;
-    };
+    }
     let mut strategy = "pareto".to_string();
+    let mut grid = "default".to_string();
     let mut budget = 10usize;
     let mut device = MachineSpec::geforce_8800_gtx();
     let mut screen = true;
@@ -263,6 +271,13 @@ fn cmd_tune(args: &[String]) -> ExitCode {
                 Some(s) => strategy = s.clone(),
                 None => {
                     eprintln!("--strategy needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--grid" => match it.next() {
+                Some(g) => grid = g.clone(),
+                None => {
+                    eprintln!("--grid needs a value (default|fine)");
                     return ExitCode::FAILURE;
                 }
             },
@@ -377,6 +392,18 @@ fn cmd_tune(args: &[String]) -> ExitCode {
         eprintln!("--sample-seed requires --sample");
         return ExitCode::FAILURE;
     }
+    let app: Box<dyn App> = match (app_name.as_str(), grid.as_str()) {
+        (_, "default") => app_by_name(app_name).expect("validated above"),
+        ("matmul", "fine") => Box::new(MatMulFine::reduced_problem()),
+        (other, "fine") => {
+            eprintln!("app `{other}` declares no fine grid (only matmul does)");
+            return ExitCode::FAILURE;
+        }
+        (_, other) => {
+            eprintln!("unknown grid `{other}` (default|fine)");
+            return ExitCode::FAILURE;
+        }
+    };
     let selection = Selection {
         filters,
         sample: sample.map(|count| Sample { count, seed: sample_seed.unwrap_or(0) }),
@@ -423,26 +450,43 @@ fn cmd_tune(args: &[String]) -> ExitCode {
     }
     let source = SpaceSource::new(app.as_ref(), points);
     let labels = source.labels();
-    let searcher: Box<dyn SearchStrategy> = match strategy.as_str() {
-        "exhaustive" => Box::new(ExhaustiveSearch),
-        "pareto" => Box::new(PrunedSearch { screen_bandwidth: screen, ..Default::default() }),
-        "random" => Box::new(RandomSearch { budget, seed: 0 }),
-        other => {
-            eprintln!("unknown strategy `{other}` (exhaustive|pareto|random)");
+    let report = if strategy == "bnb" {
+        // Branch-and-bound searches the *space*, not a point list: it
+        // decides which subspaces ever reach instantiation, so eager
+        // materialization and up-front narrowing contradict it.
+        if !selection.is_noop() {
+            eprintln!("--strategy bnb searches the full space; drop --filter/--sample");
             return ExitCode::FAILURE;
         }
-    };
-    let mut report = if eager {
-        // Materialize every candidate up front — the reference path the
-        // lazy default is pinned against.
-        let cands: Vec<Candidate> = source.points().iter().map(|p| app.instantiate(p)).collect();
-        searcher.run_source(&engine, &cands, &device)
+        if eager {
+            eprintln!("--strategy bnb instantiates lazily by design; drop --eager");
+            return ExitCode::FAILURE;
+        }
+        BranchAndBound.run_space(&engine, &space, &AppInstantiator(app.as_ref()), &device)
     } else {
-        searcher.run_source(&engine, &source, &device)
+        let searcher: Box<dyn SearchStrategy> = match strategy.as_str() {
+            "exhaustive" => Box::new(ExhaustiveSearch),
+            "pareto" => Box::new(PrunedSearch { screen_bandwidth: screen, ..Default::default() }),
+            "random" => Box::new(RandomSearch { budget, seed: 0 }),
+            other => {
+                eprintln!("unknown strategy `{other}` (exhaustive|pareto|random|bnb)");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut report = if eager {
+            // Materialize every candidate up front — the reference path
+            // the lazy default is pinned against.
+            let cands: Vec<Candidate> =
+                source.points().iter().map(|p| app.instantiate(p)).collect();
+            searcher.run_source(&engine, &cands, &device)
+        } else {
+            searcher.run_source(&engine, &source, &device)
+        };
+        if !selection.is_noop() {
+            report.selection = Some(selection.record(labels.len()));
+        }
+        report
     };
-    if !selection.is_noop() {
-        report.selection = Some(selection.record(labels.len()));
-    }
     print_search(&labels, &report);
     if let Some(sink) = sink {
         let trace = sink.drain();
@@ -454,7 +498,10 @@ fn cmd_tune(args: &[String]) -> ExitCode {
             println!("trace: {} events -> {path}", trace.events.len());
         }
         if let Some(path) = metrics_out {
-            let manifest = RunManifest::from_search(app_name.as_str(), &report, &device);
+            let mut manifest = RunManifest::from_search(app_name.as_str(), &report, &device);
+            if grid != "default" {
+                manifest = manifest.with_grid(grid.clone());
+            }
             if let Err(e) = std::fs::write(&path, manifest.to_json().to_string_pretty()) {
                 eprintln!("cannot write {path}: {e}");
                 return ExitCode::FAILURE;
