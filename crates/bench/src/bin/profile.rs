@@ -20,12 +20,16 @@ use gpu_kernels::AppInstantiator;
 use optspace::obs::{EventSink, Json, RunManifest};
 use optspace::report::{profile_table, table};
 use optspace::tuner::{BranchAndBound, ExhaustiveSearch, PrunedSearch, SearchStrategy};
-use optspace_bench::{engine_from_args, flag_value, suite};
+use optspace_bench::{engine_from_args, flag_value, require_writable_parent, suite};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let bench_out: Option<String> = flag_value(&args, "--bench-out");
     let bnb_out: Option<String> = flag_value(&args, "--bnb-out");
+    // A doomed export must fail now, not after the whole suite has run.
+    for path in [&bench_out, &bnb_out].into_iter().flatten() {
+        require_writable_parent(path);
+    }
     let spec = MachineSpec::geforce_8800_gtx();
     let mut manifests: Vec<Json> = Vec::new();
     for app in suite() {

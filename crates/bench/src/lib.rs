@@ -123,10 +123,28 @@ pub fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T
     args.iter().position(|a| a == flag).and_then(|p| args.get(p + 1)).and_then(|v| v.parse().ok())
 }
 
+/// Abort (exit 1) unless `path` can plausibly be created: its parent
+/// directory, when it names one, must already exist. Called *before* a
+/// long run so a doomed export fails in seconds, not after the suite.
+pub fn require_writable_parent(path: &str) {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() && !parent.is_dir() {
+            eprintln!(
+                "cannot write {path}: parent directory `{}` does not exist",
+                parent.display()
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Build an engine from the experiment binaries' shared flags:
 /// `--jobs N`, `--sim-fuel N`, `--check-races`, `--retries N`,
-/// `--inject-faults`, `--fault-seed N`. Unrecognised arguments are
-/// ignored so binaries can layer their own flags on top.
+/// `--inject-faults`, `--fault-seed N`, `--store-dir <dir>`.
+/// Unrecognised arguments are ignored so binaries can layer their own
+/// flags on top. An unusable `--store-dir` aborts the process — a
+/// bench run that silently re-simulates everything it meant to reuse
+/// would report misleading numbers.
 pub fn engine_from_args(args: &[String]) -> EvalEngine {
     let mut config = EngineConfig { jobs: jobs_from_args(args), ..Default::default() };
     config.sim_fuel = flag_value(args, "--sim-fuel");
@@ -140,5 +158,15 @@ pub fn engine_from_args(args: &[String]) -> EvalEngine {
             None => FaultPlan::default(),
         });
     }
-    EvalEngine::new(config)
+    let mut engine = EvalEngine::new(config);
+    if let Some(dir) = flag_value::<String>(args, "--store-dir") {
+        match optspace::engine::ResultStore::open(&dir) {
+            Ok(store) => engine = engine.with_store(std::sync::Arc::new(store)),
+            Err(e) => {
+                eprintln!("cannot open result store {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    engine
 }

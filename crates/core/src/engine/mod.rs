@@ -38,9 +38,11 @@
 
 pub mod budget;
 pub mod cache;
+pub mod checkpoint;
 pub mod error;
 pub mod fault;
 pub mod pool;
+pub mod store;
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -57,9 +59,14 @@ use crate::obs::{EventKind, EventSink, Json, Phase};
 use crate::space::CandidateSource;
 
 pub use budget::EvalBudget;
+pub use checkpoint::{
+    install_signal_handler, interrupted, CheckpointMeta, Checkpointer, FrontierSnapshot,
+    LoadedCheckpoint, ReplayEval, SearchState, CHECKPOINT_SCHEMA, DEFAULT_CHECKPOINT_EVERY,
+};
 pub use error::{EvalError, EvalErrorKind, Quarantine};
 pub use fault::{FaultPlan, InjectedFault};
 pub use pool::PoolError;
+pub use store::{ResultStore, StoreAudit};
 
 /// Host-side overhead charged per kernel invocation (driver submission,
 /// ~10 µs on the paper's CUDA 1.0 stack). This is what separates the
@@ -287,6 +294,12 @@ pub struct EngineStats {
     /// instantiated (admitted completions of pruned subspaces, minus
     /// the few corner points probed while computing bounds).
     pub bound_pruned_points: usize,
+    /// Unique simulations served from the persistent result store
+    /// instead of being run (never counted as `cache_hits`).
+    pub store_hits: usize,
+    /// Damaged records the store's corruption-tolerant loader skipped
+    /// when the attached store was opened.
+    pub store_records_dropped: usize,
 }
 
 /// The shared evaluation engine. See the module docs.
@@ -297,6 +310,17 @@ pub struct EvalEngine {
     /// Optional event sink; when attached, both phases emit search-scope
     /// trace events and runtime wall-time accounting.
     sink: Option<Arc<EventSink>>,
+    /// Optional persistent result store, consulted before the memo
+    /// cache dispatches fresh simulations and updated write-behind with
+    /// this call's successes.
+    store: Option<Arc<store::ResultStore>>,
+    /// Optional checkpoint accumulator: completed results are recorded
+    /// after each dispatch chunk and snapshots published every N units.
+    checkpoint: Option<Arc<checkpoint::Checkpointer>>,
+    /// Optional resume map: when set, the timing evaluator is wrapped in
+    /// a [`checkpoint::ReplayEval`] serving these results in place of
+    /// fresh simulations, so a resumed search replays byte-identically.
+    replay: Option<Arc<HashMap<u64, TimingReport>>>,
 }
 
 /// One deduplicated simulation input (the memo cache's value side).
@@ -338,7 +362,7 @@ fn pool_to_eval(e: PoolError) -> EvalError {
 impl EvalEngine {
     /// Engine with explicit configuration.
     pub fn new(config: EngineConfig) -> Self {
-        Self { config, sink: None }
+        Self { config, ..Default::default() }
     }
 
     /// Engine with `jobs` workers and default everything else.
@@ -358,6 +382,47 @@ impl EvalEngine {
         self.sink.as_ref()
     }
 
+    /// Attach a persistent result store: known results are served from
+    /// disk (counted as `store_hits`) and fresh successes are persisted
+    /// write-behind at the end of each timing phase.
+    pub fn with_store(mut self, store: Arc<store::ResultStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The attached result store, if any.
+    pub fn store(&self) -> Option<&Arc<store::ResultStore>> {
+        self.store.as_ref()
+    }
+
+    /// Attach a checkpointer: dispatch is chunked so completed results
+    /// are recorded (and snapshots published) every N work units, and
+    /// the engine stops scheduling new work once
+    /// [`checkpoint::Checkpointer::should_stop`] turns true.
+    pub fn with_checkpoint(mut self, ck: Arc<checkpoint::Checkpointer>) -> Self {
+        self.checkpoint = Some(ck);
+        self
+    }
+
+    /// The attached checkpointer, if any.
+    pub fn checkpoint(&self) -> Option<&Arc<checkpoint::Checkpointer>> {
+        self.checkpoint.as_ref()
+    }
+
+    /// Attach a resume map (a loaded checkpoint's results): every timing
+    /// evaluation is first looked up here by exact content key, so the
+    /// resumed search replays the original byte-identically.
+    pub fn with_replay(mut self, results: Arc<HashMap<u64, TimingReport>>) -> Self {
+        self.replay = Some(results);
+        self
+    }
+
+    /// Whether the engine has been told to stop scheduling new work
+    /// (process interrupted or the checkpoint stop threshold hit).
+    pub fn stop_requested(&self) -> bool {
+        self.checkpoint.as_ref().is_some_and(|c| c.should_stop())
+    }
+
     /// Emit a deterministic search-scope event (no-op without a sink).
     /// Public so the search strategies driving this engine can mark
     /// search-level spans in the same trace.
@@ -371,9 +436,16 @@ impl EvalEngine {
         self.sink.as_deref()
     }
 
-    /// Fresh stats carrying this engine's configuration.
+    /// Fresh stats carrying this engine's configuration (and the
+    /// attached store's load-time drop counter, so every report of a
+    /// store-backed run surfaces the corruption it tolerated).
     pub fn stats_seed(&self) -> EngineStats {
-        EngineStats { jobs: self.config.jobs, budget: self.config.budget, ..Default::default() }
+        EngineStats {
+            jobs: self.config.jobs,
+            budget: self.config.budget,
+            store_records_dropped: self.store.as_ref().map_or(0, |s| s.records_dropped()),
+            ..Default::default()
+        }
     }
 
     /// Statically evaluate every candidate on the worker pool. Output
@@ -530,9 +602,24 @@ impl EvalEngine {
         // `stats` may arrive pre-populated (batched searches reuse one
         // accumulator across many calls), so the cache-hit derivation
         // at the end of the phase must work on this call's deltas.
-        let (timed_at_entry, unique_at_entry) = (stats.timed, stats.unique_sims);
+        let (timed_at_entry, unique_at_entry, store_at_entry) =
+            (stats.timed, stats.unique_sims, stats.store_hits);
         let mut simulated: Vec<Option<TimingReport>> = vec![None; source.len()];
         let plan = self.config.fault_plan;
+
+        // Resume: wrap the evaluator so checkpointed results are served
+        // in place of fresh simulations. Everything downstream — unit
+        // grouping, retry rounds, accounting, events — is oblivious to
+        // where a result came from, which is what makes a resumed run
+        // byte-identical to an uninterrupted one.
+        let replay_holder;
+        let eval: &dyn TimingEval = match &self.replay {
+            Some(map) => {
+                replay_holder = checkpoint::ReplayEval::new(eval, Arc::clone(map));
+                &replay_holder
+            }
+            None => eval,
+        };
 
         // Phase 1a: instantiate and linearize the selected candidates on
         // the worker pool. For an eager slice source this merely borrows;
@@ -604,6 +691,29 @@ impl EvalEngine {
             assignments.push((i, u, invocations));
         }
 
+        // Phase 1c: consult the persistent result store before anything
+        // is scheduled. A store-resolved unique never becomes a work
+        // unit — on a fully warm store the pool dispatches nothing.
+        // Replayed keys are exempt: a resume must account them exactly
+        // as the original run did (fresh simulations), or the resumed
+        // report would drift from the uninterrupted one.
+        let mut outcomes_of: Vec<Option<Result<TimingReport, EvalError>>> =
+            (0..uniques.len()).map(|_| None).collect();
+        let mut from_store: Vec<bool> = vec![false; uniques.len()];
+        if let Some(store) = &self.store {
+            for (u, uq) in uniques.iter().enumerate() {
+                if self.replay.as_ref().is_some_and(|r| r.contains_key(&uq.exact)) {
+                    continue;
+                }
+                if let Some(rep) = store.get(uq.exact) {
+                    stats.store_hits += 1;
+                    self.emit(EventKind::Point, "store.hit", vec![("unique", Json::from(u))]);
+                    outcomes_of[u] = Some(Ok(rep));
+                    from_store[u] = true;
+                }
+            }
+        }
+
         // Phase 2: group uniques by class into work units. A class whose
         // members differ in more than one top-level trip count cannot be
         // forked and degrades to singles — as does a class containing a
@@ -612,6 +722,9 @@ impl EvalEngine {
         let mut group_of: HashMap<u64, usize> = HashMap::new();
         let mut groups: Vec<Vec<usize>> = Vec::new();
         for (u, uq) in uniques.iter().enumerate() {
+            if from_store[u] {
+                continue;
+            }
             let hash = uq.class.hash;
             match group_of.get(&hash) {
                 Some(&g) => groups[g].push(u),
@@ -664,12 +777,16 @@ impl EvalEngine {
         // are never stored as reusable cache entries — a retried unique
         // is always re-simulated from scratch.
         let max_attempts = self.config.retry.max_attempts.max(1);
-        let mut outcomes_of: Vec<Option<Result<TimingReport, EvalError>>> =
-            (0..uniques.len()).map(|_| None).collect();
         let mut attempts_of: Vec<u32> = vec![0; uniques.len()];
         let mut round_units = units;
         let mut attempt: u32 = 1;
-        while !round_units.is_empty() {
+        // Dispatch in chunks when a checkpointer is attached. The unit
+        // list is fixed before dispatch and units are independent, so
+        // outcomes are identical at any chunk size — chunking only
+        // creates the between-chunk points where completed results are
+        // recorded, snapshots published, and interruption observed.
+        let chunk = self.checkpoint.as_ref().map_or(usize::MAX, |ck| ck.every().max(1));
+        'rounds: while !round_units.is_empty() {
             if attempt >= 2 {
                 self.emit(
                     EventKind::Point,
@@ -681,55 +798,90 @@ impl EvalEngine {
                     ],
                 );
             }
-            let outcomes = pool::run_indexed_observed(
-                self.config.jobs,
-                round_units.len(),
-                |k| run_unit(&round_units[k], &uniques, eval, spec, plan.as_ref(), attempt),
-                self.observer(),
-                "timing",
-            );
             let mut retry: Vec<usize> = Vec::new();
-            for (k, pooled) in outcomes.into_iter().enumerate() {
-                match pooled {
-                    Ok((reports, sims_run, injected)) => {
-                        stats.unique_sims += sims_run;
-                        stats.injected_faults += injected;
-                        // A family unit that came back from a single
-                        // forked run actually collapsed its members —
-                        // count the collapse (a degraded family runs its
-                        // members individually and is not a fork).
-                        if let WorkUnit::Family(members) = &round_units[k] {
-                            if sims_run == 1 {
-                                stats.family_forks += 1;
-                                stats.family_members += members.len();
-                                self.emit(
-                                    EventKind::Point,
-                                    "family.fork",
-                                    vec![("members", Json::from(members.len()))],
-                                );
+            let mut start = 0;
+            while start < round_units.len() {
+                let end = round_units.len().min(start.saturating_add(chunk));
+                let outcomes = pool::run_indexed_observed(
+                    self.config.jobs,
+                    end - start,
+                    |k| {
+                        run_unit(
+                            &round_units[start + k],
+                            &uniques,
+                            eval,
+                            spec,
+                            plan.as_ref(),
+                            attempt,
+                        )
+                    },
+                    self.observer(),
+                    "timing",
+                );
+                for (k, pooled) in outcomes.into_iter().enumerate() {
+                    let k = start + k;
+                    match pooled {
+                        Ok((reports, sims_run, injected)) => {
+                            stats.unique_sims += sims_run;
+                            stats.injected_faults += injected;
+                            // A family unit that came back from a single
+                            // forked run actually collapsed its members —
+                            // count the collapse (a degraded family runs its
+                            // members individually and is not a fork).
+                            if let WorkUnit::Family(members) = &round_units[k] {
+                                if sims_run == 1 {
+                                    stats.family_forks += 1;
+                                    stats.family_members += members.len();
+                                    self.emit(
+                                        EventKind::Point,
+                                        "family.fork",
+                                        vec![("members", Json::from(members.len()))],
+                                    );
+                                }
+                            }
+                            for (u, r) in reports {
+                                attempts_of[u] = attempt;
+                                if matches!(&r, Err(e) if e.is_transient())
+                                    && attempt < max_attempts
+                                {
+                                    retry.push(u);
+                                }
+                                outcomes_of[u] = Some(r);
                             }
                         }
-                        for (u, r) in reports {
-                            attempts_of[u] = attempt;
-                            if matches!(&r, Err(e) if e.is_transient()) && attempt < max_attempts {
-                                retry.push(u);
+                        // The whole unit's worker vanished: every member is
+                        // transiently lost.
+                        Err(perr) => {
+                            let err = pool_to_eval(perr);
+                            for &u in round_units[k].members() {
+                                attempts_of[u] = attempt;
+                                if attempt < max_attempts {
+                                    retry.push(u);
+                                }
+                                outcomes_of[u] = Some(Err(err.clone()));
                             }
-                            outcomes_of[u] = Some(r);
-                        }
-                    }
-                    // The whole unit's worker vanished: every member is
-                    // transiently lost.
-                    Err(perr) => {
-                        let err = pool_to_eval(perr);
-                        for &u in round_units[k].members() {
-                            attempts_of[u] = attempt;
-                            if attempt < max_attempts {
-                                retry.push(u);
-                            }
-                            outcomes_of[u] = Some(Err(err.clone()));
                         }
                     }
                 }
+                if let Some(ck) = &self.checkpoint {
+                    for unit in &round_units[start..end] {
+                        for &u in unit.members() {
+                            if let Some(Ok(rep)) = &outcomes_of[u] {
+                                ck.record(uniques[u].exact, rep);
+                            }
+                        }
+                    }
+                    if let Err(e) = ck.units_finished(end - start) {
+                        eprintln!("checkpoint {}: periodic write failed: {e}", ck.path().display());
+                    }
+                    if ck.should_stop() {
+                        // Stop scheduling; undispatched units stay None
+                        // (treated like budget-truncated work). The CLI
+                        // publishes the final snapshot and exits.
+                        break 'rounds;
+                    }
+                }
+                start = end;
             }
             retry.sort_unstable();
             retry.dedup();
@@ -738,9 +890,30 @@ impl EvalEngine {
             attempt += 1;
         }
 
+        // Persist this call's fresh successes write-behind. Failures are
+        // never stored, mirroring the memo cache's rule.
+        if let Some(store) = &self.store {
+            for (u, uq) in uniques.iter().enumerate() {
+                if !from_store[u] {
+                    if let Some(Ok(rep)) = &outcomes_of[u] {
+                        store.put(uq.exact, rep);
+                    }
+                }
+            }
+            if let Err(e) = store.flush() {
+                eprintln!("result store {}: flush failed: {e}", store.dir().display());
+            }
+        }
+
         // Simulator-side accounting is per *unique* run, pre-scaling, so
         // it is independent of how many candidates share each entry.
-        for rep in outcomes_of.iter().flatten().filter_map(|r| r.as_ref().ok()) {
+        // Store-served results are excluded: this run burned no fuel or
+        // cycles on them.
+        for (u, out) in outcomes_of.iter().enumerate() {
+            let Some(Ok(rep)) = out else { continue };
+            if from_store[u] {
+                continue;
+            }
             stats.fuel_consumed += rep.steps;
             stats.sim_cycles += rep.total_cycles;
             stats.stall_mem_cycles += rep.stall_mem_cycles;
@@ -805,8 +978,12 @@ impl EvalEngine {
                 }
             }
         }
-        stats.cache_hits +=
-            (stats.timed - timed_at_entry).saturating_sub(stats.unique_sims - unique_at_entry);
+        // Every timed candidate was served by exactly one of: a fresh
+        // simulation, a store hit, or memo-cache sharing — the remainder
+        // after subtracting the first two is the cache-hit count.
+        stats.cache_hits += (stats.timed - timed_at_entry)
+            .saturating_sub(stats.unique_sims - unique_at_entry)
+            .saturating_sub(stats.store_hits - store_at_entry);
         self.emit(
             EventKind::End,
             "phase.timing",

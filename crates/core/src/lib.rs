@@ -71,8 +71,8 @@ pub mod tuner;
 pub use bandwidth::BandwidthAssessment;
 pub use candidate::{Candidate, Evaluated};
 pub use engine::{
-    EngineConfig, EngineStats, EvalBudget, EvalEngine, EvalError, EvalErrorKind, FaultPlan,
-    Quarantine, RetryPolicy,
+    CheckpointMeta, Checkpointer, EngineConfig, EngineStats, EvalBudget, EvalEngine, EvalError,
+    EvalErrorKind, FaultPlan, Quarantine, ResultStore, RetryPolicy, StoreAudit,
 };
 pub use metrics::{Metrics, MetricsOptions, StaticProfile};
 pub use obs::{EngineMetrics, EventSink, Json, RunManifest, RuntimeMetrics, Trace};
@@ -87,8 +87,8 @@ pub mod prelude {
     pub use crate::bandwidth::BandwidthAssessment;
     pub use crate::candidate::{Candidate, Evaluated};
     pub use crate::engine::{
-        EngineConfig, EngineStats, EvalBudget, EvalEngine, EvalError, EvalErrorKind, FaultPlan,
-        Quarantine, RetryPolicy,
+        CheckpointMeta, Checkpointer, EngineConfig, EngineStats, EvalBudget, EvalEngine, EvalError,
+        EvalErrorKind, FaultPlan, Quarantine, ResultStore, RetryPolicy, StoreAudit,
     };
     pub use crate::metrics::{Metrics, MetricsOptions, StaticProfile};
     pub use crate::obs::{EngineMetrics, EventSink, Json, RunManifest, RuntimeMetrics, Trace};

@@ -79,6 +79,44 @@ pub struct BestSummary {
     pub time_ms: f64,
 }
 
+/// The persistent result store a run was attached to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreSummary {
+    /// Store directory path as given on the command line.
+    pub path: String,
+    /// Store generation (segment count) when it was opened.
+    pub generation: u64,
+    /// Records loaded into the index at open.
+    pub records_loaded: u64,
+    /// Damaged records the corruption-tolerant loader skipped at open.
+    pub records_dropped: u64,
+    /// Unique simulations this run served from the store.
+    pub hits: u64,
+}
+
+impl StoreSummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("path", Json::from(self.path.as_str())),
+            ("generation", Json::from(self.generation)),
+            ("records_loaded", Json::from(self.records_loaded)),
+            ("records_dropped", Json::from(self.records_dropped)),
+            ("hits", Json::from(self.hits)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Option<Self> {
+        let u = |k: &str| j.get(k).and_then(Json::as_u64);
+        Some(Self {
+            path: j.get("path")?.as_str()?.to_string(),
+            generation: u("generation")?,
+            records_loaded: u("records_loaded")?,
+            records_dropped: u("records_dropped")?,
+            hits: u("hits")?,
+        })
+    }
+}
+
 /// One complete run manifest.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunManifest {
@@ -123,6 +161,11 @@ pub struct RunManifest {
     /// `fine`). Absent/`null` means the app's single default grid;
     /// serialized tolerantly so earlier manifests still parse.
     pub grid: Option<String>,
+    /// The persistent result store the run consulted (`--store-dir`),
+    /// if any: path, generation, and hit/drop counters. Absent/`null`
+    /// means no store; serialized tolerantly so earlier manifests still
+    /// parse.
+    pub store: Option<StoreSummary>,
 }
 
 impl RunManifest {
@@ -170,12 +213,19 @@ impl RunManifest {
             quarantine_by_kind: by_kind,
             selection: report.selection.clone(),
             grid: None,
+            store: None,
         }
     }
 
     /// Record which declared grid the space came from.
     pub fn with_grid(mut self, grid: impl Into<String>) -> Self {
         self.grid = Some(grid.into());
+        self
+    }
+
+    /// Record the persistent result store the run was attached to.
+    pub fn with_store(mut self, store: StoreSummary) -> Self {
+        self.store = Some(store);
         self
     }
 
@@ -227,6 +277,13 @@ impl RunManifest {
                 match &self.grid {
                     None => Json::Null,
                     Some(g) => Json::from(g.as_str()),
+                },
+            ),
+            (
+                "store",
+                match &self.store {
+                    None => Json::Null,
+                    Some(st) => st.to_json(),
                 },
             ),
         ])
@@ -294,6 +351,10 @@ impl RunManifest {
             grid: match j.get("grid") {
                 None | Some(Json::Null) => None,
                 Some(g) => Some(g.as_str().ok_or("grid not a string")?.to_string()),
+            },
+            store: match j.get("store") {
+                None | Some(Json::Null) => None,
+                Some(st) => Some(StoreSummary::from_json(st).ok_or("store: malformed")?),
             },
         })
     }
@@ -392,6 +453,30 @@ mod tests {
             pairs.retain(|(k, _)| k != "grid");
         }
         assert_eq!(RunManifest::from_json(&j).expect("tolerant parse").grid, None);
+    }
+
+    #[test]
+    fn store_round_trips_and_absent_store_parses() {
+        let spec = MachineSpec::geforce_8800_gtx();
+        let space = tiny_space();
+        let report = ExhaustiveSearch.run(&space, &spec);
+        let manifest = RunManifest::from_search("tiny", &report, &spec).with_store(StoreSummary {
+            path: "/tmp/store".into(),
+            generation: 3,
+            records_loaded: 12,
+            records_dropped: 1,
+            hits: 12,
+        });
+        let text = manifest.to_json().to_string_compact();
+        let back = RunManifest::parse_str(&text).expect("round trip parses");
+        assert_eq!(back.store, manifest.store);
+
+        // A pre-store manifest (no `store` key at all) still parses.
+        let mut j = manifest.to_json();
+        if let Json::Obj(pairs) = &mut j {
+            pairs.retain(|(k, _)| k != "store");
+        }
+        assert_eq!(RunManifest::from_json(&j).expect("tolerant parse").store, None);
     }
 
     #[test]

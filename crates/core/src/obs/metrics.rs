@@ -121,6 +121,10 @@ pub struct EngineMetrics {
     /// Configurations eliminated by bound pruning without ever being
     /// instantiated.
     pub bound_pruned_points: u64,
+    /// Unique simulations served from the persistent result store.
+    pub store_hits: u64,
+    /// Damaged records the store's loader skipped at open.
+    pub store_records_dropped: u64,
     /// Wall-clock measurements (nondeterministic).
     pub runtime: RuntimeMetrics,
 }
@@ -149,6 +153,8 @@ impl EngineMetrics {
             stall_other_cycles: stats.stall_other_cycles,
             bound_pruned_subspaces: stats.bound_pruned_subspaces as u64,
             bound_pruned_points: stats.bound_pruned_points as u64,
+            store_hits: stats.store_hits as u64,
+            store_records_dropped: stats.store_records_dropped as u64,
             runtime: RuntimeMetrics::default(),
         }
     }
@@ -200,6 +206,8 @@ impl EngineMetrics {
             ("stall_other_cycles", Json::from(self.stall_other_cycles)),
             ("bound_pruned_subspaces", Json::from(self.bound_pruned_subspaces)),
             ("bound_pruned_points", Json::from(self.bound_pruned_points)),
+            ("store_hits", Json::from(self.store_hits)),
+            ("store_records_dropped", Json::from(self.store_records_dropped)),
         ]
     }
 
@@ -250,6 +258,13 @@ impl EngineMetrics {
                 .and_then(Json::as_u64)
                 .unwrap_or(0),
             bound_pruned_points: j.get("bound_pruned_points").and_then(Json::as_u64).unwrap_or(0),
+            // Likewise absent in snapshots written before the durable
+            // result store existed.
+            store_hits: j.get("store_hits").and_then(Json::as_u64).unwrap_or(0),
+            store_records_dropped: j
+                .get("store_records_dropped")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
             runtime: RuntimeMetrics::from_json(
                 j.get("runtime").ok_or("metrics: missing `runtime`")?,
             )?,
@@ -298,6 +313,21 @@ mod tests {
             .replace("\"bound_pruned_subspaces\":0,", "")
             .replace("\"bound_pruned_points\":0,", "");
         assert!(!text.contains("bound_pruned"));
+        let back = EngineMetrics::from_json(&super::super::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn snapshots_without_store_counters_parse_as_zero() {
+        // Snapshots written before the durable result store lack the
+        // store_* keys; they must still parse.
+        let m = EngineMetrics::from_stats(&sample_stats());
+        let text = m
+            .to_json()
+            .to_string_compact()
+            .replace("\"store_hits\":0,", "")
+            .replace("\"store_records_dropped\":0,", "");
+        assert!(!text.contains("store_"));
         let back = EngineMetrics::from_json(&super::super::json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, m);
     }

@@ -28,6 +28,6 @@ pub mod sink;
 
 pub use event::{Event, EventKind, Scope};
 pub use json::Json;
-pub use manifest::{BestSummary, MachineSummary, RunManifest, MANIFEST_SCHEMA};
+pub use manifest::{BestSummary, MachineSummary, RunManifest, StoreSummary, MANIFEST_SCHEMA};
 pub use metrics::{EngineMetrics, RuntimeMetrics};
 pub use sink::{EventSink, Phase, RuntimeCounters, Trace};

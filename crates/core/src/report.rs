@@ -145,6 +145,10 @@ pub fn profile_table(m: &EngineMetrics) -> String {
             pct(m.bound_pruned_points, m.bound_pruned_points + m.static_evals),
         );
     }
+    if m.store_hits > 0 || m.store_records_dropped > 0 {
+        row("store hits", m.store_hits.to_string(), pct(m.store_hits, m.timed));
+        row("store dropped records", m.store_records_dropped.to_string(), String::new());
+    }
     row("fuel consumed", m.fuel_consumed.to_string(), String::new());
     row("sim cycles", m.sim_cycles.to_string(), String::new());
     let stalls = m.stall_total_cycles();

@@ -103,6 +103,63 @@ grep -Eq "^bound-pruned subspaces +[1-9]" "$tracedir/cp_bnb.txt" || {
     exit 1
 }
 
+echo "==> persistence smoke (tune sad --store-dir, warm re-run, corruption)"
+# A warm store must serve every unique back as a store hit with zero
+# fresh simulations; a torn segment must cost only the damaged records,
+# never the run.
+cargo run --release -q -- tune sad --strategy exhaustive --jobs 2 \
+    --store-dir "$tracedir/store" > "$tracedir/cold.txt" 2> /dev/null
+cargo run --release -q -- tune sad --strategy exhaustive --jobs 2 \
+    --store-dir "$tracedir/store" --profile > "$tracedir/warm.txt" 2> /dev/null
+grep -Eq "store hits +[1-9]" "$tracedir/warm.txt" || {
+    echo "persistence smoke: expected store hits > 0 on the warm run" >&2
+    exit 1
+}
+grep -Eq "sims executed +0 " "$tracedir/warm.txt" || {
+    echo "persistence smoke: expected zero fresh simulations on the warm run" >&2
+    exit 1
+}
+seg=$(ls "$tracedir/store"/*.seg | head -n 1)
+truncate -s -10 "$seg"
+cargo run --release -q -- store verify "$tracedir/store" | tail -n 1
+cargo run --release -q -- tune sad --strategy exhaustive --jobs 2 \
+    --store-dir "$tracedir/store" > "$tracedir/damaged.txt" 2> /dev/null || {
+    echo "persistence smoke: run failed after segment corruption" >&2
+    exit 1
+}
+grep "^best configuration:" "$tracedir/cold.txt" > "$tracedir/cold_best.txt"
+grep "^best configuration:" "$tracedir/damaged.txt" > "$tracedir/damaged_best.txt"
+diff -u "$tracedir/cold_best.txt" "$tracedir/damaged_best.txt" || {
+    echo "persistence smoke: best configuration changed after corruption" >&2
+    exit 1
+}
+
+echo "==> resume smoke (tune sad --checkpoint/--stop-after-units, --resume)"
+# An interrupted run (exit 130, no stdout report) resumed from its
+# checkpoint must print a report byte-identical to an uninterrupted run.
+cargo run --release -q -- tune sad --strategy exhaustive --jobs 2 \
+    > "$tracedir/uninterrupted.txt"
+set +e
+cargo run --release -q -- tune sad --strategy exhaustive --jobs 2 \
+    --checkpoint "$tracedir/sad.ck" --stop-after-units 100 \
+    > "$tracedir/interrupted.txt" 2> /dev/null
+status=$?
+set -e
+if [ "$status" -ne 130 ]; then
+    echo "resume smoke: expected exit 130 from the interrupted run, got $status" >&2
+    exit 1
+fi
+if [ -s "$tracedir/interrupted.txt" ]; then
+    echo "resume smoke: interrupted run must not print a stdout report" >&2
+    exit 1
+fi
+cargo run --release -q -- tune sad --strategy exhaustive --jobs 2 \
+    --resume "$tracedir/sad.ck" > "$tracedir/resumed.txt" 2> /dev/null
+diff -u "$tracedir/uninterrupted.txt" "$tracedir/resumed.txt" || {
+    echo "resume smoke: resumed report differs from the uninterrupted run" >&2
+    exit 1
+}
+
 echo "==> cargo doc (-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc -q --workspace --no-deps > /dev/null
 

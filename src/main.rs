@@ -25,6 +25,12 @@
 //!     --trace-out <path>                    write the event trace as JSONL
 //!     --metrics-out <path>                  write the run manifest as JSON
 //!     --profile                             print the profile summary table
+//!     --store-dir <dir>                     persistent result store (crash-safe)
+//!     --checkpoint <path>                   write resumable checkpoints
+//!     --checkpoint-every N                  units between checkpoints (default 64)
+//!     --resume <path>                       resume an interrupted checkpointed run
+//!     --stop-after-units N                  deterministic stop for testing resume
+//! gpu-autotune store verify <dir>           audit a result store's segments
 //! gpu-autotune parse <file.gik>             analyse a textual kernel
 //! gpu-autotune validate <t.jsonl> <m.json>  check trace/manifest files parse
 //! ```
@@ -42,8 +48,10 @@ use gpu_autotune::kernels::{
 };
 use gpu_autotune::optspace::candidate::Candidate;
 use gpu_autotune::optspace::engine::{
-    EngineConfig, EvalBudget, EvalEngine, FaultPlan, RetryPolicy,
+    checkpoint, install_signal_handler, store, CheckpointMeta, Checkpointer, EngineConfig,
+    EvalBudget, EvalEngine, FaultPlan, ResultStore, RetryPolicy, DEFAULT_CHECKPOINT_EVERY,
 };
+use gpu_autotune::optspace::obs::StoreSummary;
 use gpu_autotune::optspace::obs::{json, EventSink, RunManifest};
 use gpu_autotune::optspace::report::{fmt_ms, profile_table, table};
 use gpu_autotune::optspace::tuner::{
@@ -64,6 +72,10 @@ commands:
              [--retries N] [--inject-faults] [--fault-seed N]
              [--filter axis=value]... [--sample N] [--sample-seed S] [--eager]
              [--trace-out <path>] [--metrics-out <path>] [--profile]
+             [--store-dir <dir>] [--checkpoint <path>] [--checkpoint-every N]
+             [--resume <path>] [--stop-after-units N]
+  store verify <dir>          audit a persistent result store: segments,
+                              records, and corrupt records dropped
   parse <file>                parse a textual kernel and print its analyses
   validate <trace> <manifest> check a --trace-out JSONL file parses and a
                               --metrics-out manifest round-trips
@@ -203,11 +215,16 @@ fn print_search(labels: &[String], r: &SearchReport) {
         fmt_ms(r.evaluation_time_ms()),
     );
     println!(
-        "engine: {} worker{}, {} unique simulations, {} cache hits{}",
+        "engine: {} worker{}, {} unique simulations, {} cache hits{}{}",
         r.stats.jobs,
         if r.stats.jobs == 1 { "" } else { "s" },
         r.stats.unique_sims,
         r.stats.cache_hits,
+        if r.stats.store_hits > 0 {
+            format!(", {} store hits", r.stats.store_hits)
+        } else {
+            String::new()
+        },
         if r.stats.budget_truncated { " (budget exhausted)" } else { "" },
     );
     if !r.quarantined.is_empty() {
@@ -233,6 +250,20 @@ fn print_search(labels: &[String], r: &SearchReport) {
             println!("best configuration: #{best} {} ({})", labels[best], fmt_ms(time));
         }
         _ => println!("no configuration could be timed"),
+    }
+}
+
+/// Check that `path` could plausibly be created: its parent directory
+/// must already exist. Catches `--trace-out /no/such/dir/t.jsonl`
+/// before a long search runs, not after.
+fn writable_parent(path: &str) -> Result<(), String> {
+    match std::path::Path::new(path).parent() {
+        None => Ok(()),
+        Some(parent) if parent.as_os_str().is_empty() || parent.is_dir() => Ok(()),
+        Some(parent) => Err(format!(
+            "cannot write {path}: parent directory `{}` does not exist",
+            parent.display()
+        )),
     }
 }
 
@@ -264,6 +295,11 @@ fn cmd_tune(args: &[String]) -> ExitCode {
     let mut sample: Option<usize> = None;
     let mut sample_seed: Option<u64> = None;
     let mut eager = false;
+    let mut store_dir: Option<String> = None;
+    let mut checkpoint_path: Option<String> = None;
+    let mut checkpoint_every = DEFAULT_CHECKPOINT_EVERY;
+    let mut resume_path: Option<String> = None;
+    let mut stop_after: Option<usize> = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -381,6 +417,41 @@ fn cmd_tune(args: &[String]) -> ExitCode {
                 }
             },
             "--eager" => eager = true,
+            "--store-dir" => match it.next() {
+                Some(d) => store_dir = Some(d.clone()),
+                None => {
+                    eprintln!("--store-dir needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--checkpoint" => match it.next() {
+                Some(p) => checkpoint_path = Some(p.clone()),
+                None => {
+                    eprintln!("--checkpoint needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--checkpoint-every" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => checkpoint_every = n,
+                _ => {
+                    eprintln!("--checkpoint-every needs a number >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--resume" => match it.next() {
+                Some(p) => resume_path = Some(p.clone()),
+                None => {
+                    eprintln!("--resume needs a checkpoint path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--stop-after-units" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => stop_after = Some(n),
+                _ => {
+                    eprintln!("--stop-after-units needs a number >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("unknown flag `{other}`");
                 return ExitCode::FAILURE;
@@ -391,6 +462,23 @@ fn cmd_tune(args: &[String]) -> ExitCode {
     if sample_seed.is_some() && sample.is_none() {
         eprintln!("--sample-seed requires --sample");
         return ExitCode::FAILURE;
+    }
+    if stop_after.is_some() && checkpoint_path.is_none() && resume_path.is_none() {
+        eprintln!("--stop-after-units requires --checkpoint or --resume");
+        return ExitCode::FAILURE;
+    }
+    // A resumed run keeps checkpointing to the file it resumed from
+    // unless an explicit --checkpoint redirects it.
+    if checkpoint_path.is_none() {
+        checkpoint_path = resume_path.clone();
+    }
+    // Fail on unusable export destinations *before* the search spends
+    // minutes computing results those paths were meant to receive.
+    for path in [&trace_out, &metrics_out, &checkpoint_path].into_iter().flatten() {
+        if let Err(e) = writable_parent(path) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
     }
     let app: Box<dyn App> = match (app_name.as_str(), grid.as_str()) {
         (_, "default") => app_by_name(app_name).expect("validated above"),
@@ -435,6 +523,73 @@ fn cmd_tune(args: &[String]) -> ExitCode {
         None
     };
     let space = app.space();
+
+    // Durable-tuning plumbing. All status chatter goes to stderr so a
+    // resumed run's stdout stays byte-identical to an uninterrupted
+    // one.
+    let result_store = match &store_dir {
+        Some(dir) => match ResultStore::open(dir) {
+            Ok(st) => {
+                let st = Arc::new(st);
+                eprintln!(
+                    "result store {dir}: {} records loaded, {} dropped (generation {})",
+                    st.records_loaded(),
+                    st.records_dropped(),
+                    st.generation(),
+                );
+                engine = engine.with_store(Arc::clone(&st));
+                Some(st)
+            }
+            Err(e) => {
+                eprintln!("cannot open result store {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let meta = CheckpointMeta::new(
+        app_name,
+        &strategy,
+        (grid != "default").then_some(grid.as_str()),
+        &space,
+    );
+    let checkpointer = match &checkpoint_path {
+        Some(path) => {
+            let mut ck = Checkpointer::new(path.clone(), checkpoint_every, meta.clone());
+            if let Some(n) = stop_after {
+                ck = ck.with_stop_after(n);
+            }
+            if let Some(resume) = &resume_path {
+                let loaded = match checkpoint::load(resume) {
+                    Ok(l) => l,
+                    Err(e) => {
+                        eprintln!("--resume: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if loaded.meta != meta {
+                    eprintln!(
+                        "--resume {resume}: checkpoint belongs to a different run \
+                         (app/strategy/grid/space mismatch); refusing to replay it"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                eprintln!(
+                    "resume {resume}: {} units done, {} results restored",
+                    loaded.units_done,
+                    loaded.results.len(),
+                );
+                ck.seed(&loaded.results);
+                engine = engine.with_replay(Arc::new(loaded.results));
+            }
+            let ck = Arc::new(ck);
+            engine = engine.with_checkpoint(Arc::clone(&ck));
+            install_signal_handler();
+            Some(ck)
+        }
+        None => None,
+    };
+
     let points = match selection.apply(&space) {
         Ok(p) => p,
         Err(e) => {
@@ -487,7 +642,48 @@ fn cmd_tune(args: &[String]) -> ExitCode {
         }
         report
     };
+    // An interrupted (or stop-after-tripped) run publishes its final
+    // checkpoint and exits 130 without printing a report: the partial
+    // results live in the checkpoint, not on stdout.
+    if let Some(ck) = &checkpointer {
+        if ck.should_stop() {
+            if let Some(st) = &result_store {
+                if let Err(e) = st.sync() {
+                    eprintln!("result store {}: sync failed: {e}", st.dir().display());
+                }
+            }
+            return match ck.write_now() {
+                Ok(()) => {
+                    eprintln!(
+                        "interrupted after {} units: checkpoint -> {}; continue with \
+                         --resume {1}",
+                        ck.units_done(),
+                        ck.path().display(),
+                    );
+                    ExitCode::from(130)
+                }
+                Err(e) => {
+                    eprintln!("cannot write checkpoint {}: {e}", ck.path().display());
+                    ExitCode::FAILURE
+                }
+            };
+        }
+    }
     print_search(&labels, &report);
+    if let Some(st) = &result_store {
+        if let Err(e) = st.sync() {
+            eprintln!("result store {}: sync failed: {e}", st.dir().display());
+        }
+    }
+    if let Some(ck) = &checkpointer {
+        // The run completed: the checkpoint has served its purpose and
+        // a later unrelated run must not accidentally resume from it.
+        match std::fs::remove_file(ck.path()) {
+            Ok(()) => eprintln!("run complete: checkpoint {} removed", ck.path().display()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => eprintln!("cannot remove checkpoint {}: {e}", ck.path().display()),
+        }
+    }
     if let Some(sink) = sink {
         let trace = sink.drain();
         if let Some(path) = trace_out {
@@ -502,6 +698,15 @@ fn cmd_tune(args: &[String]) -> ExitCode {
             if grid != "default" {
                 manifest = manifest.with_grid(grid.clone());
             }
+            if let Some(st) = &result_store {
+                manifest = manifest.with_store(StoreSummary {
+                    path: st.dir().display().to_string(),
+                    generation: st.generation(),
+                    records_loaded: st.records_loaded() as u64,
+                    records_dropped: st.records_dropped() as u64,
+                    hits: report.stats.store_hits as u64,
+                });
+            }
             if let Err(e) = std::fs::write(&path, manifest.to_json().to_string_pretty()) {
                 eprintln!("cannot write {path}: {e}");
                 return ExitCode::FAILURE;
@@ -513,6 +718,46 @@ fn cmd_tune(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `store verify <dir>`: audit a persistent result store without
+/// loading it into an engine. Exit code is nonzero when the store
+/// directory cannot be read at all; corrupt *records* are tolerated
+/// (the loader's whole point) and only reported.
+fn cmd_store(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("verify") => {
+            let Some(dir) = args.get(1) else {
+                eprintln!("store verify needs a directory");
+                return ExitCode::FAILURE;
+            };
+            match store::verify(dir) {
+                Ok(audit) => {
+                    println!(
+                        "store {dir}: {} segment{}, {} record{} ({} distinct key{}), \
+                         {} dropped, {} bytes",
+                        audit.segments,
+                        if audit.segments == 1 { "" } else { "s" },
+                        audit.records,
+                        if audit.records == 1 { "" } else { "s" },
+                        audit.keys,
+                        if audit.keys == 1 { "" } else { "s" },
+                        audit.dropped,
+                        audit.bytes,
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("store {dir}: cannot verify: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {
+            eprintln!("store needs a subcommand: verify <dir>");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Check that a `--trace-out` JSONL file parses line by line and that a
@@ -747,6 +992,7 @@ fn main() -> ExitCode {
         Some("devices") => cmd_devices(),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("tune") => cmd_tune(&args[1..]),
+        Some("store") => cmd_store(&args[1..]),
         Some("parse") => cmd_parse(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
