@@ -9,9 +9,12 @@
 //! `--bnb-out <path>` writes the exhaustive-vs-branch-and-bound
 //! comparison — simulations to reach the optimum, and the subspaces the
 //! bound discarded without instantiation — as the committed
-//! `BENCH_pr6.json` trajectory point. The engine flags of the other
-//! experiment binaries (`--jobs`, `--sim-fuel`, `--retries`, ...) apply
-//! here too.
+//! `BENCH_pr6.json` trajectory point. `--convergence-out <path>` runs
+//! all three strategies (exhaustive, pruned, branch-and-bound) per app
+//! and writes their full convergence curves plus sims-to-optimum — the
+//! committed `BENCH_pr8.json` trajectory point. The engine flags of the
+//! other experiment binaries (`--jobs`, `--sim-fuel`, `--retries`, ...)
+//! apply here too.
 
 use std::sync::Arc;
 
@@ -26,8 +29,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let bench_out: Option<String> = flag_value(&args, "--bench-out");
     let bnb_out: Option<String> = flag_value(&args, "--bnb-out");
+    let convergence_out: Option<String> = flag_value(&args, "--convergence-out");
     // A doomed export must fail now, not after the whole suite has run.
-    for path in [&bench_out, &bnb_out].into_iter().flatten() {
+    for path in [&bench_out, &bnb_out, &convergence_out].into_iter().flatten() {
         require_writable_parent(path);
     }
     let spec = MachineSpec::geforce_8800_gtx();
@@ -108,6 +112,86 @@ fn main() {
         ]);
         match std::fs::write(&path, doc.to_string_pretty()) {
             Ok(()) => println!("manifests -> {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = convergence_out {
+        // Convergence trajectories: every strategy's curve per app. The
+        // recorder is deterministic, so this document is reproducible
+        // at any --jobs.
+        let mut apps: Vec<Json> = Vec::new();
+        for app in suite() {
+            let space = app.space();
+            let candidates = app.candidates();
+            let runs: Vec<(&str, optspace::tuner::SearchReport)> = vec![
+                (
+                    "exhaustive",
+                    ExhaustiveSearch.run_source(
+                        &engine_from_args(&args),
+                        &gpu_kernels::SpaceSource::full(app.as_ref()),
+                        &spec,
+                    ),
+                ),
+                (
+                    "pruned",
+                    PrunedSearch::default().run_with(&engine_from_args(&args), &candidates, &spec),
+                ),
+                (
+                    "bnb",
+                    BranchAndBound.run_space(
+                        &engine_from_args(&args),
+                        &space,
+                        &AppInstantiator(app.as_ref()),
+                        &spec,
+                    ),
+                ),
+            ];
+            let strategies: Vec<Json> = runs
+                .into_iter()
+                .map(|(name, report)| {
+                    let curve = &report.metrics.convergence;
+                    Json::obj([
+                        ("strategy", Json::from(name)),
+                        ("timed", Json::from(report.evaluated_count() as u64)),
+                        ("unique_sims", Json::from(report.stats.unique_sims as u64)),
+                        (
+                            "best_time_ms",
+                            report.best_time_ms().map(Json::from).unwrap_or(Json::Null),
+                        ),
+                        (
+                            "sims_to_optimum",
+                            curve.sims_to_optimum().map(Json::from).unwrap_or(Json::Null),
+                        ),
+                        (
+                            "unique_to_optimum",
+                            curve.unique_to_optimum().map(Json::from).unwrap_or(Json::Null),
+                        ),
+                        ("curve", curve.to_json()),
+                    ])
+                })
+                .collect();
+            apps.push(Json::obj([
+                ("app", Json::from(app.name())),
+                ("space", Json::from(space.len() as u64)),
+                ("strategies", Json::Arr(strategies)),
+            ]));
+        }
+        let doc = Json::obj([
+            ("bench", Json::from("pr8")),
+            (
+                "description",
+                Json::from(
+                    "convergence curves and simulations-to-optimum for exhaustive, pruned, \
+                     and branch-and-bound search over the four Table-4 applications",
+                ),
+            ),
+            ("apps", Json::Arr(apps)),
+        ]);
+        match std::fs::write(&path, doc.to_string_pretty()) {
+            Ok(()) => println!("convergence -> {path}"),
             Err(e) => {
                 eprintln!("cannot write {path}: {e}");
                 std::process::exit(1);

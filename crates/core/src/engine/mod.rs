@@ -44,7 +44,7 @@ pub mod fault;
 pub mod pool;
 pub mod store;
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -55,7 +55,7 @@ use gpu_sim::timing::TimingReport;
 
 use crate::candidate::{Candidate, Evaluated};
 use crate::metrics::MetricsOptions;
-use crate::obs::{EventKind, EventSink, Json, Phase};
+use crate::obs::{ConvergenceRecorder, EventKind, EventSink, Json, LatencyLane, Phase};
 use crate::space::CandidateSource;
 
 pub use budget::EvalBudget;
@@ -321,6 +321,11 @@ pub struct EvalEngine {
     /// a [`checkpoint::ReplayEval`] serving these results in place of
     /// fresh simulations, so a resumed search replays byte-identically.
     replay: Option<Arc<HashMap<u64, TimingReport>>>,
+    /// Always-on convergence recorder, fed from the single-threaded
+    /// result-reassembly loop (so the curve is deterministic at any
+    /// `jobs`). Shared by clones: a batched search accumulates one
+    /// curve across its per-batch engine copies.
+    convergence: Arc<ConvergenceRecorder>,
 }
 
 /// One deduplicated simulation input (the memo cache's value side).
@@ -415,6 +420,14 @@ impl EvalEngine {
     pub fn with_replay(mut self, results: Arc<HashMap<u64, TimingReport>>) -> Self {
         self.replay = Some(results);
         self
+    }
+
+    /// The engine's convergence recorder. Search strategies bracket a
+    /// run with [`ConvergenceRecorder::reset`] and
+    /// [`ConvergenceRecorder::finish`], then snapshot the curve into
+    /// their report's metrics.
+    pub fn convergence(&self) -> &ConvergenceRecorder {
+        &self.convergence
     }
 
     /// Whether the engine has been told to stop scheduling new work
@@ -676,6 +689,7 @@ impl EvalEngine {
                 }
             };
             let usage = e.kernel_profile.usage;
+            let lookup_started = Instant::now();
             let exact = cache::exact_key(&prog, &launch, &usage, spec);
             let hit = unique_of.contains_key(&exact);
             let u = *unique_of.entry(exact).or_insert_with(|| {
@@ -683,6 +697,12 @@ impl EvalEngine {
                 uniques.push(UniqueSim { prog, launch, usage, exact, class });
                 uniques.len() - 1
             });
+            if let Some(sink) = &self.sink {
+                sink.record_latency(
+                    LatencyLane::CacheLookup,
+                    lookup_started.elapsed().as_micros() as u64,
+                );
+            }
             self.emit(
                 EventKind::Point,
                 if hit { "cache.hit" } else { "cache.miss" },
@@ -705,7 +725,15 @@ impl EvalEngine {
                 if self.replay.as_ref().is_some_and(|r| r.contains_key(&uq.exact)) {
                     continue;
                 }
-                if let Some(rep) = store.get(uq.exact) {
+                let read_started = Instant::now();
+                let cached = store.get(uq.exact);
+                if let Some(sink) = &self.sink {
+                    sink.record_latency(
+                        LatencyLane::StoreIo,
+                        read_started.elapsed().as_micros() as u64,
+                    );
+                }
+                if let Some(rep) = cached {
                     stats.store_hits += 1;
                     self.emit(EventKind::Point, "store.hit", vec![("unique", Json::from(u))]);
                     outcomes_of[u] = Some(Ok(rep));
@@ -802,20 +830,29 @@ impl EvalEngine {
             let mut start = 0;
             while start < round_units.len() {
                 let end = round_units.len().min(start.saturating_add(chunk));
+                let observer = self.observer();
                 let outcomes = pool::run_indexed_observed(
                     self.config.jobs,
                     end - start,
                     |k| {
-                        run_unit(
+                        let sim_started = Instant::now();
+                        let out = run_unit(
                             &round_units[start + k],
                             &uniques,
                             eval,
                             spec,
                             plan.as_ref(),
                             attempt,
-                        )
+                        );
+                        if let Some(sink) = observer {
+                            sink.record_latency(
+                                LatencyLane::Sim,
+                                sim_started.elapsed().as_micros() as u64,
+                            );
+                        }
+                        out
                     },
-                    self.observer(),
+                    observer,
                     "timing",
                 );
                 for (k, pooled) in outcomes.into_iter().enumerate() {
@@ -893,6 +930,7 @@ impl EvalEngine {
         // Persist this call's fresh successes write-behind. Failures are
         // never stored, mirroring the memo cache's rule.
         if let Some(store) = &self.store {
+            let write_started = Instant::now();
             for (u, uq) in uniques.iter().enumerate() {
                 if !from_store[u] {
                     if let Some(Ok(rep)) = &outcomes_of[u] {
@@ -902,6 +940,12 @@ impl EvalEngine {
             }
             if let Err(e) = store.flush() {
                 eprintln!("result store {}: flush failed: {e}", store.dir().display());
+            }
+            if let Some(sink) = &self.sink {
+                sink.record_latency(
+                    LatencyLane::StoreIo,
+                    write_started.elapsed().as_micros() as u64,
+                );
             }
         }
 
@@ -927,6 +971,9 @@ impl EvalEngine {
         // quarantine every candidate mapped to the failed unique.
         assignments.sort_by_key(|&(i, _, _)| i);
         let mut meter = budget::DeadlineMeter::new(&self.config.budget);
+        // Uniques whose first accepted candidate already advanced the
+        // convergence recorder's fresh-simulation count.
+        let mut fresh_counted: HashSet<usize> = HashSet::new();
         for (i, u, invocations) in assignments {
             match &outcomes_of[u] {
                 // Budget-truncated before dispatch: not evaluated, not
@@ -936,6 +983,13 @@ impl EvalEngine {
                     let scaled = scale_by_invocations(rep.clone(), invocations);
                     if meter.accept(scaled.time_ms) {
                         stats.timed += 1;
+                        let fresh = !from_store[u] && fresh_counted.insert(u);
+                        self.convergence.observe(
+                            stats.timed as u64,
+                            fresh,
+                            scaled.time_ms,
+                            stats.bound_pruned_points as u64,
+                        );
                         self.emit(
                             EventKind::Point,
                             "sim.done",

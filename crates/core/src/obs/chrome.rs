@@ -1,0 +1,147 @@
+//! Chrome `trace_event` export.
+//!
+//! [`chrome_trace`] converts a drained [`Trace`] into the JSON object
+//! format Perfetto and `chrome://tracing` load directly: span
+//! begin/end events map to `B`/`E` duration events, counters to `C`
+//! events, `pool.item` records (stamped at item end with their wall
+//! time) to complete `X` events so each worker's busy timeline renders
+//! as solid blocks on its own track, and remaining points to `i`
+//! instants. Thread tags become `tid`s with name metadata, so the
+//! orchestrator and every pool worker get separate tracks.
+
+use super::event::{Event, EventKind, Scope};
+use super::json::Json;
+use super::sink::Trace;
+
+fn args_obj(e: &Event, numeric_only: bool) -> Json {
+    Json::Obj(
+        e.fields
+            .iter()
+            .filter(|(_, v)| {
+                !numeric_only
+                    || matches!(v, Json::Int(_) | Json::Uint(_) | Json::Float(_) | Json::Bool(_))
+            })
+            .map(|(k, v)| ((*k).to_string(), v.clone()))
+            .collect(),
+    )
+}
+
+fn base(e: &Event, ph: &str, ts_us: u64) -> Vec<(String, Json)> {
+    vec![
+        ("name".to_string(), Json::from(e.name)),
+        ("cat".to_string(), Json::from(e.scope.as_str())),
+        ("ph".to_string(), Json::from(ph)),
+        ("ts".to_string(), Json::from(ts_us)),
+        ("pid".to_string(), Json::from(1u64)),
+        ("tid".to_string(), Json::from(e.thread)),
+    ]
+}
+
+/// Convert a drained trace to a Chrome `trace_event` document
+/// (`{"traceEvents": [...]}`).
+pub fn chrome_trace(trace: &Trace) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+
+    // Track names: the orchestrator is the thread that emits
+    // search-scope events; every other tid is a pool worker.
+    let orchestrator = trace.events.iter().find(|e| e.scope == Scope::Search).map(|e| e.thread);
+    let mut tids: Vec<u64> = trace.events.iter().map(|e| e.thread).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    events.push(Json::obj([
+        ("name", Json::from("process_name")),
+        ("ph", Json::from("M")),
+        ("pid", Json::from(1u64)),
+        ("args", Json::obj([("name", Json::from("gpu-autotune"))])),
+    ]));
+    for tid in tids {
+        let label = if Some(tid) == orchestrator {
+            "orchestrator".to_string()
+        } else {
+            format!("worker {tid}")
+        };
+        events.push(Json::obj([
+            ("name", Json::from("thread_name")),
+            ("ph", Json::from("M")),
+            ("pid", Json::from(1u64)),
+            ("tid", Json::from(tid)),
+            ("args", Json::obj([("name", Json::from(label))])),
+        ]));
+    }
+
+    for e in &trace.events {
+        let mut pairs = match e.kind {
+            EventKind::Begin => base(e, "B", e.ts_us),
+            EventKind::End => base(e, "E", e.ts_us),
+            // Counter args must be numeric for the tracks to plot.
+            EventKind::Counter => base(e, "C", e.ts_us),
+            EventKind::Point if e.name == "pool.item" => {
+                // A pool item is stamped at its end with its wall time:
+                // shift `ts` back and emit a complete event so the
+                // worker's busy block renders with real duration.
+                let wall = e
+                    .fields
+                    .iter()
+                    .find(|(k, _)| *k == "wall_us")
+                    .and_then(|(_, v)| v.as_u64())
+                    .unwrap_or(0);
+                let mut pairs = base(e, "X", e.ts_us.saturating_sub(wall));
+                pairs.push(("dur".to_string(), Json::from(wall)));
+                pairs
+            }
+            EventKind::Point => {
+                let mut pairs = base(e, "i", e.ts_us);
+                pairs.push(("s".to_string(), Json::from("t")));
+                pairs
+            }
+        };
+        pairs.push(("args".to_string(), args_obj(e, e.kind == EventKind::Counter)));
+        events.push(Json::Obj(pairs));
+    }
+
+    Json::obj([("traceEvents", Json::Arr(events)), ("displayTimeUnit", Json::from("ms"))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::EventSink;
+
+    #[test]
+    fn spans_counters_items_and_instants_map_to_chrome_phases() {
+        let sink = EventSink::new();
+        sink.search(EventKind::Begin, "phase.timing", vec![("selected", Json::from(2u64))]);
+        sink.search(EventKind::Point, "sim.done", vec![("time_ms", Json::from(4.5))]);
+        sink.runtime(
+            EventKind::Point,
+            "pool.item",
+            vec![("index", Json::from(0u64)), ("wall_us", Json::from(7u64))],
+        );
+        sink.search(
+            EventKind::Counter,
+            "engine.metrics",
+            vec![("timed", Json::from(2u64)), ("convergence", Json::Arr(Vec::new()))],
+        );
+        sink.search(EventKind::End, "phase.timing", vec![]);
+        let doc = chrome_trace(&sink.drain());
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let phs: Vec<&str> =
+            events.iter().filter_map(|e| e.get("ph").and_then(Json::as_str)).collect();
+        // Metadata first (process + at least one thread), then the five
+        // records in order.
+        assert!(phs.starts_with(&["M", "M"]));
+        assert_eq!(&phs[phs.len() - 5..], &["B", "i", "X", "C", "E"]);
+        // The complete event carries a duration and a shifted start.
+        let x = events.iter().find(|e| e.get("ph").and_then(Json::as_str) == Some("X")).unwrap();
+        assert_eq!(x.get("dur").and_then(Json::as_u64), Some(7));
+        // Counter args are numeric-only: the convergence array is
+        // filtered out, the scalar survives.
+        let c = events.iter().find(|e| e.get("ph").and_then(Json::as_str) == Some("C")).unwrap();
+        assert_eq!(c.get("args").and_then(|a| a.get("timed")).and_then(Json::as_u64), Some(2));
+        assert!(c.get("args").and_then(|a| a.get("convergence")).is_none());
+        // Every non-metadata record names a pid/tid/ts.
+        for e in events.iter().filter(|e| e.get("ph").and_then(Json::as_str) != Some("M")) {
+            assert!(e.get("pid").is_some() && e.get("tid").is_some() && e.get("ts").is_some());
+        }
+    }
+}

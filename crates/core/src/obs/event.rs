@@ -18,6 +18,12 @@
 
 use super::json::Json;
 
+/// Version of the JSONL trace record layout. Every line written by
+/// `--trace-out` carries it as a `schema` field so tools (and
+/// `gpu-autotune validate`) can reject records they do not understand
+/// instead of misreading them.
+pub const TRACE_SCHEMA: u64 = 1;
+
 /// Who vouches for the event's determinism.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scope {
@@ -86,6 +92,7 @@ impl Event {
     /// The full JSONL record, timing fields included.
     pub fn to_json(&self) -> Json {
         Json::obj([
+            ("schema", Json::from(TRACE_SCHEMA)),
             ("seq", Json::from(self.seq)),
             ("ts_us", Json::from(self.ts_us)),
             ("thread", Json::from(self.thread)),
@@ -138,6 +145,7 @@ mod tests {
     fn json_record_carries_everything() {
         let e = sample(5, 123, 2);
         let j = e.to_json();
+        assert_eq!(j.get("schema").and_then(Json::as_u64), Some(TRACE_SCHEMA));
         assert_eq!(j.get("seq").and_then(Json::as_u64), Some(5));
         assert_eq!(j.get("ts_us").and_then(Json::as_u64), Some(123));
         assert_eq!(j.get("thread").and_then(Json::as_u64), Some(2));

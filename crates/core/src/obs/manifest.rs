@@ -12,7 +12,12 @@ use super::json::{parse, Json, ParseError};
 use super::metrics::EngineMetrics;
 
 /// Manifest schema version; bump on breaking layout changes.
-pub const MANIFEST_SCHEMA: u64 = 1;
+///
+/// History: 1 — initial layout; 2 — `metrics` gained the embedded
+/// `convergence` curve and runtime latency histograms. Both additions
+/// parse tolerantly, so `from_json` accepts schema 1 documents
+/// (committed `BENCH_*.json` trajectory points) unchanged.
+pub const MANIFEST_SCHEMA: u64 = 2;
 
 /// The simulated machine, summarized.
 #[derive(Debug, Clone, PartialEq)]
@@ -209,7 +214,7 @@ impl RunManifest {
             best,
             budget_max_sims: report.stats.budget.max_sims.map(|n| n as u64),
             budget_deadline_ms: report.stats.budget.deadline_ms,
-            metrics: report.metrics,
+            metrics: report.metrics.clone(),
             quarantine_by_kind: by_kind,
             selection: report.selection.clone(),
             grid: None,
@@ -300,7 +305,7 @@ impl RunManifest {
                 .ok_or_else(|| format!("missing `{k}`"))
         };
         let schema = u("schema")?;
-        if schema != MANIFEST_SCHEMA {
+        if !(1..=MANIFEST_SCHEMA).contains(&schema) {
             return Err(format!("unsupported manifest schema {schema}"));
         }
         let best = match j.get("best") {
@@ -477,6 +482,27 @@ mod tests {
             pairs.retain(|(k, _)| k != "store");
         }
         assert_eq!(RunManifest::from_json(&j).expect("tolerant parse").store, None);
+    }
+
+    #[test]
+    fn schema_one_manifests_still_parse() {
+        let spec = MachineSpec::geforce_8800_gtx();
+        let space = tiny_space();
+        let report = ExhaustiveSearch.run(&space, &spec);
+        let mut j = RunManifest::from_search("tiny", &report, &spec).to_json();
+        // Downgrade to the layout a schema-1 writer produced: no
+        // convergence curve inside metrics.
+        if let Json::Obj(pairs) = &mut j {
+            pairs[0].1 = Json::from(1u64);
+            if let Some(Json::Obj(m)) =
+                pairs.iter_mut().find(|(k, _)| k == "metrics").map(|p| &mut p.1)
+            {
+                m.retain(|(k, _)| k != "convergence");
+            }
+        }
+        let back = RunManifest::from_json(&j).expect("legacy manifest parses");
+        assert_eq!(back.schema, 1);
+        assert!(back.metrics.convergence.is_empty());
     }
 
     #[test]

@@ -5,8 +5,97 @@
 
 use crate::engine::EngineStats;
 
+use super::convergence::ConvergenceCurve;
 use super::json::Json;
 use super::sink::RuntimeCounters;
+
+/// Bucket count of the hand-rolled latency histograms. Bucket `i`
+/// covers `[2^i, 2^(i+1))` µs (bucket 0 also absorbs 0 µs; the top
+/// bucket is open-ended), so 24 buckets span sub-µs to beyond 8 s.
+pub const HIST_BUCKETS: usize = 24;
+
+/// A log-bucketed latency histogram: fixed size, no allocation, no
+/// dependencies. Counts are exact; reported values are bucket upper
+/// bounds, so a percentile is accurate to within 2×.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Histogram {
+    /// Sample counts per power-of-two bucket.
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Histogram {
+    /// The bucket index a microsecond value lands in.
+    pub fn bucket_of(us: u64) -> usize {
+        if us <= 1 {
+            0
+        } else {
+            ((63 - us.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// The exclusive upper bound of bucket `i`, µs (nominal for the
+    /// open-ended top bucket).
+    pub fn bucket_ceiling_us(i: usize) -> u64 {
+        1u64 << (i + 1).min(HIST_BUCKETS)
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, us: u64) {
+        self.buckets[Self::bucket_of(us)] += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The upper bound of the bucket holding the `p`-quantile sample
+    /// (`p` in `[0, 1]`), µs. Zero when the histogram is empty.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_ceiling_us(i);
+            }
+        }
+        Self::bucket_ceiling_us(HIST_BUCKETS - 1)
+    }
+
+    /// Fold another histogram's counts into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// The bucket counts as a JSON array.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(self.buckets.iter().map(|&n| Json::from(n)).collect())
+    }
+
+    /// Parse [`Histogram::to_json`] output; absent/null means empty
+    /// (histograms did not exist in earlier snapshot schemas).
+    pub fn from_json_opt(j: Option<&Json>) -> Result<Self, String> {
+        let arr = match j {
+            None | Some(Json::Null) => return Ok(Self::default()),
+            Some(j) => j.as_arr().ok_or("histogram: expected an array")?,
+        };
+        if arr.len() != HIST_BUCKETS {
+            return Err(format!("histogram: expected {HIST_BUCKETS} buckets, got {}", arr.len()));
+        }
+        let mut h = Self::default();
+        for (slot, j) in h.buckets.iter_mut().zip(arr.iter()) {
+            *slot = j.as_u64().ok_or("histogram: non-integer bucket count")?;
+        }
+        Ok(h)
+    }
+}
 
 /// Nondeterministic wall-clock measurements for one search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -23,6 +112,12 @@ pub struct RuntimeMetrics {
     pub workers_spawned: u64,
     /// Worker threads respawned after an unclean death.
     pub workers_respawned: u64,
+    /// Wall time per executed simulation unit.
+    pub sim_duration_hist: Histogram,
+    /// Wall time per memo-cache key computation + lookup.
+    pub cache_lookup_hist: Histogram,
+    /// Wall time per persistent-store read or flush.
+    pub store_io_hist: Histogram,
 }
 
 impl RuntimeMetrics {
@@ -35,6 +130,9 @@ impl RuntimeMetrics {
             worker_busy_us: c.worker_busy_us,
             workers_spawned: c.workers_spawned,
             workers_respawned: c.workers_respawned,
+            sim_duration_hist: c.sim_duration_hist,
+            cache_lookup_hist: c.cache_lookup_hist,
+            store_io_hist: c.store_io_hist,
         }
     }
 
@@ -58,6 +156,9 @@ impl RuntimeMetrics {
             ("workers_spawned", Json::from(self.workers_spawned)),
             ("workers_respawned", Json::from(self.workers_respawned)),
             ("worker_utilization", Json::from(self.worker_utilization())),
+            ("sim_duration_hist", self.sim_duration_hist.to_json()),
+            ("cache_lookup_hist", self.cache_lookup_hist.to_json()),
+            ("store_io_hist", self.store_io_hist.to_json()),
         ])
     }
 
@@ -72,6 +173,11 @@ impl RuntimeMetrics {
             worker_busy_us: u("worker_busy_us")?,
             workers_spawned: u("workers_spawned")?,
             workers_respawned: u("workers_respawned")?,
+            // Absent in snapshots written before latency histograms
+            // existed: empty histograms.
+            sim_duration_hist: Histogram::from_json_opt(j.get("sim_duration_hist"))?,
+            cache_lookup_hist: Histogram::from_json_opt(j.get("cache_lookup_hist"))?,
+            store_io_hist: Histogram::from_json_opt(j.get("store_io_hist"))?,
         })
     }
 }
@@ -82,7 +188,7 @@ impl RuntimeMetrics {
 /// [`EngineStats`], whose counters are byte-identical at any `--jobs` —
 /// and is what [`EngineMetrics::deterministic_json`] serializes for
 /// trace-determinism tests.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct EngineMetrics {
     /// Candidates statically evaluated.
     pub static_evals: u64,
@@ -125,6 +231,9 @@ pub struct EngineMetrics {
     pub store_hits: u64,
     /// Damaged records the store's loader skipped at open.
     pub store_records_dropped: u64,
+    /// Time-resolved convergence curve (deterministic; see
+    /// [`ConvergenceCurve`]).
+    pub convergence: ConvergenceCurve,
     /// Wall-clock measurements (nondeterministic).
     pub runtime: RuntimeMetrics,
 }
@@ -155,6 +264,7 @@ impl EngineMetrics {
             bound_pruned_points: stats.bound_pruned_points as u64,
             store_hits: stats.store_hits as u64,
             store_records_dropped: stats.store_records_dropped as u64,
+            convergence: ConvergenceCurve::default(),
             runtime: RuntimeMetrics::default(),
         }
     }
@@ -162,6 +272,12 @@ impl EngineMetrics {
     /// Attach wall-clock measurements.
     pub fn with_runtime(mut self, runtime: RuntimeMetrics) -> Self {
         self.runtime = runtime;
+        self
+    }
+
+    /// Attach the convergence curve.
+    pub fn with_convergence(mut self, convergence: ConvergenceCurve) -> Self {
+        self.convergence = convergence;
         self
     }
 
@@ -208,6 +324,7 @@ impl EngineMetrics {
             ("bound_pruned_points", Json::from(self.bound_pruned_points)),
             ("store_hits", Json::from(self.store_hits)),
             ("store_records_dropped", Json::from(self.store_records_dropped)),
+            ("convergence", self.convergence.to_json()),
         ]
     }
 
@@ -265,6 +382,9 @@ impl EngineMetrics {
                 .get("store_records_dropped")
                 .and_then(Json::as_u64)
                 .unwrap_or(0),
+            // Absent in snapshots written before convergence curves
+            // existed: an empty curve.
+            convergence: ConvergenceCurve::from_json_opt(j.get("convergence"))?,
             runtime: RuntimeMetrics::from_json(
                 j.get("runtime").ok_or("metrics: missing `runtime`")?,
             )?,
@@ -327,7 +447,8 @@ mod tests {
             .to_string_compact()
             .replace("\"store_hits\":0,", "")
             .replace("\"store_records_dropped\":0,", "");
-        assert!(!text.contains("store_"));
+        assert!(!text.contains("store_hits"));
+        assert!(!text.contains("store_records_dropped"));
         let back = EngineMetrics::from_json(&super::super::json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, m);
     }
@@ -351,6 +472,9 @@ mod tests {
             worker_busy_us: 400,
             workers_spawned: 8,
             workers_respawned: 0,
+            sim_duration_hist: Histogram::default(),
+            cache_lookup_hist: Histogram::default(),
+            store_io_hist: Histogram::default(),
         });
         let det = m.deterministic_json().to_string_compact();
         assert!(!det.contains("wall_us"), "runtime leaked into the deterministic form: {det}");
@@ -369,7 +493,78 @@ mod tests {
             worker_busy_us: 150,
             workers_spawned: 2,
             workers_respawned: 1,
+            sim_duration_hist: {
+                let mut h = Histogram::default();
+                h.record(5);
+                h.record(700);
+                h
+            },
+            cache_lookup_hist: Histogram::default(),
+            store_io_hist: Histogram::default(),
         });
+        let text = m.to_json().to_string_compact();
+        let back = EngineMetrics::from_json(&super::super::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2_with_saturating_ends() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(4), 2);
+        assert_eq!(Histogram::bucket_of((1 << 23) - 1), 22);
+        assert_eq!(Histogram::bucket_of(1 << 23), HIST_BUCKETS - 1);
+        // Values beyond the top bucket's span saturate instead of
+        // indexing out of bounds.
+        assert_eq!(Histogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_percentiles_report_bucket_ceilings() {
+        let mut h = Histogram::default();
+        assert_eq!(h.percentile_us(0.5), 0);
+        for us in [1, 1, 1, 10, 100] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.percentile_us(0.0), 2); // rank clamps to the first sample
+        assert_eq!(h.percentile_us(0.5), 2); // 3 of 5 samples in bucket 0
+        assert_eq!(h.percentile_us(0.8), 16); // 10 µs -> bucket [8, 16)
+        assert_eq!(h.percentile_us(1.0), 128); // 100 µs -> bucket [64, 128)
+        let mut other = Histogram::default();
+        other.record(u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.percentile_us(1.0), Histogram::bucket_ceiling_us(HIST_BUCKETS - 1));
+    }
+
+    #[test]
+    fn histogram_round_trips_and_tolerates_absence() {
+        let mut h = Histogram::default();
+        for us in [0, 5, 5_000, u64::MAX] {
+            h.record(us);
+        }
+        let text = h.to_json().to_string_compact();
+        let back =
+            Histogram::from_json_opt(Some(&super::super::json::parse(&text).unwrap())).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(Histogram::from_json_opt(None).unwrap(), Histogram::default());
+        assert!(Histogram::from_json_opt(Some(&Json::Arr(vec![Json::from(1u64)]))).is_err());
+    }
+
+    #[test]
+    fn metrics_convergence_round_trips_and_stays_deterministic() {
+        let mut m = EngineMetrics::from_stats(&sample_stats());
+        m.convergence.samples.push(super::super::convergence::ConvergenceSample {
+            sims: 1,
+            unique_sims: 1,
+            best_time_ms: 4.5,
+            bound_pruned_points: 70,
+        });
+        let det = m.deterministic_json().to_string_compact();
+        assert!(det.contains("\"convergence\":[{\"sims\":1"));
         let text = m.to_json().to_string_compact();
         let back = EngineMetrics::from_json(&super::super::json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, m);

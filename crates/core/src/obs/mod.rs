@@ -19,15 +19,28 @@
 //! * [`RunManifest`] is the exportable run record — machine spec, space
 //!   shape, budgets, metrics, result summary — serialized with the
 //!   in-tree [`json`] support (the workspace is offline; no serde).
+//! * Time-resolved telemetry rides on the same split: the
+//!   [`ConvergenceCurve`] recorded by the engine is deterministic and
+//!   travels inside [`EngineMetrics`]; per-phase spans, worker lanes,
+//!   and latency [`Histogram`]s are runtime data reconstructed by
+//!   [`timeline`] or exported to Perfetto via [`chrome_trace`].
 
+pub mod chrome;
+pub mod convergence;
 pub mod event;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
 pub mod sink;
+pub mod timeline;
 
-pub use event::{Event, EventKind, Scope};
+pub use chrome::chrome_trace;
+pub use convergence::{ConvergenceCurve, ConvergenceRecorder, ConvergenceSample};
+pub use event::{Event, EventKind, Scope, TRACE_SCHEMA};
 pub use json::Json;
 pub use manifest::{BestSummary, MachineSummary, RunManifest, StoreSummary, MANIFEST_SCHEMA};
-pub use metrics::{EngineMetrics, RuntimeMetrics};
-pub use sink::{EventSink, Phase, RuntimeCounters, Trace};
+pub use metrics::{EngineMetrics, Histogram, RuntimeMetrics, HIST_BUCKETS};
+pub use sink::{EventSink, LatencyLane, Phase, RuntimeCounters, Trace};
+pub use timeline::{
+    format_summary, parse_jsonl, summarize, PhaseSpan, Rec, Timeline, TraceSummary, WorkerLane,
+};

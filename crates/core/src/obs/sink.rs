@@ -17,6 +17,7 @@ use std::time::Instant;
 
 use super::event::{Event, EventKind, Scope};
 use super::json::Json;
+use super::metrics::{Histogram, HIST_BUCKETS};
 
 const SHARDS: usize = 16;
 
@@ -49,6 +50,19 @@ impl Phase {
     }
 }
 
+/// A latency histogram lane in the sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyLane {
+    /// Wall time of one executed simulation unit.
+    Sim,
+    /// Wall time of one memo-cache key computation + lookup.
+    CacheLookup,
+    /// Wall time of one persistent-store read or flush.
+    StoreIo,
+}
+
+const LANES: usize = 3;
+
 /// Snapshot of the sink's atomic runtime counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RuntimeCounters {
@@ -62,6 +76,12 @@ pub struct RuntimeCounters {
     pub workers_spawned: u64,
     /// Worker threads respawned after an unclean death.
     pub workers_respawned: u64,
+    /// Latency histogram of [`LatencyLane::Sim`].
+    pub sim_duration_hist: Histogram,
+    /// Latency histogram of [`LatencyLane::CacheLookup`].
+    pub cache_lookup_hist: Histogram,
+    /// Latency histogram of [`LatencyLane::StoreIo`].
+    pub store_io_hist: Histogram,
 }
 
 /// The shared event sink. Cheap to clone behind an `Arc`; all methods
@@ -76,6 +96,7 @@ pub struct EventSink {
     worker_busy_us: AtomicU64,
     workers_spawned: AtomicU64,
     workers_respawned: AtomicU64,
+    latency: [[AtomicU64; HIST_BUCKETS]; LANES],
 }
 
 impl Default for EventSink {
@@ -96,6 +117,7 @@ impl EventSink {
             worker_busy_us: AtomicU64::new(0),
             workers_spawned: AtomicU64::new(0),
             workers_respawned: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
         }
     }
 
@@ -155,6 +177,20 @@ impl EventSink {
         self.workers_respawned.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one latency sample (lock-free; workers call this from the
+    /// hot simulation path).
+    pub fn record_latency(&self, lane: LatencyLane, us: u64) {
+        self.latency[lane as usize][Histogram::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn latency_hist(&self, lane: LatencyLane) -> Histogram {
+        let mut h = Histogram::default();
+        for (slot, counter) in h.buckets.iter_mut().zip(self.latency[lane as usize].iter()) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
+        h
+    }
+
     /// Snapshot the runtime counters.
     pub fn runtime_counters(&self) -> RuntimeCounters {
         RuntimeCounters {
@@ -163,6 +199,9 @@ impl EventSink {
             worker_busy_us: self.worker_busy_us.load(Ordering::Relaxed),
             workers_spawned: self.workers_spawned.load(Ordering::Relaxed),
             workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
+            sim_duration_hist: self.latency_hist(LatencyLane::Sim),
+            cache_lookup_hist: self.latency_hist(LatencyLane::CacheLookup),
+            store_io_hist: self.latency_hist(LatencyLane::StoreIo),
         }
     }
 
@@ -295,6 +334,21 @@ mod tests {
         assert_eq!(c.worker_busy_us, 70);
         assert_eq!(c.workers_spawned, 2);
         assert_eq!(c.workers_respawned, 1);
+    }
+
+    #[test]
+    fn latency_lanes_accumulate_independently() {
+        let sink = EventSink::new();
+        sink.record_latency(LatencyLane::Sim, 0);
+        sink.record_latency(LatencyLane::Sim, 1000);
+        sink.record_latency(LatencyLane::CacheLookup, 3);
+        sink.record_latency(LatencyLane::StoreIo, u64::MAX);
+        let c = sink.runtime_counters();
+        assert_eq!(c.sim_duration_hist.count(), 2);
+        assert_eq!(c.sim_duration_hist.buckets[0], 1);
+        assert_eq!(c.sim_duration_hist.buckets[Histogram::bucket_of(1000)], 1);
+        assert_eq!(c.cache_lookup_hist.count(), 1);
+        assert_eq!(c.store_io_hist.buckets[HIST_BUCKETS - 1], 1);
     }
 
     #[test]

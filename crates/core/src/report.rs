@@ -2,10 +2,11 @@
 //! ASCII scatter plots of the metric plane (the Figure 6 views), plus
 //! the human-readable profile summary of an engine-metrics snapshot.
 
-use crate::obs::EngineMetrics;
+use crate::obs::{EngineMetrics, Histogram};
 use crate::pareto::Point;
 
-/// Render a fixed-width table. The first row is the header.
+/// Render a fixed-width table. The first row is the header; every
+/// column is left-aligned.
 ///
 /// # Examples
 ///
@@ -18,6 +19,14 @@ use crate::pareto::Point;
 /// assert!(t.lines().count() >= 3);
 /// ```
 pub fn table(rows: &[Vec<String>]) -> String {
+    table_aligned(rows, &[])
+}
+
+/// [`table`] with per-column alignment: columns flagged `true` in
+/// `right_align` pad on the left, so numeric columns keep a straight
+/// right edge no matter how wide an individual value grows. Columns
+/// beyond the slice are left-aligned.
+pub fn table_aligned(rows: &[Vec<String>], right_align: &[bool]) -> String {
     if rows.is_empty() {
         return String::new();
     }
@@ -33,7 +42,11 @@ pub fn table(rows: &[Vec<String>]) -> String {
         let mut line = String::new();
         for (c, width) in widths.iter().enumerate() {
             let cell = row.get(c).map(String::as_str).unwrap_or("");
-            line.push_str(&format!("{cell:<width$}"));
+            if right_align.get(c).copied().unwrap_or(false) {
+                line.push_str(&format!("{cell:>width$}"));
+            } else {
+                line.push_str(&format!("{cell:<width$}"));
+            }
             if c + 1 < cols {
                 line.push_str("  ");
             }
@@ -157,6 +170,15 @@ pub fn profile_table(m: &EngineMetrics) -> String {
     row("  sfu", m.stall_sfu_cycles.to_string(), pct(m.stall_sfu_cycles, stalls.max(1)));
     row("  arithmetic", m.stall_arith_cycles.to_string(), pct(m.stall_arith_cycles, stalls.max(1)));
     row("  other", m.stall_other_cycles.to_string(), pct(m.stall_other_cycles, stalls.max(1)));
+    if !m.convergence.is_empty() {
+        row("convergence samples", m.convergence.samples.len().to_string(), String::new());
+        if let Some(s) = m.convergence.sims_to_optimum() {
+            row("sims to optimum", s.to_string(), pct(s, m.timed));
+        }
+        if let Some(u) = m.convergence.unique_to_optimum() {
+            row("unique sims to optimum", u.to_string(), pct(u, m.sims_executed));
+        }
+    }
     let rt = &m.runtime;
     if rt.static_wall_us + rt.timing_wall_us > 0 {
         let wall = rt.static_wall_us + rt.timing_wall_us;
@@ -174,7 +196,21 @@ pub fn profile_table(m: &EngineMetrics) -> String {
             row("workers respawned", rt.workers_respawned.to_string(), String::new());
         }
     }
-    table(&rows)
+    let lat = |h: &Histogram| {
+        format!("p50 {} / p95 {}", fmt_us(h.percentile_us(0.5)), fmt_us(h.percentile_us(0.95)))
+    };
+    if rt.sim_duration_hist.count() > 0 {
+        row("sim latency", lat(&rt.sim_duration_hist), String::new());
+    }
+    if rt.cache_lookup_hist.count() > 0 {
+        row("cache lookup latency", lat(&rt.cache_lookup_hist), String::new());
+    }
+    if rt.store_io_hist.count() > 0 {
+        row("store io latency", lat(&rt.store_io_hist), String::new());
+    }
+    // Numeric value and share columns keep a straight right edge even
+    // when a fine-grid count outgrows the header width.
+    table_aligned(&rows, &[false, true, true])
 }
 
 /// Format milliseconds with adaptive precision.
@@ -186,6 +222,11 @@ pub fn fmt_ms(ms: f64) -> String {
     } else {
         format!("{:.1} us", ms * 1e3)
     }
+}
+
+/// Format a microsecond value with adaptive precision.
+pub fn fmt_us(us: u64) -> String {
+    fmt_ms(us as f64 / 1e3)
 }
 
 #[cfg(test)]
@@ -208,6 +249,44 @@ mod tests {
     #[test]
     fn empty_table() {
         assert_eq!(table(&[]), "");
+    }
+
+    #[test]
+    fn right_aligned_columns_keep_a_straight_right_edge() {
+        let t = table_aligned(
+            &[
+                vec!["metric".into(), "value".into()],
+                vec!["short".into(), "7".into()],
+                vec!["long".into(), "123456789012".into()],
+            ],
+            &[false, true],
+        );
+        assert_eq!(
+            t,
+            "metric         value\n\
+             --------------------\n\
+             short              7\n\
+             long    123456789012\n"
+        );
+    }
+
+    #[test]
+    fn profile_values_stay_aligned_when_a_count_outgrows_its_column() {
+        // A fine-grid-scale count must not shift the value column: the
+        // value cells of share-less rows end at the same offset.
+        let m = EngineMetrics {
+            static_evals: 10,
+            timed: 8,
+            sims_executed: 2,
+            sims_memoized: 6,
+            fuel_consumed: 123_456_789_012_345,
+            sim_cycles: 7,
+            ..Default::default()
+        };
+        let t = profile_table(&m);
+        let end =
+            |key: &str| t.lines().find(|l| l.starts_with(key)).map(|l| l.trim_end().len()).unwrap();
+        assert_eq!(end("fuel consumed"), end("family forks"));
     }
 
     #[test]

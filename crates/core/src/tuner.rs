@@ -182,6 +182,7 @@ pub trait SearchStrategy {
             "search",
             vec![("strategy", Json::from(self.name())), ("space", Json::from(source.len()))],
         );
+        engine.convergence().reset();
         let mut stats = engine.stats_seed();
         let mut quarantined: Vec<Quarantine> = Vec::new();
         let statics = engine.evaluate_statics(
@@ -220,9 +221,11 @@ pub trait SearchStrategy {
             selection: None,
         };
         report.pick_best();
-        report.metrics = EngineMetrics::from_stats(&report.stats);
+        engine.convergence().finish(report.stats.bound_pruned_points as u64);
+        report.metrics =
+            EngineMetrics::from_stats(&report.stats).with_convergence(engine.convergence().curve());
         if let Some(sink) = engine.sink() {
-            report.metrics = report.metrics.with_runtime(RuntimeMetrics::from_counters(
+            report.metrics = report.metrics.clone().with_runtime(RuntimeMetrics::from_counters(
                 sink.runtime_counters(),
                 report.stats.jobs,
             ));
@@ -471,6 +474,7 @@ impl BranchAndBound {
             "search",
             vec![("strategy", Json::from(self.name())), ("space", Json::from(space.len()))],
         );
+        engine.convergence().reset();
         let bound = ProbeBound::new(space, inst, spec);
         let mut stats = engine.stats_seed();
         let mut quarantined: Vec<Quarantine> = Vec::new();
@@ -678,9 +682,11 @@ impl BranchAndBound {
             selection: None,
         };
         report.pick_best();
-        report.metrics = EngineMetrics::from_stats(&report.stats);
+        engine.convergence().finish(report.stats.bound_pruned_points as u64);
+        report.metrics =
+            EngineMetrics::from_stats(&report.stats).with_convergence(engine.convergence().curve());
         if let Some(sink) = engine.sink() {
-            report.metrics = report.metrics.with_runtime(RuntimeMetrics::from_counters(
+            report.metrics = report.metrics.clone().with_runtime(RuntimeMetrics::from_counters(
                 sink.runtime_counters(),
                 report.stats.jobs,
             ));

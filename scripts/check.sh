@@ -27,6 +27,33 @@ cargo run --release -q -- tune sad --strategy exhaustive --jobs 2 \
     > /dev/null
 cargo run --release -q -- validate "$tracedir/trace.jsonl" "$tracedir/manifest.json"
 
+echo "==> trace report smoke (trace report on the exported JSONL)"
+# The offline analyzer must reconstruct the run's time-resolved story
+# from the trace file alone: convergence table, phase breakdown, and
+# worker utilization.
+report=$(cargo run --release -q -- trace report "$tracedir/trace.jsonl")
+echo "$report" | head -n 1
+for section in "convergence" "phases" "workers" "optimum reached after"; do
+    echo "$report" | grep -q "$section" || {
+        echo "trace report smoke: missing \`$section\` section" >&2
+        exit 1
+    }
+done
+
+echo "==> chrome trace smoke (tune sad --trace-format chrome)"
+# The Chrome exporter must emit a trace_event document Perfetto can
+# load: a traceEvents array with thread-name metadata.
+cargo run --release -q -- tune sad --strategy exhaustive --jobs 2 \
+    --trace-out "$tracedir/trace_chrome.json" --trace-format chrome > /dev/null
+grep -q '"traceEvents"' "$tracedir/trace_chrome.json" || {
+    echo "chrome smoke: no traceEvents array in the export" >&2
+    exit 1
+}
+grep -q '"orchestrator"' "$tracedir/trace_chrome.json" || {
+    echo "chrome smoke: no orchestrator thread-name metadata" >&2
+    exit 1
+}
+
 echo "==> fault-injection smoke (table4 --inject-faults)"
 # The search must complete (exit 0) in degraded mode and report a
 # non-empty quarantine section.

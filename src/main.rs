@@ -22,7 +22,9 @@
 //!     --sample N                            seeded random subset of the survivors
 //!     --sample-seed S                       seed for --sample (default 0)
 //!     --eager                               materialize all candidates up front
-//!     --trace-out <path>                    write the event trace as JSONL
+//!     --trace-out <path>                    write the event trace
+//!     --trace-format jsonl|chrome           trace format (default jsonl);
+//!                                           chrome loads in Perfetto
 //!     --metrics-out <path>                  write the run manifest as JSON
 //!     --profile                             print the profile summary table
 //!     --store-dir <dir>                     persistent result store (crash-safe)
@@ -33,6 +35,8 @@
 //! gpu-autotune store verify <dir>           audit a result store's segments
 //! gpu-autotune parse <file.gik>             analyse a textual kernel
 //! gpu-autotune validate <t.jsonl> <m.json>  check trace/manifest files parse
+//! gpu-autotune trace report <t.jsonl>       analyse a recorded trace:
+//!                                           convergence, phases, utilization
 //! ```
 
 use std::process::ExitCode;
@@ -52,7 +56,10 @@ use gpu_autotune::optspace::engine::{
     EvalBudget, EvalEngine, FaultPlan, ResultStore, RetryPolicy, DEFAULT_CHECKPOINT_EVERY,
 };
 use gpu_autotune::optspace::obs::StoreSummary;
-use gpu_autotune::optspace::obs::{json, EventSink, RunManifest};
+use gpu_autotune::optspace::obs::{
+    chrome_trace, format_summary, json, parse_jsonl, summarize, EventSink, RunManifest,
+    TRACE_SCHEMA,
+};
 use gpu_autotune::optspace::report::{fmt_ms, profile_table, table};
 use gpu_autotune::optspace::tuner::{
     BranchAndBound, ExhaustiveSearch, PrunedSearch, RandomSearch, SearchReport, SearchStrategy,
@@ -71,7 +78,8 @@ commands:
              [--max-sims N] [--deadline-ms X] [--sim-fuel N] [--check-races]
              [--retries N] [--inject-faults] [--fault-seed N]
              [--filter axis=value]... [--sample N] [--sample-seed S] [--eager]
-             [--trace-out <path>] [--metrics-out <path>] [--profile]
+             [--trace-out <path>] [--trace-format jsonl|chrome]
+             [--metrics-out <path>] [--profile]
              [--store-dir <dir>] [--checkpoint <path>] [--checkpoint-every N]
              [--resume <path>] [--stop-after-units N]
   store verify <dir>          audit a persistent result store: segments,
@@ -81,6 +89,9 @@ commands:
                               --metrics-out manifest round-trips
   trace <app> <index> [N]     trace the first N instructions (default 20) of
                               one thread of a configuration, on real data
+  trace report <file.jsonl>   analyse a recorded --trace-out trace: convergence
+                              table, phase breakdown, worker utilization,
+                              slowest candidates, quarantine/retry digest
   occupancy <regs> <smem>     the occupancy-calculator table for a kernel
                               using <regs> registers/thread and <smem> B/block
 
@@ -289,6 +300,7 @@ fn cmd_tune(args: &[String]) -> ExitCode {
     let mut inject = false;
     let mut fault_seed: Option<u64> = None;
     let mut trace_out: Option<String> = None;
+    let mut trace_format = "jsonl".to_string();
     let mut metrics_out: Option<String> = None;
     let mut profile = false;
     let mut filters: Vec<Filter> = Vec::new();
@@ -380,6 +392,13 @@ fn cmd_tune(args: &[String]) -> ExitCode {
                 Some(p) => trace_out = Some(p.clone()),
                 None => {
                     eprintln!("--trace-out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace-format" => match it.next().map(String::as_str) {
+                Some(f @ ("jsonl" | "chrome")) => trace_format = f.to_string(),
+                _ => {
+                    eprintln!("--trace-format needs jsonl|chrome");
                     return ExitCode::FAILURE;
                 }
             },
@@ -687,11 +706,15 @@ fn cmd_tune(args: &[String]) -> ExitCode {
     if let Some(sink) = sink {
         let trace = sink.drain();
         if let Some(path) = trace_out {
-            if let Err(e) = std::fs::write(&path, trace.to_jsonl()) {
+            let text = match trace_format.as_str() {
+                "chrome" => chrome_trace(&trace).to_string_pretty(),
+                _ => trace.to_jsonl(),
+            };
+            if let Err(e) = std::fs::write(&path, text) {
                 eprintln!("cannot write {path}: {e}");
                 return ExitCode::FAILURE;
             }
-            println!("trace: {} events -> {path}", trace.events.len());
+            println!("trace: {} events ({trace_format}) -> {path}", trace.events.len());
         }
         if let Some(path) = metrics_out {
             let mut manifest = RunManifest::from_search(app_name.as_str(), &report, &device);
@@ -785,9 +808,24 @@ fn cmd_validate(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        for key in ["seq", "ts_us", "thread", "scope", "kind", "name", "fields"] {
+        for key in ["schema", "seq", "ts_us", "thread", "scope", "kind", "name", "fields"] {
             if j.get(key).is_none() {
                 eprintln!("{trace_path}:{}: event missing `{key}`", n + 1);
+                return ExitCode::FAILURE;
+            }
+        }
+        match j.get("schema").and_then(json::Json::as_u64) {
+            Some(TRACE_SCHEMA) => {}
+            Some(s) => {
+                eprintln!(
+                    "{trace_path}:{}: unsupported trace schema {s} (this build writes \
+                     schema {TRACE_SCHEMA})",
+                    n + 1
+                );
+                return ExitCode::FAILURE;
+            }
+            None => {
+                eprintln!("{trace_path}:{}: `schema` is not a number", n + 1);
                 return ExitCode::FAILURE;
             }
         }
@@ -856,7 +894,41 @@ fn cmd_parse(args: &[String]) -> ExitCode {
     }
 }
 
+/// `trace report <file.jsonl>`: reconstruct the time-resolved story of
+/// a recorded `--trace-out` run — convergence table, per-phase wall
+/// breakdown, worker utilization, slowest candidates, and the
+/// quarantine/retry digest — entirely from the trace file.
+fn cmd_trace_report(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("trace report needs: <trace.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let recs = match parse_jsonl(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if recs.is_empty() {
+        eprintln!("{path}: no trace events");
+        return ExitCode::FAILURE;
+    }
+    print!("{}", format_summary(&summarize(&recs, 5)));
+    ExitCode::SUCCESS
+}
+
 fn cmd_trace(args: &[String]) -> ExitCode {
+    if args.first().map(String::as_str) == Some("report") {
+        return cmd_trace_report(&args[1..]);
+    }
     let (Some(app_name), Some(index)) = (args.first(), args.get(1)) else {
         eprintln!("trace needs: <app> <index> [N]");
         return ExitCode::FAILURE;

@@ -8,13 +8,23 @@
 //!   self-contained JSON event record, and the run manifest reconciles
 //!   field-for-field with the search report it was built from and
 //!   survives a serialize → parse round trip.
+//! * **Time-resolved telemetry** — convergence curves are byte-identical
+//!   at any worker count (with and without fault injection), the Chrome
+//!   trace export is well-formed, and `trace report` renders a known
+//!   trace exactly.
 
 use std::sync::Arc;
 
 use gpu_autotune::arch::MachineSpec;
-use gpu_autotune::kernels::{sad::Sad, App};
-use gpu_autotune::optspace::obs::{json, EventSink, RunManifest, Scope, Trace};
-use gpu_autotune::optspace::tuner::{ExhaustiveSearch, PrunedSearch, SearchReport, SearchStrategy};
+use gpu_autotune::kernels::{sad::Sad, App, AppInstantiator};
+use gpu_autotune::optspace::engine::{EngineConfig, FaultPlan};
+use gpu_autotune::optspace::obs::{
+    chrome_trace, format_summary, json, parse_jsonl, summarize, EventSink, RunManifest, Scope,
+    Trace, TRACE_SCHEMA,
+};
+use gpu_autotune::optspace::tuner::{
+    BranchAndBound, ExhaustiveSearch, PrunedSearch, SearchReport, SearchStrategy,
+};
 use gpu_autotune::optspace::EvalEngine;
 
 fn traced_run(
@@ -69,9 +79,10 @@ fn jsonl_lines_are_self_contained_event_records() {
     assert_eq!(text.lines().count(), trace.events.len());
     for line in text.lines() {
         let j = json::parse(line).expect("trace line parses");
-        for key in ["seq", "ts_us", "thread", "scope", "kind", "name", "fields"] {
+        for key in ["schema", "seq", "ts_us", "thread", "scope", "kind", "name", "fields"] {
             assert!(j.get(key).is_some(), "event missing `{key}`: {line}");
         }
+        assert_eq!(j.get("schema").and_then(json::Json::as_u64), Some(TRACE_SCHEMA));
     }
     // Runtime events exist (pool items) but never enter the canonical
     // projection.
@@ -121,4 +132,174 @@ fn every_timed_candidate_appears_in_the_trace_exactly_once() {
     seen.sort_unstable();
     seen.dedup();
     assert_eq!(done.len(), seen.len(), "duplicate sim.done events");
+}
+
+fn curve_json(report: &SearchReport) -> String {
+    report.metrics.convergence.to_json().to_string_compact()
+}
+
+#[test]
+fn convergence_curves_are_byte_identical_across_worker_counts() {
+    let (one, ..) = traced_run(&ExhaustiveSearch, 1);
+    let (two, ..) = traced_run(&ExhaustiveSearch, 2);
+    let (eight, ..) = traced_run(&ExhaustiveSearch, 8);
+    assert!(!one.metrics.convergence.is_empty());
+    assert_eq!(curve_json(&one), curve_json(&two));
+    assert_eq!(curve_json(&one), curve_json(&eight));
+    // The curve is internally coherent: sims strictly advance, the best
+    // time never regresses, and the final sample matches the report.
+    let samples = &one.metrics.convergence.samples;
+    assert!(samples.windows(2).all(|w| w[0].sims < w[1].sims));
+    assert!(samples.windows(2).all(|w| w[1].best_time_ms <= w[0].best_time_ms));
+    assert_eq!(samples.last().unwrap().sims, one.stats.timed as u64);
+    assert_eq!(one.metrics.convergence.final_best_ms(), one.best_time_ms());
+}
+
+fn fault_run(jobs: usize) -> SearchReport {
+    let spec = MachineSpec::geforce_8800_gtx();
+    let cands = Sad::test_problem().candidates();
+    let engine = EvalEngine::new(EngineConfig {
+        jobs,
+        fault_plan: Some(FaultPlan::default()),
+        ..EngineConfig::default()
+    });
+    ExhaustiveSearch.run_with(&engine, &cands, &spec)
+}
+
+#[test]
+fn convergence_curves_survive_fault_injection_at_any_worker_count() {
+    let one = fault_run(1);
+    let two = fault_run(2);
+    let eight = fault_run(8);
+    assert!(!one.metrics.convergence.is_empty());
+    assert_eq!(curve_json(&one), curve_json(&two));
+    assert_eq!(curve_json(&one), curve_json(&eight));
+    // The plan actually perturbed the run — determinism held under
+    // faults, not in their absence.
+    assert!(one.stats.retries > 0 || !one.quarantined.is_empty(), "fault plan never fired");
+}
+
+#[test]
+fn bnb_curves_record_pruning_and_match_across_worker_counts() {
+    let spec = MachineSpec::geforce_8800_gtx();
+    let run = |jobs: usize| {
+        let app = Sad::test_problem();
+        let engine = EvalEngine::with_jobs(jobs);
+        BranchAndBound.run_space(&engine, &app.space(), &AppInstantiator(&app), &spec)
+    };
+    let one = run(1);
+    let eight = run(8);
+    assert_eq!(curve_json(&one), curve_json(&eight));
+    let curve = &one.metrics.convergence;
+    assert!(!curve.is_empty());
+    // The terminal sample carries the final pruning tally, so a curve
+    // plotted straight from the manifest shows what the bound saved.
+    assert!(one.stats.bound_pruned_points > 0);
+    assert_eq!(
+        curve.samples.last().unwrap().bound_pruned_points,
+        one.stats.bound_pruned_points as u64
+    );
+    assert!(curve.sims_to_optimum().unwrap() <= one.stats.timed as u64);
+}
+
+#[test]
+fn chrome_trace_export_is_well_formed() {
+    let (_, trace, _) = traced_run(&ExhaustiveSearch, 2);
+    let doc = chrome_trace(&trace);
+    // The document survives the in-tree JSON support round trip.
+    let back = json::parse(&doc.to_string_pretty()).expect("chrome document parses");
+    let events = back.get("traceEvents").and_then(json::Json::as_arr).expect("traceEvents");
+    let ph = |e: &json::Json| e.get("ph").and_then(json::Json::as_str).map(str::to_string);
+    // Every record has a phase and a name, and non-metadata records are
+    // fully addressed (pid/tid/ts).
+    for e in events {
+        assert!(ph(e).is_some() && e.get("name").is_some(), "bare record: {e:?}");
+        if ph(e).as_deref() != Some("M") {
+            assert!(e.get("pid").is_some() && e.get("tid").is_some() && e.get("ts").is_some());
+        }
+    }
+    // Span begins and ends balance per name, so Perfetto nests them.
+    let named = |p: &str| -> Vec<String> {
+        events
+            .iter()
+            .filter(|e| ph(e).as_deref() == Some(p))
+            .filter_map(|e| e.get("name").and_then(json::Json::as_str).map(str::to_string))
+            .collect()
+    };
+    let (mut begins, mut ends) = (named("B"), named("E"));
+    begins.sort();
+    ends.sort();
+    assert!(!begins.is_empty());
+    assert_eq!(begins, ends);
+    // Pool items became complete events with real durations.
+    let xs: Vec<_> = events.iter().filter(|e| ph(e).as_deref() == Some("X")).collect();
+    assert!(!xs.is_empty());
+    for x in &xs {
+        assert!(x.get("dur").and_then(json::Json::as_u64).is_some());
+    }
+    // Counter args are numeric-only: the convergence array is filtered
+    // out of the engine.metrics counter, scalars survive.
+    let counter = events
+        .iter()
+        .find(|e| {
+            ph(e).as_deref() == Some("C")
+                && e.get("name").and_then(json::Json::as_str) == Some("engine.metrics")
+        })
+        .expect("engine.metrics counter");
+    let args = counter.get("args").expect("counter args");
+    assert!(args.get("timed").and_then(json::Json::as_u64).is_some());
+    assert!(args.get("convergence").is_none());
+}
+
+#[test]
+fn trace_report_renders_a_known_trace_exactly() {
+    let jsonl = r#"
+{"schema":1,"seq":0,"ts_us":0,"thread":0,"scope":"search","kind":"begin","name":"search","fields":{"strategy":"exhaustive","space":4}}
+{"schema":1,"seq":1,"ts_us":100,"thread":0,"scope":"search","kind":"begin","name":"phase.timing","fields":{}}
+{"schema":1,"seq":2,"ts_us":200,"thread":0,"scope":"search","kind":"point","name":"sim.done","fields":{"candidate":0,"unique":0,"time_ms":4.0}}
+{"schema":1,"seq":3,"ts_us":300,"thread":0,"scope":"search","kind":"point","name":"sim.done","fields":{"candidate":1,"unique":1,"time_ms":2.0}}
+{"schema":1,"seq":4,"ts_us":350,"thread":1,"scope":"runtime","kind":"point","name":"pool.item","fields":{"phase":"timing","index":0,"wall_us":200}}
+{"schema":1,"seq":5,"ts_us":360,"thread":0,"scope":"search","kind":"point","name":"cache.hit","fields":{"candidate":2,"unique":0}}
+{"schema":1,"seq":6,"ts_us":370,"thread":0,"scope":"search","kind":"point","name":"quarantine","fields":{"kind":"sim-fuel-exhausted"}}
+{"schema":1,"seq":7,"ts_us":400,"thread":0,"scope":"search","kind":"counter","name":"engine.metrics","fields":{"convergence":[{"sims":1,"unique_sims":1,"best_time_ms":4.0,"bound_pruned_points":0},{"sims":2,"unique_sims":2,"best_time_ms":2.0,"bound_pruned_points":0}]}}
+{"schema":1,"seq":8,"ts_us":450,"thread":0,"scope":"search","kind":"end","name":"phase.timing","fields":{}}
+{"schema":1,"seq":9,"ts_us":500,"thread":0,"scope":"search","kind":"end","name":"search","fields":{"best":1,"best_time_ms":2.0,"timed":2}}
+"#;
+    let recs = parse_jsonl(jsonl).expect("hand-built trace parses");
+    let got = format_summary(&summarize(&recs, 5));
+    let want = "\
+search: exhaustive, space 4, 2 timed, best 2.00 ms
+trace: 10 events spanning 500.0 us
+
+convergence
+sims  unique     best  pruned
+-----------------------------
+   1       1  4.00 ms       0
+   2       2  2.00 ms       0
+optimum reached after 2 sims (2 unique)
+
+phases
+phase         spans      wall   share
+-------------------------------------
+search            1  500.0 us  100.0%
+phase.timing      1  350.0 us   70.0%
+
+workers
+thread  items      busy  utilization
+------------------------------------
+     1      1  200.0 us        40.0%
+overall: 1 worker threads, 40.0% utilized over the trace span
+
+slowest candidates
+candidate     time
+------------------
+        0  4.00 ms
+        1  2.00 ms
+
+failures and reuse
+quarantined: 1 (sim-fuel-exhausted 1)
+retry rounds: 0 (0 re-attempts)
+cache: 1 hits, 0 misses, 0 store hits
+";
+    assert_eq!(got, want);
 }
