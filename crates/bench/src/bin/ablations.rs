@@ -77,7 +77,7 @@ fn main() {
         let budget = pareto.evaluated_count();
         let mut regret = 0.0;
         for seed in 0..20 {
-            let r = RandomSearch { budget, seed }.run_with(&engine, &cands, &spec);
+            let r = RandomSearch::new(budget, seed).run_with(&engine, &cands, &spec);
             let Some(t) = r.best_time_ms() else { continue };
             regret += t / best - 1.0;
         }

@@ -58,7 +58,7 @@ fn main() {
             let mut gap_sum = 0.0;
             let mut gap_max = 0.0f64;
             for seed in 0..SEEDS {
-                let r = RandomSearch { budget, seed }.run_with(&engine, &cands, &spec);
+                let r = RandomSearch::new(budget, seed).run_with(&engine, &cands, &spec);
                 let Some(t) = r.best_time_ms() else { continue };
                 let gap = t / best - 1.0;
                 if gap.abs() < 1e-9 {

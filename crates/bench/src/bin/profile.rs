@@ -10,33 +10,175 @@
 //! comparison — simulations to reach the optimum, and the subspaces the
 //! bound discarded without instantiation — as the committed
 //! `BENCH_pr6.json` trajectory point. `--convergence-out <path>` runs
-//! all three strategies (exhaustive, pruned, branch-and-bound) per app
-//! and writes their full convergence curves plus sims-to-optimum — the
-//! committed `BENCH_pr8.json` trajectory point. The engine flags of the
-//! other experiment binaries (`--jobs`, `--sim-fuel`, `--retries`, ...)
-//! apply here too.
+//! every strategy (exhaustive, pruned, branch-and-bound, and the
+//! iterative zoo) per app and writes their full convergence curves plus
+//! sims-to-optimum — the committed `BENCH_pr8.json` trajectory point.
+//! `--zoo-out <path>` runs the iterative-strategy study — every zoo
+//! strategy scored against the exhaustively known optimum on
+//! sims-to-optimum, time-to-within-5%, and wasted budget — as the
+//! committed `BENCH_pr9.json` trajectory point (`--fine` adds the
+//! matmul fine grid with branch-and-bound supplying the ground truth).
+//! `--app matmul|cp|sad|mri` restricts every section to one
+//! application; `--budget N` and `--seed S` override the zoo study's
+//! defaults (half the exhaustive timing budget, seed 0). The engine
+//! flags of the other experiment binaries (`--jobs`, `--sim-fuel`,
+//! `--retries`, ...) apply here too.
 
 use std::sync::Arc;
 
 use gpu_arch::MachineSpec;
-use gpu_kernels::AppInstantiator;
+use gpu_kernels::matmul::MatMulFine;
+use gpu_kernels::{App, AppInstantiator, SpaceSource};
 use optspace::obs::{EventSink, Json, RunManifest};
 use optspace::report::{profile_table, table};
-use optspace::tuner::{BranchAndBound, ExhaustiveSearch, PrunedSearch, SearchStrategy};
-use optspace_bench::{engine_from_args, flag_value, require_writable_parent, suite};
+use optspace::tuner::{
+    BranchAndBound, ExhaustiveSearch, PrunedSearch, RandomSearch, SearchReport, SearchStrategy,
+};
+use optspace::zoo;
+use optspace_bench::{engine_from_args, flag_value, require_writable_parent, run_zoo, suite};
+
+/// The suite apps' short CLI names (the front end's vocabulary).
+fn short_name(display: &str) -> &'static str {
+    match display {
+        "Matrix Multiplication" => "matmul",
+        "Matrix Multiplication (fine)" => "matmul-fine",
+        "CP" => "cp",
+        "SAD" => "sad",
+        "MRI-FHD" => "mri",
+        _ => "?",
+    }
+}
+
+/// The suite, restricted to `--app` when given.
+fn selected_suite(only: Option<&str>) -> Vec<Box<dyn App>> {
+    suite().into_iter().filter(|a| only.is_none_or(|n| short_name(a.name()) == n)).collect()
+}
+
+/// Score one strategy's report against the known true optimum.
+fn score_json(report: &SearchReport, truth_ms: f64) -> Json {
+    let curve = &report.metrics.convergence;
+    let total = curve.samples.last().map(|s| s.sims).unwrap_or(0);
+    let best = report.best_time_ms();
+    // Budget spent after the run's own final best was found buys
+    // nothing: that tail is the wasted fraction.
+    let wasted = match (curve.sims_to_optimum(), total) {
+        (Some(s), t) if t > 0 => Some((t - s) as f64 / t as f64),
+        _ => None,
+    };
+    Json::obj([
+        ("strategy", Json::from(report.strategy.as_str())),
+        ("total_sims", Json::from(total)),
+        ("best_time_ms", best.map(Json::from).unwrap_or(Json::Null)),
+        ("within_5pct", Json::from(best.map(|b| b <= truth_ms * 1.05).unwrap_or(false))),
+        ("sims_to_optimum", curve.sims_to_within(truth_ms).map(Json::from).unwrap_or(Json::Null)),
+        (
+            "sims_to_within_5pct",
+            curve.sims_to_within(truth_ms * 1.05).map(Json::from).unwrap_or(Json::Null),
+        ),
+        ("wasted_budget_fraction", wasted.map(Json::from).unwrap_or(Json::Null)),
+        ("curve", curve.to_json()),
+    ])
+}
+
+/// Run the zoo (plus the one-shot random baseline) over one app at a
+/// fixed budget and score every strategy against `truth_ms`.
+fn zoo_study(
+    app: &dyn App,
+    spec: &MachineSpec,
+    args: &[String],
+    budget: usize,
+    seed: u64,
+    truth: &SearchReport,
+    truth_strategy: &str,
+) -> Json {
+    let truth_ms = truth.best_time_ms().expect("ground truth found an optimum");
+    let mut reports: Vec<SearchReport> = vec![RandomSearch::new(budget, seed).run_source(
+        &engine_from_args(args),
+        &SpaceSource::full(app),
+        spec,
+    )];
+    for name in zoo::NAMES {
+        reports.push(run_zoo(app, spec, &engine_from_args(args), name, budget, seed));
+    }
+    let mut rows = vec![vec![
+        "strategy".to_string(),
+        "best".to_string(),
+        "within 5%".to_string(),
+        "sims to opt".to_string(),
+        "sims to 5%".to_string(),
+        "wasted".to_string(),
+    ]];
+    for report in &reports {
+        let curve = &report.metrics.convergence;
+        let total = curve.samples.last().map(|s| s.sims).unwrap_or(0);
+        let own = curve.sims_to_optimum();
+        rows.push(vec![
+            report.strategy.clone(),
+            report.best_time_ms().map(|b| format!("{b:.4} ms")).unwrap_or_else(|| "-".to_string()),
+            report
+                .best_time_ms()
+                .map(|b| if b <= truth_ms * 1.05 { "yes" } else { "NO" })
+                .unwrap_or("NO")
+                .to_string(),
+            curve
+                .sims_to_within(truth_ms)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+            curve
+                .sims_to_within(truth_ms * 1.05)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+            match (own, total) {
+                (Some(s), t) if t > 0 => format!("{:.0}%", (t - s) as f64 / t as f64 * 100.0),
+                _ => "-".to_string(),
+            },
+        ]);
+    }
+    println!(
+        "== zoo study: {} (budget {budget}, truth {truth_strategy} {truth_ms:.4} ms) ==",
+        app.name()
+    );
+    println!("{}", table(&rows));
+    Json::obj([
+        ("app", Json::from(app.name())),
+        ("space", Json::from(app.space().len() as u64)),
+        ("truth_strategy", Json::from(truth_strategy)),
+        ("truth_best_ms", Json::from(truth_ms)),
+        ("truth_sims", Json::from(truth.evaluated_count() as u64)),
+        ("budget", Json::from(budget as u64)),
+        ("seed", Json::from(seed)),
+        ("strategies", Json::Arr(reports.iter().map(|r| score_json(r, truth_ms)).collect())),
+    ])
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let bench_out: Option<String> = flag_value(&args, "--bench-out");
     let bnb_out: Option<String> = flag_value(&args, "--bnb-out");
     let convergence_out: Option<String> = flag_value(&args, "--convergence-out");
+    let zoo_out: Option<String> = flag_value(&args, "--zoo-out");
+    let only: Option<String> = flag_value(&args, "--app");
+    if let Some(name) = only.as_deref() {
+        if !["matmul", "cp", "sad", "mri"].contains(&name) {
+            eprintln!("unknown app `{name}` (matmul|cp|sad|mri)");
+            std::process::exit(1);
+        }
+    }
+    let budget_override: Option<usize> = match flag_value::<usize>(&args, "--budget") {
+        Some(0) => {
+            eprintln!("--budget needs a number >= 1");
+            std::process::exit(1);
+        }
+        other => other,
+    };
+    let seed: u64 = flag_value(&args, "--seed").unwrap_or(0);
     // A doomed export must fail now, not after the whole suite has run.
-    for path in [&bench_out, &bnb_out, &convergence_out].into_iter().flatten() {
+    for path in [&bench_out, &bnb_out, &convergence_out, &zoo_out].into_iter().flatten() {
         require_writable_parent(path);
     }
     let spec = MachineSpec::geforce_8800_gtx();
     let mut manifests: Vec<Json> = Vec::new();
-    for app in suite() {
+    for app in selected_suite(only.as_deref()) {
         // A fresh sink per app keeps wall-time and worker accounting
         // per-run instead of smearing across the suite.
         let sink = Arc::new(EventSink::new());
@@ -62,7 +204,7 @@ fn main() {
         "optimum".to_string(),
     ]];
     let mut comparisons: Vec<Json> = Vec::new();
-    for app in suite() {
+    for app in selected_suite(only.as_deref()) {
         let engine = engine_from_args(&args);
         let space = app.space();
         let exhaustive = ExhaustiveSearch.run_source(
@@ -123,18 +265,20 @@ fn main() {
         // recorder is deterministic, so this document is reproducible
         // at any --jobs.
         let mut apps: Vec<Json> = Vec::new();
-        for app in suite() {
+        for app in selected_suite(only.as_deref()) {
             let space = app.space();
             let candidates = app.candidates();
-            let runs: Vec<(&str, optspace::tuner::SearchReport)> = vec![
-                (
-                    "exhaustive",
-                    ExhaustiveSearch.run_source(
-                        &engine_from_args(&args),
-                        &gpu_kernels::SpaceSource::full(app.as_ref()),
-                        &spec,
-                    ),
-                ),
+            let exhaustive = ExhaustiveSearch.run_source(
+                &engine_from_args(&args),
+                &gpu_kernels::SpaceSource::full(app.as_ref()),
+                &spec,
+            );
+            // Zoo strategies get the study's standard allowance: half
+            // the exhaustive timing budget (or the explicit override).
+            let budget =
+                budget_override.unwrap_or_else(|| (exhaustive.evaluated_count() / 2).max(1));
+            let mut runs: Vec<(&str, optspace::tuner::SearchReport)> = vec![
+                ("exhaustive", exhaustive),
                 (
                     "pruned",
                     PrunedSearch::default().run_with(&engine_from_args(&args), &candidates, &spec),
@@ -149,6 +293,12 @@ fn main() {
                     ),
                 ),
             ];
+            for name in zoo::NAMES {
+                runs.push((
+                    name,
+                    run_zoo(app.as_ref(), &spec, &engine_from_args(&args), name, budget, seed),
+                ));
+            }
             let strategies: Vec<Json> = runs
                 .into_iter()
                 .map(|(name, report)| {
@@ -192,6 +342,56 @@ fn main() {
         ]);
         match std::fs::write(&path, doc.to_string_pretty()) {
             Ok(()) => println!("convergence -> {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = zoo_out {
+        // The search-strategy zoo study: every iterative strategy (plus
+        // the one-shot random baseline) scored against the exhaustively
+        // known optimum at half the exhaustive timing budget. Scores
+        // are in timed-simulation currency, the same axis the
+        // convergence curves use.
+        let mut apps: Vec<Json> = Vec::new();
+        for app in selected_suite(only.as_deref()) {
+            let truth = ExhaustiveSearch.run_source(
+                &engine_from_args(&args),
+                &SpaceSource::full(app.as_ref()),
+                &spec,
+            );
+            let budget = budget_override.unwrap_or_else(|| (truth.evaluated_count() / 2).max(1));
+            apps.push(zoo_study(app.as_ref(), &spec, &args, budget, seed, &truth, "exhaustive"));
+        }
+        if args.iter().any(|a| a == "--fine") && only.as_deref().is_none_or(|n| n == "matmul") {
+            // The fine matmul grid is too large to exhaust here;
+            // branch-and-bound certifies the same optimum with a
+            // fraction of the simulations and supplies ground truth.
+            let fine = MatMulFine::reduced_problem();
+            let truth = BranchAndBound.run_space(
+                &engine_from_args(&args),
+                &fine.space(),
+                &AppInstantiator(&fine),
+                &spec,
+            );
+            let budget = budget_override.unwrap_or(256);
+            apps.push(zoo_study(&fine, &spec, &args, budget, seed, &truth, "bnb"));
+        }
+        let doc = Json::obj([
+            ("bench", Json::from("pr9")),
+            (
+                "description",
+                Json::from(
+                    "search-strategy zoo: iterative optimizers scored against the known \
+                     true optimum — convergence curves, sims-to-optimum, time-to-within-5%, \
+                     and wasted budget at half the exhaustive timing allowance",
+                ),
+            ),
+            ("apps", Json::Arr(apps)),
+        ]);
+        match std::fs::write(&path, doc.to_string_pretty()) {
+            Ok(()) => println!("zoo study -> {path}"),
             Err(e) => {
                 eprintln!("cannot write {path}: {e}");
                 std::process::exit(1);

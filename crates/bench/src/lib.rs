@@ -105,15 +105,58 @@ pub fn selection_from_args(args: &[String]) -> Result<Selection, String> {
     Ok(Selection { filters, sample })
 }
 
+/// Run one named iterative zoo strategy over an application's full
+/// space (iterative strategies require dense indices aligned with the
+/// declared space, so no selection applies here).
+///
+/// # Panics
+///
+/// Panics if `name` is not one of [`optspace::zoo::NAMES`].
+pub fn run_zoo(
+    app: &dyn App,
+    spec: &MachineSpec,
+    engine: &EvalEngine,
+    name: &str,
+    budget: usize,
+    seed: u64,
+) -> SearchReport {
+    let space = app.space();
+    let source = SpaceSource::full(app);
+    let mut strategy =
+        optspace::zoo::by_name(name, &space, budget, seed).expect("a zoo strategy name");
+    optspace::tuner::run_iterative(strategy.as_mut(), engine, &source, spec)
+}
+
+/// Print a CLI usage error and exit 1 — the experiment binaries' analog
+/// of the front end's `eprintln!` + `ExitCode::FAILURE` idiom, with the
+/// same message wording so scripted callers see one vocabulary.
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(1);
+}
+
+/// Parse `<flag> <value>` distinguishing *absent* (`None`, use the
+/// default) from *present but unusable*, which aborts with `needs`
+/// appended to the flag name. A silent fallback here once made
+/// `--jobs 0` run sequentially while claiming nothing — bad values in
+/// bench runs must be loud, not defaulted.
+fn checked_flag_value<T: std::str::FromStr>(args: &[String], flag: &str, needs: &str) -> Option<T> {
+    let p = args.iter().position(|a| a == flag)?;
+    match args.get(p + 1).and_then(|v| v.parse().ok()) {
+        Some(v) => Some(v),
+        None => fail(&format!("{flag} needs {needs}")),
+    }
+}
+
 /// Parse a `--jobs N` flag from raw process args (the experiment
-/// binaries' shared CLI surface); defaults to 1.
+/// binaries' shared CLI surface); defaults to 1, aborts (exit 1) when
+/// the flag is present with a missing or invalid value.
 pub fn jobs_from_args(args: &[String]) -> usize {
-    args.iter()
-        .position(|a| a == "--jobs")
-        .and_then(|p| args.get(p + 1))
-        .and_then(|v| v.parse().ok())
-        .filter(|&j| j >= 1)
-        .unwrap_or(1)
+    match checked_flag_value::<usize>(args, "--jobs", "a number >= 1") {
+        Some(j) if j >= 1 => j,
+        Some(_) => fail("--jobs needs a number >= 1"),
+        None => 1,
+    }
 }
 
 /// Parse `<flag> <value>` from raw process args; `None` when the flag is
@@ -147,16 +190,25 @@ pub fn require_writable_parent(path: &str) {
 /// would report misleading numbers.
 pub fn engine_from_args(args: &[String]) -> EvalEngine {
     let mut config = EngineConfig { jobs: jobs_from_args(args), ..Default::default() };
-    config.sim_fuel = flag_value(args, "--sim-fuel");
+    config.sim_fuel =
+        match checked_flag_value::<u64>(args, "--sim-fuel", "a positive number of steps") {
+            Some(0) => fail("--sim-fuel needs a positive number of steps"),
+            other => other,
+        };
     config.check_races = args.iter().any(|a| a == "--check-races");
-    if let Some(n) = flag_value(args, "--retries") {
-        config.retry.max_attempts = n;
+    match checked_flag_value::<u32>(args, "--retries", "a number >= 1") {
+        Some(n) if n >= 1 => config.retry.max_attempts = n,
+        Some(_) => fail("--retries needs a number >= 1"),
+        None => {}
     }
+    let fault_seed = checked_flag_value::<u64>(args, "--fault-seed", "a number");
     if args.iter().any(|a| a == "--inject-faults") {
-        config.fault_plan = Some(match flag_value(args, "--fault-seed") {
+        config.fault_plan = Some(match fault_seed {
             Some(seed) => FaultPlan::with_seed(seed),
             None => FaultPlan::default(),
         });
+    } else if fault_seed.is_some() {
+        fail("--fault-seed requires --inject-faults");
     }
     let mut engine = EvalEngine::new(config);
     if let Some(dir) = flag_value::<String>(args, "--store-dir") {

@@ -1,0 +1,39 @@
+//! The experiment binaries' shared parser (`jobs_from_args` /
+//! `engine_from_args`) must reject present-but-invalid values with the
+//! same wording as the front end — a bench run that silently defaulted
+//! `--jobs 0` to sequential once reported misleading utilization
+//! numbers.
+
+use std::process::Command;
+
+fn assert_profile_fails(args: &[&str], expect: &str) {
+    let out = Command::new(env!("CARGO_BIN_EXE_profile")).args(args).output().expect("binary runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "`profile {}` exited 0; stderr: {stderr}", args.join(" "),);
+    assert!(
+        stderr.contains(expect),
+        "`profile {}`: stderr {stderr:?} does not mention {expect:?}",
+        args.join(" "),
+    );
+}
+
+#[test]
+fn jobs_rejects_zero_and_garbage() {
+    assert_profile_fails(&["--jobs", "0"], "--jobs needs a number >= 1");
+    assert_profile_fails(&["--jobs", "lots"], "--jobs needs a number >= 1");
+    assert_profile_fails(&["--jobs"], "--jobs needs a number >= 1");
+}
+
+#[test]
+fn engine_flags_reject_invalid_values() {
+    assert_profile_fails(&["--sim-fuel", "0"], "--sim-fuel needs a positive number of steps");
+    assert_profile_fails(&["--retries", "0"], "--retries needs a number >= 1");
+    assert_profile_fails(&["--retries", "x"], "--retries needs a number >= 1");
+    assert_profile_fails(&["--fault-seed", "9"], "--fault-seed requires --inject-faults");
+}
+
+#[test]
+fn profile_validates_its_own_flags() {
+    assert_profile_fails(&["--app", "teapot"], "unknown app `teapot` (matmul|cp|sad|mri)");
+    assert_profile_fails(&["--budget", "0"], "--budget needs a number >= 1");
+}

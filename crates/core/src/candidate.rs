@@ -83,7 +83,14 @@ impl Candidate {
             metrics.efficiency = 1.0 / (effective as f64 * kp.profile.total_threads as f64);
         }
         let bandwidth = bandwidth::assess(&kp.mix, spec);
-        Ok(Evaluated { label: self.label.clone(), kernel_profile: kp, metrics, bandwidth })
+        Ok(Evaluated {
+            label: self.label.clone(),
+            kernel_profile: kp,
+            metrics,
+            bandwidth,
+            total_blocks: self.launch.total_blocks(),
+            invocations: self.invocations,
+        })
     }
 }
 
@@ -98,6 +105,13 @@ pub struct Evaluated {
     pub metrics: Metrics,
     /// Bandwidth screen result.
     pub bandwidth: BandwidthAssessment,
+    /// Launch-geometry figures carried over from the candidate, so
+    /// consumers holding only the static evaluation (the surrogate
+    /// search ranking a whole space) can predict times without
+    /// re-instantiating kernels.
+    pub total_blocks: u64,
+    /// The candidate's invocation count (see [`Candidate::invocations`]).
+    pub invocations: u32,
 }
 
 #[cfg(test)]

@@ -24,7 +24,11 @@
 //!   engine instantiate candidates lazily inside the worker pool.
 //! * [`tuner`] — the three search strategies compared in the paper and
 //!   its future work: exhaustive evaluation (ground truth), the pruned
-//!   Pareto search, and random sampling.
+//!   Pareto search, and random sampling — plus the iterative-strategy
+//!   protocol ([`tuner::IterativeStrategy`]/[`tuner::run_iterative`]).
+//! * [`zoo`] — the iterative optimizers themselves: hill climbing,
+//!   simulated annealing, a genetic strategy, and a surrogate search
+//!   over the static cost model.
 //! * [`engine`] — the shared evaluation engine the strategies run on: a
 //!   worker pool with deterministic reassembly, a content-addressed memo
 //!   cache over simulation inputs, and evaluation budgets.
@@ -67,6 +71,7 @@ pub mod pareto;
 pub mod report;
 pub mod space;
 pub mod tuner;
+pub mod zoo;
 
 pub use bandwidth::BandwidthAssessment;
 pub use candidate::{Candidate, Evaluated};
@@ -80,7 +85,10 @@ pub use pareto::{pareto_indices, Point};
 pub use space::{
     Axis, CandidateSource, Filter, Sample, Selection, SelectionError, SelectionRecord, Space, Value,
 };
-pub use tuner::{ExhaustiveSearch, PrunedSearch, RandomSearch, SearchReport, SearchStrategy};
+pub use tuner::{
+    run_iterative, ExhaustiveSearch, IterationContext, IterativeStrategy, Observation, Proposer,
+    PrunedSearch, RandomSearch, SearchReport, SearchStrategy,
+};
 
 /// Convenient glob import for examples and the bench harness.
 pub mod prelude {
@@ -98,6 +106,8 @@ pub mod prelude {
         Value,
     };
     pub use crate::tuner::{
-        ExhaustiveSearch, PrunedSearch, RandomSearch, SearchReport, SearchStrategy,
+        run_iterative, ExhaustiveSearch, IterationContext, IterativeStrategy, Observation,
+        Proposer, PrunedSearch, RandomSearch, SearchReport, SearchStrategy,
     };
+    pub use crate::zoo;
 }

@@ -30,14 +30,16 @@ use crate::candidate::{Candidate, Evaluated};
 use crate::space::{Instantiator, PartialPoint, Point, Space, Value};
 
 /// Predicted execution time in milliseconds for one candidate, from its
-/// static evaluation only (no simulation).
-pub fn predict_ms(c: &Candidate, e: &Evaluated, spec: &MachineSpec) -> f64 {
+/// static evaluation only (no simulation). The launch figures travel
+/// inside [`Evaluated`], so the candidate itself is not needed —
+/// [`predict_ms`] keeps the historical two-argument signature.
+pub fn predict_ms_static(e: &Evaluated, spec: &MachineSpec) -> f64 {
     let p = &e.kernel_profile.profile;
     let occ = &e.kernel_profile.occupancy;
     let issue = f64::from(spec.issue_cycles_per_warp);
 
     // Per-invocation figures (the Evaluated profile is whole-app).
-    let inv = f64::from(c.invocations);
+    let inv = f64::from(e.invocations);
     let instr = p.instr as f64 / inv;
     let units = (p.regions.saturating_sub(1)) as f64 / inv;
 
@@ -66,9 +68,15 @@ pub fn predict_ms(c: &Candidate, e: &Evaluated, spec: &MachineSpec) -> f64 {
 
     let wave = issue_bound.max(latency_bound).max(bandwidth_bound);
     let capacity = f64::from(spec.num_sms) * f64::from(occ.blocks_per_sm);
-    let waves = (c.launch.total_blocks() as f64 / capacity).max(1.0);
+    let waves = (e.total_blocks as f64 / capacity).max(1.0);
     let cycles = wave * waves * inv;
     cycles / spec.clock_hz * 1e3 + crate::tuner::LAUNCH_OVERHEAD_MS * inv
+}
+
+/// [`predict_ms_static`] under its historical signature; `e` must be
+/// `c`'s own evaluation.
+pub fn predict_ms(_c: &Candidate, e: &Evaluated, spec: &MachineSpec) -> f64 {
+    predict_ms_static(e, spec)
 }
 
 /// An *admissible* floor (in milliseconds) on the engine-reported

@@ -100,6 +100,14 @@ impl ConvergenceCurve {
         self.samples.iter().find(|s| s.best_time_ms == best).map(|s| s.unique_sims)
     }
 
+    /// Timed candidates needed before the search first held a best time
+    /// at or below `threshold_ms`; `None` if it never got there. Exact,
+    /// not interval-quantized: every improvement forces a sample, and
+    /// the first best at or below any threshold is an improvement.
+    pub fn sims_to_within(&self, threshold_ms: f64) -> Option<u64> {
+        self.samples.iter().find(|s| s.best_time_ms <= threshold_ms).map(|s| s.sims)
+    }
+
     /// The curve as a JSON array of sample objects.
     pub fn to_json(&self) -> Json {
         Json::Arr(self.samples.iter().map(|s| s.to_json()).collect())
@@ -246,6 +254,17 @@ mod tests {
         assert_eq!(c.samples.last().unwrap().unique_sims, 5);
         assert_eq!(c.sims_to_optimum(), Some(4));
         assert_eq!(c.unique_to_optimum(), Some(4));
+    }
+
+    #[test]
+    fn sims_to_within_finds_the_exact_crossing() {
+        let c = record(&[9.0, 7.0, 8.0, 6.5, 7.7]);
+        assert_eq!(c.sims_to_within(9.5), Some(1));
+        assert_eq!(c.sims_to_within(7.0), Some(2));
+        // 6.9 is only reached by the 6.5 improvement at sims 4.
+        assert_eq!(c.sims_to_within(6.9), Some(4));
+        assert_eq!(c.sims_to_within(6.0), None);
+        assert_eq!(ConvergenceCurve::default().sims_to_within(1.0), None);
     }
 
     #[test]

@@ -18,6 +18,16 @@
 //! drives. [`SearchStrategy::run`] is the same thing on a default
 //! (single-worker, unlimited) engine and reproduces the historical
 //! sequential behavior exactly.
+//!
+//! Strategies that need timing *feedback* — hill climbing, annealing,
+//! genetic, surrogate search (the zoo in [`crate::zoo`]) — cannot be
+//! one-shot `select()` policies. They implement [`IterativeStrategy`]
+//! instead: batches of proposals alternating with observed results,
+//! executed by [`run_iterative`] over the engine's round-based driver
+//! ([`EvalEngine::drive_iterative`]). Determinism contract: a
+//! strategy's randomness per round must be a pure function of
+//! `(strategy seed, round)`, so reports, canonical traces, and
+//! convergence curves are byte-identical at any `--jobs`.
 
 use std::collections::{BinaryHeap, HashMap};
 
@@ -37,6 +47,7 @@ use crate::pareto::pareto_indices;
 use crate::space::{CandidateSource, Instantiator, PointBatch, SelectionRecord, Space};
 
 pub use crate::engine::LAUNCH_OVERHEAD_MS;
+pub use crate::engine::{Observation, Proposer};
 
 /// Outcome of one search over a candidate space.
 #[derive(Debug, Clone)]
@@ -206,42 +217,161 @@ pub trait SearchStrategy {
             &mut stats,
             &mut quarantined,
         );
-        // Static- and timing-phase entries each arrive in index order;
-        // merge them into one index-ordered section.
-        quarantined.sort_by_key(|q| q.candidate);
-        let mut report = SearchReport {
-            strategy: self.name(),
-            space_size: source.len(),
-            statics,
-            simulated,
-            best: None,
-            quarantined,
-            stats,
-            metrics: EngineMetrics::default(),
-            selection: None,
-        };
-        report.pick_best();
-        engine.convergence().finish(report.stats.bound_pruned_points as u64);
-        report.metrics =
-            EngineMetrics::from_stats(&report.stats).with_convergence(engine.convergence().curve());
-        if let Some(sink) = engine.sink() {
-            report.metrics = report.metrics.clone().with_runtime(RuntimeMetrics::from_counters(
-                sink.runtime_counters(),
-                report.stats.jobs,
-            ));
-        }
-        engine.emit(EventKind::Counter, "engine.metrics", report.metrics.deterministic_fields());
-        engine.emit(
-            EventKind::End,
-            "search",
-            vec![
-                ("best", Json::from(report.best)),
-                ("best_time_ms", Json::from(report.best_time_ms())),
-                ("timed", Json::from(report.evaluated_count())),
-            ],
-        );
-        report
+        finish_report(engine, self.name(), source.len(), statics, simulated, quarantined, stats)
     }
+}
+
+/// Close out a search: sort the quarantine section, pick the best
+/// result, finish the convergence curve, attach metrics, and emit the
+/// closing trace events. Shared by every search runner so the report
+/// shape and trace structure cannot drift between strategies.
+fn finish_report(
+    engine: &EvalEngine,
+    strategy: String,
+    space_size: usize,
+    statics: Vec<Option<Evaluated>>,
+    simulated: Vec<Option<TimingReport>>,
+    mut quarantined: Vec<Quarantine>,
+    stats: EngineStats,
+) -> SearchReport {
+    // Static- and timing-phase entries each arrive in index order;
+    // merge them into one index-ordered section.
+    quarantined.sort_by_key(|q| q.candidate);
+    let mut report = SearchReport {
+        strategy,
+        space_size,
+        statics,
+        simulated,
+        best: None,
+        quarantined,
+        stats,
+        metrics: EngineMetrics::default(),
+        selection: None,
+    };
+    report.pick_best();
+    engine.convergence().finish(report.stats.bound_pruned_points as u64);
+    report.metrics =
+        EngineMetrics::from_stats(&report.stats).with_convergence(engine.convergence().curve());
+    if let Some(sink) = engine.sink() {
+        report.metrics = report.metrics.clone().with_runtime(RuntimeMetrics::from_counters(
+            sink.runtime_counters(),
+            report.stats.jobs,
+        ));
+    }
+    engine.emit(EventKind::Counter, "engine.metrics", report.metrics.deterministic_fields());
+    engine.emit(
+        EventKind::End,
+        "search",
+        vec![
+            ("best", Json::from(report.best)),
+            ("best_time_ms", Json::from(report.best_time_ms())),
+            ("timed", Json::from(report.evaluated_count())),
+        ],
+    );
+    report
+}
+
+/// What an iterative strategy sees before its first proposal: the
+/// statically evaluated space it is about to search.
+pub struct IterationContext<'a> {
+    /// Static evaluation per candidate in dense enumeration order;
+    /// `None` marks invalid candidates (the driver never dispatches
+    /// them, so strategies should not waste proposals there).
+    pub statics: &'a [Option<Evaluated>],
+    /// The candidate source under search.
+    pub source: &'a dyn CandidateSource,
+    /// Machine model.
+    pub spec: &'a MachineSpec,
+}
+
+/// A feedback-driven search strategy: batches of candidate proposals
+/// alternating with observed timing results, the protocol one-shot
+/// [`SearchStrategy::select`] cannot express.
+///
+/// Contract (enforced in part by [`EvalEngine::drive_iterative`]):
+///
+/// * **Per-round seeding** — any randomness inside `propose` must be a
+///   pure function of `(strategy seed, round index)`, never of wall
+///   clock or iteration timing, so runs are byte-identical at any
+///   worker count.
+/// * **No re-proposals** — every observation is final. A failed
+///   (quarantined) candidate is observed with `time_ms: None` exactly
+///   once and must be written off; the driver silently drops any index
+///   that already has a verdict.
+/// * **Termination** — an empty batch ends the search. Budgeted
+///   strategies stop proposing once their budget is spent; the engine
+///   additionally cuts the loop when its own sim/deadline budget trips.
+pub trait IterativeStrategy {
+    /// Strategy name for report rows. Seeded strategies include their
+    /// seed (`hill-64-s7`) so two runs differing only in seed stay
+    /// distinguishable in manifests and BENCH keys.
+    fn name(&self) -> String;
+
+    /// Metric variant used for static evaluation.
+    fn metrics_options(&self) -> MetricsOptions {
+        MetricsOptions::default()
+    }
+
+    /// Called once per search, before the first `propose`.
+    fn begin(&mut self, ctx: &IterationContext);
+
+    /// Next batch of candidate indices given the previous batch's
+    /// decided outcomes (empty slice on the first call).
+    fn propose(&mut self, observed: &[Observation]) -> Vec<usize>;
+}
+
+/// Run an iterative strategy end to end on an engine: statics, then
+/// proposal rounds through [`EvalEngine::drive_iterative`], then the
+/// standard report. The search loop mirrors
+/// [`SearchStrategy::run_source`] exactly, so iterative reports carry
+/// the same convergence curves, metrics, and trace structure as
+/// one-shot ones.
+///
+/// Checkpointing is not supported for iterative strategies (their
+/// internal state is not snapshotted); callers must reject
+/// `--checkpoint`/`--resume` before getting here.
+pub fn run_iterative(
+    strategy: &mut dyn IterativeStrategy,
+    engine: &EvalEngine,
+    source: &dyn CandidateSource,
+    spec: &MachineSpec,
+) -> SearchReport {
+    engine.emit(
+        EventKind::Begin,
+        "search",
+        vec![("strategy", Json::from(strategy.name())), ("space", Json::from(source.len()))],
+    );
+    engine.convergence().reset();
+    let mut stats = engine.stats_seed();
+    let mut quarantined: Vec<Quarantine> = Vec::new();
+    let statics = engine.evaluate_statics(
+        &MetricsEval {
+            options: strategy.metrics_options(),
+            verify: false,
+            check_races: engine.config.check_races,
+        },
+        source,
+        spec,
+        &mut stats,
+        &mut quarantined,
+    );
+    strategy.begin(&IterationContext { statics: &statics, source, spec });
+    struct Adapter<'a>(&'a mut dyn IterativeStrategy);
+    impl Proposer for Adapter<'_> {
+        fn propose(&mut self, observed: &[Observation]) -> Vec<usize> {
+            self.0.propose(observed)
+        }
+    }
+    let simulated = engine.drive_iterative(
+        &SimulatorEval::with_fuel(engine.config.sim_fuel),
+        source,
+        &statics,
+        &mut Adapter(strategy),
+        spec,
+        &mut stats,
+        &mut quarantined,
+    );
+    finish_report(engine, strategy.name(), source.len(), statics, simulated, quarantined, stats)
 }
 
 /// All valid candidate indices, in order.
@@ -368,9 +498,25 @@ pub struct RandomSearch {
     pub seed: u64,
 }
 
+impl RandomSearch {
+    /// Validated constructor — the canonical entry point for CLI and
+    /// bench wiring. A zero budget selects nothing and would report an
+    /// empty search as if it had run; refuse it up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is zero.
+    pub fn new(budget: usize, seed: u64) -> Self {
+        assert!(budget >= 1, "a budgeted strategy needs a budget >= 1");
+        Self { budget, seed }
+    }
+}
+
 impl SearchStrategy for RandomSearch {
     fn name(&self) -> String {
-        format!("random-{}", self.budget)
+        // Budget *and* seed: two runs differing only in seed must stay
+        // distinguishable in manifests, profiles, and BENCH json keys.
+        format!("random-{}-s{}", self.budget, self.seed)
     }
 
     fn select(&self, statics: &[Option<Evaluated>]) -> Vec<usize> {
@@ -669,39 +815,7 @@ impl BranchAndBound {
             stats.bound_pruned_points += admitted.saturating_sub(probed_inside);
         }
 
-        quarantined.sort_by_key(|q| q.candidate);
-        let mut report = SearchReport {
-            strategy: self.name(),
-            space_size: n,
-            statics,
-            simulated,
-            best: None,
-            quarantined,
-            stats,
-            metrics: EngineMetrics::default(),
-            selection: None,
-        };
-        report.pick_best();
-        engine.convergence().finish(report.stats.bound_pruned_points as u64);
-        report.metrics =
-            EngineMetrics::from_stats(&report.stats).with_convergence(engine.convergence().curve());
-        if let Some(sink) = engine.sink() {
-            report.metrics = report.metrics.clone().with_runtime(RuntimeMetrics::from_counters(
-                sink.runtime_counters(),
-                report.stats.jobs,
-            ));
-        }
-        engine.emit(EventKind::Counter, "engine.metrics", report.metrics.deterministic_fields());
-        engine.emit(
-            EventKind::End,
-            "search",
-            vec![
-                ("best", Json::from(report.best)),
-                ("best_time_ms", Json::from(report.best_time_ms())),
-                ("timed", Json::from(report.evaluated_count())),
-            ],
-        );
-        report
+        finish_report(engine, self.name(), n, statics, simulated, quarantined, stats)
     }
 }
 
@@ -823,7 +937,7 @@ pub(crate) mod tests {
 
     /// The synthetic space as a structured `Space` + `Instantiator`,
     /// for exercising subspace search in-crate.
-    struct SyntheticInst;
+    pub(crate) struct SyntheticInst;
 
     impl crate::space::Instantiator for SyntheticInst {
         fn instantiate(&self, p: &crate::space::Point) -> Candidate {
@@ -836,7 +950,7 @@ pub(crate) mod tests {
         }
     }
 
-    fn synthetic_structured() -> Space {
+    pub(crate) fn synthetic_structured() -> Space {
         Space::builder().axis("tile", [1u32, 2, 4, 8]).axis("pad", [0u32, 8, 20]).build()
     }
 

@@ -62,7 +62,7 @@ fn main() {
     let mut hits = 0;
     let mut regret = 0.0;
     for seed in 0..trials {
-        let r = RandomSearch { budget, seed }.run_with(&engine, &candidates, &spec);
+        let r = RandomSearch::new(budget, seed).run_with(&engine, &candidates, &spec);
         let t = r.best_time_ms().expect("non-empty sample");
         if (t / best_time - 1.0).abs() < 1e-9 {
             hits += 1;

@@ -187,6 +187,34 @@ diff -u "$tracedir/uninterrupted.txt" "$tracedir/resumed.txt" || {
     exit 1
 }
 
+echo "==> strategy-zoo smoke (tune cp --strategy hill|anneal|genetic|surrogate)"
+# Every iterative strategy must complete a small seeded search on the
+# CP space and report a best configuration under its seed-bearing name.
+for strategy in hill anneal genetic surrogate; do
+    zoo=$(cargo run --release -q -- tune cp --strategy "$strategy" \
+        --budget 12 --seed 1 --jobs 2)
+    echo "$zoo" | grep -q "^best configuration:" || {
+        echo "zoo smoke: --strategy $strategy found no best configuration" >&2
+        exit 1
+    }
+    echo "$zoo" | grep -q "^strategy $strategy-12" || {
+        echo "zoo smoke: --strategy $strategy report lacks its budgeted name" >&2
+        exit 1
+    }
+done
+
+echo "==> zoo convergence smoke (profile --app cp --convergence-out)"
+# The convergence export must carry a curve for every zoo strategy
+# alongside the classic three.
+cargo run --release -q -p optspace-bench --bin profile -- --app cp --jobs 2 \
+    --convergence-out "$tracedir/zoo_convergence.json" > /dev/null
+for strategy in exhaustive pruned bnb hill anneal genetic surrogate; do
+    grep -q "\"strategy\": \"$strategy\"" "$tracedir/zoo_convergence.json" || {
+        echo "zoo convergence smoke: no $strategy curve in the export" >&2
+        exit 1
+    }
+done
+
 echo "==> cargo doc (-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc -q --workspace --no-deps > /dev/null
 

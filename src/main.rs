@@ -5,9 +5,13 @@
 //! gpu-autotune devices                      list the machine models
 //! gpu-autotune inspect <app> <index>        static profile of one config
 //! gpu-autotune tune <app> [opts]            search a configuration space
-//!     --strategy exhaustive|pareto|random|bnb  (default pareto)
+//!     --strategy exhaustive|pareto|random|bnb
+//!               |hill|anneal|genetic|surrogate  (default pareto)
 //!     --grid default|fine                   which declared grid to tune over
-//!     --budget N                            random-search budget (default 10)
+//!     --budget N                            timing budget for budgeted
+//!                                           strategies (default 10, must be >= 1)
+//!     --seed S                              seed for seeded strategies
+//!                                           (random/hill/anneal/genetic; default 0)
 //!     --device g80|gt200                    (default g80)
 //!     --no-screen                           disable the bandwidth screen
 //!     --jobs N                              evaluation worker threads (default 1)
@@ -62,8 +66,10 @@ use gpu_autotune::optspace::obs::{
 };
 use gpu_autotune::optspace::report::{fmt_ms, profile_table, table};
 use gpu_autotune::optspace::tuner::{
-    BranchAndBound, ExhaustiveSearch, PrunedSearch, RandomSearch, SearchReport, SearchStrategy,
+    run_iterative, BranchAndBound, ExhaustiveSearch, PrunedSearch, RandomSearch, SearchReport,
+    SearchStrategy,
 };
+use gpu_autotune::optspace::zoo;
 use gpu_autotune::optspace::{Filter, Sample, Selection};
 
 const USAGE: &str = "\
@@ -73,7 +79,8 @@ commands:
   spaces                      list applications and configuration-space sizes
   devices                     list machine models
   inspect <app> <index>       static profile + PTX view of one configuration
-  tune <app> [--strategy exhaustive|pareto|random|bnb] [--budget N]
+  tune <app> [--strategy exhaustive|pareto|random|bnb|hill|anneal|genetic|surrogate]
+             [--budget N] [--seed S]
              [--grid default|fine] [--device g80|gt200] [--no-screen] [--jobs N]
              [--max-sims N] [--deadline-ms X] [--sim-fuel N] [--check-races]
              [--retries N] [--inject-faults] [--fault-seed N]
@@ -290,6 +297,7 @@ fn cmd_tune(args: &[String]) -> ExitCode {
     let mut strategy = "pareto".to_string();
     let mut grid = "default".to_string();
     let mut budget = 10usize;
+    let mut seed = 0u64;
     let mut device = MachineSpec::geforce_8800_gtx();
     let mut screen = true;
     let mut jobs = 1usize;
@@ -330,9 +338,16 @@ fn cmd_tune(args: &[String]) -> ExitCode {
                 }
             },
             "--budget" => match it.next().and_then(|s| s.parse().ok()) {
-                Some(b) => budget = b,
+                Some(b) if b >= 1 => budget = b,
+                _ => {
+                    eprintln!("--budget needs a number >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
                 None => {
-                    eprintln!("--budget needs a number");
+                    eprintln!("--seed needs a number");
                     return ExitCode::FAILURE;
                 }
             },
@@ -486,6 +501,19 @@ fn cmd_tune(args: &[String]) -> ExitCode {
         eprintln!("--stop-after-units requires --checkpoint or --resume");
         return ExitCode::FAILURE;
     }
+    // Iterative strategies carry in-flight optimizer state (walks,
+    // populations, pending proposals) that the checkpoint format does
+    // not capture; fail fast rather than resume into a silently
+    // restarted search.
+    let iterative = zoo::NAMES.contains(&strategy.as_str());
+    if iterative && (checkpoint_path.is_some() || resume_path.is_some()) {
+        eprintln!(
+            "--strategy {strategy} is iterative and keeps optimizer state between rounds; \
+             checkpoint/resume is not supported for iterative strategies — drop \
+             --checkpoint/--resume"
+        );
+        return ExitCode::FAILURE;
+    }
     // A resumed run keeps checkpointing to the file it resumed from
     // unless an explicit --checkpoint redirects it.
     if checkpoint_path.is_none() {
@@ -637,13 +665,33 @@ fn cmd_tune(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
         BranchAndBound.run_space(&engine, &space, &AppInstantiator(app.as_ref()), &device)
+    } else if iterative {
+        // Iterative zoo strategies walk the declared axis grid, so the
+        // dense candidate indices they propose must line up with the
+        // full space — no up-front narrowing.
+        if !selection.is_noop() {
+            eprintln!("--strategy {strategy} searches the full space; drop --filter/--sample");
+            return ExitCode::FAILURE;
+        }
+        let mut searcher =
+            zoo::by_name(&strategy, &space, budget, seed).expect("membership checked above");
+        if eager {
+            let cands: Vec<Candidate> =
+                source.points().iter().map(|p| app.instantiate(p)).collect();
+            run_iterative(searcher.as_mut(), &engine, &cands, &device)
+        } else {
+            run_iterative(searcher.as_mut(), &engine, &source, &device)
+        }
     } else {
         let searcher: Box<dyn SearchStrategy> = match strategy.as_str() {
             "exhaustive" => Box::new(ExhaustiveSearch),
             "pareto" => Box::new(PrunedSearch { screen_bandwidth: screen, ..Default::default() }),
-            "random" => Box::new(RandomSearch { budget, seed: 0 }),
+            "random" => Box::new(RandomSearch::new(budget, seed)),
             other => {
-                eprintln!("unknown strategy `{other}` (exhaustive|pareto|random|bnb)");
+                eprintln!(
+                    "unknown strategy `{other}` \
+                     (exhaustive|pareto|random|bnb|hill|anneal|genetic|surrogate)"
+                );
                 return ExitCode::FAILURE;
             }
         };

@@ -25,7 +25,7 @@ fn searches_handle_empty_candidate_lists() {
     assert_eq!(r.best_time_ms(), None);
     let r = PrunedSearch::default().run(&none, &spec);
     assert_eq!(r.evaluated_count(), 0);
-    let r = RandomSearch { budget: 5, seed: 0 }.run(&none, &spec);
+    let r = RandomSearch::new(5, 0).run(&none, &spec);
     assert_eq!(r.evaluated_count(), 0);
 }
 
@@ -125,16 +125,11 @@ fn barrier_in_multiblock_2d_grid() {
 }
 
 #[test]
-fn random_search_budget_zero_times_nothing() {
-    let spec = g80();
-    let mut b = KernelBuilder::new("k");
-    let p = b.param(0);
-    b.st_global(p, 0, 1.0f32);
-    let cands =
-        vec![Candidate::new("k", b.finish(), Launch::new(Dim::new_1d(16), Dim::new_1d(32)))];
-    let r = RandomSearch { budget: 0, seed: 1 }.run(&cands, &spec);
-    assert_eq!(r.evaluated_count(), 0);
-    assert_eq!(r.best, None);
+#[should_panic(expected = "budget >= 1")]
+fn random_search_budget_zero_is_refused() {
+    // A zero budget used to be accepted and silently time nothing; the
+    // validated constructor refuses it up front.
+    let _ = RandomSearch::new(0, 1);
 }
 
 #[test]
