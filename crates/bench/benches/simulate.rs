@@ -7,8 +7,12 @@ use gpu_arch::MachineSpec;
 use gpu_ir::linear::linearize;
 use gpu_kernels::cp::{Cp, CpConfig};
 use gpu_kernels::matmul::{MatMul, MatMulConfig};
+use gpu_kernels::mri_fhd::{MriConfig, MriFhd};
+use gpu_kernels::sad::{Sad, SadConfig};
+use gpu_sim::decode::decode;
 use gpu_sim::interp::run_kernel;
-use gpu_sim::timing::simulate;
+use gpu_sim::timing::{simulate, simulate_decoded};
+use optspace::candidate::Candidate;
 use std::hint::black_box;
 
 fn bench_timing(c: &mut Criterion) {
@@ -42,6 +46,74 @@ fn bench_timing(c: &mut Criterion) {
     g.finish();
 }
 
+/// One decoded-vs-legacy pair per paper application: the seed engine
+/// (`gpu_sim::legacy`) re-walks the nested `LinearProgram` every step,
+/// the decoded engine runs the flat op arena built once up front. The
+/// decode itself is hoisted out of the measured loop on the decoded
+/// side — the engine cache amortises it across a whole tuning run — so
+/// the pair isolates the steady-state per-simulation cost.
+fn bench_decoded_vs_legacy(c: &mut Criterion) {
+    let spec = MachineSpec::geforce_8800_gtx();
+    let mut g = c.benchmark_group("decoded-vs-legacy");
+    g.sample_size(20);
+
+    let cands: Vec<(&str, Candidate)> = vec![
+        (
+            "matmul",
+            MatMul::reduced_problem().candidate(&MatMulConfig {
+                tile: 16,
+                rect: 1,
+                unroll: 0,
+                prefetch: false,
+                spill: false,
+            }),
+        ),
+        (
+            "cp",
+            Cp::paper_problem().candidate(&CpConfig {
+                block: 128,
+                tiling: 4,
+                coalesced_output: true,
+            }),
+        ),
+        (
+            "sad",
+            Sad::paper_problem().candidate(&SadConfig {
+                tpb: 64,
+                mb_tiling: 1,
+                pos_unroll: 1,
+                row_unroll: 1,
+                col_unroll: 1,
+            }),
+        ),
+        (
+            "mri-fhd",
+            MriFhd::paper_problem().candidate(&MriConfig { block: 128, unroll: 4, invocations: 1 }),
+        ),
+    ];
+
+    for (name, cand) in &cands {
+        let e = cand.evaluate(&spec).expect("valid");
+        let usage = e.kernel_profile.usage;
+        let prog = linearize(&cand.kernel);
+        let dec = decode(&prog);
+        g.bench_function(format!("{name} legacy"), |b| {
+            b.iter(|| {
+                black_box(
+                    gpu_sim::legacy::timing::simulate(&prog, &cand.launch, &usage, &spec)
+                        .expect("valid"),
+                )
+            })
+        });
+        g.bench_function(format!("{name} decoded"), |b| {
+            b.iter(|| {
+                black_box(simulate_decoded(&dec, &cand.launch, &usage, &spec).expect("valid"))
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_interpreter(c: &mut Criterion) {
     let mut g = c.benchmark_group("interpreter");
     g.sample_size(10);
@@ -61,5 +133,5 @@ fn bench_interpreter(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_timing, bench_interpreter);
+criterion_group!(benches, bench_timing, bench_decoded_vs_legacy, bench_interpreter);
 criterion_main!(benches);

@@ -12,9 +12,10 @@
 //!   simulation, the report is reused outright.
 //! * [`class_key`] — the same hash with every **top-level** loop's trip
 //!   count masked out, plus the masked trip counts as data. Inputs that
-//!   agree on the class hash but differ in one top-level trip count form
-//!   a *family* that `gpu_sim::timing::simulate_family` evaluates in a
-//!   single forked run (the MRI-FHD invocation clusters of Figure 6(b)).
+//!   agree on the class hash but differ in top-level trip counts form a
+//!   *family* that `gpu_sim::timing::simulate_family` evaluates in a
+//!   single forked run (the MRI-FHD invocation clusters of Figure 6(b));
+//!   any number of top-level axes may vary across the members.
 //!
 //! Float immediates are hashed through their `Debug` form, which in Rust
 //! is round-trip exact, so distinct constants never collide and equal
@@ -38,13 +39,13 @@ pub struct ClassKey {
 }
 
 impl ClassKey {
-    /// Whether `self` and `other` differ in at most one top-level trip
-    /// count — the shape `simulate_family` can fork. (Same hash and same
-    /// trips means exact duplicates, which also qualifies.)
+    /// Whether `self` and `other` agree on the trip-masked structure —
+    /// the shape `simulate_family` can fork. Members may differ in any
+    /// number of top-level trip counts: the forked run varies every
+    /// differing axis. (Same hash and same trips means exact duplicates,
+    /// which also qualifies.)
     pub fn family_compatible(&self, other: &Self) -> bool {
-        self.hash == other.hash
-            && self.top_trips.len() == other.top_trips.len()
-            && self.top_trips.iter().zip(&other.top_trips).filter(|(a, b)| a != b).count() <= 1
+        self.hash == other.hash && self.top_trips.len() == other.top_trips.len()
     }
 }
 
@@ -161,6 +162,15 @@ mod tests {
         assert!(ca.family_compatible(&cb));
         assert_eq!(ca.top_trips, vec![8]);
         assert_eq!(cb.top_trips, vec![4]);
+    }
+
+    #[test]
+    fn multiple_differing_top_level_trips_stay_family_compatible() {
+        let ca = ClassKey { hash: 7, top_trips: vec![8, 3] };
+        let cb = ClassKey { hash: 7, top_trips: vec![4, 9] };
+        assert!(ca.family_compatible(&cb), "every top-level axis may vary");
+        assert!(!ca.family_compatible(&ClassKey { hash: 8, top_trips: vec![8, 3] }));
+        assert!(!ca.family_compatible(&ClassKey { hash: 7, top_trips: vec![8] }));
     }
 
     #[test]

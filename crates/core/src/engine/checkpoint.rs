@@ -42,8 +42,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use gpu_arch::{MachineSpec, ResourceUsage};
-use gpu_ir::linear::LinearProgram;
 use gpu_ir::Launch;
+use gpu_sim::decode::DecodedProgram;
 use gpu_sim::timing::TimingReport;
 
 use super::cache;
@@ -499,12 +499,12 @@ impl<'a> ReplayEval<'a> {
 impl TimingEval for ReplayEval<'_> {
     fn simulate(
         &self,
-        prog: &LinearProgram,
+        prog: &DecodedProgram,
         launch: &Launch,
         usage: &ResourceUsage,
         spec: &MachineSpec,
     ) -> Result<TimingReport, EvalError> {
-        match self.results.get(&cache::exact_key(prog, launch, usage, spec)) {
+        match self.results.get(&cache::exact_key(&prog.source, launch, usage, spec)) {
             Some(rep) => Ok(rep.clone()),
             None => self.inner.simulate(prog, launch, usage, spec),
         }
@@ -512,7 +512,7 @@ impl TimingEval for ReplayEval<'_> {
 
     fn simulate_family(
         &self,
-        progs: &[&LinearProgram],
+        progs: &[&DecodedProgram],
         launch: &Launch,
         usage: &ResourceUsage,
         spec: &MachineSpec,
@@ -524,7 +524,7 @@ impl TimingEval for ReplayEval<'_> {
         // to a real family run, which returns the same reports anyway.
         let served: Option<Vec<TimingReport>> = progs
             .iter()
-            .map(|p| self.results.get(&cache::exact_key(p, launch, usage, spec)).cloned())
+            .map(|p| self.results.get(&cache::exact_key(&p.source, launch, usage, spec)).cloned())
             .collect();
         match served {
             Some(reports) => Some(reports),

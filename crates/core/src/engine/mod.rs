@@ -13,13 +13,19 @@
 //!   and lost workers are respawned.
 //! * **Memo cache** — timing work is deduplicated by a content hash of
 //!   (linearized program, launch, resource usage, machine spec)
-//!   ([`cache`]). Configurations differing only in their
-//!   work-per-invocation split — same hash up to one top-level trip
-//!   count — form a *family* simulated in one forked run
-//!   (`gpu_sim::timing::simulate_family`), so each MRI-FHD cluster of
-//!   seven costs roughly one simulation. Failed evaluations are never
-//!   cached: a family containing a failing member degrades to individual
-//!   runs so the failure cannot poison its siblings.
+//!   ([`cache`]). Configurations differing only in top-level trip
+//!   counts — any number of axes — form a *family* simulated in one
+//!   forked run (`gpu_sim::timing::simulate_family_decoded`), so each
+//!   MRI-FHD cluster of seven costs roughly one simulation. Failed
+//!   evaluations are never cached: a family containing a failing member
+//!   degrades to individual runs so the failure cannot poison its
+//!   siblings.
+//! * **Decode cache** — each unique program is lowered once into the
+//!   simulator's flat op arena (`gpu_sim::decode`) during the
+//!   sequential dedup pass; the arena is trip-independent, so family
+//!   members and branch-and-bound probe corners sharing one masked
+//!   structure share one decode (keyed by class hash, shared across
+//!   engine clones).
 //! * **Budget** — optional caps on unique simulations and on accumulated
 //!   simulated milliseconds ([`budget`]), applied deterministically and
 //!   recorded in the search report's [`EngineStats`].
@@ -45,12 +51,13 @@ pub mod pool;
 pub mod store;
 
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use gpu_arch::{MachineSpec, ResourceUsage};
-use gpu_ir::linear::{linearize, LinearProgram};
+use gpu_ir::linear::linearize;
 use gpu_ir::Launch;
+use gpu_sim::decode::{DecodedArena, DecodedProgram};
 use gpu_sim::timing::TimingReport;
 
 use crate::candidate::{Candidate, Evaluated};
@@ -124,26 +131,31 @@ impl StaticEval for MetricsEval {
     }
 }
 
-/// Timing evaluation of one linearized program (a single invocation's
+/// Timing evaluation of one decoded program (a single invocation's
 /// worth of work — the engine applies invocation scaling afterwards).
+/// The engine decodes each unique program once, in the sequential dedup
+/// phase, so evaluators receive the arena-backed form directly; the
+/// original linear program stays reachable as
+/// [`DecodedProgram::source`](gpu_sim::decode::DecodedProgram) for
+/// evaluators that need it (content keys, the legacy engine).
 pub trait TimingEval: Sync {
     /// Simulate one program.
     fn simulate(
         &self,
-        prog: &LinearProgram,
+        prog: &DecodedProgram,
         launch: &Launch,
         usage: &ResourceUsage,
         spec: &MachineSpec,
     ) -> Result<TimingReport, EvalError>;
 
-    /// Simulate a family of programs differing only in one top-level
-    /// trip count, in one forked run. `None` means "unsupported, not
+    /// Simulate a family of programs differing only in top-level trip
+    /// counts, in one forked run. `None` means "unsupported, not
     /// actually a family, or the family run failed" — the engine falls
     /// back to individual [`TimingEval::simulate`] calls, which also
     /// attributes any failure to the member that caused it.
     fn simulate_family(
         &self,
-        progs: &[&LinearProgram],
+        progs: &[&DecodedProgram],
         launch: &Launch,
         usage: &ResourceUsage,
         spec: &MachineSpec,
@@ -154,39 +166,67 @@ pub trait TimingEval: Sync {
 }
 
 /// The standard timing evaluator: the warp-level G80 simulator, with an
-/// optional fuel watchdog bounding every event loop.
+/// optional fuel watchdog bounding every event loop. Runs the decoded
+/// arena engine by default; `legacy` switches to the pre-decode
+/// reference engine (`gpu_sim::legacy`), which the differential test
+/// suite holds bit-identical.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SimulatorEval {
     /// Scheduler-step limit per simulation; `None` is unbounded.
     pub fuel: Option<u64>,
+    /// Use the pre-decode reference engine instead of the decoded one.
+    pub legacy: bool,
 }
 
 impl SimulatorEval {
-    /// Evaluator with the given fuel limit.
+    /// Evaluator with the given fuel limit (decoded engine).
     pub fn with_fuel(fuel: Option<u64>) -> Self {
-        Self { fuel }
+        Self { fuel, legacy: false }
+    }
+
+    /// Evaluator matching an engine configuration (fuel + engine kind).
+    pub fn from_config(config: &EngineConfig) -> Self {
+        Self { fuel: config.sim_fuel, legacy: config.legacy_sim }
     }
 }
 
 impl TimingEval for SimulatorEval {
     fn simulate(
         &self,
-        prog: &LinearProgram,
+        prog: &DecodedProgram,
         launch: &Launch,
         usage: &ResourceUsage,
         spec: &MachineSpec,
     ) -> Result<TimingReport, EvalError> {
-        gpu_sim::timing::simulate_fueled(prog, launch, usage, spec, self.fuel).map_err(Into::into)
+        if self.legacy {
+            gpu_sim::legacy::timing::simulate_fueled(&prog.source, launch, usage, spec, self.fuel)
+                .map_err(Into::into)
+        } else {
+            gpu_sim::timing::simulate_decoded_fueled(prog, launch, usage, spec, self.fuel)
+                .map_err(Into::into)
+        }
     }
 
     fn simulate_family(
         &self,
-        progs: &[&LinearProgram],
+        progs: &[&DecodedProgram],
         launch: &Launch,
         usage: &ResourceUsage,
         spec: &MachineSpec,
     ) -> Option<Vec<TimingReport>> {
-        gpu_sim::timing::simulate_family_fueled(progs, launch, usage, spec, self.fuel).ok()
+        if self.legacy {
+            // The reference engine only forks single-axis families; a
+            // wider family errors here and degrades to singles.
+            let sources: Vec<&gpu_ir::linear::LinearProgram> =
+                progs.iter().map(|p| &p.source).collect();
+            gpu_sim::legacy::timing::simulate_family_fueled(
+                &sources, launch, usage, spec, self.fuel,
+            )
+            .ok()
+        } else {
+            gpu_sim::timing::simulate_family_decoded_fueled(progs, launch, usage, spec, self.fuel)
+                .ok()
+        }
     }
 }
 
@@ -229,6 +269,12 @@ pub struct EngineConfig {
     /// flowing into selection. Off by default (the `--check-races` CLI
     /// flag turns it on).
     pub check_races: bool,
+    /// Time with the pre-decode reference engine (`gpu_sim::legacy`)
+    /// instead of the decoded arena engine. Off by default (the
+    /// `--engine legacy` CLI flag turns it on); reports are
+    /// bit-identical either way — the switch exists for differential
+    /// validation.
+    pub legacy_sim: bool,
 }
 
 impl Default for EngineConfig {
@@ -240,6 +286,7 @@ impl Default for EngineConfig {
             sim_fuel: None,
             fault_plan: None,
             check_races: false,
+            legacy_sim: false,
         }
     }
 }
@@ -326,11 +373,18 @@ pub struct EvalEngine {
     /// `jobs`). Shared by clones: a batched search accumulates one
     /// curve across its per-batch engine copies.
     convergence: Arc<ConvergenceRecorder>,
+    /// Decoded-arena cache keyed by class hash: the arena is
+    /// trip-independent, so every family member (and every
+    /// branch-and-bound probe corner sharing the masked structure)
+    /// reuses one decode. Shared by clones for the same reason the
+    /// convergence recorder is; populated only from the sequential
+    /// dedup loop, so its contents are deterministic at any `jobs`.
+    decoded: Arc<Mutex<HashMap<u64, Arc<DecodedArena>>>>,
 }
 
 /// One deduplicated simulation input (the memo cache's value side).
 struct UniqueSim {
-    prog: LinearProgram,
+    prog: DecodedProgram,
     launch: Launch,
     usage: ResourceUsage,
     exact: u64,
@@ -691,23 +745,56 @@ impl EvalEngine {
             let usage = e.kernel_profile.usage;
             let lookup_started = Instant::now();
             let exact = cache::exact_key(&prog, &launch, &usage, spec);
-            let hit = unique_of.contains_key(&exact);
-            let u = *unique_of.entry(exact).or_insert_with(|| {
-                let class = cache::class_key(&prog, &launch, &usage, spec);
-                uniques.push(UniqueSim { prog, launch, usage, exact, class });
-                uniques.len() - 1
-            });
+            let hit = unique_of.get(&exact).copied();
             if let Some(sink) = &self.sink {
                 sink.record_latency(
                     LatencyLane::CacheLookup,
                     lookup_started.elapsed().as_micros() as u64,
                 );
             }
+            let u = hit.unwrap_or(uniques.len());
             self.emit(
                 EventKind::Point,
-                if hit { "cache.hit" } else { "cache.miss" },
+                if hit.is_some() { "cache.hit" } else { "cache.miss" },
                 vec![("candidate", Json::from(i)), ("unique", Json::from(u))],
             );
+            if hit.is_none() {
+                let class = cache::class_key(&prog, &launch, &usage, spec);
+                // Decode once per masked structure: the arena stores no
+                // trip counts, so every family member (and every probe
+                // corner sharing the class) reuses it verbatim — only
+                // the per-program trip vector is rebuilt.
+                let decode_started = Instant::now();
+                let mut shared = self.decoded.lock().expect("decode cache poisoned");
+                let (decoded, fresh) = match shared.get(&class.hash) {
+                    Some(arena) => (DecodedProgram::with_arena(prog, Arc::clone(arena)), false),
+                    None => {
+                        let d = DecodedProgram::new(prog);
+                        shared.insert(class.hash, Arc::clone(&d.arena));
+                        (d, true)
+                    }
+                };
+                drop(shared);
+                if let Some(sink) = &self.sink {
+                    sink.record_latency(
+                        LatencyLane::Decode,
+                        decode_started.elapsed().as_micros() as u64,
+                    );
+                }
+                if fresh {
+                    self.emit(
+                        EventKind::Point,
+                        "decode.done",
+                        vec![
+                            ("unique", Json::from(u)),
+                            ("ops", Json::from(decoded.op_count())),
+                            ("arena_bytes", Json::from(decoded.arena.arena_bytes())),
+                        ],
+                    );
+                }
+                uniques.push(UniqueSim { prog: decoded, launch, usage, exact, class });
+                unique_of.insert(exact, u);
+            }
             assignments.push((i, u, invocations));
         }
 
@@ -742,11 +829,12 @@ impl EvalEngine {
             }
         }
 
-        // Phase 2: group uniques by class into work units. A class whose
-        // members differ in more than one top-level trip count cannot be
-        // forked and degrades to singles — as does a class containing a
-        // fault-injected member, so one failure cannot poison the rest of
-        // its family through the shared forked run.
+        // Phase 2: group uniques by class into work units. Members may
+        // differ in any number of top-level trip counts — the forked run
+        // varies every differing axis. A class containing a
+        // fault-injected member degrades to singles, so one failure
+        // cannot poison the rest of its family through the shared forked
+        // run.
         let mut group_of: HashMap<u64, usize> = HashMap::new();
         let mut groups: Vec<Vec<usize>> = Vec::new();
         for (u, uq) in uniques.iter().enumerate() {
@@ -775,8 +863,7 @@ impl EvalEngine {
                     uniques[members[0]].class.family_compatible(&uniques[m].class)
                         && uniques[m].class.top_trips.iter().all(|&t| t >= 1)
                 })
-                && uniques[members[0]].class.top_trips.iter().all(|&t| t >= 1)
-                && varying_positions(&uniques, &members) <= 1;
+                && uniques[members[0]].class.top_trips.iter().all(|&t| t >= 1);
             if forkable {
                 units.push(WorkUnit::Family(members));
             } else {
@@ -1187,17 +1274,6 @@ impl EvalEngine {
     }
 }
 
-/// Number of top-level loop positions whose trip count varies across the
-/// class members.
-fn varying_positions(uniques: &[UniqueSim], members: &[usize]) -> usize {
-    let first = &uniques[members[0]].class.top_trips;
-    (0..first.len())
-        .filter(|&p| {
-            members[1..].iter().any(|&m| uniques[m].class.top_trips.get(p) != first.get(p))
-        })
-        .count()
-}
-
 /// One work unit's outcome: per-unique results, simulations executed,
 /// and faults injected.
 type UnitOutcome = (Vec<(usize, Result<TimingReport, EvalError>)>, usize, usize);
@@ -1224,7 +1300,7 @@ fn run_unit(
         }
         WorkUnit::Family(members) => {
             let first = &uniques[members[0]];
-            let progs: Vec<&LinearProgram> = members.iter().map(|&m| &uniques[m].prog).collect();
+            let progs: Vec<&DecodedProgram> = members.iter().map(|&m| &uniques[m].prog).collect();
             match eval.simulate_family(&progs, &first.launch, &first.usage, spec) {
                 Some(reports) => {
                     (members.iter().copied().zip(reports.into_iter().map(Ok)).collect(), 1, 0)
@@ -1615,12 +1691,13 @@ mod fault_tests {
         impl TimingEval for PanickyEval {
             fn simulate(
                 &self,
-                prog: &LinearProgram,
+                prog: &DecodedProgram,
                 launch: &Launch,
                 usage: &ResourceUsage,
                 spec: &MachineSpec,
             ) -> Result<TimingReport, EvalError> {
                 let trips = prog
+                    .source
                     .code
                     .iter()
                     .find_map(|op| match op {
@@ -1631,7 +1708,7 @@ mod fault_tests {
                 if trips == self.panic_on_trips {
                     panic!("deliberate test panic");
                 }
-                gpu_sim::timing::simulate(prog, launch, usage, spec).map_err(Into::into)
+                gpu_sim::timing::simulate_decoded(prog, launch, usage, spec).map_err(Into::into)
             }
         }
 

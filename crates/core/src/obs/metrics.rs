@@ -118,6 +118,8 @@ pub struct RuntimeMetrics {
     pub cache_lookup_hist: Histogram,
     /// Wall time per persistent-store read or flush.
     pub store_io_hist: Histogram,
+    /// Wall time per program decode (arena build or cached rebind).
+    pub decode_hist: Histogram,
 }
 
 impl RuntimeMetrics {
@@ -133,6 +135,7 @@ impl RuntimeMetrics {
             sim_duration_hist: c.sim_duration_hist,
             cache_lookup_hist: c.cache_lookup_hist,
             store_io_hist: c.store_io_hist,
+            decode_hist: c.decode_hist,
         }
     }
 
@@ -159,6 +162,7 @@ impl RuntimeMetrics {
             ("sim_duration_hist", self.sim_duration_hist.to_json()),
             ("cache_lookup_hist", self.cache_lookup_hist.to_json()),
             ("store_io_hist", self.store_io_hist.to_json()),
+            ("decode_hist", self.decode_hist.to_json()),
         ])
     }
 
@@ -178,6 +182,7 @@ impl RuntimeMetrics {
             sim_duration_hist: Histogram::from_json_opt(j.get("sim_duration_hist"))?,
             cache_lookup_hist: Histogram::from_json_opt(j.get("cache_lookup_hist"))?,
             store_io_hist: Histogram::from_json_opt(j.get("store_io_hist"))?,
+            decode_hist: Histogram::from_json_opt(j.get("decode_hist"))?,
         })
     }
 }
@@ -475,6 +480,7 @@ mod tests {
             sim_duration_hist: Histogram::default(),
             cache_lookup_hist: Histogram::default(),
             store_io_hist: Histogram::default(),
+            decode_hist: Histogram::default(),
         });
         let det = m.deterministic_json().to_string_compact();
         assert!(!det.contains("wall_us"), "runtime leaked into the deterministic form: {det}");
@@ -501,6 +507,11 @@ mod tests {
             },
             cache_lookup_hist: Histogram::default(),
             store_io_hist: Histogram::default(),
+            decode_hist: {
+                let mut h = Histogram::default();
+                h.record(3);
+                h
+            },
         });
         let text = m.to_json().to_string_compact();
         let back = EngineMetrics::from_json(&super::super::json::parse(&text).unwrap()).unwrap();

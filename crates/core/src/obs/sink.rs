@@ -59,9 +59,12 @@ pub enum LatencyLane {
     CacheLookup,
     /// Wall time of one persistent-store read or flush.
     StoreIo,
+    /// Wall time of one program decode (arena build or cached-arena
+    /// rebind) in the dedup pass.
+    Decode,
 }
 
-const LANES: usize = 3;
+const LANES: usize = 4;
 
 /// Snapshot of the sink's atomic runtime counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -82,6 +85,8 @@ pub struct RuntimeCounters {
     pub cache_lookup_hist: Histogram,
     /// Latency histogram of [`LatencyLane::StoreIo`].
     pub store_io_hist: Histogram,
+    /// Latency histogram of [`LatencyLane::Decode`].
+    pub decode_hist: Histogram,
 }
 
 /// The shared event sink. Cheap to clone behind an `Arc`; all methods
@@ -202,6 +207,7 @@ impl EventSink {
             sim_duration_hist: self.latency_hist(LatencyLane::Sim),
             cache_lookup_hist: self.latency_hist(LatencyLane::CacheLookup),
             store_io_hist: self.latency_hist(LatencyLane::StoreIo),
+            decode_hist: self.latency_hist(LatencyLane::Decode),
         }
     }
 
@@ -343,12 +349,15 @@ mod tests {
         sink.record_latency(LatencyLane::Sim, 1000);
         sink.record_latency(LatencyLane::CacheLookup, 3);
         sink.record_latency(LatencyLane::StoreIo, u64::MAX);
+        sink.record_latency(LatencyLane::Decode, 12);
         let c = sink.runtime_counters();
         assert_eq!(c.sim_duration_hist.count(), 2);
         assert_eq!(c.sim_duration_hist.buckets[0], 1);
         assert_eq!(c.sim_duration_hist.buckets[Histogram::bucket_of(1000)], 1);
         assert_eq!(c.cache_lookup_hist.count(), 1);
         assert_eq!(c.store_io_hist.buckets[HIST_BUCKETS - 1], 1);
+        assert_eq!(c.decode_hist.count(), 1);
+        assert_eq!(c.decode_hist.buckets[Histogram::bucket_of(12)], 1);
     }
 
     #[test]

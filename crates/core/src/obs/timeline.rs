@@ -238,6 +238,12 @@ pub struct TraceSummary {
     pub cache_misses: u64,
     /// Persistent-store hits.
     pub store_hits: u64,
+    /// Fresh program decodes (`decode.done` records).
+    pub decodes: u64,
+    /// Decoded ops across those decodes.
+    pub decode_ops: u64,
+    /// Flat arena bytes across those decodes.
+    pub decode_arena_bytes: u64,
 }
 
 /// Digest a parsed trace into a [`TraceSummary`] keeping the `top_k`
@@ -276,6 +282,11 @@ pub fn summarize(recs: &[Rec], top_k: usize) -> TraceSummary {
             ("point", "cache.hit") => s.cache_hits += 1,
             ("point", "cache.miss") => s.cache_misses += 1,
             ("point", "store.hit") => s.store_hits += 1,
+            ("point", "decode.done") => {
+                s.decodes += 1;
+                s.decode_ops += r.field_u64("ops").unwrap_or(0);
+                s.decode_arena_bytes += r.field_u64("arena_bytes").unwrap_or(0);
+            }
             ("counter", "engine.metrics") => {
                 if let Ok(c) = ConvergenceCurve::from_json_opt(r.fields.get("convergence")) {
                     s.convergence = c;
@@ -397,6 +408,12 @@ pub fn format_summary(s: &TraceSummary) -> String {
         "cache: {} hits, {} misses, {} store hits\n",
         s.cache_hits, s.cache_misses, s.store_hits
     ));
+    if s.decodes > 0 {
+        out.push_str(&format!(
+            "decode: {} arenas ({} ops, {} flat bytes)\n",
+            s.decodes, s.decode_ops, s.decode_arena_bytes
+        ));
+    }
     out
 }
 

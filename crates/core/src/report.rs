@@ -208,6 +208,9 @@ pub fn profile_table(m: &EngineMetrics) -> String {
     if rt.store_io_hist.count() > 0 {
         row("store io latency", lat(&rt.store_io_hist), String::new());
     }
+    if rt.decode_hist.count() > 0 {
+        row("decode latency", lat(&rt.decode_hist), String::new());
+    }
     // Numeric value and share columns keep a straight right edge even
     // when a fine-grid count outgrows the header width.
     table_aligned(&rows, &[false, true, true])

@@ -209,7 +209,7 @@ pub trait SearchStrategy {
         );
         let selected = self.select(&statics);
         let simulated = engine.simulate_selected(
-            &SimulatorEval::with_fuel(engine.config.sim_fuel),
+            &SimulatorEval::from_config(&engine.config),
             source,
             &statics,
             &selected,
@@ -363,7 +363,7 @@ pub fn run_iterative(
         }
     }
     let simulated = engine.drive_iterative(
-        &SimulatorEval::with_fuel(engine.config.sim_fuel),
+        &SimulatorEval::from_config(&engine.config),
         source,
         &statics,
         &mut Adapter(strategy),
@@ -721,7 +721,7 @@ impl BranchAndBound {
                 );
                 let selected = valid_indices(&batch_statics);
                 let batch_sims = batch_engine.simulate_selected(
-                    &SimulatorEval::with_fuel(engine.config.sim_fuel),
+                    &SimulatorEval::from_config(&engine.config),
                     &batch,
                     &batch_statics,
                     &selected,

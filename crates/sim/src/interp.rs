@@ -6,12 +6,22 @@
 //! barrier-delimited segments. The engine is deliberately simple and
 //! sequential — its job is *correctness ground truth* for the generated
 //! kernels, not speed.
+//!
+//! Execution runs on the pre-decoded form from [`crate::decode`]: an
+//! index walk over the flat op arena, with every thread's registers and
+//! loop frames held in per-block slabs that are reused across blocks.
+//! The structured-[`LinOp`] reference interpreter lives in
+//! [`crate::legacy`] and is held bit-identical to this one by the
+//! differential test suite.
+//!
+//! [`LinOp`]: gpu_ir::linear::LinOp
 
 use gpu_arch::MemorySpace;
-use gpu_ir::linear::{LinOp, LinearProgram};
-use gpu_ir::types::{Operand, Special, VReg};
-use gpu_ir::{Instr, Launch, Op};
+use gpu_ir::linear::LinearProgram;
+use gpu_ir::types::Special;
+use gpu_ir::{Launch, Op};
 
+use crate::decode::{decode, DecKind, DecodedOp, DecodedProgram, Slot, NO_REG};
 use crate::error::SimError;
 
 /// Default per-block step budget; generated kernels are counted loops so
@@ -41,38 +51,38 @@ impl DeviceMemory {
 
 /// A runtime register value.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Value {
+pub(crate) enum Value {
     F32(f32),
     I32(i32),
 }
 
 impl Value {
-    fn as_f32(self, op: &Instr) -> Result<f32, SimError> {
+    pub(crate) fn as_f32(self, op: Op) -> Result<f32, SimError> {
         match self {
             Value::F32(v) => Ok(v),
-            Value::I32(_) => Err(SimError::TypeMismatch { op: op.op.mnemonic() }),
+            Value::I32(_) => Err(SimError::TypeMismatch { op: op.mnemonic() }),
         }
     }
 
-    fn as_i32(self, op: &Instr) -> Result<i32, SimError> {
+    pub(crate) fn as_i32(self, op: Op) -> Result<i32, SimError> {
         match self {
             Value::I32(v) => Ok(v),
-            Value::F32(_) => Err(SimError::TypeMismatch { op: op.op.mnemonic() }),
+            Value::F32(_) => Err(SimError::TypeMismatch { op: op.mnemonic() }),
         }
     }
 }
 
 /// Thread-geometry values for one thread.
 #[derive(Debug, Clone, Copy)]
-struct Geometry {
-    tid: (u32, u32),
-    ctaid: (u32, u32),
-    ntid: (u32, u32),
-    nctaid: (u32, u32),
+pub(crate) struct Geometry {
+    pub(crate) tid: (u32, u32),
+    pub(crate) ctaid: (u32, u32),
+    pub(crate) ntid: (u32, u32),
+    pub(crate) nctaid: (u32, u32),
 }
 
 impl Geometry {
-    fn special(&self, s: Special) -> i32 {
+    pub(crate) fn special(&self, s: Special) -> i32 {
         let v = match s {
             Special::TidX => self.tid.0,
             Special::TidY => self.tid.1,
@@ -87,17 +97,11 @@ impl Geometry {
     }
 }
 
-#[derive(Debug, Clone)]
-struct LoopFrame {
-    body_start: usize,
-    remaining: u32,
-    counter: Option<VReg>,
-    iter: i32,
-}
+const ZERO_GEOM: Geometry = Geometry { tid: (0, 0), ctaid: (0, 0), ntid: (0, 0), nctaid: (0, 0) };
 
 /// Where a thread stopped at the end of a segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Stop {
+pub(crate) enum Stop {
     AtBarrier(usize),
     Done,
 }
@@ -142,18 +146,18 @@ const EMPTY_WORD: WordAccess = WordAccess {
 /// static detector in `gpu_ir::analysis::races` applies the same
 /// exemption so the two stay comparable.
 #[derive(Debug)]
-struct RaceTracker {
+pub(crate) struct RaceTracker {
     words: Vec<WordAccess>,
     epoch: u64,
 }
 
 impl RaceTracker {
-    fn new(words: usize) -> Self {
+    pub(crate) fn new(words: usize) -> Self {
         Self { words: vec![EMPTY_WORD; words], epoch: 1 }
     }
 
     /// Start a new barrier-delimited segment, forgetting all accesses.
-    fn advance(&mut self) {
+    pub(crate) fn advance(&mut self) {
         self.epoch += 1;
     }
 
@@ -166,7 +170,7 @@ impl RaceTracker {
     }
 
     /// Record a read of shared word `addr` by thread `lane`.
-    fn on_read(&mut self, addr: usize, lane: u32) -> Result<(), SimError> {
+    pub(crate) fn on_read(&mut self, addr: usize, lane: u32) -> Result<(), SimError> {
         let w = self.slot(addr);
         if let Some(t) = [w.writer, w.other_writer].into_iter().flatten().find(|&t| t != lane) {
             return Err(SimError::SharedRace { addr, first: t, second: lane, kind: "read/write" });
@@ -181,7 +185,7 @@ impl RaceTracker {
 
     /// Record a write of bit pattern `bits` to shared word `addr` by
     /// thread `lane`.
-    fn on_write(&mut self, addr: usize, lane: u32, bits: u32) -> Result<(), SimError> {
+    pub(crate) fn on_write(&mut self, addr: usize, lane: u32, bits: u32) -> Result<(), SimError> {
         let w = self.slot(addr);
         if let Some(t) = [w.reader, w.other_reader].into_iter().flatten().find(|&t| t != lane) {
             return Err(SimError::SharedRace { addr, first: t, second: lane, kind: "read/write" });
@@ -215,48 +219,101 @@ impl RaceTracker {
     }
 }
 
-struct Thread {
-    regs: Vec<Value>,
-    pc: usize,
-    frames: Vec<LoopFrame>,
-    /// Private spill space. Typed, because register spilling moves both
-    /// float and integer registers through local memory.
-    local: Vec<Value>,
-    geom: Geometry,
+/// One open loop of one thread: which loop, trips left, and the value of
+/// its counter register (re-materialized each back edge).
+#[derive(Debug, Clone, Copy)]
+struct FrameI {
+    loop_id: u32,
+    remaining: u32,
+    iter: i32,
 }
 
-impl Thread {
-    fn new(num_vregs: u32, geom: Geometry) -> Self {
+const EMPTY_FRAME: FrameI = FrameI { loop_id: NO_REG, remaining: 0, iter: 0 };
+
+/// All threads of one block, struct-of-arrays: every thread's registers
+/// share one `thread × num_vregs` slab and loop frames one
+/// `thread × depth` slab, reused (reset, not reallocated) from block to
+/// block.
+struct BlockThreads {
+    /// Registers per thread — the slab stride.
+    nv: usize,
+    /// Loop-frame capacity per thread (the arena's max nesting depth).
+    depth_cap: usize,
+    regs: Vec<Value>,
+    pc: Vec<u32>,
+    frames: Vec<FrameI>,
+    flen: Vec<u32>,
+    /// Private spill space, per thread. Typed, because register spilling
+    /// moves both float and integer registers through local memory; a
+    /// nested `Vec` because spilling is rare and usually tiny.
+    local: Vec<Vec<Value>>,
+    geom: Vec<Geometry>,
+}
+
+impl BlockThreads {
+    fn new(nt: usize, num_vregs: u32, depth_cap: usize) -> Self {
+        let nv = num_vregs as usize;
         Self {
-            regs: vec![Value::I32(0); num_vregs as usize],
-            pc: 0,
-            frames: Vec::new(),
-            local: Vec::new(),
-            geom,
+            nv,
+            depth_cap,
+            regs: vec![Value::I32(0); nt * nv],
+            pc: vec![0; nt],
+            frames: vec![EMPTY_FRAME; nt * depth_cap],
+            flen: vec![0; nt],
+            local: vec![Vec::new(); nt],
+            geom: vec![ZERO_GEOM; nt],
         }
     }
 
-    fn operand(&self, o: &Operand, params: &[i32]) -> Result<Value, SimError> {
-        match o {
-            Operand::Reg(r) => Ok(self.regs[r.index()]),
-            Operand::ImmF32(v) => Ok(Value::F32(*v)),
-            Operand::ImmI32(v) => Ok(Value::I32(*v)),
-            Operand::Special(s) => Ok(Value::I32(self.geom.special(*s))),
-            Operand::Param(i) => params
-                .get(*i as usize)
+    /// Re-arm the slabs for the block at `(cx, cy)`, ty-major thread
+    /// order (linear lane index `ty * bx + tx`).
+    fn reset(&mut self, (cx, cy): (u32, u32), (bx, by): (u32, u32), (gx, gy): (u32, u32)) {
+        self.regs.fill(Value::I32(0));
+        self.pc.fill(0);
+        self.flen.fill(0);
+        for l in &mut self.local {
+            l.clear();
+        }
+        let mut ti = 0;
+        for ty in 0..by {
+            for tx in 0..bx {
+                self.geom[ti] =
+                    Geometry { tid: (tx, ty), ctaid: (cx, cy), ntid: (bx, by), nctaid: (gx, gy) };
+                ti += 1;
+            }
+        }
+    }
+
+    fn slot_value(
+        &self,
+        base: usize,
+        ti: usize,
+        s: Slot,
+        params: &[i32],
+    ) -> Result<Value, SimError> {
+        match s {
+            Slot::Reg(r) => Ok(self.regs[base + r as usize]),
+            Slot::ImmF(v) => Ok(Value::F32(v)),
+            Slot::ImmI(v) => Ok(Value::I32(v)),
+            Slot::Special(sp) => Ok(Value::I32(self.geom[ti].special(sp))),
+            Slot::Param(i) => params
+                .get(i as usize)
                 .map(|v| Value::I32(*v))
-                .ok_or(SimError::MissingParam { index: *i }),
+                .ok_or(SimError::MissingParam { index: i }),
+            Slot::None => unreachable!("operand slot beyond the op's arity"),
         }
     }
 
-    /// Execute until the next barrier or the end of the program.
+    /// Execute thread `ti` until the next barrier or the end of the
+    /// program.
     ///
     /// `race` is the block's race oracle (when enabled) and `lane` this
     /// thread's linear index `tid.y * ntid.x + tid.x` within the block.
     #[allow(clippy::too_many_arguments)]
     fn run_segment(
         &mut self,
-        prog: &LinearProgram,
+        ti: usize,
+        prog: &DecodedProgram,
         params: &[i32],
         mem: &mut DeviceMemory,
         shared: &mut [f32],
@@ -264,66 +321,74 @@ impl Thread {
         mut race: Option<&mut RaceTracker>,
         lane: u32,
     ) -> Result<Stop, SimError> {
-        let code = &prog.code;
+        let ops = &prog.arena.ops;
+        let n_ops = ops.len() as u32;
+        let base = ti * self.nv;
         loop {
-            if self.pc >= code.len() {
+            let pc = self.pc[ti];
+            if pc >= n_ops {
                 return Ok(Stop::Done);
             }
             if *budget == 0 {
                 return Err(SimError::StepBudgetExhausted);
             }
             *budget -= 1;
-            match &code[self.pc] {
-                LinOp::Sync => {
-                    let here = self.pc;
-                    self.pc += 1;
-                    return Ok(Stop::AtBarrier(here));
+            let op = &ops[pc as usize];
+            match op.kind {
+                DecKind::Sync => {
+                    self.pc[ti] = pc + 1;
+                    return Ok(Stop::AtBarrier(pc as usize));
                 }
-                LinOp::LoopStart { counter, trips, end } => {
-                    if *trips == 0 {
-                        self.pc = end + 1;
+                DecKind::LoopStart => {
+                    let trips = prog.loop_trips[op.loop_id as usize];
+                    if trips == 0 {
+                        self.pc[ti] = op.target;
                     } else {
-                        if let Some(c) = counter {
-                            self.regs[c.index()] = Value::I32(0);
+                        if op.counter != NO_REG {
+                            self.regs[base + op.counter as usize] = Value::I32(0);
                         }
-                        self.frames.push(LoopFrame {
-                            body_start: self.pc + 1,
-                            remaining: *trips,
-                            counter: *counter,
-                            iter: 0,
-                        });
-                        self.pc += 1;
+                        let slot = ti * self.depth_cap + self.flen[ti] as usize;
+                        self.frames[slot] =
+                            FrameI { loop_id: op.loop_id, remaining: trips, iter: 0 };
+                        self.flen[ti] += 1;
+                        self.pc[ti] = pc + 1;
                     }
                 }
-                LinOp::LoopEnd { .. } => {
-                    let frame = self.frames.last_mut().expect("loop frame underflow");
+                DecKind::LoopEnd => {
+                    let len = self.flen[ti] as usize;
+                    debug_assert!(len > 0, "loop frame underflow");
+                    let frame = &mut self.frames[ti * self.depth_cap + len - 1];
+                    debug_assert_eq!(frame.loop_id, op.loop_id);
                     frame.remaining -= 1;
                     if frame.remaining > 0 {
                         frame.iter += 1;
-                        if let Some(c) = frame.counter {
-                            self.regs[c.index()] = Value::I32(frame.iter);
+                        let iter = frame.iter;
+                        if op.counter != NO_REG {
+                            self.regs[base + op.counter as usize] = Value::I32(iter);
                         }
-                        self.pc = frame.body_start;
+                        self.pc[ti] = op.target;
                     } else {
-                        self.frames.pop();
-                        self.pc += 1;
+                        self.flen[ti] -= 1;
+                        self.pc[ti] = pc + 1;
                     }
                 }
-                LinOp::Instr(i) => {
-                    self.exec(i, params, mem, shared, race.as_deref_mut(), lane)?;
-                    self.pc += 1;
+                DecKind::Instr => {
+                    self.exec(ti, op, params, mem, shared, race.as_deref_mut(), lane)?;
+                    self.pc[ti] = pc + 1;
                 }
             }
         }
     }
 
-    fn addr_of(&self, i: &Instr, params: &[i32]) -> Result<i64, SimError> {
-        let base = self.operand(&i.srcs[0], params)?.as_i32(i)?;
-        Ok(i64::from(base) + i64::from(i.offset))
+    fn addr_of(&self, ti: usize, op: &DecodedOp, params: &[i32]) -> Result<i64, SimError> {
+        let base = self.slot_value(ti * self.nv, ti, op.srcs[0], params)?.as_i32(op.op)?;
+        Ok(i64::from(base) + i64::from(op.offset))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn load(
         &mut self,
+        ti: usize,
         space: MemorySpace,
         addr: i64,
         mem: &DeviceMemory,
@@ -351,12 +416,13 @@ impl Thread {
             }
             MemorySpace::Local => {
                 // Local memory grows on demand: it is private spill space.
+                let local = &self.local[ti];
                 let a = usize::try_from(addr).map_err(|_| SimError::OutOfBounds {
                     space: "local",
                     addr,
-                    len: self.local.len(),
+                    len: local.len(),
                 })?;
-                Ok(self.local.get(a).copied().unwrap_or(Value::F32(0.0)))
+                Ok(local.get(a).copied().unwrap_or(Value::F32(0.0)))
             }
         }
     }
@@ -364,12 +430,13 @@ impl Thread {
     #[allow(clippy::too_many_arguments)]
     fn store(
         &mut self,
+        ti: usize,
         space: MemorySpace,
         addr: i64,
         value: Value,
         mem: &mut DeviceMemory,
         shared: &mut [f32],
-        op: &Instr,
+        op: Op,
         race: Option<&mut RaceTracker>,
         lane: u32,
     ) -> Result<(), SimError> {
@@ -396,15 +463,16 @@ impl Thread {
                 }
             }
             MemorySpace::Local => {
+                let local = &mut self.local[ti];
                 let a = usize::try_from(addr).map_err(|_| SimError::OutOfBounds {
                     space: "local",
                     addr,
-                    len: self.local.len(),
+                    len: local.len(),
                 })?;
-                if a >= self.local.len() {
-                    self.local.resize(a + 1, Value::F32(0.0));
+                if a >= local.len() {
+                    local.resize(a + 1, Value::F32(0.0));
                 }
-                self.local[a] = value;
+                local[a] = value;
             }
             MemorySpace::Constant | MemorySpace::Texture => {
                 return Err(SimError::TypeMismatch { op: format!("st.{space}") });
@@ -413,9 +481,11 @@ impl Thread {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec(
         &mut self,
-        i: &Instr,
+        ti: usize,
+        op: &DecodedOp,
         params: &[i32],
         mem: &mut DeviceMemory,
         shared: &mut [f32],
@@ -423,64 +493,66 @@ impl Thread {
         lane: u32,
     ) -> Result<(), SimError> {
         use Op::*;
-        let v = |t: &Self, n: usize| t.operand(&i.srcs[n], params);
+        let base = ti * self.nv;
+        let o = op.op;
+        let v = |t: &Self, n: usize| t.slot_value(base, ti, op.srcs[n], params);
 
-        let result: Value = match i.op {
-            FAdd => Value::F32(v(self, 0)?.as_f32(i)? + v(self, 1)?.as_f32(i)?),
-            FSub => Value::F32(v(self, 0)?.as_f32(i)? - v(self, 1)?.as_f32(i)?),
-            FMul => Value::F32(v(self, 0)?.as_f32(i)? * v(self, 1)?.as_f32(i)?),
+        let result: Value = match o {
+            FAdd => Value::F32(v(self, 0)?.as_f32(o)? + v(self, 1)?.as_f32(o)?),
+            FSub => Value::F32(v(self, 0)?.as_f32(o)? - v(self, 1)?.as_f32(o)?),
+            FMul => Value::F32(v(self, 0)?.as_f32(o)? * v(self, 1)?.as_f32(o)?),
             FMad => Value::F32(
-                v(self, 0)?.as_f32(i)?.mul_add(v(self, 1)?.as_f32(i)?, v(self, 2)?.as_f32(i)?),
+                v(self, 0)?.as_f32(o)?.mul_add(v(self, 1)?.as_f32(o)?, v(self, 2)?.as_f32(o)?),
             ),
-            FMin => Value::F32(v(self, 0)?.as_f32(i)?.min(v(self, 1)?.as_f32(i)?)),
-            FMax => Value::F32(v(self, 0)?.as_f32(i)?.max(v(self, 1)?.as_f32(i)?)),
-            FNeg => Value::F32(-v(self, 0)?.as_f32(i)?),
-            FAbs => Value::F32(v(self, 0)?.as_f32(i)?.abs()),
-            Rcp => Value::F32(1.0 / v(self, 0)?.as_f32(i)?),
-            Rsqrt => Value::F32(1.0 / v(self, 0)?.as_f32(i)?.sqrt()),
-            Sqrt => Value::F32(v(self, 0)?.as_f32(i)?.sqrt()),
-            Sin => Value::F32(v(self, 0)?.as_f32(i)?.sin()),
-            Cos => Value::F32(v(self, 0)?.as_f32(i)?.cos()),
-            Ex2 => Value::F32(v(self, 0)?.as_f32(i)?.exp2()),
-            IAdd => Value::I32(v(self, 0)?.as_i32(i)?.wrapping_add(v(self, 1)?.as_i32(i)?)),
-            ISub => Value::I32(v(self, 0)?.as_i32(i)?.wrapping_sub(v(self, 1)?.as_i32(i)?)),
-            IMul => Value::I32(v(self, 0)?.as_i32(i)?.wrapping_mul(v(self, 1)?.as_i32(i)?)),
+            FMin => Value::F32(v(self, 0)?.as_f32(o)?.min(v(self, 1)?.as_f32(o)?)),
+            FMax => Value::F32(v(self, 0)?.as_f32(o)?.max(v(self, 1)?.as_f32(o)?)),
+            FNeg => Value::F32(-v(self, 0)?.as_f32(o)?),
+            FAbs => Value::F32(v(self, 0)?.as_f32(o)?.abs()),
+            Rcp => Value::F32(1.0 / v(self, 0)?.as_f32(o)?),
+            Rsqrt => Value::F32(1.0 / v(self, 0)?.as_f32(o)?.sqrt()),
+            Sqrt => Value::F32(v(self, 0)?.as_f32(o)?.sqrt()),
+            Sin => Value::F32(v(self, 0)?.as_f32(o)?.sin()),
+            Cos => Value::F32(v(self, 0)?.as_f32(o)?.cos()),
+            Ex2 => Value::F32(v(self, 0)?.as_f32(o)?.exp2()),
+            IAdd => Value::I32(v(self, 0)?.as_i32(o)?.wrapping_add(v(self, 1)?.as_i32(o)?)),
+            ISub => Value::I32(v(self, 0)?.as_i32(o)?.wrapping_sub(v(self, 1)?.as_i32(o)?)),
+            IMul => Value::I32(v(self, 0)?.as_i32(o)?.wrapping_mul(v(self, 1)?.as_i32(o)?)),
             IMad => Value::I32(
                 v(self, 0)?
-                    .as_i32(i)?
-                    .wrapping_mul(v(self, 1)?.as_i32(i)?)
-                    .wrapping_add(v(self, 2)?.as_i32(i)?),
+                    .as_i32(o)?
+                    .wrapping_mul(v(self, 1)?.as_i32(o)?)
+                    .wrapping_add(v(self, 2)?.as_i32(o)?),
             ),
             IDiv => {
-                let (a, b) = (v(self, 0)?.as_i32(i)?, v(self, 1)?.as_i32(i)?);
+                let (a, b) = (v(self, 0)?.as_i32(o)?, v(self, 1)?.as_i32(o)?);
                 Value::I32(if b == 0 { 0 } else { a.wrapping_div(b) })
             }
             IRem => {
-                let (a, b) = (v(self, 0)?.as_i32(i)?, v(self, 1)?.as_i32(i)?);
+                let (a, b) = (v(self, 0)?.as_i32(o)?, v(self, 1)?.as_i32(o)?);
                 Value::I32(if b == 0 { 0 } else { a.wrapping_rem(b) })
             }
-            Shl => Value::I32(v(self, 0)?.as_i32(i)?.wrapping_shl(v(self, 1)?.as_i32(i)? as u32)),
-            Shr => Value::I32(v(self, 0)?.as_i32(i)?.wrapping_shr(v(self, 1)?.as_i32(i)? as u32)),
-            And => Value::I32(v(self, 0)?.as_i32(i)? & v(self, 1)?.as_i32(i)?),
-            Or => Value::I32(v(self, 0)?.as_i32(i)? | v(self, 1)?.as_i32(i)?),
-            Xor => Value::I32(v(self, 0)?.as_i32(i)? ^ v(self, 1)?.as_i32(i)?),
-            IMin => Value::I32(v(self, 0)?.as_i32(i)?.min(v(self, 1)?.as_i32(i)?)),
-            IMax => Value::I32(v(self, 0)?.as_i32(i)?.max(v(self, 1)?.as_i32(i)?)),
+            Shl => Value::I32(v(self, 0)?.as_i32(o)?.wrapping_shl(v(self, 1)?.as_i32(o)? as u32)),
+            Shr => Value::I32(v(self, 0)?.as_i32(o)?.wrapping_shr(v(self, 1)?.as_i32(o)? as u32)),
+            And => Value::I32(v(self, 0)?.as_i32(o)? & v(self, 1)?.as_i32(o)?),
+            Or => Value::I32(v(self, 0)?.as_i32(o)? | v(self, 1)?.as_i32(o)?),
+            Xor => Value::I32(v(self, 0)?.as_i32(o)? ^ v(self, 1)?.as_i32(o)?),
+            IMin => Value::I32(v(self, 0)?.as_i32(o)?.min(v(self, 1)?.as_i32(o)?)),
+            IMax => Value::I32(v(self, 0)?.as_i32(o)?.max(v(self, 1)?.as_i32(o)?)),
             Mov => v(self, 0)?,
-            F2I => Value::I32(v(self, 0)?.as_f32(i)? as i32),
-            I2F => Value::F32(v(self, 0)?.as_i32(i)? as f32),
+            F2I => Value::I32(v(self, 0)?.as_f32(o)? as i32),
+            I2F => Value::F32(v(self, 0)?.as_i32(o)? as f32),
             SetLt | SetLe | SetEq | SetNe => {
                 let (a, b) = (v(self, 0)?, v(self, 1)?);
                 let ord = match (a, b) {
                     (Value::F32(x), Value::F32(y)) => x.partial_cmp(&y),
                     (Value::I32(x), Value::I32(y)) => Some(x.cmp(&y)),
-                    _ => return Err(SimError::TypeMismatch { op: i.op.mnemonic() }),
+                    _ => return Err(SimError::TypeMismatch { op: o.mnemonic() }),
                 };
-                let t = match (i.op, ord) {
-                    (SetLt, Some(o)) => o.is_lt(),
-                    (SetLe, Some(o)) => o.is_le(),
-                    (SetEq, Some(o)) => o.is_eq(),
-                    (SetNe, Some(o)) => o.is_ne(),
+                let t = match (o, ord) {
+                    (SetLt, Some(ord)) => ord.is_lt(),
+                    (SetLe, Some(ord)) => ord.is_le(),
+                    (SetEq, Some(ord)) => ord.is_eq(),
+                    (SetNe, Some(ord)) => ord.is_ne(),
                     (SetNe, None) => true, // NaN != anything
                     (_, None) => false,
                     _ => unreachable!("outer match restricts the op"),
@@ -488,7 +560,7 @@ impl Thread {
                 Value::I32(i32::from(t))
             }
             Selp => {
-                let c = v(self, 2)?.as_i32(i)?;
+                let c = v(self, 2)?.as_i32(o)?;
                 if c != 0 {
                     v(self, 0)?
                 } else {
@@ -496,18 +568,18 @@ impl Thread {
                 }
             }
             Ld(space) => {
-                let addr = self.addr_of(i, params)?;
-                self.load(space, addr, mem, shared, race, lane)?
+                let addr = self.addr_of(ti, op, params)?;
+                self.load(ti, space, addr, mem, shared, race, lane)?
             }
             St(space) => {
-                let addr = self.addr_of(i, params)?;
-                let value = self.operand(&i.srcs[1], params)?;
-                self.store(space, addr, value, mem, shared, i, race, lane)?;
+                let addr = self.addr_of(ti, op, params)?;
+                let value = self.slot_value(base, ti, op.srcs[1], params)?;
+                self.store(ti, space, addr, value, mem, shared, o, race, lane)?;
                 return Ok(());
             }
         };
-        let dst = i.dst.expect("non-store ops have destinations");
-        self.regs[dst.index()] = result;
+        debug_assert!(op.dst != NO_REG, "non-store ops have destinations");
+        self.regs[base + op.dst as usize] = result;
         Ok(())
     }
 }
@@ -516,6 +588,10 @@ impl Thread {
 ///
 /// `params` are the kernel's launch-time scalar parameters (word
 /// addresses and sizes), indexed by `Operand::Param`.
+///
+/// Decodes `prog` first; callers interpreting one program many times
+/// should decode once with [`crate::decode::decode`] and call
+/// [`run_decoded`].
 ///
 /// # Errors
 ///
@@ -527,7 +603,7 @@ pub fn run_kernel(
     params: &[i32],
     mem: &mut DeviceMemory,
 ) -> Result<(), SimError> {
-    run_kernel_with_budget(prog, launch, params, mem, DEFAULT_STEP_BUDGET)
+    run_decoded(&decode(prog), launch, params, mem)
 }
 
 /// [`run_kernel`] with an explicit per-block step budget.
@@ -543,7 +619,7 @@ pub fn run_kernel_with_budget(
     mem: &mut DeviceMemory,
     budget: u64,
 ) -> Result<(), SimError> {
-    run_grid(prog, launch, params, mem, budget, false)
+    run_decoded_with_budget(&decode(prog), launch, params, mem, budget)
 }
 
 /// [`run_kernel`] with the dynamic shared-memory race oracle enabled.
@@ -564,11 +640,54 @@ pub fn run_kernel_checked(
     params: &[i32],
     mem: &mut DeviceMemory,
 ) -> Result<(), SimError> {
+    run_decoded_checked(&decode(prog), launch, params, mem)
+}
+
+/// [`run_kernel`] over an already-decoded program.
+///
+/// # Errors
+///
+/// As [`run_kernel`].
+pub fn run_decoded(
+    prog: &DecodedProgram,
+    launch: &Launch,
+    params: &[i32],
+    mem: &mut DeviceMemory,
+) -> Result<(), SimError> {
+    run_decoded_with_budget(prog, launch, params, mem, DEFAULT_STEP_BUDGET)
+}
+
+/// [`run_kernel_with_budget`] over an already-decoded program.
+///
+/// # Errors
+///
+/// As [`run_kernel_with_budget`].
+pub fn run_decoded_with_budget(
+    prog: &DecodedProgram,
+    launch: &Launch,
+    params: &[i32],
+    mem: &mut DeviceMemory,
+    budget: u64,
+) -> Result<(), SimError> {
+    run_grid(prog, launch, params, mem, budget, false)
+}
+
+/// [`run_kernel_checked`] over an already-decoded program.
+///
+/// # Errors
+///
+/// As [`run_kernel_checked`].
+pub fn run_decoded_checked(
+    prog: &DecodedProgram,
+    launch: &Launch,
+    params: &[i32],
+    mem: &mut DeviceMemory,
+) -> Result<(), SimError> {
     run_grid(prog, launch, params, mem, DEFAULT_STEP_BUDGET, true)
 }
 
 fn run_grid(
-    prog: &LinearProgram,
+    prog: &DecodedProgram,
     launch: &Launch,
     params: &[i32],
     mem: &mut DeviceMemory,
@@ -580,38 +699,36 @@ fn run_grid(
     }
     let (gx, gy) = (launch.grid.x, launch.grid.y);
     let (bx, by) = (launch.block.x, launch.block.y);
+    let nt = (bx * by) as usize;
+
+    let mut threads = BlockThreads::new(nt, prog.num_vregs(), prog.arena.max_loop_depth);
+    let mut shared = vec![0.0f32; prog.smem_words() as usize];
+    let mut tracker = check_races.then(|| RaceTracker::new(prog.smem_words() as usize));
+    let mut stops: Vec<Stop> = Vec::with_capacity(nt);
 
     for cy in 0..gy {
         for cx in 0..gx {
-            let mut shared = vec![0.0f32; prog.smem_words as usize];
-            let mut tracker = check_races.then(|| RaceTracker::new(prog.smem_words as usize));
-            let mut threads: Vec<Thread> = (0..by)
-                .flat_map(|ty| (0..bx).map(move |tx| (tx, ty)))
-                .map(|(tx, ty)| {
-                    Thread::new(
-                        prog.num_vregs,
-                        Geometry {
-                            tid: (tx, ty),
-                            ctaid: (cx, cy),
-                            ntid: (bx, by),
-                            nctaid: (gx, gy),
-                        },
-                    )
-                })
-                .collect();
+            threads.reset((cx, cy), (bx, by), (gx, gy));
+            shared.fill(0.0);
+            if let Some(t) = tracker.as_mut() {
+                // Epoch bump == fresh tracker: stale records from the
+                // previous block are dead on arrival.
+                t.advance();
+            }
 
             let mut block_budget = budget;
             loop {
-                let mut stops = Vec::with_capacity(threads.len());
-                for (lane, t) in threads.iter_mut().enumerate() {
-                    stops.push(t.run_segment(
+                stops.clear();
+                for ti in 0..nt {
+                    stops.push(threads.run_segment(
+                        ti,
                         prog,
                         params,
                         mem,
                         &mut shared,
                         &mut block_budget,
                         tracker.as_mut(),
-                        lane as u32,
+                        ti as u32,
                     )?);
                 }
                 // Non-empty: zero-extent launches were rejected above.
@@ -1017,5 +1134,47 @@ mod tests {
         run_kernel(&prog, &launch_1d(1, 1), &[0], &mut mem).unwrap();
         assert!((mem.global[0] - 0.5).abs() < 1e-6);
         assert!((mem.global[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn decoded_run_matches_legacy_run() {
+        // A kernel touching every execution feature: geometry, shared
+        // memory with a barrier, nested counted loops, predication,
+        // and local spill.
+        let n = 8u32;
+        let mut b = KernelBuilder::new("all");
+        let src = b.param(0);
+        let dst = b.param(1);
+        b.alloc_shared(n * 4);
+        let tid = b.read_special(Special::TidX);
+        let sa = b.iadd(src, tid);
+        let v = b.ld_global(sa, 0);
+        b.st_shared(tid, 0, v);
+        b.sync();
+        let acc = b.mov(0.0f32);
+        b.for_loop(4, |b, i| {
+            let w = b.irem(i, n as i32);
+            let sv = b.ld_shared(w, 0);
+            b.fmad_acc(sv, 0.5f32, acc);
+        });
+        let p = b.set_lt(tid, 4i32);
+        let sel = b.selp(acc, 0.0f32, p);
+        b.st_local(0i32, 0, sel);
+        let back = b.ld_local(0i32, 0);
+        let da = b.iadd(dst, tid);
+        b.st_global(da, 0, back);
+        let prog = linearize(&b.finish());
+
+        let launch = launch_1d(2, n);
+        let params = [0, n as i32];
+        let mut mem_new = DeviceMemory::new(2 * n as usize);
+        let mut mem_old = DeviceMemory::new(2 * n as usize);
+        for i in 0..n as usize {
+            mem_new.global[i] = (i * 3) as f32;
+            mem_old.global[i] = (i * 3) as f32;
+        }
+        run_kernel(&prog, &launch, &params, &mut mem_new).unwrap();
+        crate::legacy::interp::run_kernel(&prog, &launch, &params, &mut mem_old).unwrap();
+        assert_eq!(mem_new, mem_old);
     }
 }

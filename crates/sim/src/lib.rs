@@ -23,6 +23,13 @@
 //! * [`trace`] — single-thread execution tracing for debugging
 //!   generated configurations.
 //!
+//! Both engines execute the pre-decoded form from [`decode`]: a
+//! [`LinearProgram`](gpu_ir::linear::LinearProgram) is lowered once into
+//! a flat arena of fixed-width ops ([`decode::DecodedProgram`]), and the
+//! hot loops walk that arena by index. The pre-decode reference engines
+//! are retained in [`legacy`] as the behavioural oracle — the
+//! differential test suite holds the two stacks bit-identical.
+//!
 //! # Examples
 //!
 //! ```
@@ -49,12 +56,15 @@
 //! assert_eq!(mem.global[32 + 7], 14.0);
 //! ```
 
+pub mod decode;
 pub mod error;
 pub mod interp;
+pub mod legacy;
 pub mod timing;
 pub mod trace;
 
+pub use decode::{DecodedArena, DecodedProgram};
 pub use error::SimError;
 pub use interp::{run_kernel, run_kernel_checked, DeviceMemory};
-pub use timing::{simulate, TimingReport};
+pub use timing::{simulate, simulate_decoded, TimingReport};
 pub use trace::{trace_kernel, Trace};

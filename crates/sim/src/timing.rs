@@ -29,10 +29,23 @@
 //! Control flow is assumed warp-uniform: the paper's four kernels are
 //! generated with no data-dependent branches (predication via `selp`
 //! only), so divergence modelling is unnecessary.
+//!
+//! # Execution representation
+//!
+//! The event loop runs on the pre-decoded form from [`crate::decode`]:
+//! an index walk over a flat `Vec<DecodedOp>` with warp state held as
+//! struct-of-arrays (per-warp scalars in parallel vectors, all register
+//! scoreboards in one contiguous slab). The structured-[`LinOp`]
+//! reference engine lives in [`crate::legacy`] and is held bit-identical
+//! to this one by the differential test suite.
+//!
+//! [`LinOp`]: gpu_ir::linear::LinOp
 
 use gpu_arch::{LaunchError, MachineSpec, Occupancy, ResourceUsage};
-use gpu_ir::linear::{LinOp, LinearProgram};
-use gpu_ir::{Launch, Op, LOOP_OVERHEAD_INSTRS};
+use gpu_ir::linear::LinearProgram;
+use gpu_ir::{Launch, LOOP_OVERHEAD_INSTRS};
+
+use crate::decode::{decode, DecKind, DecodedArena, DecodedOp, DecodedProgram, LatClass, NO_REG};
 
 /// Result of a timing simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,73 +106,8 @@ impl TimingReport {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Frame {
-    body_start: usize,
-    remaining: u32,
-}
-
-#[derive(Debug, Clone)]
-struct Warp {
-    pc: usize,
-    frames: Vec<Frame>,
-    reg_ready: Vec<u64>,
-    /// Whether each register's pending value comes from a long-latency
-    /// (off-chip) load — drives the mem/arith split of operand stalls.
-    reg_from_mem: Vec<bool>,
-    stall_until: u64,
-    blocked: bool,
-    done: bool,
-    block: usize,
-}
-
-impl Warp {
-    fn new(num_vregs: u32, block: usize) -> Self {
-        Self {
-            pc: 0,
-            frames: Vec::new(),
-            reg_ready: vec![0; num_vregs as usize],
-            reg_from_mem: vec![false; num_vregs as usize],
-            stall_until: 0,
-            blocked: false,
-            done: false,
-            block,
-        }
-    }
-
-    /// Skip through zero-cost control ops (loop headers, zero-trip
-    /// skips) and mark completion.
-    fn fast_forward(&mut self, code: &[LinOp]) {
-        loop {
-            if self.pc >= code.len() {
-                self.done = true;
-                return;
-            }
-            match &code[self.pc] {
-                LinOp::LoopStart { trips, end, .. } => {
-                    if *trips == 0 {
-                        self.pc = end + 1;
-                    } else {
-                        self.frames.push(Frame { body_start: self.pc + 1, remaining: *trips });
-                        self.pc += 1;
-                    }
-                }
-                _ => return,
-            }
-        }
-    }
-
-    /// Earliest cycle at which the operands of the op at `pc` are ready.
-    fn operands_ready(&self, code: &[LinOp]) -> u64 {
-        match &code[self.pc] {
-            LinOp::Instr(i) => i.uses().map(|r| self.reg_ready[r.index()]).max().unwrap_or(0),
-            _ => 0,
-        }
-    }
-}
-
 /// Bytes one warp's off-chip access moves over DRAM.
-fn warp_transaction_bytes(spec: &MachineSpec, coalesced: bool) -> u64 {
+pub(crate) fn warp_transaction_bytes(spec: &MachineSpec, coalesced: bool) -> u64 {
     if coalesced {
         // Two half-warps, one transaction each.
         2 * u64::from(spec.coalesced_transaction_bytes)
@@ -172,16 +120,16 @@ fn warp_transaction_bytes(spec: &MachineSpec, coalesced: bool) -> u64 {
 /// Launch-derived constants shared by every state of one simulation:
 /// residency, issue width, and the SM's bandwidth share.
 #[derive(Debug, Clone, Copy)]
-struct SimSetup {
-    occ: Occupancy,
-    wpb: usize,
-    bsm: usize,
-    issue: u64,
-    bw_per_cycle: f64,
+pub(crate) struct SimSetup {
+    pub(crate) occ: Occupancy,
+    pub(crate) wpb: usize,
+    pub(crate) bsm: usize,
+    pub(crate) issue: u64,
+    pub(crate) bw_per_cycle: f64,
 }
 
 impl SimSetup {
-    fn new(
+    pub(crate) fn new(
         launch: &Launch,
         usage: &ResourceUsage,
         spec: &MachineSpec,
@@ -207,7 +155,7 @@ impl SimSetup {
 /// or a wedged one (every live warp is blocked at a barrier that can
 /// never release).
 #[derive(Debug, Clone, Copy)]
-enum Pick {
+pub(crate) enum Pick {
     Ready(u64, usize),
     Done,
     Deadlock,
@@ -215,17 +163,157 @@ enum Pick {
 
 /// Why an event loop halted before every warp retired.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum RunHalt {
+pub(crate) enum RunHalt {
     Fuel,
     Deadlock,
 }
 
+/// One open loop of one warp: which loop (by decoded loop id) and how
+/// many trips remain.
+#[derive(Debug, Clone, Copy)]
+struct FrameD {
+    loop_id: u32,
+    remaining: u32,
+}
+
+const EMPTY_FRAME: FrameD = FrameD { loop_id: NO_REG, remaining: 0 };
+
+/// All resident warps of one simulation, struct-of-arrays: per-warp
+/// scalars live in parallel vectors and every warp's register
+/// scoreboard shares one contiguous slab (`warp × num_vregs`), so the
+/// scheduler's hot reads stride through flat memory instead of chasing
+/// one heap allocation per warp.
+#[derive(Debug, Clone)]
+struct WarpSoA {
+    /// Registers per warp — the slab stride.
+    nv: usize,
+    /// Loop-frame capacity per warp (the arena's max nesting depth).
+    depth_cap: usize,
+    pc: Vec<u32>,
+    stall_until: Vec<u64>,
+    blocked: Vec<bool>,
+    done: Vec<bool>,
+    block: Vec<u32>,
+    /// `warp × nv` slab: cycle each register's pending value lands.
+    reg_ready: Vec<u64>,
+    /// `warp × nv` slab: whether each register's pending value comes
+    /// from a long-latency (off-chip) load — drives the mem/arith split
+    /// of operand stalls.
+    reg_from_mem: Vec<bool>,
+    /// `warp × depth_cap` slab of open loop frames.
+    frames: Vec<FrameD>,
+    frame_len: Vec<u32>,
+    /// Cached earliest issue time of each warp's current op,
+    /// `max(stall_until, operands_ready)`. Registers are per-warp, so
+    /// this only changes when the warp itself steps or its block's
+    /// barrier releases; the scheduler reads it instead of re-deriving
+    /// operand readiness every pick. Retired and barrier-parked warps
+    /// hold [`u64::MAX`], so the scan skips them on the same load.
+    ready_at: Vec<u64>,
+    /// Whether each warp's current op contends for the SFU issue port
+    /// (the one cross-warp constraint `ready_at` cannot absorb).
+    next_sfu: Vec<bool>,
+}
+
+impl WarpSoA {
+    fn new(n: usize, num_vregs: u32, depth_cap: usize, block_of: impl Fn(usize) -> u32) -> Self {
+        let nv = num_vregs as usize;
+        Self {
+            nv,
+            depth_cap,
+            pc: vec![0; n],
+            stall_until: vec![0; n],
+            blocked: vec![false; n],
+            done: vec![false; n],
+            block: (0..n).map(block_of).collect(),
+            reg_ready: vec![0; n * nv],
+            reg_from_mem: vec![false; n * nv],
+            frames: vec![EMPTY_FRAME; n * depth_cap],
+            frame_len: vec![0; n],
+            ready_at: vec![0; n],
+            next_sfu: vec![false; n],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.pc.len()
+    }
+
+    /// Skip warp `wi` through zero-cost control ops (loop headers,
+    /// zero-trip skips) and mark completion. Trip counts come from
+    /// `trips` (indexed by loop id), not the arena — the family driver
+    /// varies them per state.
+    /// On return the warp is either retired (`done`) or parked on an
+    /// issuable op with its cached `ready_at`/`next_sfu` re-derived from
+    /// that op — the scheduler's scan never touches the arena.
+    fn fast_forward(&mut self, wi: usize, arena: &DecodedArena, trips: &[u32]) {
+        let n_ops = arena.ops.len() as u32;
+        let mut pc = self.pc[wi];
+        loop {
+            if pc >= n_ops {
+                self.pc[wi] = pc;
+                self.done[wi] = true;
+                self.ready_at[wi] = u64::MAX;
+                return;
+            }
+            let op = &arena.ops[pc as usize];
+            if op.kind != DecKind::LoopStart {
+                self.pc[wi] = pc;
+                self.ready_at[wi] = self.stall_until[wi].max(self.operands_ready(wi, op));
+                self.next_sfu[wi] = op.kind == DecKind::Instr && op.lat == LatClass::Sfu;
+                return;
+            }
+            let t = trips[op.loop_id as usize];
+            if t == 0 {
+                pc = op.target;
+            } else {
+                let base = wi * self.depth_cap;
+                let len = self.frame_len[wi] as usize;
+                self.frames[base + len] = FrameD { loop_id: op.loop_id, remaining: t };
+                self.frame_len[wi] += 1;
+                pc += 1;
+            }
+        }
+    }
+
+    /// Earliest cycle at which the operands of `op` (the op at warp
+    /// `wi`'s pc) are ready.
+    fn operands_ready(&self, wi: usize, op: &DecodedOp) -> u64 {
+        if op.kind != DecKind::Instr {
+            return 0;
+        }
+        let base = wi * self.nv;
+        let mut ready = 0u64;
+        for &r in &op.src_regs {
+            if r != NO_REG {
+                ready = ready.max(self.reg_ready[base + r as usize]);
+            }
+        }
+        ready
+    }
+
+    /// The topmost open loop frame of warp `wi`.
+    fn top_frame(&self, wi: usize) -> &FrameD {
+        let len = self.frame_len[wi] as usize;
+        &self.frames[wi * self.depth_cap + len - 1]
+    }
+
+    /// Re-derive the cached `ready_at`/`next_sfu` of warp `wi` from the
+    /// op at its pc — used when a barrier release revives a parked warp
+    /// (its sentinel must give way to a real issue time again).
+    fn refresh_ready(&mut self, wi: usize, arena: &DecodedArena) {
+        let op = &arena.ops[self.pc[wi] as usize];
+        self.ready_at[wi] = self.stall_until[wi].max(self.operands_ready(wi, op));
+        self.next_sfu[wi] = op.kind == DecKind::Instr && op.lat == LatClass::Sfu;
+    }
+}
+
 /// Complete mid-flight state of the event loop. Cloneable so a run can
-/// be forked at a checkpoint and finished against a sibling program
-/// (see [`simulate_family`]).
+/// be forked at a checkpoint and finished against a sibling trip-count
+/// assignment (see [`simulate_family`]).
 #[derive(Debug, Clone)]
 struct SimState {
-    warps: Vec<Warp>,
+    warps: WarpSoA,
     barrier_arrived: Vec<usize>,
     issue_free: u64,
     sfu_free: u64,
@@ -250,15 +338,14 @@ struct SimState {
 }
 
 impl SimState {
-    fn new(prog: &LinearProgram, setup: &SimSetup) -> Self {
-        let mut warps: Vec<Warp> = (0..setup.bsm)
-            .flat_map(|b| (0..setup.wpb).map(move |_| b))
-            .map(|b| Warp::new(prog.num_vregs, b))
-            .collect();
-        for w in &mut warps {
-            w.fast_forward(&prog.code);
+    fn new(arena: &DecodedArena, trips: &[u32], num_vregs: u32, setup: &SimSetup) -> Self {
+        let n = setup.bsm * setup.wpb;
+        let wpb = setup.wpb;
+        let mut warps = WarpSoA::new(n, num_vregs, arena.max_loop_depth, |wi| (wi / wpb) as u32);
+        for wi in 0..n {
+            warps.fast_forward(wi, arena, trips);
         }
-        let remaining = warps.iter().filter(|w| !w.done).count();
+        let remaining = warps.done.iter().filter(|d| !**d).count();
         Self {
             warps,
             barrier_arrived: vec![0; setup.bsm],
@@ -281,23 +368,38 @@ impl SimState {
 
     /// Pick the schedulable warp with the earliest possible issue time,
     /// round-robin from the last pick for fairness.
-    fn pick(&self, code: &[LinOp]) -> Pick {
+    ///
+    /// The scan reads the cached per-warp `ready_at` instead of
+    /// re-deriving operand readiness, and stops at the first warp whose
+    /// issue time clamps to `issue_free`: every candidate is maxed up to
+    /// `issue_free`, so nothing later in round-robin order can be
+    /// *strictly* earlier, and ties already go to the first warp
+    /// scanned. Both are pure strength reductions — the selected warp
+    /// and its issue time are identical to the exhaustive per-step scan
+    /// the legacy engine performs.
+    fn pick(&self) -> Pick {
         if self.remaining == 0 {
             return Pick::Done;
         }
         let n = self.warps.len();
+        let start = self.last_pick + 1;
         let mut best: Option<(u64, usize)> = None;
         for k in 0..n {
-            let idx = (self.last_pick + 1 + k) % n;
-            let w = &self.warps[idx];
-            if w.done || w.blocked {
+            let mut idx = start + k;
+            if idx >= n {
+                idx -= n;
+            }
+            let mut t = self.warps.ready_at[idx];
+            if t == u64::MAX {
+                // Retired or barrier-parked — not schedulable.
                 continue;
             }
-            let mut t = w.stall_until.max(w.operands_ready(code));
-            if matches!(&code[w.pc], LinOp::Instr(i) if i.op.is_sfu()) {
+            if self.warps.next_sfu[idx] {
                 t = t.max(self.sfu_free);
             }
-            let t = t.max(self.issue_free);
+            if t <= self.issue_free {
+                return Pick::Ready(self.issue_free, idx);
+            }
             if best.is_none_or(|(bt, _)| t < bt) {
                 best = Some((t, idx));
             }
@@ -315,30 +417,33 @@ impl SimState {
     /// cycles before warp `idx` could issue at `t`) to the binding
     /// constraint: an operand still in flight (split by whether it comes
     /// from a global load), the SFU port, or control flow / barriers.
-    fn attribute_stall(&mut self, code: &[LinOp], t: u64, idx: usize) {
+    fn attribute_stall(&mut self, op: &DecodedOp, t: u64, idx: usize) {
         let gap = t.saturating_sub(self.issue_free);
         if gap == 0 {
             return;
         }
-        let w = &self.warps[idx];
-        let operands = w.operands_ready(code);
-        let sfu =
-            if matches!(&code[w.pc], LinOp::Instr(i) if i.op.is_sfu()) { self.sfu_free } else { 0 };
+        let operands = self.warps.operands_ready(idx, op);
+        let is_sfu = op.kind == DecKind::Instr && op.lat == LatClass::Sfu;
+        let sfu = if is_sfu { self.sfu_free } else { 0 };
         // `t` is the max of the constraints and the (smaller) issue_free,
         // so the largest constraint is what the port waited on.
-        if operands >= sfu && operands >= w.stall_until {
-            let from_mem = match &code[w.pc] {
-                LinOp::Instr(i) => i
-                    .uses()
-                    .any(|r| w.reg_ready[r.index()] == operands && w.reg_from_mem[r.index()]),
-                _ => false,
+        if operands >= sfu && operands >= self.warps.stall_until[idx] {
+            let from_mem = if op.kind == DecKind::Instr {
+                let base = idx * self.warps.nv;
+                op.src_regs.iter().any(|&r| {
+                    r != NO_REG
+                        && self.warps.reg_ready[base + r as usize] == operands
+                        && self.warps.reg_from_mem[base + r as usize]
+                })
+            } else {
+                false
             };
             if from_mem {
                 self.stall_mem += gap;
             } else {
                 self.stall_arith += gap;
             }
-        } else if sfu >= w.stall_until {
+        } else if sfu >= self.warps.stall_until[idx] {
             self.stall_sfu += gap;
         } else {
             self.stall_other += gap;
@@ -346,106 +451,123 @@ impl SimState {
     }
 
     /// Issue the op of warp `idx` at time `t` and advance the state.
-    fn step(&mut self, code: &[LinOp], setup: &SimSetup, spec: &MachineSpec, t: u64, idx: usize) {
-        self.attribute_stall(code, t, idx);
+    fn step(
+        &mut self,
+        arena: &DecodedArena,
+        trips: &[u32],
+        setup: &SimSetup,
+        spec: &MachineSpec,
+        t: u64,
+        idx: usize,
+    ) {
+        let op = arena.ops[self.warps.pc[idx] as usize];
+        self.attribute_stall(&op, t, idx);
         self.steps += 1;
         self.last_pick = idx;
         let issue = setup.issue;
-        let op = code[self.warps[idx].pc].clone();
-        match &op {
-            LinOp::Instr(i) => {
+        match op.kind {
+            DecKind::Instr => {
                 self.issue_free = t + issue;
                 self.busy += issue;
                 self.issued += 1;
-                let done_at = match i.op {
-                    Op::Ld(space) if space.is_long_latency() => {
-                        let bytes = warp_transaction_bytes(spec, i.coalesced);
+                let done_at = match op.lat {
+                    LatClass::MemLd => {
+                        let bytes = warp_transaction_bytes(spec, op.coalesced);
                         self.dram_bytes += bytes;
                         let service = bytes as f64 / setup.bw_per_cycle;
                         let start = self.mem_free.max(t as f64);
                         self.mem_free = start + service;
                         self.mem_free as u64 + u64::from(spec.global_latency_typ())
                     }
-                    Op::St(space) if space.is_long_latency() => {
+                    LatClass::MemSt => {
                         // Fire-and-forget, but it consumes bandwidth.
-                        let bytes = warp_transaction_bytes(spec, i.coalesced);
+                        let bytes = warp_transaction_bytes(spec, op.coalesced);
                         self.dram_bytes += bytes;
                         let service = bytes as f64 / setup.bw_per_cycle;
                         let start = self.mem_free.max(t as f64);
                         self.mem_free = start + service;
                         t + issue
                     }
-                    Op::Ld(_) | Op::St(_) => {
+                    LatClass::OnChip => {
                         // On-chip accesses with bank or constant-cache
                         // conflicts replay once per conflicting subset.
-                        if i.replay_ways > 1 {
-                            let extra = u64::from(i.replay_ways - 1) * issue;
+                        if op.replay_ways > 1 {
+                            let extra = u64::from(op.replay_ways - 1) * issue;
                             self.issue_free += extra;
                             self.busy += extra;
                         }
                         t + u64::from(spec.shared_latency)
                     }
-                    op if op.is_sfu() => {
+                    LatClass::Sfu => {
                         self.sfu_free = t + u64::from(spec.sfu_issue_cycles);
                         t + u64::from(spec.sfu_latency)
                     }
-                    _ => t + u64::from(spec.arith_latency),
+                    LatClass::Arith | LatClass::Control => t + u64::from(spec.arith_latency),
                 };
-                if let Some(d) = i.dst {
-                    self.warps[idx].reg_ready[d.index()] = done_at;
-                    self.warps[idx].reg_from_mem[d.index()] =
-                        matches!(i.op, Op::Ld(space) if space.is_long_latency());
+                if op.dst != NO_REG {
+                    let r = idx * self.warps.nv + op.dst as usize;
+                    self.warps.reg_ready[r] = done_at;
+                    self.warps.reg_from_mem[r] = op.lat == LatClass::MemLd;
                 }
-                self.warps[idx].stall_until = t + issue;
-                self.warps[idx].pc += 1;
+                self.warps.stall_until[idx] = t + issue;
+                self.warps.pc[idx] += 1;
             }
-            LinOp::Sync => {
+            DecKind::Sync => {
                 self.issue_free = t + issue;
                 self.busy += issue;
                 self.issued += 1;
-                let block = self.warps[idx].block;
-                self.warps[idx].pc += 1;
-                self.barrier_arrived[block] += 1;
-                if self.barrier_arrived[block] == setup.wpb {
-                    self.barrier_arrived[block] = 0;
+                let block = self.warps.block[idx];
+                self.warps.pc[idx] += 1;
+                self.barrier_arrived[block as usize] += 1;
+                if self.barrier_arrived[block as usize] == setup.wpb {
+                    self.barrier_arrived[block as usize] = 0;
                     let release = t + issue;
-                    for w in self.warps.iter_mut().filter(|w| w.block == block) {
-                        if w.blocked {
-                            w.blocked = false;
+                    for wi in 0..self.warps.len() {
+                        if self.warps.block[wi] != block {
+                            continue;
                         }
-                        w.stall_until = w.stall_until.max(release);
+                        self.warps.stall_until[wi] = self.warps.stall_until[wi].max(release);
+                        if self.warps.blocked[wi] {
+                            // Revived: replace the parked sentinel with
+                            // the warp's real issue time again.
+                            self.warps.blocked[wi] = false;
+                            self.warps.refresh_ready(wi, arena);
+                        }
                     }
                 } else {
-                    self.warps[idx].blocked = true;
+                    self.warps.blocked[idx] = true;
                 }
             }
-            LinOp::LoopEnd { start } => {
+            DecKind::LoopEnd => {
                 // Loop control: add/setp/bra issue slots.
                 let slots = u64::from(LOOP_OVERHEAD_INSTRS) * issue;
                 self.issue_free = t + slots;
                 self.busy += slots;
                 self.issued += u64::from(LOOP_OVERHEAD_INSTRS);
-                let frame = self.warps[idx].frames.last_mut().expect("back edge without frame");
-                frame.remaining -= 1;
-                if frame.remaining > 0 {
-                    let target = frame.body_start;
-                    self.warps[idx].pc = target;
+                let len = self.warps.frame_len[idx] as usize;
+                debug_assert!(len > 0, "back edge without frame");
+                let slot = idx * self.warps.depth_cap + len - 1;
+                debug_assert_eq!(self.warps.frames[slot].loop_id, op.loop_id);
+                self.warps.frames[slot].remaining -= 1;
+                if self.warps.frames[slot].remaining > 0 {
+                    self.warps.pc[idx] = op.target;
                 } else {
-                    self.warps[idx].frames.pop();
-                    self.warps[idx].pc += 1;
+                    self.warps.frame_len[idx] -= 1;
+                    self.warps.pc[idx] += 1;
                 }
-                let _ = start;
-                self.warps[idx].stall_until = t + slots;
+                self.warps.stall_until[idx] = t + slots;
             }
-            LinOp::LoopStart { .. } => {
+            DecKind::LoopStart => {
                 unreachable!("fast_forward consumes loop headers")
             }
         }
 
-        self.warps[idx].fast_forward(code);
-        if self.warps[idx].done {
+        self.warps.fast_forward(idx, arena, trips);
+        if self.warps.done[idx] {
             self.remaining -= 1;
-            self.finish_time = self.finish_time.max(self.warps[idx].stall_until);
+            self.finish_time = self.finish_time.max(self.warps.stall_until[idx]);
+        } else if self.warps.blocked[idx] {
+            self.warps.ready_at[idx] = u64::MAX;
         }
     }
 
@@ -453,20 +575,34 @@ impl SimState {
     /// dry, or the block deadlocks at a barrier.
     fn run(
         &mut self,
-        code: &[LinOp],
+        arena: &DecodedArena,
+        trips: &[u32],
         setup: &SimSetup,
         spec: &MachineSpec,
         fuel: Option<u64>,
     ) -> Result<(), RunHalt> {
         loop {
-            match self.pick(code) {
+            match self.pick() {
                 Pick::Done => return Ok(()),
                 Pick::Deadlock => return Err(RunHalt::Deadlock),
                 Pick::Ready(t, idx) => {
                     if fuel.is_some_and(|f| self.steps >= f) {
                         return Err(RunHalt::Fuel);
                     }
-                    self.step(code, setup, spec, t, idx);
+                    self.step(arena, trips, setup, spec, t, idx);
+                }
+            }
+        }
+    }
+
+    /// Subtract `delta` remaining trips from every open frame of loop
+    /// `loop_id`, re-basing a forked clone onto a shorter member.
+    fn rebase_frames(&mut self, loop_id: u32, delta: u32) {
+        for wi in 0..self.warps.len() {
+            let base = wi * self.warps.depth_cap;
+            for f in &mut self.warps.frames[base..base + self.warps.frame_len[wi] as usize] {
+                if f.loop_id == loop_id {
+                    f.remaining -= delta;
                 }
             }
         }
@@ -543,6 +679,10 @@ impl From<LaunchError> for TimingError {
 /// Simulate `prog` under `launch` on `spec`, with per-thread resource
 /// usage `usage` determining residency.
 ///
+/// Decodes `prog` first; callers simulating one program many times (or
+/// many trip-count siblings of one structure) should decode once with
+/// [`crate::decode::decode`] and call [`simulate_decoded`].
+///
 /// # Errors
 ///
 /// Returns the [`LaunchError`] from the occupancy calculation when the
@@ -561,14 +701,7 @@ pub fn simulate(
     usage: &ResourceUsage,
     spec: &MachineSpec,
 ) -> Result<TimingReport, LaunchError> {
-    match simulate_fueled(prog, launch, usage, spec, None) {
-        Ok(r) => Ok(r),
-        Err(TimingError::Launch(e)) => Err(e),
-        Err(TimingError::FuelExhausted { .. }) => unreachable!("no fuel limit was set"),
-        Err(TimingError::BarrierDeadlock) => {
-            panic!("barrier deadlock in a warp-uniform program")
-        }
-    }
+    simulate_decoded(&decode(prog), launch, usage, spec)
 }
 
 /// As [`simulate`], but with a **fuel watchdog**: the event loop is
@@ -583,9 +716,49 @@ pub fn simulate_fueled(
     spec: &MachineSpec,
     fuel: Option<u64>,
 ) -> Result<TimingReport, TimingError> {
+    simulate_decoded_fueled(&decode(prog), launch, usage, spec, fuel)
+}
+
+/// [`simulate`] over an already-decoded program.
+///
+/// # Errors
+///
+/// As [`simulate`].
+///
+/// # Panics
+///
+/// On barrier deadlock, as [`simulate`].
+pub fn simulate_decoded(
+    prog: &DecodedProgram,
+    launch: &Launch,
+    usage: &ResourceUsage,
+    spec: &MachineSpec,
+) -> Result<TimingReport, LaunchError> {
+    match simulate_decoded_fueled(prog, launch, usage, spec, None) {
+        Ok(r) => Ok(r),
+        Err(TimingError::Launch(e)) => Err(e),
+        Err(TimingError::FuelExhausted { .. }) => unreachable!("no fuel limit was set"),
+        Err(TimingError::BarrierDeadlock) => {
+            panic!("barrier deadlock in a warp-uniform program")
+        }
+    }
+}
+
+/// [`simulate_fueled`] over an already-decoded program.
+///
+/// # Errors
+///
+/// As [`simulate_fueled`].
+pub fn simulate_decoded_fueled(
+    prog: &DecodedProgram,
+    launch: &Launch,
+    usage: &ResourceUsage,
+    spec: &MachineSpec,
+    fuel: Option<u64>,
+) -> Result<TimingReport, TimingError> {
     let setup = SimSetup::new(launch, usage, spec)?;
-    let mut state = SimState::new(prog, &setup);
-    state.run(&prog.code, &setup, spec, fuel).map_err(|h| match h {
+    let mut state = SimState::new(&prog.arena, &prog.loop_trips, prog.num_vregs(), &setup);
+    state.run(&prog.arena, &prog.loop_trips, &setup, spec, fuel).map_err(|h| match h {
         RunHalt::Fuel => TimingError::FuelExhausted { fuel: fuel.unwrap_or(u64::MAX) },
         RunHalt::Deadlock => TimingError::BarrierDeadlock,
     })?;
@@ -597,9 +770,9 @@ pub fn simulate_fueled(
 pub enum FamilyError {
     /// The shared launch configuration cannot execute at all.
     Launch(LaunchError),
-    /// The programs do not differ in exactly the supported way (a single
-    /// top-level loop's trip count, every member at least one trip);
-    /// simulate them individually instead.
+    /// The programs do not differ in exactly the supported way (only in
+    /// top-level loop trip counts, every member at least one trip on
+    /// each varying loop); simulate them individually instead.
     NotAFamily,
     /// The master run (or a fork) exceeded the fuel limit. Callers
     /// should fall back to individual [`simulate_fueled`] runs so each
@@ -617,7 +790,7 @@ impl std::fmt::Display for FamilyError {
         match self {
             Self::Launch(e) => write!(f, "family launch invalid: {e}"),
             Self::NotAFamily => {
-                write!(f, "programs do not form a single-varying-trip-count family")
+                write!(f, "programs do not form a varying-trip-count family")
             }
             Self::FuelExhausted { fuel } => {
                 write!(f, "family simulation exceeded its fuel limit of {fuel} steps")
@@ -629,79 +802,29 @@ impl std::fmt::Display for FamilyError {
 
 impl std::error::Error for FamilyError {}
 
-/// Locate the single top-level loop whose trip count varies across
-/// `progs`, verifying the programs are otherwise identical.
+/// Simulate a *family* of programs — structurally identical kernels
+/// that differ only in the trip counts of **top-level loops** (e.g. the
+/// same generated kernel at different work-per-invocation splits) — for
+/// the cost of roughly one simulation of the longest member.
 ///
-/// Returns the code index of that `LoopStart`, or `None` when all the
-/// programs are exactly equal (any member can stand in for the rest).
-fn family_varying_loop(progs: &[&LinearProgram]) -> Result<Option<usize>, FamilyError> {
-    let first = progs[0];
-    let mut varying: Option<usize> = None;
-    for p in &progs[1..] {
-        if p.code.len() != first.code.len()
-            || p.num_vregs != first.num_vregs
-            || p.smem_words != first.smem_words
-            || p.num_params != first.num_params
-        {
-            return Err(FamilyError::NotAFamily);
-        }
-        for (pc, (a, b)) in first.code.iter().zip(&p.code).enumerate() {
-            if a == b {
-                continue;
-            }
-            match (a, b) {
-                (
-                    LinOp::LoopStart { counter: ca, end: ea, .. },
-                    LinOp::LoopStart { counter: cb, end: eb, .. },
-                ) if ca == cb && ea == eb && varying.is_none_or(|v| v == pc) => {
-                    varying = Some(pc);
-                }
-                _ => return Err(FamilyError::NotAFamily),
-            }
-        }
-    }
-    let Some(pc) = varying else { return Ok(None) };
-    // The varying loop must be top-level: it then runs at most once per
-    // warp, so "first warp completes its k-th iteration" is a single
-    // well-defined checkpoint per k.
-    let mut depth = 0usize;
-    for op in &first.code[..pc] {
-        match op {
-            LinOp::LoopStart { .. } => depth += 1,
-            LinOp::LoopEnd { .. } => depth -= 1,
-            _ => {}
-        }
-    }
-    // Every member must actually enter the loop for the checkpoint to
-    // exist.
-    let any_zero = progs.iter().any(|p| matches!(p.code[pc], LinOp::LoopStart { trips: 0, .. }));
-    if depth != 0 || any_zero {
-        return Err(FamilyError::NotAFamily);
-    }
-    Ok(Some(pc))
-}
-
-/// Simulate a *family* of programs — structurally identical kernels that
-/// differ only in the trip count of one top-level loop (e.g. the same
-/// generated kernel at different work-per-invocation splits) — for the
-/// cost of roughly one simulation of the longest member.
-///
-/// The event loop of a `T`-trip program is event-identical to a `k`-trip
-/// run (`k < T`) until the first warp finishes its `k`-th iteration: up
-/// to that point every back edge takes the same branch and charges the
-/// same cycles. So one *master* run of the longest member is enough; at
+/// The event loop of a `T`-trip program is event-identical to a
+/// `k`-trip run (`k < T`) until the first warp finishes its `k`-th
+/// iteration of that loop: up to that point every back edge takes the
+/// same branch and charges the same cycles. So one *master* run (at the
+/// element-wise maximum trip counts across the members) is enough; at
 /// each such checkpoint the complete machine state is cloned, the open
-/// loop frames are re-based to `k` remaining trips, and the clone drains
-/// against the `k`-trip member's code. Each returned report is
-/// bit-identical to what a standalone [`simulate`] of that member
-/// produces.
+/// frames of that loop are re-based to `k` remaining trips, and the
+/// clone drains against the member's own trip counts — recursively, so
+/// members differing on **several** top-level loops fork axis by axis.
+/// Each returned report is bit-identical to what a standalone
+/// [`simulate`] of that member produces.
 ///
 /// # Errors
 ///
 /// [`FamilyError::Launch`] when the shared configuration cannot launch;
-/// [`FamilyError::NotAFamily`] when the programs differ other than in a
-/// single top-level trip count (callers should fall back to individual
-/// [`simulate`] calls).
+/// [`FamilyError::NotAFamily`] when the programs differ other than in
+/// top-level trip counts, or a varying loop has a zero-trip member
+/// (callers should fall back to individual [`simulate`] calls).
 pub fn simulate_family(
     progs: &[&LinearProgram],
     launch: &Launch,
@@ -720,6 +843,125 @@ pub fn simulate_family_fueled(
     spec: &MachineSpec,
     fuel: Option<u64>,
 ) -> Result<Vec<TimingReport>, FamilyError> {
+    let decoded: Vec<DecodedProgram> = progs.iter().map(|p| decode(p)).collect();
+    let refs: Vec<&DecodedProgram> = decoded.iter().collect();
+    simulate_family_decoded_fueled(&refs, launch, usage, spec, fuel)
+}
+
+/// [`simulate_family`] over already-decoded members. Members sharing
+/// one [`DecodedArena`] (via [`DecodedProgram::with_arena`]) skip the
+/// structural comparison entirely.
+///
+/// # Errors
+///
+/// As [`simulate_family`].
+pub fn simulate_family_decoded(
+    progs: &[&DecodedProgram],
+    launch: &Launch,
+    usage: &ResourceUsage,
+    spec: &MachineSpec,
+) -> Result<Vec<TimingReport>, FamilyError> {
+    simulate_family_decoded_fueled(progs, launch, usage, spec, None)
+}
+
+/// Shared context of one family evaluation: everything that does not
+/// change across forks.
+struct FamilyRun<'a> {
+    arena: &'a DecodedArena,
+    setup: &'a SimSetup,
+    spec: &'a MachineSpec,
+    launch: &'a Launch,
+    fuel: Option<u64>,
+    /// Trip counts per member, indexed by loop id.
+    member_trips: Vec<&'a [u32]>,
+    /// Varying loop ids.
+    axes: Vec<u32>,
+    reports: Vec<Option<TimingReport>>,
+}
+
+impl FamilyRun<'_> {
+    /// Drive `st` (running at trip counts `cur`) to completion,
+    /// peeling `members` off onto forked clones whenever the leading
+    /// warp completes an iteration count some of them stop at.
+    ///
+    /// At a checkpoint for loop `a` at `completed` trips, no warp has
+    /// exited loop `a` yet (exiting requires completing `cur[a] >
+    /// completed` trips, which would have fired this checkpoint
+    /// earlier), so re-basing every open frame of `a` by
+    /// `cur[a] - completed` lands the clone exactly on the state a
+    /// standalone run of the shorter member would be in.
+    fn drive(
+        &mut self,
+        mut st: SimState,
+        cur: Vec<u32>,
+        mut members: Vec<usize>,
+        mut max_completed: Vec<u32>,
+    ) -> Result<(), FamilyError> {
+        loop {
+            if members.is_empty() {
+                // Every member of this branch forked off; the rest of
+                // the run would report to nobody.
+                return Ok(());
+            }
+            let (t, idx) = match st.pick() {
+                Pick::Done => break,
+                Pick::Deadlock => return Err(FamilyError::BarrierDeadlock),
+                Pick::Ready(t, idx) => (t, idx),
+            };
+            if self.fuel.is_some_and(|f| st.steps >= f) {
+                return Err(FamilyError::FuelExhausted { fuel: self.fuel.unwrap_or(u64::MAX) });
+            }
+            // A back edge of a varying loop: the warp is about to finish
+            // iteration `cur - remaining + 1`. The first time any warp
+            // reaches iteration `k` of a shorter member is exactly where
+            // that member's own run would exit the loop — fork it there.
+            let op = &self.arena.ops[st.warps.pc[idx] as usize];
+            if op.kind == DecKind::LoopEnd {
+                if let Some(axis) = self.axes.iter().position(|&a| a == op.loop_id) {
+                    let lid = op.loop_id as usize;
+                    let completed = cur[lid] - st.warps.top_frame(idx).remaining + 1;
+                    if completed > max_completed[axis] {
+                        max_completed[axis] = completed;
+                        if completed < cur[lid] {
+                            let sub: Vec<usize> = members
+                                .iter()
+                                .copied()
+                                .filter(|&m| self.member_trips[m][lid] == completed)
+                                .collect();
+                            if !sub.is_empty() {
+                                members.retain(|&m| self.member_trips[m][lid] != completed);
+                                let mut clone = st.clone();
+                                clone.rebase_frames(op.loop_id, cur[lid] - completed);
+                                let mut sub_cur = cur.clone();
+                                sub_cur[lid] = completed;
+                                self.drive(clone, sub_cur, sub, max_completed.clone())?;
+                            }
+                        }
+                    }
+                }
+            }
+            st.step(self.arena, &cur, self.setup, self.spec, t, idx);
+        }
+        let rep = st.report(self.launch, self.setup, self.spec);
+        for &m in &members {
+            self.reports[m] = Some(rep.clone());
+        }
+        Ok(())
+    }
+}
+
+/// As [`simulate_family_decoded`], with the fuel watchdog.
+///
+/// # Errors
+///
+/// As [`simulate_family_fueled`].
+pub fn simulate_family_decoded_fueled(
+    progs: &[&DecodedProgram],
+    launch: &Launch,
+    usage: &ResourceUsage,
+    spec: &MachineSpec,
+    fuel: Option<u64>,
+) -> Result<Vec<TimingReport>, FamilyError> {
     let halt_to_family = |h: RunHalt| match h {
         RunHalt::Fuel => FamilyError::FuelExhausted { fuel: fuel.unwrap_or(u64::MAX) },
         RunHalt::Deadlock => FamilyError::BarrierDeadlock,
@@ -728,80 +970,61 @@ pub fn simulate_family_fueled(
         return Ok(Vec::new());
     }
     let setup = SimSetup::new(launch, usage, spec).map_err(FamilyError::Launch)?;
-    let Some(loop_pc) = family_varying_loop(progs)? else {
+    let first = progs[0];
+    for p in &progs[1..] {
+        let same_shape = p.source.num_vregs == first.source.num_vregs
+            && p.source.smem_words == first.source.smem_words
+            && p.source.num_params == first.source.num_params;
+        let same_arena = std::sync::Arc::ptr_eq(&p.arena, &first.arena) || *p.arena == *first.arena;
+        if !same_shape || !same_arena {
+            return Err(FamilyError::NotAFamily);
+        }
+    }
+    let mut axes: Vec<u32> = Vec::new();
+    for (j, &t0) in first.loop_trips.iter().enumerate() {
+        if progs[1..].iter().any(|p| p.loop_trips[j] != t0) {
+            axes.push(j as u32);
+        }
+    }
+    for &a in &axes {
+        // A varying loop must be top-level (it then runs at most once
+        // per warp, so "first warp completes its k-th iteration" is a
+        // single well-defined checkpoint per k), and every member must
+        // actually enter it for the checkpoint to exist.
+        let any_zero = progs.iter().any(|p| p.loop_trips[a as usize] == 0);
+        if !first.arena.loops[a as usize].top_level || any_zero {
+            return Err(FamilyError::NotAFamily);
+        }
+    }
+    if axes.is_empty() {
         // All members identical: one run serves them all.
-        let mut st = SimState::new(progs[0], &setup);
-        st.run(&progs[0].code, &setup, spec, fuel).map_err(halt_to_family)?;
+        let mut st = SimState::new(&first.arena, &first.loop_trips, first.num_vregs(), &setup);
+        st.run(&first.arena, &first.loop_trips, &setup, spec, fuel).map_err(halt_to_family)?;
         let rep = st.report(launch, &setup, spec);
         return Ok(vec![rep; progs.len()]);
-    };
-    let trips_of = |p: &LinearProgram| match p.code[loop_pc] {
-        LinOp::LoopStart { trips, .. } => trips,
-        _ => unreachable!("family_varying_loop returns a LoopStart index"),
-    };
-    let loop_end = match progs[0].code[loop_pc] {
-        LinOp::LoopStart { end, .. } => end,
-        _ => unreachable!("family_varying_loop returns a LoopStart index"),
-    };
-    let body_start = loop_pc + 1;
-
-    // Members grouped by trip count; the longest member drives the run.
-    let mut by_trips: std::collections::BTreeMap<u32, Vec<usize>> = Default::default();
-    for (m, p) in progs.iter().enumerate() {
-        by_trips.entry(trips_of(p)).or_default().push(m);
     }
-    let t_max = *by_trips.keys().next_back().expect("non-empty family");
-    let master = progs[by_trips[&t_max][0]];
-
-    let mut reports: Vec<Option<TimingReport>> = vec![None; progs.len()];
-    let mut st = SimState::new(master, &setup);
-    let mut max_completed = 0u32;
-    loop {
-        let (t, idx) = match st.pick(&master.code) {
-            Pick::Done => break,
-            Pick::Deadlock => return Err(FamilyError::BarrierDeadlock),
-            Pick::Ready(t, idx) => (t, idx),
-        };
-        if fuel.is_some_and(|f| st.steps >= f) {
-            return Err(FamilyError::FuelExhausted { fuel: fuel.unwrap_or(u64::MAX) });
+    // The master runs at the element-wise maximum trip counts; members
+    // peel off axis by axis as the leading warp passes their counts.
+    let mut master: Vec<u32> = first.loop_trips.clone();
+    for p in &progs[1..] {
+        for (m, &t) in master.iter_mut().zip(&p.loop_trips) {
+            *m = (*m).max(t);
         }
-        // A back edge of the varying loop: the warp is about to finish
-        // iteration `T_max - remaining + 1`. The first time any warp
-        // reaches iteration `k` of a shorter member is exactly where that
-        // member's own run would exit the loop — fork it there.
-        if st.warps[idx].pc == loop_end {
-            let rem = st.warps[idx].frames.last().expect("back edge without frame").remaining;
-            let completed = t_max - rem + 1;
-            if completed > max_completed {
-                max_completed = completed;
-                if completed < t_max {
-                    if let Some(members) = by_trips.get(&completed) {
-                        let delta = t_max - completed;
-                        let mut clone = st.clone();
-                        for w in &mut clone.warps {
-                            for f in &mut w.frames {
-                                if f.body_start == body_start {
-                                    f.remaining -= delta;
-                                }
-                            }
-                        }
-                        let member = progs[members[0]];
-                        clone.run(&member.code, &setup, spec, fuel).map_err(halt_to_family)?;
-                        let rep = clone.report(launch, &setup, spec);
-                        for &m in members {
-                            reports[m] = Some(rep.clone());
-                        }
-                    }
-                }
-            }
-        }
-        st.step(&master.code, &setup, spec, t, idx);
     }
-    let rep = st.report(launch, &setup, spec);
-    for &m in &by_trips[&t_max] {
-        reports[m] = Some(rep.clone());
-    }
-    Ok(reports.into_iter().map(|r| r.expect("every trip count checkpointed")).collect())
+    let st = SimState::new(&first.arena, &master, first.num_vregs(), &setup);
+    let n_axes = axes.len();
+    let mut run = FamilyRun {
+        arena: &first.arena,
+        setup: &setup,
+        spec,
+        launch,
+        fuel,
+        member_trips: progs.iter().map(|p| p.loop_trips.as_slice()).collect(),
+        axes,
+        reports: vec![None; progs.len()],
+    };
+    run.drive(st, master, (0..progs.len()).collect(), vec![0; n_axes])?;
+    Ok(run.reports.into_iter().map(|r| r.expect("every member trip count checkpointed")).collect())
 }
 
 #[cfg(test)]
@@ -1107,6 +1330,25 @@ mod family_tests {
         b.finish()
     }
 
+    /// A kernel with **two** top-level loops; the family driver must
+    /// fork on both axes independently.
+    fn member2(trips_a: u32, trips_b: u32) -> Kernel {
+        let mut b = KernelBuilder::new("fam2");
+        let p = b.param(0);
+        let acc = b.mov(0.0f32);
+        b.repeat(trips_a, |b| {
+            let x = b.ld_global(p, 0);
+            b.fmad_acc(x, 1.0f32, acc);
+            b.sync();
+        });
+        b.repeat(trips_b, |b| {
+            let r = b.rsqrt(acc);
+            b.fmad_acc(r, 0.5f32, acc);
+        });
+        b.st_global(p, 0, acc);
+        b.finish()
+    }
+
     #[test]
     fn family_reports_match_standalone_runs() {
         let spec = g80();
@@ -1124,6 +1366,29 @@ mod family_tests {
                 family[i], standalone,
                 "family member with {} trips diverged from its standalone run",
                 trip_counts[i]
+            );
+        }
+    }
+
+    #[test]
+    fn multi_axis_family_matches_standalone_runs() {
+        let spec = g80();
+        let launch = Launch::new(Dim::new_1d(64), Dim::new_1d(128));
+        let usage = ResourceUsage::new(128, 10, 2_000);
+        // Both axes vary; no member matches the element-wise maximum
+        // (9, 8), so the synthetic master reports to nobody directly.
+        let combos = [(9u32, 2u32), (4, 8), (4, 2), (9, 2), (2, 5)];
+        let kernels: Vec<Kernel> = combos.iter().map(|&(a, b)| member2(a, b)).collect();
+        let progs: Vec<_> = kernels.iter().map(linearize).collect();
+        let refs: Vec<&LinearProgram> = progs.iter().collect();
+
+        let family = simulate_family(&refs, &launch, &usage, &spec).unwrap();
+        for (i, prog) in progs.iter().enumerate() {
+            let standalone = simulate(prog, &launch, &usage, &spec).unwrap();
+            assert_eq!(
+                family[i], standalone,
+                "family member {:?} diverged from its standalone run",
+                combos[i]
             );
         }
     }
@@ -1174,6 +1439,33 @@ mod family_tests {
     }
 
     #[test]
+    fn varying_nested_loops_are_rejected() {
+        let spec = g80();
+        let launch = Launch::new(Dim::new_1d(64), Dim::new_1d(128));
+        let usage = ResourceUsage::new(128, 10, 0);
+        // member() nests a 3-trip loop inside the varying loop; build a
+        // sibling whose *nested* trip count differs instead.
+        fn nested(trips_inner: u32) -> Kernel {
+            let mut b = KernelBuilder::new("nest");
+            let p = b.param(0);
+            let acc = b.mov(0.0f32);
+            b.repeat(4, |b| {
+                b.repeat(trips_inner, |b| {
+                    b.fmad_acc(1.0f32, 1.0f32, acc);
+                });
+            });
+            b.st_global(p, 0, acc);
+            b.finish()
+        }
+        let a = linearize(&nested(3));
+        let b = linearize(&nested(5));
+        assert_eq!(
+            simulate_family(&[&a, &b], &launch, &usage, &spec).unwrap_err(),
+            FamilyError::NotAFamily
+        );
+    }
+
+    #[test]
     fn launch_errors_surface_as_family_errors() {
         let spec = g80();
         let launch = Launch::new(Dim::new_1d(1), Dim::new_1d(512));
@@ -1191,6 +1483,7 @@ mod family_tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<TimingReport>();
         assert_send_sync::<LinearProgram>();
+        assert_send_sync::<DecodedProgram>();
         assert_send_sync::<MachineSpec>();
         assert_send_sync::<ResourceUsage>();
         assert_send_sync::<Launch>();
@@ -1326,5 +1619,74 @@ mod replay_tests {
             mem.global[0]
         };
         assert_eq!(run(&conflicted(1)), run(&conflicted(16)));
+    }
+}
+
+#[cfg(test)]
+mod legacy_parity_tests {
+    //! Spot checks that the decoded engine and the [`crate::legacy`]
+    //! reference produce bit-identical reports. The exhaustive
+    //! randomized comparison lives in the workspace-level
+    //! `decoded_parity` differential suite.
+
+    use super::*;
+    use gpu_ir::build::KernelBuilder;
+    use gpu_ir::linear::linearize;
+    use gpu_ir::{Dim, Launch};
+
+    fn mixed(trips: u32) -> LinearProgram {
+        let mut b = KernelBuilder::new("mix");
+        let p = b.param(0);
+        let acc = b.mov(0.0f32);
+        let seed = b.ld_global(p, 0);
+        b.repeat(trips, |b| {
+            let x = b.ld_global(p, 4);
+            let r = b.rsqrt(x);
+            b.repeat(2, |b| {
+                b.fmad_acc(r, 1.0f32, acc);
+            });
+            b.sync();
+        });
+        b.fmad_acc(seed, 1.0f32, acc);
+        b.st_global(p, 0, acc);
+        linearize(&b.finish())
+    }
+
+    #[test]
+    fn decoded_report_equals_legacy_report() {
+        let spec = MachineSpec::geforce_8800_gtx();
+        let launch = Launch::new(Dim::new_1d(64), Dim::new_1d(128));
+        let usage = ResourceUsage::new(128, 10, 2_000);
+        let prog = mixed(17);
+        let new = simulate(&prog, &launch, &usage, &spec).unwrap();
+        let old = crate::legacy::timing::simulate(&prog, &launch, &usage, &spec).unwrap();
+        assert_eq!(new, old);
+    }
+
+    #[test]
+    fn decoded_family_equals_legacy_family_on_single_axis() {
+        let spec = MachineSpec::geforce_8800_gtx();
+        let launch = Launch::new(Dim::new_1d(64), Dim::new_1d(128));
+        let usage = ResourceUsage::new(128, 10, 2_000);
+        let progs: Vec<LinearProgram> = [13u32, 4, 1].iter().map(|&t| mixed(t)).collect();
+        let refs: Vec<&LinearProgram> = progs.iter().collect();
+        let new = simulate_family(&refs, &launch, &usage, &spec).unwrap();
+        let old =
+            crate::legacy::timing::simulate_family_fueled(&refs, &launch, &usage, &spec, None)
+                .unwrap();
+        assert_eq!(new, old);
+    }
+
+    #[test]
+    fn decoded_fuel_accounting_equals_legacy() {
+        let spec = MachineSpec::geforce_8800_gtx();
+        let launch = Launch::new(Dim::new_1d(4), Dim::new_1d(64));
+        let usage = ResourceUsage::new(64, 10, 0);
+        let prog = mixed(40);
+        let new = simulate_fueled(&prog, &launch, &usage, &spec, Some(500)).unwrap_err();
+        let old = crate::legacy::timing::simulate_fueled(&prog, &launch, &usage, &spec, Some(500))
+            .unwrap_err();
+        assert_eq!(new, old);
+        assert_eq!(new, TimingError::FuelExhausted { fuel: 500 });
     }
 }

@@ -215,6 +215,25 @@ for strategy in exhaustive pruned bnb hill anneal genetic surrogate; do
     }
 done
 
+echo "==> decoded-parity smoke (tune sad --engine legacy vs default)"
+# The decoded arena engine and the retained pre-decode reference must
+# print byte-identical search reports on a real application space — the
+# whole tentpole rests on the two being observationally equal.
+cargo run --release -q -- tune sad --strategy exhaustive --jobs 2 \
+    > "$tracedir/engine_decoded.txt"
+cargo run --release -q -- tune sad --strategy exhaustive --jobs 2 --engine legacy \
+    > "$tracedir/engine_legacy.txt"
+diff -u "$tracedir/engine_decoded.txt" "$tracedir/engine_legacy.txt" || {
+    echo "decoded-parity smoke: reports differ between engines" >&2
+    exit 1
+}
+
+echo "==> debug-assertion build (gpu-sim dev profile)"
+# The simulators carry their structural invariants as debug_assert!s
+# (arena/source positional identity, frame bookkeeping); a dev-profile
+# build+test of the sim crate keeps those armed.
+cargo test -q -p gpu-sim > /dev/null
+
 echo "==> cargo doc (-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc -q --workspace --no-deps > /dev/null
 

@@ -19,6 +19,9 @@
 //!     --deadline-ms X                       cap accumulated simulated time
 //!     --sim-fuel N                          per-simulation step budget (watchdog)
 //!     --check-races                         quarantine statically racy kernels
+//!     --engine decoded|legacy               timing engine: decoded arena (default)
+//!                                           or the pre-decode reference
+
 //!     --retries N                           attempts per candidate (default 3)
 //!     --inject-faults                       deterministic fault injection (dev)
 //!     --fault-seed N                        seed for --inject-faults
@@ -83,6 +86,7 @@ commands:
              [--budget N] [--seed S]
              [--grid default|fine] [--device g80|gt200] [--no-screen] [--jobs N]
              [--max-sims N] [--deadline-ms X] [--sim-fuel N] [--check-races]
+             [--engine decoded|legacy]
              [--retries N] [--inject-faults] [--fault-seed N]
              [--filter axis=value]... [--sample N] [--sample-seed S] [--eager]
              [--trace-out <path>] [--trace-format jsonl|chrome]
@@ -304,6 +308,7 @@ fn cmd_tune(args: &[String]) -> ExitCode {
     let mut eval_budget = EvalBudget::UNLIMITED;
     let mut sim_fuel: Option<u64> = None;
     let mut check_races = false;
+    let mut legacy_sim = false;
     let mut retry = RetryPolicy::default();
     let mut inject = false;
     let mut fault_seed: Option<u64> = None;
@@ -388,6 +393,14 @@ fn cmd_tune(args: &[String]) -> ExitCode {
                 }
             },
             "--check-races" => check_races = true,
+            "--engine" => match it.next().map(String::as_str) {
+                Some("legacy") => legacy_sim = true,
+                Some("decoded") => legacy_sim = false,
+                _ => {
+                    eprintln!("--engine needs legacy|decoded");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--retries" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(n) if n >= 1 => retry.max_attempts = n,
                 _ => {
@@ -559,6 +572,7 @@ fn cmd_tune(args: &[String]) -> ExitCode {
         sim_fuel,
         fault_plan,
         check_races,
+        legacy_sim,
     });
     // Observation is opt-in: the sink only exists when some exporter
     // will consume it.
