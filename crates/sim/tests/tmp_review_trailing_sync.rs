@@ -1,0 +1,23 @@
+use gpu_arch::{MachineSpec, ResourceUsage};
+use gpu_ir::build::KernelBuilder;
+use gpu_ir::linear::linearize;
+use gpu_ir::{Dim, Launch};
+
+#[test]
+fn trailing_sync_decoded_vs_legacy() {
+    let mut b = KernelBuilder::new("ts");
+    let p = b.param(0);
+    let acc = b.mov(0.0f32);
+    b.fmad_acc(1.0f32, 1.0f32, acc);
+    b.st_global(p, 0, acc);
+    b.sync(); // program ends at a barrier
+    let prog = linearize(&b.finish());
+    let spec = MachineSpec::geforce_8800_gtx();
+    let launch = Launch::new(Dim::new_1d(4), Dim::new_1d(64));
+    let usage = ResourceUsage::new(64, 10, 0);
+    let leg = gpu_sim::legacy::timing::simulate_fueled(&prog, &launch, &usage, &spec, None);
+    println!("legacy: {leg:?}");
+    let dec = gpu_sim::timing::simulate_fueled(&prog, &launch, &usage, &spec, None);
+    println!("decoded: {dec:?}");
+    assert_eq!(format!("{dec:?}"), format!("{leg:?}"));
+}
